@@ -1,0 +1,60 @@
+//===- bench/BenchUtil.h - Shared flags for the table benches -------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny command-line handling shared by the bench binaries that regenerate
+/// the paper's tables: --runs=N and --seed=S scale each experiment, and
+/// SBI_BENCH_RUNS / SBI_BENCH_SEED do the same from the environment (so
+/// `for b in build/bench/*; do $b; done` can be scaled globally).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_BENCH_BENCHUTIL_H
+#define SBI_BENCH_BENCHUTIL_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sbi {
+
+struct BenchConfig {
+  size_t Runs;
+  uint64_t Seed;
+  /// Campaign worker threads (0 = one per hardware thread). Results are
+  /// bit-identical for any value; this only changes wall time.
+  size_t Threads;
+};
+
+inline BenchConfig parseBenchConfig(int Argc, char **Argv,
+                                    size_t DefaultRuns) {
+  BenchConfig Config{DefaultRuns, 20050612, 0};
+  if (const char *Env = std::getenv("SBI_BENCH_RUNS"))
+    Config.Runs = static_cast<size_t>(std::strtoull(Env, nullptr, 10));
+  if (const char *Env = std::getenv("SBI_BENCH_SEED"))
+    Config.Seed = std::strtoull(Env, nullptr, 10);
+  if (const char *Env = std::getenv("SBI_BENCH_THREADS"))
+    Config.Threads = static_cast<size_t>(std::strtoull(Env, nullptr, 10));
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--runs=", 7) == 0)
+      Config.Runs = static_cast<size_t>(std::strtoull(Argv[I] + 7, nullptr,
+                                                      10));
+    else if (std::strncmp(Argv[I], "--seed=", 7) == 0)
+      Config.Seed = std::strtoull(Argv[I] + 7, nullptr, 10);
+    else if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Config.Threads = static_cast<size_t>(
+          std::strtoull(Argv[I] + 10, nullptr, 10));
+  }
+  if (Config.Runs == 0)
+    Config.Runs = DefaultRuns;
+  return Config;
+}
+
+} // namespace sbi
+
+#endif // SBI_BENCH_BENCHUTIL_H

@@ -1,0 +1,114 @@
+//===- bench/ablation_sampling.cpp - Sampling validation (Section 4) ------===//
+//
+// Section 4's sampling validation: the paper compared every study's
+// results against results obtained with no sampling at all and judged the
+// differences minor (logically equivalent predicates swapped, slightly
+// different tail ordering). This bench runs MOSS and EXIF under
+//
+//   full          complete monitoring (rate 1.0 everywhere),
+//   adaptive      the nonuniform plan (the paper's configuration),
+//   uniform 1/100 the naive fixed-rate plan,
+//
+// and reports how much of the full-monitoring elimination list each
+// sampled configuration recovers (same predicate, or another predicate at
+// the same site — the "logically equivalent" case).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/Analysis.h"
+#include "harness/Campaign.h"
+#include "harness/Tables.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace sbi;
+
+namespace {
+
+struct ModeResult {
+  std::string Name;
+  std::vector<SelectedPredicate> Selected;
+};
+
+ModeResult runMode(const Subject &Subj, const BenchConfig &Config,
+                   SamplingMode Mode, const char *Name) {
+  CampaignOptions Options;
+  Options.NumRuns = Config.Runs;
+  Options.Seed = Config.Seed;
+    Options.Threads = Config.Threads;
+  Options.Mode = Mode;
+  CampaignResult Result = runCampaign(Subj, Options);
+  CauseIsolator Isolator(Result.Sites, Result.Reports);
+  AnalysisResult Analysis = Isolator.run();
+  return {Name, Analysis.Selected};
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config = parseBenchConfig(Argc, Argv, /*DefaultRuns=*/2500);
+  std::printf("== Ablation: sampled vs. unsampled analysis (Section 4) "
+              "==\n");
+  std::printf("runs per configuration: %zu, seed: %llu\n\n", Config.Runs,
+              static_cast<unsigned long long>(Config.Seed));
+
+  for (const Subject *Subj : {&mossSubject(), &exifSubject()}) {
+    std::printf("-- %s --\n", Subj->Name.c_str());
+
+    // Sites are identical across modes (same program), so predicate and
+    // site ids are directly comparable.
+    CampaignResult Reference;
+    {
+      CampaignOptions Options;
+      Options.NumRuns = Config.Runs;
+      Options.Seed = Config.Seed;
+    Options.Threads = Config.Threads;
+      Options.Mode = SamplingMode::None;
+      Reference = runCampaign(*Subj, Options);
+    }
+    CauseIsolator RefIsolator(Reference.Sites, Reference.Reports);
+    AnalysisResult RefAnalysis = RefIsolator.run();
+
+    std::set<uint32_t> RefPreds, RefSites;
+    for (const SelectedPredicate &Entry : RefAnalysis.Selected) {
+      RefPreds.insert(Entry.Pred);
+      RefSites.insert(Reference.Sites.predicate(Entry.Pred).Site);
+    }
+
+    TextTable Table;
+    Table.setHeader({"Mode", "Selected", "Same predicate", "Same site",
+                     "New"});
+    Table.addRow({"full (reference)",
+                  format("%zu", RefAnalysis.Selected.size()),
+                  format("%zu", RefAnalysis.Selected.size()),
+                  format("%zu", RefAnalysis.Selected.size()), "0"});
+
+    for (auto [Mode, Name] :
+         {std::pair{SamplingMode::Adaptive, "adaptive"},
+          std::pair{SamplingMode::Uniform, "uniform 1/100"}}) {
+      ModeResult Result = runMode(*Subj, Config, Mode, Name);
+      size_t SamePred = 0, SameSite = 0, New = 0;
+      for (const SelectedPredicate &Entry : Result.Selected) {
+        if (RefPreds.count(Entry.Pred))
+          ++SamePred;
+        else if (RefSites.count(Reference.Sites.predicate(Entry.Pred).Site))
+          ++SameSite;
+        else
+          ++New;
+      }
+      Table.addRow({Result.Name, format("%zu", Result.Selected.size()),
+                    format("%zu", SamePred), format("%zu", SamePred + SameSite),
+                    format("%zu", New)});
+    }
+    std::printf("%s\n", Table.render().c_str());
+  }
+  std::printf("Paper shape: adaptive sampling recovers (nearly) the full-"
+              "monitoring list, often\nvia logically equivalent predicates "
+              "at the same site; naive uniform 1/100 loses\nrarely-executed "
+              "predicates, which is why the nonuniform plan exists.\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+//===- bench/perf_analysis.cpp - Analysis scalability ----------------------===//
+//
+// The paper's title claim is scalability: the Increase test plus iterative
+// elimination must digest feedback from hundreds of thousands of
+// predicates over tens of thousands of runs. This google-benchmark binary
+// measures the three analysis stages on synthetic report sets of varying
+// size:
+//
+//   aggregation  one pass of count aggregation (the inner loop of
+//                everything else),
+//   pruning      the Increase > 0 confidence test over all predicates,
+//   elimination  the full iterative algorithm.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "feedback/Report.h"
+#include "instrument/Sites.h"
+#include "lang/Sema.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sbi;
+
+namespace {
+
+/// Builds a synthetic world: a trivial program whose site table is
+/// irrelevant except for predicate->site structure, plus reports drawn
+/// from a planted two-bug model.
+struct SyntheticWorld {
+  std::unique_ptr<Program> Prog;
+  SiteTable Sites;
+  ReportSet Reports;
+};
+
+/// A tiny MicroC program with enough assignments to mint the requested
+/// number of six-way sites.
+std::unique_ptr<Program> syntheticProgram(size_t NumSites) {
+  std::string Source = "fn main() {\n  int a = 1;\n";
+  // Each additional assignment pairs with all previously declared ints and
+  // the function's constants, so sites grow quadratically; generate until
+  // the estimate is met.
+  size_t Vars = 1;
+  size_t SitesMinted = 0;
+  while (SitesMinted < NumSites && Vars < 2000) {
+    Source += "  int v" + std::to_string(Vars) + " = " +
+              std::to_string(Vars % 7) + ";\n";
+    SitesMinted += Vars + 6; // pair vars + capped constants, approximate
+    ++Vars;
+  }
+  Source += "  println(a);\n}\n";
+  std::vector<Diagnostic> Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  assert(Prog && "synthetic program must compile");
+  return Prog;
+}
+
+SyntheticWorld buildWorld(size_t NumSitesTarget, size_t NumRuns,
+                          size_t TruePredsPerRun) {
+  SyntheticWorld World;
+  World.Prog = syntheticProgram(NumSitesTarget);
+  World.Sites = SiteTable::build(*World.Prog);
+
+  uint32_t NumSites = World.Sites.numSites();
+  uint32_t NumPreds = World.Sites.numPredicates();
+  World.Reports = ReportSet(NumSites, NumPreds);
+
+  Rng R(0xabcdefULL);
+  // Two planted bugs, each predicted by one dedicated site.
+  uint32_t BugSiteA = 0;
+  uint32_t BugSiteB = NumSites / 2;
+  for (size_t Run = 0; Run < NumRuns; ++Run) {
+    FeedbackReport Report;
+    bool BugA = R.nextBernoulli(0.08);
+    bool BugB = R.nextBernoulli(0.03);
+    Report.Failed = (BugA && R.nextBernoulli(0.9)) ||
+                    (BugB && R.nextBernoulli(0.7));
+
+    std::vector<std::pair<uint32_t, uint32_t>> SitesSeen;
+    std::vector<std::pair<uint32_t, uint32_t>> PredsTrue;
+    for (size_t K = 0; K < TruePredsPerRun; ++K) {
+      uint32_t Site = static_cast<uint32_t>(R.nextBelow(NumSites));
+      SitesSeen.emplace_back(Site, 1);
+      const SiteInfo &Info = World.Sites.site(Site);
+      uint32_t Pred =
+          Info.FirstPredicate +
+          static_cast<uint32_t>(R.nextBelow(Info.NumPredicates));
+      PredsTrue.emplace_back(Pred, 1);
+    }
+    auto planted = [&](uint32_t Site) {
+      SitesSeen.emplace_back(Site, 1);
+      PredsTrue.emplace_back(World.Sites.site(Site).FirstPredicate, 1);
+    };
+    if (BugA)
+      planted(BugSiteA);
+    if (BugB)
+      planted(BugSiteB);
+
+    auto normalize = [](std::vector<std::pair<uint32_t, uint32_t>> &V) {
+      std::sort(V.begin(), V.end());
+      V.erase(std::unique(V.begin(), V.end(),
+                          [](const auto &A, const auto &B) {
+                            return A.first == B.first;
+                          }),
+              V.end());
+    };
+    normalize(SitesSeen);
+    normalize(PredsTrue);
+    Report.Counts.SiteObservations = std::move(SitesSeen);
+    Report.Counts.TruePredicates = std::move(PredsTrue);
+    World.Reports.add(std::move(Report));
+  }
+  return World;
+}
+
+const SyntheticWorld &worldFor(int64_t Scale) {
+  static std::map<int64_t, SyntheticWorld> Cache;
+  auto It = Cache.find(Scale);
+  if (It == Cache.end())
+    It = Cache
+             .emplace(Scale,
+                      buildWorld(static_cast<size_t>(Scale) * 1000,
+                                 static_cast<size_t>(Scale) * 500, 200))
+             .first;
+  return It->second;
+}
+
+void BM_Aggregation(benchmark::State &State) {
+  const SyntheticWorld &World = worldFor(State.range(0));
+  RunView View = RunView::allOf(World.Reports);
+  for (auto _ : State) {
+    Aggregates Agg = Aggregates::compute(World.Reports, View);
+    benchmark::DoNotOptimize(Agg.numFailing());
+  }
+  State.counters["preds"] =
+      static_cast<double>(World.Sites.numPredicates());
+  State.counters["runs"] = static_cast<double>(World.Reports.size());
+}
+
+void BM_Pruning(benchmark::State &State) {
+  const SyntheticWorld &World = worldFor(State.range(0));
+  CauseIsolator Isolator(World.Sites, World.Reports);
+  for (auto _ : State) {
+    auto Survivors = Isolator.prune();
+    benchmark::DoNotOptimize(Survivors.size());
+  }
+}
+
+void BM_FullElimination(benchmark::State &State) {
+  const SyntheticWorld &World = worldFor(State.range(0));
+  AnalysisOptions Options;
+  Options.ComputeAffinity = false;
+  CauseIsolator Isolator(World.Sites, World.Reports, Options);
+  for (auto _ : State) {
+    AnalysisResult Result = Isolator.run();
+    benchmark::DoNotOptimize(Result.Selected.size());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Aggregation)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_Pruning)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_FullElimination)->Arg(1)->Arg(4);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+//===- bench/perf_sampling.cpp - Instrumentation overhead (Section 2) -----===//
+//
+// Section 2's overhead claim: sparse random sampling keeps instrumentation
+// cost low ("a sampling rate of 1/100 keeps the performance overhead low,
+// often unmeasurable"). This google-benchmark binary executes a pool of
+// MOSS inputs under increasing levels of monitoring:
+//
+//   uninstrumented    no observer at all,
+//   uniform 1/1000,
+//   uniform 1/100     the paper's default rate,
+//   uniform 1/10,
+//   adaptive          the nonuniform plan of Section 4,
+//   full              complete monitoring (rate 1.0).
+//
+// Expected shape: cost grows with the effective sampling rate; uniform
+// 1/100 sits well below full monitoring. Two honest deviations from the
+// paper's absolute numbers: (a) our interpreter pays a fixed observer
+// dispatch per dynamic event even when the sample is skipped, while CBI's
+// compiled fast path bypasses instrumentation entirely, so the floor is
+// higher than "unmeasurable"; (b) the adaptive plan targets ~100 samples
+// per site per run, and on subjects this small most sites are reached
+// fewer than 100 times, so adaptive deliberately approaches complete
+// monitoring — its overhead win materializes on programs whose hot sites
+// execute orders of magnitude more often than the target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Campaign.h"
+#include "instrument/Collector.h"
+#include "runtime/Interp.h"
+#include "subjects/Subjects.h"
+#include "support/Random.h"
+#include "vm/Compiler.h"
+#include "vm/VM.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sbi;
+
+namespace {
+
+/// Shared fixture state: the compiled MOSS program, its sites, and a pool
+/// of non-crashing inputs drawn from the study's real input distribution
+/// (crashing runs end early and would understate the overhead).
+struct MossFixture {
+  std::unique_ptr<Program> Prog;
+  CompiledProgram Bytecode;
+  SiteTable Sites;
+  std::vector<std::vector<std::string>> InputPool;
+
+  static const MossFixture &get() {
+    static MossFixture Fixture = [] {
+      MossFixture F;
+      F.Prog = compileSubjectSource(mossSubject().Source, "moss");
+      F.Bytecode = compileProgram(*F.Prog);
+      F.Sites = SiteTable::build(*F.Prog);
+      Rng InputRng(0xfeedbeefULL);
+      while (F.InputPool.size() < 16) {
+        std::vector<std::string> Args = mossSubject().GenerateInput(InputRng);
+        RunConfig Config;
+        Config.Args = Args;
+        Config.OverrunPad = 4;
+        if (!runProgram(*F.Prog, Config).failed())
+          F.InputPool.push_back(std::move(Args));
+      }
+      return F;
+    }();
+    return Fixture;
+  }
+};
+
+void runOnce(benchmark::State &State, ReportCollector *Collector,
+             uint64_t &RunSeed, bool UseVM = false) {
+  const MossFixture &Fixture = MossFixture::get();
+  uint64_t Steps = 0;
+  size_t Next = 0;
+  for (auto _ : State) {
+    RunConfig Config;
+    Config.Args = Fixture.InputPool[Next];
+    Next = (Next + 1) % Fixture.InputPool.size();
+    Config.OverrunPad = 4;
+    Config.Observer = Collector;
+    if (Collector)
+      Collector->beginRun(RunSeed++);
+    RunOutcome Outcome = UseVM ? runCompiled(Fixture.Bytecode, Config)
+                               : runProgram(*Fixture.Prog, Config);
+    benchmark::DoNotOptimize(Outcome.ExitCode);
+    Steps += Outcome.Steps;
+    if (Collector) {
+      RawReport Report = Collector->takeReport();
+      benchmark::DoNotOptimize(Report.TruePredicates.size());
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Steps));
+}
+
+void BM_Uninstrumented(benchmark::State &State) {
+  uint64_t Seed = 1;
+  runOnce(State, nullptr, Seed);
+}
+
+void BM_UniformRate(benchmark::State &State) {
+  const MossFixture &Fixture = MossFixture::get();
+  double Rate = 1.0 / static_cast<double>(State.range(0));
+  ReportCollector Collector(
+      Fixture.Sites, SamplingPlan::uniform(Fixture.Sites.numSites(), Rate));
+  uint64_t Seed = 1;
+  runOnce(State, &Collector, Seed);
+}
+
+void BM_Adaptive(benchmark::State &State) {
+  const MossFixture &Fixture = MossFixture::get();
+  // Train the plan on a handful of runs, outside the timed region.
+  ReportCollector Trainer(Fixture.Sites,
+                          SamplingPlan::full(Fixture.Sites.numSites()));
+  std::vector<double> Mean(Fixture.Sites.numSites(), 0.0);
+  Rng InputRng(0x1234ULL);
+  const int TrainingRuns = 60;
+  for (int Run = 0; Run < TrainingRuns; ++Run) {
+    RunConfig Config;
+    Config.Args = mossSubject().GenerateInput(InputRng);
+    Config.OverrunPad = 4;
+    Config.Observer = &Trainer;
+    Trainer.beginRun(static_cast<uint64_t>(Run));
+    runProgram(*Fixture.Prog, Config);
+    for (const auto &[Site, Count] : Trainer.takeReport().SiteObservations)
+      Mean[Site] += static_cast<double>(Count) / TrainingRuns;
+  }
+  ReportCollector Collector(Fixture.Sites, SamplingPlan::adaptive(Mean));
+  uint64_t Seed = 1;
+  runOnce(State, &Collector, Seed);
+}
+
+void BM_FullMonitoring(benchmark::State &State) {
+  const MossFixture &Fixture = MossFixture::get();
+  ReportCollector Collector(Fixture.Sites,
+                            SamplingPlan::full(Fixture.Sites.numSites()));
+  uint64_t Seed = 1;
+  runOnce(State, &Collector, Seed);
+}
+
+} // namespace
+
+void BM_UninstrumentedVM(benchmark::State &State) {
+  uint64_t Seed = 1;
+  runOnce(State, nullptr, Seed, /*UseVM=*/true);
+}
+
+void BM_FullMonitoringVM(benchmark::State &State) {
+  const MossFixture &Fixture = MossFixture::get();
+  ReportCollector Collector(Fixture.Sites,
+                            SamplingPlan::full(Fixture.Sites.numSites()));
+  uint64_t Seed = 1;
+  runOnce(State, &Collector, Seed, /*UseVM=*/true);
+}
+
+BENCHMARK(BM_Uninstrumented);
+BENCHMARK(BM_UninstrumentedVM);
+BENCHMARK(BM_FullMonitoringVM);
+BENCHMARK(BM_UniformRate)->Arg(1000)->Arg(100)->Arg(10);
+BENCHMARK(BM_Adaptive);
+BENCHMARK(BM_FullMonitoring);
+
+BENCHMARK_MAIN();

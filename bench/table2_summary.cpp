@@ -1,0 +1,55 @@
+//===- bench/table2_summary.cpp - Reproduce Table 2 -----------------------===//
+//
+// Table 2 of the paper: summary statistics for the five bug-isolation
+// studies — lines of code, successful/failing run counts, instrumentation
+// sites, and the predicate-count funnel (initial -> Increase > 0 ->
+// elimination output). The paper's headline here is the 3-4 order-of-
+// magnitude reduction in predicates the user must examine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/Analysis.h"
+#include "harness/Campaign.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace sbi;
+
+int main(int Argc, char **Argv) {
+  BenchConfig Config = parseBenchConfig(Argc, Argv, /*DefaultRuns=*/3000);
+  std::printf("== Table 2: summary statistics for bug isolation "
+              "experiments ==\n");
+  std::printf("runs per study: %zu, seed: %llu (paper: ~32,000 runs)\n\n",
+              Config.Runs, static_cast<unsigned long long>(Config.Seed));
+
+  TextTable Table;
+  Table.setHeader({"Study", "LoC", "Successful", "Failing", "Sites",
+                   "Initial preds", "Increase>0", "Elimination"});
+
+  for (const Subject *Subj : allSubjects()) {
+    CampaignOptions Options;
+    Options.NumRuns = Config.Runs;
+    Options.Seed = Config.Seed;
+    Options.Threads = Config.Threads;
+    CampaignResult Result = runCampaign(*Subj, Options);
+
+    CauseIsolator Isolator(Result.Sites, Result.Reports);
+    AnalysisResult Analysis = Isolator.run();
+
+    Table.addRow({Subj->Name, format("%d", Result.LinesOfCode),
+                  format("%zu", Result.numSuccessful()),
+                  format("%zu", Result.numFailing()),
+                  format("%u", Result.Sites.numSites()),
+                  format("%u", Result.Sites.numPredicates()),
+                  format("%zu", Analysis.PrunedSurvivors.size()),
+                  format("%zu", Analysis.Selected.size())});
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("Paper shape: Increase>0 removes ~99%% of predicates;\n"
+              "elimination reduces the survivors by another 1-2 orders of "
+              "magnitude.\n");
+  return 0;
+}

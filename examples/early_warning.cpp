@@ -1,0 +1,199 @@
+//===- examples/early_warning.cpp - Predictors as on-line failure alarms --===//
+//
+// Section 5 of the paper: "knowing that a strong predictor of program
+// failure has become true may enable preemptive action", and Section 6
+// cites proactive-maintenance systems that predict impending failure.
+//
+// This example closes that loop. Phase 1 isolates the strongest failure
+// predictor for the RHYTHMBOX subject offline, exactly as usual. Phase 2
+// "deploys" a tiny on-line monitor — an ExecutionObserver that watches
+// only the chosen predicate — into fresh runs, and measures how often the
+// alarm fires before the crash and with how much lead time (in dynamic
+// events) a hypothetical recovery mechanism would have had.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "harness/Campaign.h"
+#include "harness/Tables.h"
+#include "runtime/Interp.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace sbi;
+
+namespace {
+
+/// Watches a single predicate on line; records the dynamic-event index at
+/// which it first became true. This is the "deployed alarm": no counting,
+/// no reports, just one comparison per reach of one site.
+class AlarmObserver : public ExecutionObserver {
+public:
+  AlarmObserver(const SiteTable &Sites, uint32_t PredId)
+      : Sites(Sites), Site(Sites.site(Sites.predicate(PredId).Site)),
+        Op(Sites.predicate(PredId).Op),
+        Offset(PredId - Site.FirstPredicate) {}
+
+  void onBranch(int NodeId, bool Taken) override {
+    ++Events;
+    if (NodeId != Site.NodeId || Site.SchemeKind != Scheme::Branches)
+      return;
+    bool True = Offset == 0 ? Taken : !Taken;
+    if (True)
+      recordAlarm();
+  }
+
+  void onScalarReturn(int NodeId, int64_t Result) override {
+    ++Events;
+    if (NodeId != Site.NodeId || Site.SchemeKind != Scheme::Returns)
+      return;
+    if (holds(Result, 0))
+      recordAlarm();
+  }
+
+  void onScalarAssign(int NodeId, int64_t NewValue,
+                      const FrameView &Frame) override {
+    ++Events;
+    if (Site.SchemeKind != Scheme::ScalarPairs)
+      return;
+    // The watched site's node may own several pair sites; only evaluate
+    // ours.
+    if (NodeId != Site.NodeId)
+      return;
+    int64_t Rhs = Site.PairIsConstant
+                      ? Site.PairConstant
+                      : (Frame.get(Site.PairVar).isInt()
+                             ? Frame.get(Site.PairVar).asInt()
+                             : NewValue);
+    if (holds(NewValue, Rhs))
+      recordAlarm();
+  }
+
+  /// Event index of the first alarm, or -1.
+  int64_t alarmAt() const { return AlarmEvent; }
+  int64_t totalEvents() const { return Events; }
+
+  void reset() {
+    Events = 0;
+    AlarmEvent = -1;
+  }
+
+private:
+  bool holds(int64_t Lhs, int64_t Rhs) const {
+    switch (Op) {
+    case PredicateOp::Lt:
+      return Lhs < Rhs;
+    case PredicateOp::Le:
+      return Lhs <= Rhs;
+    case PredicateOp::Gt:
+      return Lhs > Rhs;
+    case PredicateOp::Ge:
+      return Lhs >= Rhs;
+    case PredicateOp::Eq:
+      return Lhs == Rhs;
+    case PredicateOp::Ne:
+      return Lhs != Rhs;
+    default:
+      return false;
+    }
+  }
+
+  void recordAlarm() {
+    if (AlarmEvent < 0)
+      AlarmEvent = Events;
+  }
+
+  const SiteTable &Sites;
+  const SiteInfo &Site;
+  PredicateOp Op;
+  uint32_t Offset;
+  int64_t Events = 0;
+  int64_t AlarmEvent = -1;
+};
+
+} // namespace
+
+int main() {
+  std::printf("== early-warning deployment of a failure predictor ==\n\n");
+
+  // Phase 1: offline isolation, as usual.
+  CampaignOptions Options;
+  Options.NumRuns = 1500;
+  Options.Seed = 424242;
+  CampaignResult Result = runCampaign(rhythmboxSubject(), Options);
+  CauseIsolator Isolator(Result.Sites, Result.Reports);
+  AnalysisResult Analysis = Isolator.run();
+  if (Analysis.Selected.empty()) {
+    std::printf("no predictor found\n");
+    return 1;
+  }
+  // Deploy an alarm on each of the top two selected predictors, plus the
+  // upstream corruption predicate an engineer would pick after reading
+  // the second predictor's site (the renderer only observes damage done
+  // earlier in handle_get — the upstream predicate buys lead time).
+  std::vector<uint32_t> Deployed;
+  for (size_t I = 0; I < Analysis.Selected.size() && I < 2; ++I)
+    Deployed.push_back(Analysis.Selected[I].Pred);
+  for (const PredicateInfo &Pred : Result.Sites.predicates())
+    if (Pred.Text == "p.sig_queued == 1 is TRUE" &&
+        Result.Sites.site(Pred.Site).Function == "handle_get") {
+      Deployed.push_back(Pred.Id);
+      break;
+    }
+
+  for (uint32_t Pred : Deployed) {
+    std::printf("deploying alarm on: %s\n",
+                predicateLabel(Result.Sites, Pred).c_str());
+
+    // Fresh runs (different seed stream) with only this alarm attached.
+    AlarmObserver Alarm(Result.Sites, Pred);
+    Rng Seeder(0xA1A7);
+    size_t Failing = 0, AlarmBeforeCrash = 0, FalseAlarms = 0, Quiet = 0;
+    std::vector<int64_t> LeadTimes;
+    for (int Run = 0; Run < 1500; ++Run) {
+      Rng InputRng(Seeder.next());
+      RunConfig Config;
+      Config.Args = rhythmboxSubject().GenerateInput(InputRng);
+      Config.OverrunPad = static_cast<size_t>(InputRng.nextBelow(8));
+      Config.Observer = &Alarm;
+      Alarm.reset();
+      RunOutcome Outcome = runProgram(*Result.Prog, Config);
+
+      if (Outcome.failed()) {
+        ++Failing;
+        if (Alarm.alarmAt() >= 0) {
+          ++AlarmBeforeCrash; // The run ended at the crash, so any alarm
+                              // necessarily preceded it.
+          LeadTimes.push_back(Alarm.totalEvents() - Alarm.alarmAt());
+        } else {
+          ++Quiet;
+        }
+      } else if (Alarm.alarmAt() >= 0) {
+        ++FalseAlarms;
+      }
+    }
+
+    std::printf("  of %zu failures: alarm preceded the crash in %zu, "
+                "stayed silent in %zu;\n  false alarms in successful "
+                "runs: %zu\n",
+                Failing, AlarmBeforeCrash, Quiet, FalseAlarms);
+    if (!LeadTimes.empty()) {
+      std::sort(LeadTimes.begin(), LeadTimes.end());
+      std::printf("  lead time: median %lld dynamic events (max %lld)\n",
+                  static_cast<long long>(LeadTimes[LeadTimes.size() / 2]),
+                  static_cast<long long>(LeadTimes.back()));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Reading: the race predictor fires on the fatal event itself "
+              "(lead 0 — an exact\nalarm, but too late to act), while the "
+              "upstream unsafe-API predicate fires well\nbefore the "
+              "renderer crash: that is where a recovery hook would go. "
+              "Choosing the\nearliest strong predicate from the affinity "
+              "neighborhood is exactly the kind of\ntriage the paper's "
+              "Section 5 anticipates.\n");
+  return 0;
+}

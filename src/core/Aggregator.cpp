@@ -1,0 +1,53 @@
+//===- core/Aggregator.cpp - Count aggregation over run populations -------===//
+
+#include "core/Aggregator.h"
+
+using namespace sbi;
+
+RunView RunView::allOf(const ReportSet &Set) {
+  RunView View;
+  View.Active.assign(Set.size(), 1);
+  View.Failed.resize(Set.size());
+  for (size_t I = 0; I < Set.size(); ++I)
+    View.Failed[I] = Set[I].Failed ? 1 : 0;
+  return View;
+}
+
+size_t RunView::numActive() const {
+  size_t N = 0;
+  for (uint8_t A : Active)
+    N += A;
+  return N;
+}
+
+size_t RunView::numActiveFailing() const {
+  size_t N = 0;
+  for (size_t I = 0; I < Active.size(); ++I)
+    N += (Active[I] && Failed[I]) ? 1 : 0;
+  return N;
+}
+
+Aggregates Aggregates::compute(const ReportSet &Set, const RunView &View) {
+  assert(View.Active.size() == Set.size() &&
+         View.Failed.size() == Set.size() && "view does not match set");
+  Aggregates Agg(Set.numSites(), Set.numPredicates());
+
+  for (size_t RunIdx = 0; RunIdx < Set.size(); ++RunIdx) {
+    if (!View.Active[RunIdx])
+      continue;
+    const FeedbackReport &Report = Set[RunIdx];
+    size_t LabelIdx = View.Failed[RunIdx] ? 0 : 1;
+    if (View.Failed[RunIdx])
+      ++Agg.NumF;
+    else
+      ++Agg.NumS;
+
+    for (const auto &[Site, Count] : Report.Counts.SiteObservations)
+      if (Count > 0)
+        ++Agg.SiteObs[Site][LabelIdx];
+    for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
+      if (Count > 0)
+        ++Agg.PredTrue[Pred][LabelIdx];
+  }
+  return Agg;
+}

@@ -1,0 +1,80 @@
+//===- core/Aggregator.h - Count aggregation over run populations ---------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a set of sparse feedback reports into the per-predicate counts
+/// F(P), S(P), F(P observed), S(P observed) that all scores derive from.
+/// The elimination algorithm re-aggregates after every selection over a
+/// shrinking (or relabeled) run population, so aggregation is phrased over
+/// a RunView: an activity mask plus current failure labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_CORE_AGGREGATOR_H
+#define SBI_CORE_AGGREGATOR_H
+
+#include "core/Scores.h"
+#include "feedback/Report.h"
+#include "instrument/Sites.h"
+
+#include <array>
+#include <vector>
+
+namespace sbi {
+
+/// Which runs participate in an aggregation and with which labels. The
+/// elimination policies of Section 5 mutate this view rather than the
+/// underlying reports.
+struct RunView {
+  std::vector<uint8_t> Active; ///< 1 = run participates.
+  std::vector<uint8_t> Failed; ///< Current label (may differ from report's).
+
+  static RunView allOf(const ReportSet &Set);
+
+  size_t numActive() const;
+  size_t numActiveFailing() const;
+};
+
+/// Dense aggregate counts for every site and predicate.
+class Aggregates {
+public:
+  Aggregates(uint32_t NumSites, uint32_t NumPredicates)
+      : SiteObs(NumSites), PredTrue(NumPredicates) {}
+
+  /// Aggregates \p Set under \p View.
+  static Aggregates compute(const ReportSet &Set, const RunView &View);
+
+  uint64_t numFailing() const { return NumF; }
+  uint64_t numSuccessful() const { return NumS; }
+
+  /// The four-count bundle for predicate \p PredId; \p Sites maps the
+  /// predicate to its enclosing site.
+  PredicateCounts counts(uint32_t PredId, const SiteTable &Sites) const {
+    const PredicateInfo &Pred = Sites.predicate(PredId);
+    PredicateCounts Counts;
+    Counts.F = PredTrue[PredId][0];
+    Counts.S = PredTrue[PredId][1];
+    Counts.FObs = SiteObs[Pred.Site][0];
+    Counts.SObs = SiteObs[Pred.Site][1];
+    return Counts;
+  }
+
+  PredicateScores scores(uint32_t PredId, const SiteTable &Sites) const {
+    return PredicateScores(counts(PredId, Sites));
+  }
+
+private:
+  /// [0] = failing runs, [1] = successful runs.
+  std::vector<std::array<uint64_t, 2>> SiteObs;
+  std::vector<std::array<uint64_t, 2>> PredTrue;
+  uint64_t NumF = 0;
+  uint64_t NumS = 0;
+};
+
+} // namespace sbi
+
+#endif // SBI_CORE_AGGREGATOR_H

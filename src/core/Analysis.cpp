@@ -1,0 +1,183 @@
+//===- core/Analysis.cpp - The cause-isolation algorithm ------------------===//
+
+#include "core/Analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace sbi;
+
+const char *sbi::discardPolicyName(DiscardPolicy Policy) {
+  switch (Policy) {
+  case DiscardPolicy::DiscardAllRuns:
+    return "discard-all-runs";
+  case DiscardPolicy::DiscardFailingRuns:
+    return "discard-failing-runs";
+  case DiscardPolicy::RelabelFailingRuns:
+    return "relabel-failing-runs";
+  }
+  return "?";
+}
+
+CauseIsolator::CauseIsolator(const SiteTable &Sites, const ReportSet &Set,
+                             AnalysisOptions Options)
+    : Sites(Sites), Set(Set), Options(Options) {
+  assert(Sites.numPredicates() == Set.numPredicates() &&
+         "report set does not match the site table");
+}
+
+std::vector<uint32_t> CauseIsolator::prune() const {
+  RunView View = RunView::allOf(Set);
+  Aggregates Agg = Aggregates::compute(Set, View);
+  std::vector<uint32_t> Survivors;
+  for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred)
+    if (Agg.scores(Pred, Sites).survivesIncreaseTest())
+      Survivors.push_back(Pred);
+  return Survivors;
+}
+
+std::vector<RankedPredicate>
+CauseIsolator::rank(const std::vector<uint32_t> &Candidates,
+                    const RunView &View) const {
+  Aggregates Agg = Aggregates::compute(Set, View);
+  uint64_t NumF = Agg.numFailing();
+
+  std::vector<RankedPredicate> Ranked;
+  Ranked.reserve(Candidates.size());
+  for (uint32_t Pred : Candidates) {
+    RankedPredicate Entry;
+    Entry.Pred = Pred;
+    Entry.Scores = Agg.scores(Pred, Sites);
+    Entry.Importance = Entry.Scores.importance(NumF);
+    Entry.ImportanceCI = Entry.Scores.importanceInterval(NumF);
+    Ranked.push_back(std::move(Entry));
+  }
+
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const RankedPredicate &A, const RankedPredicate &B) {
+              if (A.Importance != B.Importance)
+                return A.Importance > B.Importance;
+              if (A.Scores.counts().F != B.Scores.counts().F)
+                return A.Scores.counts().F > B.Scores.counts().F;
+              return A.Pred < B.Pred;
+            });
+  return Ranked;
+}
+
+void CauseIsolator::applyPolicy(RunView &View, uint32_t Pred) const {
+  for (size_t Run = 0; Run < Set.size(); ++Run) {
+    if (!View.Active[Run] || !Set[Run].observedTrue(Pred))
+      continue;
+    switch (Options.Policy) {
+    case DiscardPolicy::DiscardAllRuns:
+      View.Active[Run] = 0;
+      break;
+    case DiscardPolicy::DiscardFailingRuns:
+      if (View.Failed[Run])
+        View.Active[Run] = 0;
+      break;
+    case DiscardPolicy::RelabelFailingRuns:
+      if (View.Failed[Run])
+        View.Failed[Run] = 0;
+      break;
+    }
+  }
+}
+
+std::vector<uint32_t> CauseIsolator::initialCandidates() const {
+  // Under proposal (1) a predicate and its complement can never both have
+  // positive predictive power, so pruning negatives early is safe. Under
+  // proposals (2) and (3) a predicate with Increase <= 0 may become a
+  // positive predictor once an anti-correlated predictor is selected
+  // (Section 5), so only the never-true-in-a-failing-run predicates are
+  // dropped.
+  if (Options.Policy == DiscardPolicy::DiscardAllRuns)
+    return prune();
+  RunView View = RunView::allOf(Set);
+  Aggregates Agg = Aggregates::compute(Set, View);
+  std::vector<uint32_t> Candidates;
+  for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred)
+    if (Agg.counts(Pred, Sites).F > 0)
+      Candidates.push_back(Pred);
+  return Candidates;
+}
+
+AnalysisResult CauseIsolator::run() const {
+  AnalysisResult Result;
+  Result.NumInitialPredicates = Set.numPredicates();
+  Result.PrunedSurvivors = prune();
+
+  RunView View = RunView::allOf(Set);
+  std::vector<uint32_t> Candidates = initialCandidates();
+
+  // Initial (full-population) scores, shown as the "initial thermometer".
+  Aggregates InitialAgg = Aggregates::compute(Set, View);
+  uint64_t InitialNumF = InitialAgg.numFailing();
+
+  std::vector<RankedPredicate> Ranked = rank(Candidates, View);
+
+  for (int Iteration = 0; Iteration < Options.MaxSelections; ++Iteration) {
+    if (Candidates.empty() || View.numActiveFailing() == 0)
+      break;
+
+    // Select the top-ranked predicate that still covers at least one
+    // active failing run; Lemma 3.1's coverage argument rests on F(P) > 0.
+    const RankedPredicate *Best = nullptr;
+    for (const RankedPredicate &Entry : Ranked)
+      if (Entry.Scores.counts().F > 0) {
+        Best = &Entry;
+        break;
+      }
+    if (!Best)
+      break;
+
+    SelectedPredicate Selected;
+    Selected.Pred = Best->Pred;
+    Selected.InitialScores = InitialAgg.scores(Best->Pred, Sites);
+    Selected.InitialImportance = Selected.InitialScores.importance(InitialNumF);
+    Selected.EffectiveScores = Best->Scores;
+    Selected.EffectiveImportance = Best->Importance;
+    Selected.ActiveRunsAtSelection = View.numActive();
+    Selected.FailingRunsAtSelection = View.numActiveFailing();
+
+    applyPolicy(View, Best->Pred);
+    Candidates.erase(
+        std::remove(Candidates.begin(), Candidates.end(), Best->Pred),
+        Candidates.end());
+
+    std::vector<RankedPredicate> NextRanked = rank(Candidates, View);
+
+    if (Options.ComputeAffinity) {
+      // Affinity(P -> Q): how much Q's Importance fell when P's runs were
+      // removed. Large drops indicate Q predicts (a subset of) P's bug.
+      std::unordered_map<uint32_t, double> After;
+      After.reserve(NextRanked.size());
+      for (const RankedPredicate &Entry : NextRanked)
+        After.emplace(Entry.Pred, Entry.Importance);
+
+      std::vector<std::pair<uint32_t, double>> Drops;
+      for (const RankedPredicate &Entry : Ranked) {
+        auto It = After.find(Entry.Pred);
+        if (It == After.end())
+          continue;
+        double Drop = Entry.Importance - It->second;
+        if (Drop > 0.0)
+          Drops.emplace_back(Entry.Pred, Drop);
+      }
+      std::sort(Drops.begin(), Drops.end(),
+                [](const auto &A, const auto &B) {
+                  if (A.second != B.second)
+                    return A.second > B.second;
+                  return A.first < B.first;
+                });
+      if (static_cast<int>(Drops.size()) > Options.AffinityTopK)
+        Drops.resize(static_cast<size_t>(Options.AffinityTopK));
+      Selected.Affinity = std::move(Drops);
+    }
+
+    Result.Selected.push_back(std::move(Selected));
+    Ranked = std::move(NextRanked);
+  }
+
+  return Result;
+}

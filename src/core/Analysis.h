@@ -1,0 +1,122 @@
+//===- core/Analysis.h - The cause-isolation algorithm --------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full Section 3 pipeline:
+///
+///   1. Pruning: discard every predicate whose 95% interval on Increase(P)
+///      does not lie strictly above zero. This typically removes ~99% of
+///      predicates.
+///   2. Iterative redundancy elimination (Section 3.4): rank survivors by
+///      Importance, select the top predicate, discard the runs it explains
+///      (per one of the three Section 5 policies), and repeat. Lemma 3.1:
+///      every bug whose profile intersects the selected predicates' covered
+///      runs retains at least one predictor on the output list.
+///   3. Affinity lists: for each selected predicate P, how much each other
+///      predicate's Importance dropped when P's runs were removed — large
+///      drops mean "probably the same bug".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_CORE_ANALYSIS_H
+#define SBI_CORE_ANALYSIS_H
+
+#include "core/Aggregator.h"
+#include "core/Scores.h"
+#include "feedback/Report.h"
+#include "instrument/Sites.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sbi {
+
+/// The three run-discarding proposals of Section 5.
+enum class DiscardPolicy {
+  DiscardAllRuns,     ///< (1) Remove every run with R(P) = 1 (the default).
+  DiscardFailingRuns, ///< (2) Remove only failing runs with R(P) = 1.
+  RelabelFailingRuns, ///< (3) Relabel failing runs with R(P) = 1 as passes.
+};
+
+const char *discardPolicyName(DiscardPolicy Policy);
+
+struct AnalysisOptions {
+  DiscardPolicy Policy = DiscardPolicy::DiscardAllRuns;
+  /// Hard cap on elimination iterations (each selects one predicate).
+  int MaxSelections = 60;
+  /// How many affinity entries to keep per selected predicate.
+  int AffinityTopK = 10;
+  bool ComputeAffinity = true;
+};
+
+/// One ranked predicate with its scores over some run population.
+struct RankedPredicate {
+  uint32_t Pred = 0;
+  PredicateScores Scores;
+  double Importance = 0.0;
+  ScoreInterval ImportanceCI;
+};
+
+/// One predicate chosen by the elimination algorithm.
+struct SelectedPredicate {
+  uint32_t Pred = 0;
+  /// Scores over the full original population ("initial thermometer").
+  PredicateScores InitialScores;
+  double InitialImportance = 0.0;
+  /// Scores over the population at selection time ("effective
+  /// thermometer"), reflecting dilution by earlier selections.
+  PredicateScores EffectiveScores;
+  double EffectiveImportance = 0.0;
+  uint64_t ActiveRunsAtSelection = 0;
+  uint64_t FailingRunsAtSelection = 0;
+  /// (predicate, importance drop) pairs, largest drop first.
+  std::vector<std::pair<uint32_t, double>> Affinity;
+};
+
+struct AnalysisResult {
+  uint32_t NumInitialPredicates = 0;
+  /// Predicates surviving the Increase test, in id order.
+  std::vector<uint32_t> PrunedSurvivors;
+  /// Elimination output in selection order.
+  std::vector<SelectedPredicate> Selected;
+};
+
+/// Runs pruning + elimination + affinity over \p Set.
+class CauseIsolator {
+public:
+  CauseIsolator(const SiteTable &Sites, const ReportSet &Set,
+                AnalysisOptions Options = {});
+
+  /// Stage 1 only: ids of predicates passing the Increase test, over the
+  /// full population.
+  std::vector<uint32_t> prune() const;
+
+  /// Scores every predicate in \p Candidates over \p View, most important
+  /// first. Ties break toward larger F(P), then smaller id (determinism).
+  std::vector<RankedPredicate> rank(const std::vector<uint32_t> &Candidates,
+                                    const RunView &View) const;
+
+  /// The full pipeline.
+  AnalysisResult run() const;
+
+private:
+  /// The elimination loop's starting candidates. Policy (1) uses prune();
+  /// policies (2)/(3) keep every predicate with F(P) > 0, because a
+  /// nonpositive-Increase predicate may become positive once an
+  /// anti-correlated predictor is selected (Section 5).
+  std::vector<uint32_t> initialCandidates() const;
+
+  void applyPolicy(RunView &View, uint32_t Pred) const;
+
+  const SiteTable &Sites;
+  const ReportSet &Set;
+  AnalysisOptions Options;
+};
+
+} // namespace sbi
+
+#endif // SBI_CORE_ANALYSIS_H

@@ -1,0 +1,61 @@
+//===- core/Scores.cpp - Failure, Context, Increase, Importance -----------===//
+
+#include "core/Scores.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace sbi;
+
+double PredicateScores::sensitivity(uint64_t NumF) const {
+  if (NumF <= 1 || Counts.F == 0)
+    return 0.0;
+  double Num = std::log(static_cast<double>(Counts.F));
+  double Den = std::log(static_cast<double>(NumF));
+  return Num / Den;
+}
+
+double PredicateScores::importance(uint64_t NumF) const {
+  double Inc = increase().Value;
+  double Sens = sensitivity(NumF);
+  // The harmonic mean is undefined when either term is nonpositive; the
+  // paper defines Importance as 0 in that case.
+  if (Inc <= 0.0 || Sens <= 0.0)
+    return 0.0;
+  return 2.0 / (1.0 / Inc + 1.0 / Sens);
+}
+
+ScoreInterval PredicateScores::importanceInterval(uint64_t NumF) const {
+  double Inc = increase().Value;
+  double Sens = sensitivity(NumF);
+  if (Inc <= 0.0 || Sens <= 0.0)
+    return {0.0, 0.0};
+
+  // Variance of Increase: sum of the two proportion variances (the same
+  // approximation the Increase interval uses).
+  double VarInc =
+      failureProportion().variance() + contextProportion().variance();
+
+  // Variance of log(F)/log(NumF): model F as a binomial count over NumF
+  // failing runs with success probability F/NumF, then apply the delta
+  // method to t -> log(t)/log(NumF): d/dF = 1 / (F log NumF).
+  double FCount = static_cast<double>(Counts.F);
+  double NumFD = static_cast<double>(NumF);
+  double VarF = FCount * (1.0 - FCount / NumFD);
+  double Deriv = 1.0 / (FCount * std::log(NumFD));
+  double VarSens = Deriv * Deriv * VarF;
+
+  return harmonicMeanInterval(Inc, VarInc, Sens, VarSens);
+}
+
+ThermometerSpec PredicateScores::thermometer() const {
+  ThermometerSpec Spec;
+  Spec.Context = context();
+  ScoreInterval Inc = increase();
+  Spec.IncreaseLowerBound = std::max(0.0, Inc.lowerBound());
+  Spec.ConfidenceWidth =
+      std::max(0.0, std::min(Inc.upperBound(), 1.0 - Spec.Context) -
+                        Spec.IncreaseLowerBound);
+  Spec.RunsObservedTrue = Counts.observedTrue();
+  return Spec;
+}

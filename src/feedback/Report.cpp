@@ -1,0 +1,113 @@
+//===- feedback/Report.cpp - Labeled feedback reports ---------------------===//
+
+#include "feedback/Report.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace sbi;
+
+bool FeedbackReport::observedTrue(uint32_t PredId) const {
+  const auto &V = Counts.TruePredicates;
+  auto It = std::lower_bound(
+      V.begin(), V.end(), PredId,
+      [](const std::pair<uint32_t, uint32_t> &Entry, uint32_t Id) {
+        return Entry.first < Id;
+      });
+  return It != V.end() && It->first == PredId && It->second > 0;
+}
+
+bool FeedbackReport::siteObserved(uint32_t SiteId) const {
+  const auto &V = Counts.SiteObservations;
+  auto It = std::lower_bound(
+      V.begin(), V.end(), SiteId,
+      [](const std::pair<uint32_t, uint32_t> &Entry, uint32_t Id) {
+        return Entry.first < Id;
+      });
+  return It != V.end() && It->first == SiteId && It->second > 0;
+}
+
+size_t ReportSet::numFailing() const {
+  size_t N = 0;
+  for (const FeedbackReport &R : Reports)
+    N += R.Failed ? 1 : 0;
+  return N;
+}
+
+std::string ReportSet::serialize() const {
+  std::string Out;
+  Out += "SBI-REPORTS v1\n";
+  Out += format("%u %u %zu\n", NumSites, NumPredicates, Reports.size());
+  for (const FeedbackReport &R : Reports) {
+    Out += format("R %d %d %d %llu %s\n", R.Failed ? 1 : 0,
+                  static_cast<int>(R.Trap), R.ExitCode,
+                  static_cast<unsigned long long>(R.BugMask),
+                  R.StackSignature.empty() ? "-" : R.StackSignature.c_str());
+    Out += format("S %zu", R.Counts.SiteObservations.size());
+    for (const auto &[Site, Count] : R.Counts.SiteObservations)
+      Out += format(" %u:%u", Site, Count);
+    Out += '\n';
+    Out += format("P %zu", R.Counts.TruePredicates.size());
+    for (const auto &[Pred, Count] : R.Counts.TruePredicates)
+      Out += format(" %u:%u", Pred, Count);
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool ReportSet::deserialize(const std::string &Text, ReportSet &Out) {
+  std::istringstream In(Text);
+  std::string Header;
+  if (!std::getline(In, Header) || Header != "SBI-REPORTS v1")
+    return false;
+
+  ReportSet Result;
+  size_t NumReports = 0;
+  if (!(In >> Result.NumSites >> Result.NumPredicates >> NumReports))
+    return false;
+
+  auto readPairs = [&](char Tag,
+                       std::vector<std::pair<uint32_t, uint32_t>> &V) {
+    std::string Mark;
+    size_t N = 0;
+    if (!(In >> Mark >> N) || Mark.size() != 1 || Mark[0] != Tag)
+      return false;
+    V.reserve(N);
+    for (size_t I = 0; I < N; ++I) {
+      std::string Entry;
+      if (!(In >> Entry))
+        return false;
+      size_t Colon = Entry.find(':');
+      if (Colon == std::string::npos)
+        return false;
+      V.emplace_back(
+          static_cast<uint32_t>(std::stoul(Entry.substr(0, Colon))),
+          static_cast<uint32_t>(std::stoul(Entry.substr(Colon + 1))));
+    }
+    return true;
+  };
+
+  for (size_t I = 0; I < NumReports; ++I) {
+    FeedbackReport R;
+    std::string Mark;
+    int FailedInt = 0;
+    int TrapInt = 0;
+    unsigned long long Mask = 0;
+    std::string Sig;
+    if (!(In >> Mark >> FailedInt >> TrapInt >> R.ExitCode >> Mask >> Sig) ||
+        Mark != "R")
+      return false;
+    R.Failed = FailedInt != 0;
+    R.Trap = static_cast<TrapKind>(TrapInt);
+    R.BugMask = Mask;
+    R.StackSignature = Sig == "-" ? std::string() : Sig;
+    if (!readPairs('S', R.Counts.SiteObservations) ||
+        !readPairs('P', R.Counts.TruePredicates))
+      return false;
+    Result.Reports.push_back(std::move(R));
+  }
+  Out = std::move(Result);
+  return true;
+}

@@ -1,0 +1,198 @@
+//===- harness/Campaign.cpp - End-to-end experiment campaigns -------------===//
+
+#include "harness/Campaign.h"
+
+#include "runtime/Interp.h"
+#include "support/StringUtils.h"
+#include "vm/Compiler.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace sbi;
+
+std::unique_ptr<Program>
+sbi::compileSubjectSource(const std::string &Source, const std::string &Name) {
+  std::vector<Diagnostic> Diags;
+  std::unique_ptr<Program> Prog = parseAndAnalyze(Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "subject '%s' failed to compile:\n%s", Name.c_str(),
+                 renderDiagnostics(Diags).c_str());
+    std::abort();
+  }
+  return Prog;
+}
+
+namespace {
+
+/// Derives a per-run seed stream from the campaign seed.
+uint64_t mixSeed(uint64_t Seed, uint64_t Stream, uint64_t Run) {
+  uint64_t X = Seed ^ (Stream * 0x9e3779b97f4a7c15ULL) ^
+               (Run * 0xc2b2ae3d27d4eb4fULL);
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+
+std::string joinStack(const std::vector<std::string> &Frames) {
+  std::string Sig;
+  for (size_t I = 0; I < Frames.size(); ++I) {
+    if (I != 0)
+      Sig += '>';
+    Sig += Frames[I];
+  }
+  return Sig;
+}
+
+} // namespace
+
+CampaignResult sbi::runCampaign(const Subject &Subj,
+                                const CampaignOptions &Options) {
+  CampaignResult Result;
+  Result.Subj = &Subj;
+  Result.Prog = compileSubjectSource(Subj.Source, Subj.Name);
+  if (Subj.UseOutputOracle)
+    Result.Golden =
+        compileSubjectSource(Subj.GoldenSource, Subj.Name + "-golden");
+  Result.LinesOfCode = Result.Prog->NumLines;
+  Result.Sites = SiteTable::build(*Result.Prog);
+
+  // Both engines produce bit-identical reports (differential-tested).
+  CompiledProgram Bytecode, GoldenBytecode;
+  if (Options.Exec == Engine::VM) {
+    Bytecode = compileProgram(*Result.Prog);
+    if (Result.Golden)
+      GoldenBytecode = compileProgram(*Result.Golden);
+  }
+  auto executeBuggy = [&](const RunConfig &Config) {
+    return Options.Exec == Engine::VM ? runCompiled(Bytecode, Config)
+                                      : runProgram(*Result.Prog, Config);
+  };
+  auto executeGolden = [&](const RunConfig &Config) {
+    return Options.Exec == Engine::VM
+               ? runCompiled(GoldenBytecode, Config)
+               : runProgram(*Result.Golden, Config);
+  };
+
+  // --- Choose the sampling plan -----------------------------------------
+  if (Options.Mode == SamplingMode::None) {
+    Result.Plan = SamplingPlan::full(Result.Sites.numSites());
+  } else if (Options.Mode == SamplingMode::Uniform) {
+    Result.Plan =
+        SamplingPlan::uniform(Result.Sites.numSites(), Options.UniformRate);
+  } else {
+    // Train per-site reach counts on preliminary runs (Section 4: rates
+    // inversely proportional to observed execution frequency).
+    ReportCollector Trainer(Result.Sites,
+                            SamplingPlan::full(Result.Sites.numSites()));
+    std::vector<double> TotalReaches(Result.Sites.numSites(), 0.0);
+    for (size_t Run = 0; Run < Options.TrainingRuns; ++Run) {
+      Rng InputRng(mixSeed(Options.Seed, /*Stream=*/100, Run));
+      RunConfig Config;
+      Config.Args = Subj.GenerateInput(InputRng);
+      Config.OverrunPad = static_cast<size_t>(
+          InputRng.nextBelow(Options.MaxOverrunPad + 1));
+      Config.StepLimit = Options.StepLimit;
+      Config.Observer = &Trainer;
+      Trainer.beginRun(mixSeed(Options.Seed, /*Stream=*/101, Run));
+      executeBuggy(Config);
+      RawReport Raw = Trainer.takeReport();
+      for (const auto &[Site, Count] : Raw.SiteObservations)
+        TotalReaches[Site] += static_cast<double>(Count);
+    }
+    std::vector<double> MeanReach(Result.Sites.numSites(), 0.0);
+    if (Options.TrainingRuns > 0)
+      for (size_t Site = 0; Site < MeanReach.size(); ++Site)
+        MeanReach[Site] = TotalReaches[Site] /
+                          static_cast<double>(Options.TrainingRuns);
+    Result.Plan = SamplingPlan::adaptive(MeanReach, Options.TargetSamples,
+                                         Options.MinRate);
+  }
+
+  // --- Main campaign -----------------------------------------------------
+  // Each run is fully determined by (campaign seed, run index), so the
+  // loop parallelizes into bit-identical results for any thread count:
+  // workers fill pre-sized slots and share nothing but read-only state.
+  std::vector<FeedbackReport> Collected(Options.NumRuns);
+
+  auto oneRun = [&](size_t Run, ReportCollector &Collector) {
+    Rng InputRng(mixSeed(Options.Seed, /*Stream=*/1, Run));
+    RunConfig Config;
+    Config.Args = Subj.GenerateInput(InputRng);
+    Config.OverrunPad =
+        static_cast<size_t>(InputRng.nextBelow(Options.MaxOverrunPad + 1));
+    Config.StepLimit = Options.StepLimit;
+    Config.Observer = &Collector;
+
+    Collector.beginRun(mixSeed(Options.Seed, /*Stream=*/2, Run));
+    RunOutcome Outcome = executeBuggy(Config);
+
+    FeedbackReport Report;
+    Report.Counts = Collector.takeReport();
+    Report.Failed = Outcome.failed();
+    Report.Trap = Outcome.Trap;
+    Report.ExitCode = Outcome.ExitCode;
+    Report.StackSignature = joinStack(Outcome.StackTrace);
+    for (int Bug : Outcome.BugsTriggered)
+      Report.BugMask |= FeedbackReport::bugBit(Bug);
+
+    // Output oracle: compare against the golden build on the same input.
+    if (!Report.Failed && Subj.UseOutputOracle) {
+      RunConfig GoldenConfig;
+      GoldenConfig.Args = Config.Args;
+      GoldenConfig.OverrunPad = Config.OverrunPad;
+      GoldenConfig.StepLimit = Options.StepLimit;
+      RunOutcome GoldenOutcome = executeGolden(GoldenConfig);
+      assert(!GoldenOutcome.crashed() && "golden build must never crash");
+      if (GoldenOutcome.Output != Outcome.Output)
+        Report.Failed = true;
+    }
+    Collected[Run] = std::move(Report);
+  };
+
+  size_t Threads = Options.Threads == 0
+                       ? std::max<size_t>(1, std::thread::hardware_concurrency())
+                       : Options.Threads;
+  Threads = std::min(Threads, std::max<size_t>(1, Options.NumRuns));
+  if (Threads <= 1) {
+    ReportCollector Collector(Result.Sites, Result.Plan);
+    for (size_t Run = 0; Run < Options.NumRuns; ++Run)
+      oneRun(Run, Collector);
+  } else {
+    std::vector<std::thread> Workers;
+    Workers.reserve(Threads);
+    for (size_t T = 0; T < Threads; ++T)
+      Workers.emplace_back([&, T] {
+        ReportCollector Collector(Result.Sites, Result.Plan);
+        for (size_t Run = T; Run < Options.NumRuns; Run += Threads)
+          oneRun(Run, Collector);
+      });
+    for (std::thread &Worker : Workers)
+      Worker.join();
+  }
+
+  Result.Reports =
+      ReportSet(Result.Sites.numSites(), Result.Sites.numPredicates());
+  for (FeedbackReport &Report : Collected)
+    Result.Reports.add(std::move(Report));
+
+  // Ground-truth stats derive from the recorded bug masks.
+  for (const BugSpec &Bug : Subj.Bugs) {
+    CampaignResult::BugStats Stats;
+    Stats.BugId = Bug.Id;
+    for (const FeedbackReport &Report : Result.Reports.reports())
+      if (Report.hasBug(Bug.Id)) {
+        ++Stats.Triggered;
+        if (Report.Failed)
+          ++Stats.TriggeredAndFailed;
+      }
+    Result.Bugs.push_back(Stats);
+  }
+
+  return Result;
+}

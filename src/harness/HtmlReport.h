@@ -1,0 +1,54 @@
+//===- harness/HtmlReport.h - Static HTML analysis reports ----------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper repeatedly refers to "the interactive version of our analysis
+/// tools": ranked predictor lists with colored bug thermometers, where
+/// each predicate links to its affinity list. This module renders the same
+/// experience as a single self-contained static HTML page (no scripts, no
+/// external assets): the run summary, the selected predictors with initial
+/// and effective thermometers (red Increase band, pink confidence band,
+/// black context band, as in the paper's color rendering), and one
+/// affinity section per predictor, anchor-linked from the main table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_HARNESS_HTMLREPORT_H
+#define SBI_HARNESS_HTMLREPORT_H
+
+#include "core/Analysis.h"
+#include "harness/Campaign.h"
+
+#include <string>
+
+namespace sbi {
+
+struct HtmlReportOptions {
+  std::string Title = "Statistical debugging report";
+  /// Maximum selected predicates shown (0 = all).
+  size_t TopK = 0;
+  /// When true and the campaign carries ground truth, append per-bug
+  /// failing-run columns (Table 3 style).
+  bool ShowGroundTruth = false;
+  /// Thermometer width in pixels.
+  int ThermometerWidth = 220;
+};
+
+/// Renders a full analysis as one self-contained HTML document.
+std::string renderHtmlReport(const SiteTable &Sites, const ReportSet &Set,
+                             const AnalysisResult &Analysis,
+                             const HtmlReportOptions &Options = {});
+
+/// Convenience overload pulling subject metadata (name, bug inventory)
+/// from a campaign.
+std::string renderHtmlReport(const CampaignResult &Campaign,
+                             const AnalysisResult &Analysis,
+                             HtmlReportOptions Options = {});
+
+} // namespace sbi
+
+#endif // SBI_HARNESS_HTMLREPORT_H

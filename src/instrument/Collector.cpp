@@ -1,0 +1,183 @@
+//===- instrument/Collector.cpp - Sampling and report collection ----------===//
+
+#include "instrument/Collector.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace sbi;
+
+SamplingPlan SamplingPlan::full(uint32_t NumSites) {
+  SamplingPlan Plan;
+  Plan.Rates.assign(NumSites, 1.0);
+  Plan.Name = "full";
+  return Plan;
+}
+
+SamplingPlan SamplingPlan::uniform(uint32_t NumSites, double Rate) {
+  SamplingPlan Plan;
+  Plan.Rates.assign(NumSites, std::clamp(Rate, 0.0, 1.0));
+  Plan.Name = format("uniform(%.4f)", Rate);
+  return Plan;
+}
+
+SamplingPlan
+SamplingPlan::adaptive(const std::vector<double> &MeanReachPerRun,
+                       double TargetSamples, double MinRate) {
+  SamplingPlan Plan;
+  Plan.Rates.reserve(MeanReachPerRun.size());
+  for (double Mean : MeanReachPerRun) {
+    double Rate = Mean <= TargetSamples ? 1.0 : TargetSamples / Mean;
+    Rate = std::max(Rate, MinRate);
+    // Sampling at a rate close to 1 costs more (a geometric draw per
+    // reach) than it saves; snap such sites to complete monitoring.
+    if (Rate > 0.5)
+      Rate = 1.0;
+    Plan.Rates.push_back(Rate);
+  }
+  Plan.Name = format("adaptive(target=%g,min=%g)", TargetSamples, MinRate);
+  return Plan;
+}
+
+ReportCollector::ReportCollector(const SiteTable &Sites, SamplingPlan Plan)
+    : Sites(Sites), Plan(std::move(Plan)) {
+  assert(this->Plan.numSites() == Sites.numSites() &&
+         "sampling plan does not match the site table");
+  uint32_t NumSites = Sites.numSites();
+  CountdownEpoch.assign(NumSites, 0);
+  Countdown.assign(NumSites, 0);
+  SiteObserved.assign(NumSites, 0);
+  PredTrue.assign(Sites.numPredicates(), 0);
+}
+
+void ReportCollector::beginRun(uint64_t RunSeed) {
+  ++Epoch;
+  SampleRng.reseed(RunSeed ^ 0x5bd1e995bc9e1d34ULL);
+  assert(TouchedSites.empty() && TouchedPreds.empty() &&
+         "takeReport must be called before the next beginRun");
+}
+
+RawReport ReportCollector::takeReport() {
+  RawReport Report;
+  std::sort(TouchedSites.begin(), TouchedSites.end());
+  Report.SiteObservations.reserve(TouchedSites.size());
+  for (uint32_t Site : TouchedSites) {
+    Report.SiteObservations.emplace_back(Site, SiteObserved[Site]);
+    SiteObserved[Site] = 0;
+  }
+  TouchedSites.clear();
+
+  std::sort(TouchedPreds.begin(), TouchedPreds.end());
+  Report.TruePredicates.reserve(TouchedPreds.size());
+  for (uint32_t Pred : TouchedPreds) {
+    Report.TruePredicates.emplace_back(Pred, PredTrue[Pred]);
+    PredTrue[Pred] = 0;
+  }
+  TouchedPreds.clear();
+  return Report;
+}
+
+bool ReportCollector::shouldSample(uint32_t SiteId) {
+  double Rate = Plan.rate(SiteId);
+  if (Rate >= 1.0)
+    return true;
+  if (Rate <= 0.0)
+    return false;
+  // Geometric skip counting: instead of flipping a coin on every reach,
+  // draw how many reaches to skip until the next sample (Section 2's
+  // statistically fair Bernoulli process, with the fast path of the
+  // original CBI instrumentor).
+  if (CountdownEpoch[SiteId] != Epoch) {
+    CountdownEpoch[SiteId] = Epoch;
+    Countdown[SiteId] = SampleRng.nextGeometricSkip(Rate);
+  }
+  if (Countdown[SiteId] == 0) {
+    Countdown[SiteId] = SampleRng.nextGeometricSkip(Rate);
+    return true;
+  }
+  --Countdown[SiteId];
+  return false;
+}
+
+void ReportCollector::markObserved(uint32_t SiteId) {
+  if (SiteObserved[SiteId] == 0)
+    TouchedSites.push_back(SiteId);
+  ++SiteObserved[SiteId];
+}
+
+void ReportCollector::markTrue(uint32_t PredId) {
+  if (PredTrue[PredId] == 0)
+    TouchedPreds.push_back(PredId);
+  ++PredTrue[PredId];
+}
+
+void ReportCollector::recordSixWay(const SiteInfo &Site, int64_t Lhs,
+                                   int64_t Rhs) {
+  // Predicate order within the site: Lt, Le, Gt, Ge, Eq, Ne (see
+  // SiteBuilder). All six are observed jointly; the true ones get counts.
+  uint32_t First = Site.FirstPredicate;
+  assert(Site.NumPredicates == 6 && "six-way site layout");
+  if (Lhs < Rhs)
+    markTrue(First + 0);
+  if (Lhs <= Rhs)
+    markTrue(First + 1);
+  if (Lhs > Rhs)
+    markTrue(First + 2);
+  if (Lhs >= Rhs)
+    markTrue(First + 3);
+  if (Lhs == Rhs)
+    markTrue(First + 4);
+  if (Lhs != Rhs)
+    markTrue(First + 5);
+}
+
+void ReportCollector::onBranch(int NodeId, bool Taken) {
+  SiteTable::SiteRange Range = Sites.sitesForNode(NodeId);
+  for (uint32_t I = 0; I < Range.Count; ++I) {
+    uint32_t SiteId = Range.First + I;
+    if (!shouldSample(SiteId))
+      continue;
+    markObserved(SiteId);
+    const SiteInfo &Site = Sites.site(SiteId);
+    assert(Site.SchemeKind == Scheme::Branches && "node scheme mismatch");
+    markTrue(Site.FirstPredicate + (Taken ? 0 : 1));
+  }
+}
+
+void ReportCollector::onScalarReturn(int NodeId, int64_t Result) {
+  SiteTable::SiteRange Range = Sites.sitesForNode(NodeId);
+  for (uint32_t I = 0; I < Range.Count; ++I) {
+    uint32_t SiteId = Range.First + I;
+    if (!shouldSample(SiteId))
+      continue;
+    markObserved(SiteId);
+    recordSixWay(Sites.site(SiteId), Result, 0);
+  }
+}
+
+void ReportCollector::onScalarAssign(int NodeId, int64_t NewValue,
+                                     const FrameView &Frame) {
+  SiteTable::SiteRange Range = Sites.sitesForNode(NodeId);
+  for (uint32_t I = 0; I < Range.Count; ++I) {
+    uint32_t SiteId = Range.First + I;
+    // Make the sampling decision before touching the comparand: skipped
+    // reaches must stay cheap (this is the whole point of sampling).
+    if (!shouldSample(SiteId))
+      continue;
+    const SiteInfo &Site = Sites.site(SiteId);
+    int64_t Rhs;
+    if (Site.PairIsConstant) {
+      Rhs = Site.PairConstant;
+    } else {
+      const Value &Comparand = Frame.get(Site.PairVar);
+      // A defensive guard: a non-int comparand (impossible for lexically
+      // visible ints, which are always initialized) is just not observed.
+      if (!Comparand.isInt())
+        continue;
+      Rhs = Comparand.asInt();
+    }
+    markObserved(SiteId);
+    recordSixWay(Site, NewValue, Rhs);
+  }
+}

@@ -1,0 +1,114 @@
+//===- instrument/Collector.h - Sampling and feedback-report collection ---===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic half of the instrumentation system:
+///
+///   - SamplingPlan: a per-site sampling rate. Uniform plans model the
+///     paper's fixed 1/100 Bernoulli sampling; adaptive plans implement the
+///     nonuniform strategy of Section 4 (rates inversely proportional to
+///     execution frequency, targeting ~100 expected samples per site per
+///     run, clamped to a 1/100 minimum).
+///
+///   - ReportCollector: an ExecutionObserver that makes the per-site
+///     Bernoulli sampling decision (geometric skip-count fast path) and
+///     accumulates one run's observation counts, producing a sparse
+///     RawReport. "P observed" means P's site was reached AND sampled;
+///     "P observed true" additionally requires the predicate to hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_INSTRUMENT_COLLECTOR_H
+#define SBI_INSTRUMENT_COLLECTOR_H
+
+#include "instrument/Sites.h"
+#include "runtime/Observer.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+/// Per-site sampling rates in [0, 1].
+class SamplingPlan {
+public:
+  /// Every site sampled on every reach (complete monitoring).
+  static SamplingPlan full(uint32_t NumSites);
+
+  /// Every site sampled independently at \p Rate (e.g. 1/100).
+  static SamplingPlan uniform(uint32_t NumSites, double Rate);
+
+  /// The nonuniform plan of Section 4: given each site's mean reach count
+  /// per run (measured on training runs), choose rates so each site yields
+  /// about \p TargetSamples samples per run. Sites reached fewer than
+  /// \p TargetSamples times get rate 1.0; rates never drop below
+  /// \p MinRate.
+  static SamplingPlan adaptive(const std::vector<double> &MeanReachPerRun,
+                               double TargetSamples = 100.0,
+                               double MinRate = 0.01);
+
+  double rate(uint32_t Site) const { return Rates[Site]; }
+  uint32_t numSites() const { return static_cast<uint32_t>(Rates.size()); }
+  const std::string &name() const { return Name; }
+
+private:
+  std::vector<double> Rates;
+  std::string Name;
+};
+
+/// One run's sparse observation counts.
+struct RawReport {
+  /// (site id, times sampled) sorted by site id.
+  std::vector<std::pair<uint32_t, uint32_t>> SiteObservations;
+  /// (predicate id, times observed true) sorted by predicate id.
+  std::vector<std::pair<uint32_t, uint32_t>> TruePredicates;
+};
+
+/// Observes one run at a time; reusable across runs (beginRun resets).
+class ReportCollector : public ExecutionObserver {
+public:
+  ReportCollector(const SiteTable &Sites, SamplingPlan Plan);
+
+  /// Starts a fresh run whose sampling coin flips derive from \p RunSeed.
+  void beginRun(uint64_t RunSeed);
+
+  /// Returns the finished run's report and resets internal scratch.
+  RawReport takeReport();
+
+  void onBranch(int NodeId, bool Taken) override;
+  void onScalarReturn(int NodeId, int64_t Result) override;
+  void onScalarAssign(int NodeId, int64_t NewValue,
+                      const FrameView &Frame) override;
+
+  const SamplingPlan &plan() const { return Plan; }
+
+private:
+  /// Makes the joint sampling decision for one reach of \p SiteId.
+  bool shouldSample(uint32_t SiteId);
+  void markObserved(uint32_t SiteId);
+  void markTrue(uint32_t PredId);
+  /// Records the six relational predicates of a returns/scalar-pairs site.
+  void recordSixWay(const SiteInfo &Site, int64_t Lhs, int64_t Rhs);
+
+  const SiteTable &Sites;
+  SamplingPlan Plan;
+  Rng SampleRng{0};
+
+  // Epoch-lazy dense scratch, reset in O(touched) at run end.
+  uint64_t Epoch = 0;
+  std::vector<uint64_t> CountdownEpoch;
+  std::vector<uint64_t> Countdown;
+  std::vector<uint32_t> SiteObserved;
+  std::vector<uint32_t> PredTrue;
+  std::vector<uint32_t> TouchedSites;
+  std::vector<uint32_t> TouchedPreds;
+};
+
+} // namespace sbi
+
+#endif // SBI_INSTRUMENT_COLLECTOR_H

@@ -1,0 +1,418 @@
+//===- instrument/Sites.cpp - Instrumentation sites and predicates --------===//
+
+#include "instrument/Sites.h"
+
+#include "lang/AstPrinter.h"
+#include "lang/Intrinsics.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace sbi;
+
+const char *sbi::schemeName(Scheme S) {
+  switch (S) {
+  case Scheme::Branches:
+    return "branches";
+  case Scheme::Returns:
+    return "returns";
+  case Scheme::ScalarPairs:
+    return "scalar-pairs";
+  }
+  return "?";
+}
+
+const char *sbi::predicateOpSpelling(PredicateOp Op) {
+  switch (Op) {
+  case PredicateOp::IsTrue:
+    return "is TRUE";
+  case PredicateOp::IsFalse:
+    return "is FALSE";
+  case PredicateOp::Lt:
+    return "<";
+  case PredicateOp::Le:
+    return "<=";
+  case PredicateOp::Gt:
+    return ">";
+  case PredicateOp::Ge:
+    return ">=";
+  case PredicateOp::Eq:
+    return "==";
+  case PredicateOp::Ne:
+    return "!=";
+  }
+  return "?";
+}
+
+namespace sbi {
+
+class SiteBuilder {
+public:
+  SiteBuilder(const Program &Prog, const SiteOptions &Opts)
+      : Prog(Prog), Opts(Opts) {}
+
+  SiteTable build();
+
+private:
+  void walkFunction(const FuncDecl &Func);
+  void walkStmt(const Stmt &S);
+  void walkExpr(const Expr &E);
+  void collectConstants(const Stmt &S);
+  void collectConstantsInExpr(const Expr &E);
+
+  SiteInfo &startSite(Scheme SchemeKind, int NodeId, int Line);
+  void addPredicate(uint32_t SiteId, PredicateOp Op, std::string Text);
+  void addBranchSite(int NodeId, int Line, const std::string &CondText);
+  void addReturnSite(const CallExpr &Call);
+  void addScalarPairSites(int NodeId, int Line, const std::string &LhsName,
+                          const std::vector<ScopedIntVar> &VisibleVars);
+
+  const Program &Prog;
+  const SiteOptions &Opts;
+  SiteTable Table;
+  const FuncDecl *CurrentFunction = nullptr;
+  std::vector<int64_t> FunctionConstants;
+};
+
+} // namespace sbi
+
+SiteInfo &SiteBuilder::startSite(Scheme SchemeKind, int NodeId, int Line) {
+  SiteInfo Site;
+  Site.Id = static_cast<uint32_t>(Table.Sites.size());
+  Site.SchemeKind = SchemeKind;
+  Site.NodeId = NodeId;
+  Site.Function = CurrentFunction ? CurrentFunction->Name : "<global>";
+  Site.Line = Line;
+  Site.FirstPredicate = static_cast<uint32_t>(Table.Predicates.size());
+  Table.Sites.push_back(std::move(Site));
+
+  // Maintain the node-id -> contiguous-site-range index. Sites for one node
+  // are always created back to back.
+  auto &Range = Table.ByNode[static_cast<size_t>(NodeId)];
+  if (Range.Count == 0)
+    Range.First = Table.Sites.back().Id;
+  ++Range.Count;
+  return Table.Sites.back();
+}
+
+void SiteBuilder::addPredicate(uint32_t SiteId, PredicateOp Op,
+                               std::string Text) {
+  PredicateInfo Pred;
+  Pred.Id = static_cast<uint32_t>(Table.Predicates.size());
+  Pred.Site = SiteId;
+  Pred.Op = Op;
+  Pred.Text = std::move(Text);
+  Table.Predicates.push_back(std::move(Pred));
+  ++Table.Sites[SiteId].NumPredicates;
+}
+
+void SiteBuilder::addBranchSite(int NodeId, int Line,
+                                const std::string &CondText) {
+  if (!Opts.Branches)
+    return;
+  SiteInfo &Site = startSite(Scheme::Branches, NodeId, Line);
+  uint32_t Id = Site.Id;
+  addPredicate(Id, PredicateOp::IsTrue, CondText + " is TRUE");
+  addPredicate(Id, PredicateOp::IsFalse, CondText + " is FALSE");
+}
+
+void SiteBuilder::addReturnSite(const CallExpr &Call) {
+  if (!Opts.Returns)
+    return;
+  // Only scalar-returning call sites qualify. User functions are
+  // dynamically typed, so every user call site is instrumented (the runtime
+  // reports only int results); intrinsics are filtered statically.
+  if (!Call.Target) {
+    const IntrinsicInfo &Info = intrinsicInfo(Call.IntrinsicId);
+    if (!Info.ReturnsInt)
+      return;
+  }
+  SiteInfo &Site = startSite(Scheme::Returns, Call.Id, Call.Line);
+  uint32_t Id = Site.Id;
+  std::string Base = Call.Callee;
+  static const PredicateOp Ops[] = {PredicateOp::Lt, PredicateOp::Le,
+                                    PredicateOp::Gt, PredicateOp::Ge,
+                                    PredicateOp::Eq, PredicateOp::Ne};
+  for (PredicateOp Op : Ops)
+    addPredicate(Id, Op, format("%s %s 0", Base.c_str(),
+                                predicateOpSpelling(Op)));
+}
+
+void SiteBuilder::addScalarPairSites(
+    int NodeId, int Line, const std::string &LhsName,
+    const std::vector<ScopedIntVar> &VisibleVars) {
+  if (!Opts.ScalarPairs)
+    return;
+  static const PredicateOp Ops[] = {PredicateOp::Lt, PredicateOp::Le,
+                                    PredicateOp::Gt, PredicateOp::Ge,
+                                    PredicateOp::Eq, PredicateOp::Ne};
+
+  for (const ScopedIntVar &Var : VisibleVars) {
+    SiteInfo &Site = startSite(Scheme::ScalarPairs, NodeId, Line);
+    Site.PairIsConstant = false;
+    Site.PairVar = Var.Slot;
+    uint32_t Id = Site.Id;
+    for (PredicateOp Op : Ops)
+      addPredicate(Id, Op,
+                   format("%s %s %s", LhsName.c_str(),
+                          predicateOpSpelling(Op), Var.Name.c_str()));
+  }
+
+  for (int64_t Constant : FunctionConstants) {
+    SiteInfo &Site = startSite(Scheme::ScalarPairs, NodeId, Line);
+    Site.PairIsConstant = true;
+    Site.PairConstant = Constant;
+    uint32_t Id = Site.Id;
+    for (PredicateOp Op : Ops)
+      addPredicate(Id, Op,
+                   format("%s %s %lld", LhsName.c_str(),
+                          predicateOpSpelling(Op),
+                          static_cast<long long>(Constant)));
+  }
+}
+
+void SiteBuilder::collectConstantsInExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    FunctionConstants.push_back(static_cast<const IntLitExpr &>(E).Value);
+    return;
+  case ExprKind::StrLit:
+  case ExprKind::NullLit:
+  case ExprKind::VarRef:
+    return;
+  case ExprKind::Unary:
+    collectConstantsInExpr(*static_cast<const UnaryExpr &>(E).Operand);
+    return;
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    collectConstantsInExpr(*Bin.Lhs);
+    collectConstantsInExpr(*Bin.Rhs);
+    return;
+  }
+  case ExprKind::Index: {
+    const auto &Index = static_cast<const IndexExpr &>(E);
+    collectConstantsInExpr(*Index.Base);
+    collectConstantsInExpr(*Index.Subscript);
+    return;
+  }
+  case ExprKind::Field:
+    collectConstantsInExpr(*static_cast<const FieldExpr &>(E).Base);
+    return;
+  case ExprKind::Call:
+    for (const ExprPtr &Arg : static_cast<const CallExpr &>(E).Args)
+      collectConstantsInExpr(*Arg);
+    return;
+  case ExprKind::New:
+    return;
+  }
+}
+
+void SiteBuilder::collectConstants(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Expr:
+    collectConstantsInExpr(*static_cast<const ExprStmt &>(S).E);
+    return;
+  case StmtKind::Assign: {
+    const auto &Assign = static_cast<const AssignStmt &>(S);
+    collectConstantsInExpr(*Assign.Target);
+    collectConstantsInExpr(*Assign.Value);
+    return;
+  }
+  case StmtKind::VarDecl: {
+    const auto &Decl = static_cast<const VarDeclStmt &>(S);
+    if (Decl.Init)
+      collectConstantsInExpr(*Decl.Init);
+    return;
+  }
+  case StmtKind::Block:
+    for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Body)
+      collectConstants(*Child);
+    return;
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    collectConstantsInExpr(*If.Cond);
+    collectConstants(*If.Then);
+    if (If.Else)
+      collectConstants(*If.Else);
+    return;
+  }
+  case StmtKind::While: {
+    const auto &While = static_cast<const WhileStmt &>(S);
+    collectConstantsInExpr(*While.Cond);
+    collectConstants(*While.Body);
+    return;
+  }
+  case StmtKind::For: {
+    const auto &For = static_cast<const ForStmt &>(S);
+    if (For.Init)
+      collectConstants(*For.Init);
+    if (For.Cond)
+      collectConstantsInExpr(*For.Cond);
+    if (For.Step)
+      collectConstants(*For.Step);
+    collectConstants(*For.Body);
+    return;
+  }
+  case StmtKind::Return: {
+    const auto &Return = static_cast<const ReturnStmt &>(S);
+    if (Return.Value)
+      collectConstantsInExpr(*Return.Value);
+    return;
+  }
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    return;
+  }
+}
+
+void SiteBuilder::walkExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::StrLit:
+  case ExprKind::NullLit:
+  case ExprKind::VarRef:
+    return;
+  case ExprKind::Unary:
+    walkExpr(*static_cast<const UnaryExpr &>(E).Operand);
+    return;
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    walkExpr(*Bin.Lhs);
+    walkExpr(*Bin.Rhs);
+    if (Bin.Op == BinaryOp::And || Bin.Op == BinaryOp::Or)
+      addBranchSite(Bin.Id, Bin.Line, exprToString(*Bin.Lhs));
+    return;
+  }
+  case ExprKind::Index: {
+    const auto &Index = static_cast<const IndexExpr &>(E);
+    walkExpr(*Index.Base);
+    walkExpr(*Index.Subscript);
+    return;
+  }
+  case ExprKind::Field:
+    walkExpr(*static_cast<const FieldExpr &>(E).Base);
+    return;
+  case ExprKind::Call: {
+    const auto &Call = static_cast<const CallExpr &>(E);
+    for (const ExprPtr &Arg : Call.Args)
+      walkExpr(*Arg);
+    addReturnSite(Call);
+    return;
+  }
+  case ExprKind::New:
+    return;
+  }
+}
+
+void SiteBuilder::walkStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Expr:
+    walkExpr(*static_cast<const ExprStmt &>(S).E);
+    return;
+
+  case StmtKind::Assign: {
+    const auto &Assign = static_cast<const AssignStmt &>(S);
+    walkExpr(*Assign.Target);
+    walkExpr(*Assign.Value);
+    if (Assign.TargetIsIntVar)
+      addScalarPairSites(
+          Assign.Id, Assign.Line,
+          static_cast<const VarRefExpr &>(*Assign.Target).Name,
+          Assign.VisibleIntVars);
+    return;
+  }
+
+  case StmtKind::VarDecl: {
+    const auto &Decl = static_cast<const VarDeclStmt &>(S);
+    if (Decl.Init) {
+      walkExpr(*Decl.Init);
+      if (Decl.DeclKind == VarKind::Int)
+        addScalarPairSites(Decl.Id, Decl.Line, Decl.Name,
+                           Decl.VisibleIntVars);
+    }
+    return;
+  }
+
+  case StmtKind::Block:
+    for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Body)
+      walkStmt(*Child);
+    return;
+
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    walkExpr(*If.Cond);
+    addBranchSite(If.Id, If.Line, exprToString(*If.Cond));
+    walkStmt(*If.Then);
+    if (If.Else)
+      walkStmt(*If.Else);
+    return;
+  }
+
+  case StmtKind::While: {
+    const auto &While = static_cast<const WhileStmt &>(S);
+    walkExpr(*While.Cond);
+    addBranchSite(While.Id, While.Line, exprToString(*While.Cond));
+    walkStmt(*While.Body);
+    return;
+  }
+
+  case StmtKind::For: {
+    const auto &For = static_cast<const ForStmt &>(S);
+    if (For.Init)
+      walkStmt(*For.Init);
+    if (For.Cond)
+      walkExpr(*For.Cond);
+    addBranchSite(For.Id, For.Line,
+                  For.Cond ? exprToString(*For.Cond) : std::string("1"));
+    if (For.Step)
+      walkStmt(*For.Step);
+    walkStmt(*For.Body);
+    return;
+  }
+
+  case StmtKind::Return: {
+    const auto &Return = static_cast<const ReturnStmt &>(S);
+    if (Return.Value)
+      walkExpr(*Return.Value);
+    return;
+  }
+
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    return;
+  }
+}
+
+void SiteBuilder::walkFunction(const FuncDecl &Func) {
+  CurrentFunction = &Func;
+
+  FunctionConstants.clear();
+  collectConstants(*Func.Body);
+  std::sort(FunctionConstants.begin(), FunctionConstants.end());
+  FunctionConstants.erase(
+      std::unique(FunctionConstants.begin(), FunctionConstants.end()),
+      FunctionConstants.end());
+  if (static_cast<int>(FunctionConstants.size()) >
+      Opts.MaxConstantsPerFunction)
+    FunctionConstants.resize(
+        static_cast<size_t>(Opts.MaxConstantsPerFunction));
+
+  walkStmt(*Func.Body);
+  CurrentFunction = nullptr;
+}
+
+SiteTable SiteBuilder::build() {
+  Table.ByNode.assign(static_cast<size_t>(Prog.NumNodeIds), {});
+  for (const auto &Func : Prog.Functions) {
+    if (!Opts.ExcludedFunctionPrefix.empty() &&
+        Func->Name.compare(0, Opts.ExcludedFunctionPrefix.size(),
+                           Opts.ExcludedFunctionPrefix) == 0)
+      continue;
+    walkFunction(*Func);
+  }
+  return std::move(Table);
+}
+
+SiteTable SiteTable::build(const Program &Prog, const SiteOptions &Opts) {
+  return SiteBuilder(Prog, Opts).build();
+}

@@ -1,0 +1,138 @@
+//===- instrument/Sites.h - Instrumentation sites and predicates ----------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static enumeration of instrumentation sites and predicates for the three
+/// schemes of Section 2:
+///
+///   branches:     at each conditional (if/while/for tests and the
+///                 short-circuit operators && and ||), two predicates: the
+///                 condition was ever true / ever false.
+///   returns:      at each scalar-returning call site, six predicates on
+///                 the sign of the returned value: <0, <=0, >0, >=0, ==0,
+///                 !=0.
+///   scalar-pairs: at each assignment x = ... to an int variable, for each
+///                 same-typed in-scope variable y and each constant c used
+///                 in the enclosing function, six relational predicates on
+///                 the new value of x vs y (or c). Each (x,y) / (x,c) pair
+///                 is a distinct site, exactly as in the paper, so pairs
+///                 are sampled independently.
+///
+/// All predicates at one site are observed jointly when the site is
+/// sampled; the runtime hands the observer a node id, and this table maps
+/// node ids to the contiguous range of sites rooted at that node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_INSTRUMENT_SITES_H
+#define SBI_INSTRUMENT_SITES_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+enum class Scheme { Branches, Returns, ScalarPairs };
+
+const char *schemeName(Scheme S);
+
+/// Relational operator of one predicate within a site.
+enum class PredicateOp {
+  IsTrue,  // branches
+  IsFalse, // branches
+  Lt,      // returns / scalar-pairs
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+};
+
+const char *predicateOpSpelling(PredicateOp Op);
+
+struct PredicateInfo {
+  uint32_t Id = 0;
+  uint32_t Site = 0;
+  PredicateOp Op = PredicateOp::IsTrue;
+  /// Human-readable text, e.g. "token_index > 500" or "strcmp(...) == 0".
+  std::string Text;
+};
+
+struct SiteInfo {
+  uint32_t Id = 0;
+  Scheme SchemeKind = Scheme::Branches;
+  /// AST node id of the statement/expression that triggers the site.
+  int NodeId = -1;
+  std::string Function;
+  int Line = 0;
+  uint32_t FirstPredicate = 0;
+  uint32_t NumPredicates = 0;
+
+  // Scalar-pairs metadata: the comparand is either a variable or a constant.
+  bool PairIsConstant = false;
+  VarSlot PairVar;
+  int64_t PairConstant = 0;
+};
+
+/// Which schemes to enable and how to bound the scalar-pairs fan-out.
+struct SiteOptions {
+  bool Branches = true;
+  bool Returns = true;
+  bool ScalarPairs = true;
+  /// At most this many distinct constants per function participate in
+  /// scalar-pairs (smallest first, after deduplication).
+  int MaxConstantsPerFunction = 6;
+  /// Functions whose names start with this prefix receive no
+  /// instrumentation at all. This models code outside the instrumentor's
+  /// reach — libc in the paper's C studies (BC's overrun crashed inside
+  /// malloc, which CBI never saw) — and doubles as the paper's escape
+  /// hatch of excluding performance-critical code from instrumentation.
+  std::string ExcludedFunctionPrefix = "__lib_";
+};
+
+/// The full static site/predicate table for a program.
+class SiteTable {
+public:
+  /// Builds the table for \p Prog (which must have passed Sema).
+  static SiteTable build(const Program &Prog, const SiteOptions &Opts = {});
+
+  uint32_t numSites() const { return static_cast<uint32_t>(Sites.size()); }
+  uint32_t numPredicates() const {
+    return static_cast<uint32_t>(Predicates.size());
+  }
+
+  const SiteInfo &site(uint32_t Id) const { return Sites[Id]; }
+  const PredicateInfo &predicate(uint32_t Id) const { return Predicates[Id]; }
+  const std::vector<SiteInfo> &sites() const { return Sites; }
+  const std::vector<PredicateInfo> &predicates() const { return Predicates; }
+
+  /// The contiguous site range rooted at AST node \p NodeId ({0,0} if the
+  /// node is not instrumented).
+  struct SiteRange {
+    uint32_t First = 0;
+    uint32_t Count = 0;
+  };
+  SiteRange sitesForNode(int NodeId) const {
+    if (NodeId < 0 || static_cast<size_t>(NodeId) >= ByNode.size())
+      return {};
+    return ByNode[static_cast<size_t>(NodeId)];
+  }
+
+private:
+  std::vector<SiteInfo> Sites;
+  std::vector<PredicateInfo> Predicates;
+  std::vector<SiteRange> ByNode;
+
+  friend class SiteBuilder;
+};
+
+} // namespace sbi
+
+#endif // SBI_INSTRUMENT_SITES_H

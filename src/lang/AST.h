@@ -1,0 +1,337 @@
+//===- lang/AST.h - MicroC abstract syntax tree ---------------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for MicroC. Nodes are tagged structs (Kind enum plus
+/// static cast) rather than a virtual-dispatch hierarchy: the interpreter
+/// and instrumentation pass both dispatch with switches, which keeps hot
+/// paths branch-predictable and the node layout transparent.
+///
+/// Every node carries a program-unique integer Id (assigned by the parser in
+/// creation order). The instrumentation pass keys site tables by these Ids,
+/// so the runtime can hand the observer nothing but a node Id and a value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_LANG_AST_H
+#define SBI_LANG_AST_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+/// Declared storage kind of a variable. MicroC is dynamically checked but
+/// statically kinded: the kind drives which assignments get scalar-pairs
+/// instrumentation (Int only).
+enum class VarKind { Int, Str, Arr, Rec };
+
+const char *varKindName(VarKind Kind);
+
+/// A resolved variable reference: where the storage lives.
+struct VarSlot {
+  bool IsGlobal = false;
+  /// Index into the global table or the function frame.
+  int Index = -1;
+
+  bool isValid() const { return Index >= 0; }
+  bool operator==(const VarSlot &Other) const {
+    return IsGlobal == Other.IsGlobal && Index == Other.Index;
+  }
+};
+
+/// A record (struct) declaration: a name and ordered field names. Field
+/// values are dynamically typed.
+struct RecordDecl {
+  std::string Name;
+  std::vector<std::string> Fields;
+  int Line = 0;
+
+  /// Returns the index of \p Field, or -1 if the record has no such field.
+  int fieldIndex(const std::string &Field) const {
+    for (size_t I = 0; I < Fields.size(); ++I)
+      if (Fields[I] == Field)
+        return static_cast<int>(I);
+    return -1;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,
+  StrLit,
+  NullLit,
+  VarRef,
+  Unary,
+  Binary,
+  Index,
+  Field,
+  Call,
+  New,
+};
+
+enum class UnaryOp { Not, Neg };
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And, // Short-circuit; a branch instrumentation site.
+  Or,  // Short-circuit; a branch instrumentation site.
+};
+
+const char *binaryOpSpelling(BinaryOp Op);
+
+struct Expr {
+  ExprKind Kind;
+  /// Program-unique node id assigned at parse time.
+  int Id = -1;
+  int Line = 0;
+
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+  virtual ~Expr() = default;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  int64_t Value = 0;
+  IntLitExpr() : Expr(ExprKind::IntLit) {}
+};
+
+struct StrLitExpr : Expr {
+  std::string Value;
+  StrLitExpr() : Expr(ExprKind::StrLit) {}
+};
+
+struct NullLitExpr : Expr {
+  NullLitExpr() : Expr(ExprKind::NullLit) {}
+};
+
+struct VarRefExpr : Expr {
+  std::string Name;
+  /// Filled in by Sema.
+  VarSlot Slot;
+  VarKind DeclaredKind = VarKind::Int;
+  VarRefExpr() : Expr(ExprKind::VarRef) {}
+};
+
+struct UnaryExpr : Expr {
+  UnaryOp Op = UnaryOp::Not;
+  ExprPtr Operand;
+  UnaryExpr() : Expr(ExprKind::Unary) {}
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp Op = BinaryOp::Add;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+  BinaryExpr() : Expr(ExprKind::Binary) {}
+};
+
+struct IndexExpr : Expr {
+  ExprPtr Base;
+  ExprPtr Subscript;
+  IndexExpr() : Expr(ExprKind::Index) {}
+};
+
+struct FieldExpr : Expr {
+  ExprPtr Base;
+  std::string FieldName;
+  FieldExpr() : Expr(ExprKind::Field) {}
+};
+
+struct FuncDecl;
+
+struct CallExpr : Expr {
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  /// Resolved by Sema: exactly one of these identifies the target.
+  const FuncDecl *Target = nullptr;
+  int IntrinsicId = -1;
+  CallExpr() : Expr(ExprKind::Call) {}
+};
+
+struct NewExpr : Expr {
+  std::string RecordName;
+  const RecordDecl *Record = nullptr; // Resolved by Sema.
+  NewExpr() : Expr(ExprKind::New) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Expr,
+  Assign,
+  VarDecl,
+  Block,
+  If,
+  While,
+  For,
+  Return,
+  Break,
+  Continue,
+};
+
+struct Stmt {
+  StmtKind Kind;
+  int Id = -1;
+  int Line = 0;
+
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+  virtual ~Stmt() = default;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ExprStmt : Stmt {
+  ExprPtr E;
+  ExprStmt() : Stmt(StmtKind::Expr) {}
+};
+
+/// A variable visible at a scalar assignment, recorded by Sema so the
+/// scalar-pairs instrumentation scheme (Section 2) can enumerate the
+/// same-typed in-scope variables y_i for an assignment x = ...
+struct ScopedIntVar {
+  std::string Name;
+  VarSlot Slot;
+};
+
+struct AssignStmt : Stmt {
+  /// Target lvalue: VarRef, Index, or Field expression.
+  ExprPtr Target;
+  ExprPtr Value;
+  /// True when the target is a VarRef of declared kind Int (set by Sema);
+  /// only such assignments receive scalar-pairs instrumentation.
+  bool TargetIsIntVar = false;
+  /// In-scope int variables other than the target, at this statement.
+  std::vector<ScopedIntVar> VisibleIntVars;
+  AssignStmt() : Stmt(StmtKind::Assign) {}
+};
+
+struct VarDeclStmt : Stmt {
+  VarKind DeclKind = VarKind::Int;
+  std::string Name;
+  ExprPtr Init; // May be null: Int -> 0, Str -> "", Arr/Rec -> null.
+  VarSlot Slot; // Resolved by Sema.
+  /// For int declarations with initializers: treated as a scalar assignment
+  /// for instrumentation purposes, so Sema records visible int vars here too.
+  std::vector<ScopedIntVar> VisibleIntVars;
+  VarDeclStmt() : Stmt(StmtKind::VarDecl) {}
+};
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> Body;
+  BlockStmt() : Stmt(StmtKind::Block) {}
+};
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // May be null.
+  IfStmt() : Stmt(StmtKind::If) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Body;
+  WhileStmt() : Stmt(StmtKind::While) {}
+};
+
+struct ForStmt : Stmt {
+  StmtPtr Init; // May be null; VarDecl, Assign, or Expr statement.
+  ExprPtr Cond; // May be null (treated as true).
+  StmtPtr Step; // May be null; Assign or Expr statement.
+  StmtPtr Body;
+  ForStmt() : Stmt(StmtKind::For) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; // May be null.
+  ReturnStmt() : Stmt(StmtKind::Return) {}
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and the program
+//===----------------------------------------------------------------------===//
+
+struct Param {
+  VarKind Kind = VarKind::Int;
+  std::string Name;
+};
+
+struct FuncDecl {
+  std::string Name;
+  std::vector<Param> Params;
+  std::unique_ptr<BlockStmt> Body;
+  int Line = 0;
+  /// Frame size in slots (params first), set by Sema.
+  int NumLocals = 0;
+};
+
+struct GlobalDecl {
+  VarKind Kind = VarKind::Int;
+  std::string Name;
+  ExprPtr Init; // May be null; evaluated once at program start.
+  int Slot = -1;
+  int Line = 0;
+  /// Visible int globals declared before this one (for scalar-pairs on
+  /// global initializers).
+  std::vector<ScopedIntVar> VisibleIntVars;
+};
+
+struct Program {
+  std::vector<std::unique_ptr<RecordDecl>> Records;
+  std::vector<std::unique_ptr<GlobalDecl>> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Functions;
+  /// Total number of AST node ids handed out; node ids are < this bound.
+  int NumNodeIds = 0;
+  /// Number of source lines (for the paper's lines-of-code statistic).
+  int NumLines = 0;
+
+  const FuncDecl *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  const RecordDecl *findRecord(const std::string &Name) const {
+    for (const auto &R : Records)
+      if (R->Name == Name)
+        return R.get();
+    return nullptr;
+  }
+};
+
+} // namespace sbi
+
+#endif // SBI_LANG_AST_H

@@ -1,0 +1,102 @@
+//===- lang/AstPrinter.cpp - Render MicroC expressions as source text -----===//
+
+#include "lang/AstPrinter.h"
+
+#include "support/StringUtils.h"
+
+using namespace sbi;
+
+static void printExpr(const Expr &E, std::string &Out);
+
+static void printMaybeParen(const Expr &E, std::string &Out) {
+  bool NeedsParens = E.Kind == ExprKind::Binary;
+  if (NeedsParens)
+    Out += '(';
+  printExpr(E, Out);
+  if (NeedsParens)
+    Out += ')';
+}
+
+static void printExpr(const Expr &E, std::string &Out) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Out += format("%lld", static_cast<long long>(
+                              static_cast<const IntLitExpr &>(E).Value));
+    return;
+  case ExprKind::StrLit: {
+    Out += '"';
+    for (char C : static_cast<const StrLitExpr &>(E).Value) {
+      if (C == '\n')
+        Out += "\\n";
+      else if (C == '\t')
+        Out += "\\t";
+      else if (C == '"' || C == '\\') {
+        Out += '\\';
+        Out += C;
+      } else {
+        Out += C;
+      }
+    }
+    Out += '"';
+    return;
+  }
+  case ExprKind::NullLit:
+    Out += "null";
+    return;
+  case ExprKind::VarRef:
+    Out += static_cast<const VarRefExpr &>(E).Name;
+    return;
+  case ExprKind::Unary: {
+    const auto &Unary = static_cast<const UnaryExpr &>(E);
+    Out += Unary.Op == UnaryOp::Not ? '!' : '-';
+    printMaybeParen(*Unary.Operand, Out);
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    printMaybeParen(*Bin.Lhs, Out);
+    Out += ' ';
+    Out += binaryOpSpelling(Bin.Op);
+    Out += ' ';
+    printMaybeParen(*Bin.Rhs, Out);
+    return;
+  }
+  case ExprKind::Index: {
+    const auto &Index = static_cast<const IndexExpr &>(E);
+    printMaybeParen(*Index.Base, Out);
+    Out += '[';
+    printExpr(*Index.Subscript, Out);
+    Out += ']';
+    return;
+  }
+  case ExprKind::Field: {
+    const auto &Field = static_cast<const FieldExpr &>(E);
+    printMaybeParen(*Field.Base, Out);
+    Out += '.';
+    Out += Field.FieldName;
+    return;
+  }
+  case ExprKind::Call: {
+    const auto &Call = static_cast<const CallExpr &>(E);
+    Out += Call.Callee;
+    Out += '(';
+    for (size_t I = 0; I < Call.Args.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      printExpr(*Call.Args[I], Out);
+    }
+    Out += ')';
+    return;
+  }
+  case ExprKind::New:
+    Out += "new ";
+    Out += static_cast<const NewExpr &>(E).RecordName;
+    return;
+  }
+}
+
+std::string sbi::exprToString(const Expr &E) {
+  std::string Out;
+  printExpr(E, Out);
+  return Out;
+}

@@ -1,0 +1,29 @@
+//===- lang/AstPrinter.h - Render MicroC expressions as source text -------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions back to compact source text. The instrumentation
+/// pass uses this to give every predicate the human-readable description
+/// the paper's tables show (e.g. "files[filesindex].language > 16").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_LANG_ASTPRINTER_H
+#define SBI_LANG_ASTPRINTER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace sbi {
+
+/// Renders \p E as one-line source text.
+std::string exprToString(const Expr &E);
+
+} // namespace sbi
+
+#endif // SBI_LANG_ASTPRINTER_H

@@ -1,0 +1,42 @@
+//===- lang/Intrinsics.cpp - MicroC builtin functions ---------------------===//
+
+#include "lang/Intrinsics.h"
+
+#include <cassert>
+
+using namespace sbi;
+
+static const IntrinsicInfo Table[] = {
+    {Intrinsic::Print, "print", 1, false},
+    {Intrinsic::Println, "println", 1, false},
+    {Intrinsic::Len, "len", 1, true},
+    {Intrinsic::Substr, "substr", 3, false},
+    {Intrinsic::Charat, "charat", 2, true},
+    {Intrinsic::Strcmp, "strcmp", 2, true},
+    {Intrinsic::Strcat, "strcat", 2, false},
+    {Intrinsic::Itoa, "itoa", 1, false},
+    {Intrinsic::Atoi, "atoi", 1, true},
+    {Intrinsic::Mkarray, "mkarray", 1, false},
+    {Intrinsic::Arg, "arg", 1, false},
+    {Intrinsic::Nargs, "nargs", 0, true},
+    {Intrinsic::Exit, "exit", 1, false},
+    {Intrinsic::Abs, "abs", 1, true},
+    {Intrinsic::Min, "min", 2, true},
+    {Intrinsic::Max, "max", 2, true},
+    {Intrinsic::BugMark, "__bug", 1, false},
+    {Intrinsic::Trap, "trap", 1, false},
+};
+
+const IntrinsicInfo *sbi::lookupIntrinsic(const std::string &Name) {
+  for (const IntrinsicInfo &Info : Table)
+    if (Name == Info.Name)
+      return &Info;
+  return nullptr;
+}
+
+const IntrinsicInfo &sbi::intrinsicInfo(int Which) {
+  assert(Which >= 0 &&
+         Which < static_cast<int>(sizeof(Table) / sizeof(Table[0])) &&
+         "intrinsic id out of range");
+  return Table[Which];
+}

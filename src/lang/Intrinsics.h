@@ -1,0 +1,62 @@
+//===- lang/Intrinsics.h - MicroC builtin functions -----------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The builtin function table shared by semantic analysis (name/arity
+/// resolution), the instrumentation pass (deciding which call sites are
+/// scalar-returning and thus get the "returns" scheme), and the interpreter
+/// (dispatch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_LANG_INTRINSICS_H
+#define SBI_LANG_INTRINSICS_H
+
+#include <string>
+
+namespace sbi {
+
+enum class Intrinsic {
+  Print,   ///< print(v): writes v to the run's output, no newline.
+  Println, ///< println(v): print(v) plus '\n'.
+  Len,     ///< len(s|a) -> int: string length or array logical size.
+  Substr,  ///< substr(s, start, count) -> str; clamps to the string.
+  Charat,  ///< charat(s, i) -> int character code; traps out of range.
+  Strcmp,  ///< strcmp(a, b) -> int in {-1, 0, 1}.
+  Strcat,  ///< strcat(a, b) -> str.
+  Itoa,    ///< itoa(i) -> str decimal rendering.
+  Atoi,    ///< atoi(s) -> int; parses an optional sign + digits prefix.
+  Mkarray, ///< mkarray(n) -> arr of n zero ints; traps if n < 0 or huge.
+  Arg,     ///< arg(i) -> str: the i-th run input token; traps out of range.
+  Nargs,   ///< nargs() -> int: number of run input tokens.
+  Exit,    ///< exit(code): ends the run with the given exit code.
+  Abs,     ///< abs(x) -> int.
+  Min,     ///< min(a, b) -> int.
+  Max,     ///< max(a, b) -> int.
+  BugMark, ///< __bug(n): ground-truth marker, invisible to the analysis.
+  Trap,    ///< trap(msg): explicit crash (models an unrecoverable fault).
+};
+
+struct IntrinsicInfo {
+  Intrinsic Id;
+  const char *Name;
+  int Arity;
+  /// True if calls to the intrinsic return an int and therefore qualify as
+  /// scalar-returning call sites for the "returns" instrumentation scheme.
+  bool ReturnsInt;
+};
+
+/// Returns the intrinsic table entry for \p Name, or null if \p Name is not
+/// an intrinsic.
+const IntrinsicInfo *lookupIntrinsic(const std::string &Name);
+
+/// Returns the table entry for intrinsic id \p Which (total function).
+const IntrinsicInfo &intrinsicInfo(int Which);
+
+} // namespace sbi
+
+#endif // SBI_LANG_INTRINSICS_H

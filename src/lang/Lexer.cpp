@@ -1,0 +1,296 @@
+//===- lang/Lexer.cpp - MicroC lexer --------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace sbi;
+
+const char *sbi::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::StrLiteral:
+    return "string literal";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwRecord:
+    return "'record'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwStr:
+    return "'str'";
+  case TokenKind::KwArr:
+    return "'arr'";
+  case TokenKind::KwRec:
+    return "'rec'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "unknown token";
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  ++Pos;
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+    } else if (C == ' ' || C == '\t' || C == '\r') {
+      ++Pos;
+    } else if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        ++Pos;
+    } else if (C == '/' && peek(1) == '*') {
+      Pos += 2;
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\n')
+          ++Line;
+        ++Pos;
+      }
+      if (Pos < Source.size())
+        Pos += 2;
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind) {
+  Token T;
+  T.Kind = Kind;
+  T.Line = Line;
+  return T;
+}
+
+Token Lexer::errorToken(const std::string &Message) {
+  Token T = makeToken(TokenKind::Error);
+  T.Text = Message;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  Token T = makeToken(TokenKind::IntLiteral);
+  int64_t Value = 0;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) {
+    Value = Value * 10 + (advance() - '0');
+  }
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::lexString() {
+  Token T = makeToken(TokenKind::StrLiteral);
+  advance(); // Opening quote.
+  std::string Value;
+  while (true) {
+    if (Pos >= Source.size() || peek() == '\n')
+      return errorToken("unterminated string literal");
+    char C = advance();
+    if (C == '"')
+      break;
+    if (C != '\\') {
+      Value += C;
+      continue;
+    }
+    if (Pos >= Source.size())
+      return errorToken("unterminated escape sequence");
+    char Escape = advance();
+    switch (Escape) {
+    case 'n':
+      Value += '\n';
+      break;
+    case 't':
+      Value += '\t';
+      break;
+    case '0':
+      Value += '\0';
+      break;
+    case '\\':
+    case '"':
+      Value += Escape;
+      break;
+    default:
+      return errorToken("unknown escape sequence");
+    }
+  }
+  T.Text = std::move(Value);
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"fn", TokenKind::KwFn},           {"record", TokenKind::KwRecord},
+      {"int", TokenKind::KwInt},         {"str", TokenKind::KwStr},
+      {"arr", TokenKind::KwArr},         {"rec", TokenKind::KwRec},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},   {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"null", TokenKind::KwNull},       {"new", TokenKind::KwNew},
+  };
+
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    ++Pos;
+  std::string_view Text = Source.substr(Start, Pos - Start);
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second);
+  Token T = makeToken(TokenKind::Identifier);
+  T.Text = std::string(Text);
+  return T;
+}
+
+Token Lexer::lex() {
+  skipTrivia();
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::Eof);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+  if (C == '"')
+    return lexString();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case '[':
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    return makeToken(TokenKind::RBracket);
+  case ';':
+    return makeToken(TokenKind::Semicolon);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case '.':
+    return makeToken(TokenKind::Dot);
+  case '+':
+    return makeToken(TokenKind::Plus);
+  case '-':
+    return makeToken(TokenKind::Minus);
+  case '*':
+    return makeToken(TokenKind::Star);
+  case '/':
+    return makeToken(TokenKind::Slash);
+  case '%':
+    return makeToken(TokenKind::Percent);
+  case '=':
+    return makeToken(match('=') ? TokenKind::EqualEqual : TokenKind::Assign);
+  case '<':
+    return makeToken(match('=') ? TokenKind::LessEqual : TokenKind::Less);
+  case '>':
+    return makeToken(match('=') ? TokenKind::GreaterEqual
+                                : TokenKind::Greater);
+  case '!':
+    return makeToken(match('=') ? TokenKind::NotEqual : TokenKind::Bang);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp);
+    return errorToken("expected '&&'");
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe);
+    return errorToken("expected '||'");
+  default:
+    return errorToken("unexpected character");
+  }
+}
+
+std::vector<Token> Lexer::lexAll(std::string_view Source) {
+  Lexer L(Source);
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(L.lex());
+    if (Tokens.back().is(TokenKind::Eof) || Tokens.back().is(TokenKind::Error))
+      return Tokens;
+  }
+}

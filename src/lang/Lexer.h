@@ -1,0 +1,57 @@
+//===- lang/Lexer.h - MicroC lexer ----------------------------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-pass lexer for MicroC. Supports // and /* */ comments, decimal
+/// integer literals, double-quoted strings with \n \t \\ \" \0 escapes, and
+/// the operator set listed in lang/Token.h. Errors are reported as Error
+/// tokens carrying a message; the lexer never aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_LANG_LEXER_H
+#define SBI_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace sbi {
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Returns the next token, advancing the cursor. After end of input,
+  /// returns Eof tokens indefinitely.
+  Token lex();
+
+  /// Lexes the entire input, ending with an Eof token.
+  static std::vector<Token> lexAll(std::string_view Source);
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() { return Source[Pos++]; }
+  bool match(char Expected);
+  void skipTrivia();
+  Token makeToken(TokenKind Kind);
+  Token errorToken(const std::string &Message);
+  Token lexNumber();
+  Token lexString();
+  Token lexIdentifier();
+
+  std::string_view Source;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+} // namespace sbi
+
+#endif // SBI_LANG_LEXER_H

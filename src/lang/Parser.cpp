@@ -1,0 +1,540 @@
+//===- lang/Parser.cpp - MicroC recursive-descent parser ------------------===//
+
+#include "lang/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace sbi;
+
+const char *sbi::varKindName(VarKind Kind) {
+  switch (Kind) {
+  case VarKind::Int:
+    return "int";
+  case VarKind::Str:
+    return "str";
+  case VarKind::Arr:
+    return "arr";
+  case VarKind::Rec:
+    return "rec";
+  }
+  return "?";
+}
+
+const char *sbi::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+std::string sbi::renderDiagnostics(const std::vector<Diagnostic> &Diags) {
+  std::string Result;
+  for (const Diagnostic &D : Diags)
+    Result += format("line %d: %s\n", D.Line, D.Message.c_str());
+  return Result;
+}
+
+Parser::Parser(std::string_view Source, std::vector<Diagnostic> &Diags)
+    : Lex(Source), Diags(Diags) {
+  Current = Lex.lex();
+}
+
+bool Parser::atKind() const {
+  return at(TokenKind::KwInt) || at(TokenKind::KwStr) || at(TokenKind::KwArr) ||
+         at(TokenKind::KwRec);
+}
+
+Token Parser::take() {
+  Token T = Current;
+  if (T.is(TokenKind::Error)) {
+    error(T.Text);
+  } else if (!T.is(TokenKind::Eof)) {
+    Current = Lex.lex();
+    if (Current.is(TokenKind::Error))
+      error(Current.Text);
+  }
+  return T;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (at(Kind)) {
+    take();
+    return true;
+  }
+  error(format("expected %s in %s, found %s", tokenKindName(Kind), Context,
+               tokenKindName(Current.Kind)));
+  return false;
+}
+
+void Parser::error(const std::string &Message) {
+  if (!HadError)
+    Diags.push_back({Current.Line, Message});
+  HadError = true;
+}
+
+template <typename T> std::unique_ptr<T> Parser::makeExpr(int Line) {
+  auto Node = std::make_unique<T>();
+  Node->Id = nextId();
+  Node->Line = Line;
+  return Node;
+}
+
+template <typename T> std::unique_ptr<T> Parser::makeStmt(int Line) {
+  auto Node = std::make_unique<T>();
+  Node->Id = nextId();
+  Node->Line = Line;
+  return Node;
+}
+
+VarKind Parser::parseKind() {
+  TokenKind K = take().Kind;
+  switch (K) {
+  case TokenKind::KwInt:
+    return VarKind::Int;
+  case TokenKind::KwStr:
+    return VarKind::Str;
+  case TokenKind::KwArr:
+    return VarKind::Arr;
+  case TokenKind::KwRec:
+    return VarKind::Rec;
+  default:
+    error("expected a declaration kind");
+    return VarKind::Int;
+  }
+}
+
+std::unique_ptr<Program> Parser::parse(std::string_view Source,
+                                       std::vector<Diagnostic> &Diags) {
+  Parser P(Source, Diags);
+  auto Prog = P.parseProgram();
+  if (P.HadError)
+    return nullptr;
+  Prog->NumNodeIds = P.NumIds;
+  Prog->NumLines =
+      static_cast<int>(std::count(Source.begin(), Source.end(), '\n')) + 1;
+  return Prog;
+}
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto Prog = std::make_unique<Program>();
+  while (!at(TokenKind::Eof) && !HadError) {
+    if (at(TokenKind::KwRecord)) {
+      if (auto R = parseRecord())
+        Prog->Records.push_back(std::move(R));
+    } else if (at(TokenKind::KwFn)) {
+      if (auto F = parseFunction())
+        Prog->Functions.push_back(std::move(F));
+    } else if (atKind()) {
+      if (auto G = parseGlobal(parseKind()))
+        Prog->Globals.push_back(std::move(G));
+    } else {
+      error(format("expected a declaration, found %s",
+                   tokenKindName(Current.Kind)));
+    }
+  }
+  return Prog;
+}
+
+std::unique_ptr<RecordDecl> Parser::parseRecord() {
+  take(); // 'record'
+  auto Record = std::make_unique<RecordDecl>();
+  Record->Line = Current.Line;
+  if (!at(TokenKind::Identifier)) {
+    error("expected record name");
+    return nullptr;
+  }
+  Record->Name = take().Text;
+  expect(TokenKind::LBrace, "record declaration");
+  while (at(TokenKind::Identifier) && !HadError) {
+    Record->Fields.push_back(take().Text);
+    expect(TokenKind::Semicolon, "record field");
+  }
+  expect(TokenKind::RBrace, "record declaration");
+  return HadError ? nullptr : std::move(Record);
+}
+
+std::unique_ptr<GlobalDecl> Parser::parseGlobal(VarKind Kind) {
+  auto Global = std::make_unique<GlobalDecl>();
+  Global->Kind = Kind;
+  Global->Line = Current.Line;
+  if (!at(TokenKind::Identifier)) {
+    error("expected global variable name");
+    return nullptr;
+  }
+  Global->Name = take().Text;
+  if (at(TokenKind::Assign)) {
+    take();
+    Global->Init = parseExpr();
+  }
+  expect(TokenKind::Semicolon, "global declaration");
+  return HadError ? nullptr : std::move(Global);
+}
+
+std::unique_ptr<FuncDecl> Parser::parseFunction() {
+  take(); // 'fn'
+  auto Func = std::make_unique<FuncDecl>();
+  Func->Line = Current.Line;
+  if (!at(TokenKind::Identifier)) {
+    error("expected function name");
+    return nullptr;
+  }
+  Func->Name = take().Text;
+  expect(TokenKind::LParen, "function declaration");
+  if (!at(TokenKind::RParen)) {
+    while (true) {
+      Param P;
+      if (!atKind()) {
+        error("expected parameter kind");
+        return nullptr;
+      }
+      P.Kind = parseKind();
+      if (!at(TokenKind::Identifier)) {
+        error("expected parameter name");
+        return nullptr;
+      }
+      P.Name = take().Text;
+      Func->Params.push_back(std::move(P));
+      if (!at(TokenKind::Comma))
+        break;
+      take();
+    }
+  }
+  expect(TokenKind::RParen, "function declaration");
+  Func->Body = parseBlock();
+  return HadError ? nullptr : std::move(Func);
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  auto Block = makeStmt<BlockStmt>(Current.Line);
+  expect(TokenKind::LBrace, "block");
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof) && !HadError)
+    if (StmtPtr S = parseStmt())
+      Block->Body.push_back(std::move(S));
+  expect(TokenKind::RBrace, "block");
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  if (HadError)
+    return nullptr;
+  int Line = Current.Line;
+
+  if (atKind())
+    return parseVarDecl(parseKind(), /*ConsumeSemicolon=*/true);
+
+  if (at(TokenKind::LBrace))
+    return parseBlock();
+
+  if (at(TokenKind::KwIf)) {
+    take();
+    auto If = makeStmt<IfStmt>(Line);
+    expect(TokenKind::LParen, "if statement");
+    If->Cond = parseExpr();
+    expect(TokenKind::RParen, "if statement");
+    If->Then = parseStmt();
+    if (at(TokenKind::KwElse)) {
+      take();
+      If->Else = parseStmt();
+    }
+    return If;
+  }
+
+  if (at(TokenKind::KwWhile)) {
+    take();
+    auto While = makeStmt<WhileStmt>(Line);
+    expect(TokenKind::LParen, "while statement");
+    While->Cond = parseExpr();
+    expect(TokenKind::RParen, "while statement");
+    While->Body = parseStmt();
+    return While;
+  }
+
+  if (at(TokenKind::KwFor)) {
+    take();
+    auto For = makeStmt<ForStmt>(Line);
+    expect(TokenKind::LParen, "for statement");
+    if (!at(TokenKind::Semicolon))
+      For->Init = parseSimpleStmt();
+    expect(TokenKind::Semicolon, "for statement");
+    if (!at(TokenKind::Semicolon))
+      For->Cond = parseExpr();
+    expect(TokenKind::Semicolon, "for statement");
+    if (!at(TokenKind::RParen))
+      For->Step = parseSimpleStmt();
+    expect(TokenKind::RParen, "for statement");
+    For->Body = parseStmt();
+    return For;
+  }
+
+  if (at(TokenKind::KwReturn)) {
+    take();
+    auto Return = makeStmt<ReturnStmt>(Line);
+    if (!at(TokenKind::Semicolon))
+      Return->Value = parseExpr();
+    expect(TokenKind::Semicolon, "return statement");
+    return Return;
+  }
+
+  if (at(TokenKind::KwBreak)) {
+    take();
+    expect(TokenKind::Semicolon, "break statement");
+    return makeStmt<BreakStmt>(Line);
+  }
+
+  if (at(TokenKind::KwContinue)) {
+    take();
+    expect(TokenKind::Semicolon, "continue statement");
+    return makeStmt<ContinueStmt>(Line);
+  }
+
+  StmtPtr S = parseExprOrAssign();
+  expect(TokenKind::Semicolon, "statement");
+  return S;
+}
+
+StmtPtr Parser::parseVarDecl(VarKind Kind, bool ConsumeSemicolon) {
+  auto Decl = makeStmt<VarDeclStmt>(Current.Line);
+  Decl->DeclKind = Kind;
+  if (!at(TokenKind::Identifier)) {
+    error("expected variable name");
+    return nullptr;
+  }
+  Decl->Name = take().Text;
+  if (at(TokenKind::Assign)) {
+    take();
+    Decl->Init = parseExpr();
+  }
+  if (ConsumeSemicolon)
+    expect(TokenKind::Semicolon, "variable declaration");
+  return Decl;
+}
+
+StmtPtr Parser::parseSimpleStmt() {
+  if (atKind())
+    return parseVarDecl(parseKind(), /*ConsumeSemicolon=*/false);
+  return parseExprOrAssign();
+}
+
+StmtPtr Parser::parseExprOrAssign() {
+  int Line = Current.Line;
+  ExprPtr E = parseExpr();
+  if (!at(TokenKind::Assign)) {
+    auto S = makeStmt<ExprStmt>(Line);
+    S->E = std::move(E);
+    return S;
+  }
+  take(); // '='
+  if (E && E->Kind != ExprKind::VarRef && E->Kind != ExprKind::Index &&
+      E->Kind != ExprKind::Field)
+    error("assignment target must be a variable, element, or field");
+  auto Assign = makeStmt<AssignStmt>(Line);
+  Assign->Target = std::move(E);
+  Assign->Value = parseExpr();
+  return Assign;
+}
+
+ExprPtr Parser::parseExpr() { return parseBinary(0); }
+
+namespace {
+struct OpInfo {
+  BinaryOp Op;
+  int Precedence;
+};
+} // namespace
+
+static bool binaryOpFor(TokenKind Kind, OpInfo &Info) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    Info = {BinaryOp::Or, 1};
+    return true;
+  case TokenKind::AmpAmp:
+    Info = {BinaryOp::And, 2};
+    return true;
+  case TokenKind::EqualEqual:
+    Info = {BinaryOp::Eq, 3};
+    return true;
+  case TokenKind::NotEqual:
+    Info = {BinaryOp::Ne, 3};
+    return true;
+  case TokenKind::Less:
+    Info = {BinaryOp::Lt, 4};
+    return true;
+  case TokenKind::LessEqual:
+    Info = {BinaryOp::Le, 4};
+    return true;
+  case TokenKind::Greater:
+    Info = {BinaryOp::Gt, 4};
+    return true;
+  case TokenKind::GreaterEqual:
+    Info = {BinaryOp::Ge, 4};
+    return true;
+  case TokenKind::Plus:
+    Info = {BinaryOp::Add, 5};
+    return true;
+  case TokenKind::Minus:
+    Info = {BinaryOp::Sub, 5};
+    return true;
+  case TokenKind::Star:
+    Info = {BinaryOp::Mul, 6};
+    return true;
+  case TokenKind::Slash:
+    Info = {BinaryOp::Div, 6};
+    return true;
+  case TokenKind::Percent:
+    Info = {BinaryOp::Rem, 6};
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrecedence) {
+  ExprPtr Lhs = parseUnary();
+  while (!HadError) {
+    OpInfo Info;
+    if (!binaryOpFor(Current.Kind, Info) || Info.Precedence < MinPrecedence)
+      return Lhs;
+    int Line = Current.Line;
+    take();
+    ExprPtr Rhs = parseBinary(Info.Precedence + 1);
+    auto Node = makeExpr<BinaryExpr>(Line);
+    Node->Op = Info.Op;
+    Node->Lhs = std::move(Lhs);
+    Node->Rhs = std::move(Rhs);
+    Lhs = std::move(Node);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseUnary() {
+  int Line = Current.Line;
+  if (at(TokenKind::Bang) || at(TokenKind::Minus)) {
+    UnaryOp Op = at(TokenKind::Bang) ? UnaryOp::Not : UnaryOp::Neg;
+    take();
+    auto Node = makeExpr<UnaryExpr>(Line);
+    Node->Op = Op;
+    Node->Operand = parseUnary();
+    return Node;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (!HadError) {
+    int Line = Current.Line;
+    if (at(TokenKind::LBracket)) {
+      take();
+      auto Node = makeExpr<IndexExpr>(Line);
+      Node->Base = std::move(E);
+      Node->Subscript = parseExpr();
+      expect(TokenKind::RBracket, "index expression");
+      E = std::move(Node);
+    } else if (at(TokenKind::Dot)) {
+      take();
+      auto Node = makeExpr<FieldExpr>(Line);
+      Node->Base = std::move(E);
+      if (!at(TokenKind::Identifier)) {
+        error("expected field name after '.'");
+        return nullptr;
+      }
+      Node->FieldName = take().Text;
+      E = std::move(Node);
+    } else {
+      return E;
+    }
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  int Line = Current.Line;
+
+  if (at(TokenKind::IntLiteral)) {
+    auto Node = makeExpr<IntLitExpr>(Line);
+    Node->Value = take().IntValue;
+    return Node;
+  }
+
+  if (at(TokenKind::StrLiteral)) {
+    auto Node = makeExpr<StrLitExpr>(Line);
+    Node->Value = take().Text;
+    return Node;
+  }
+
+  if (at(TokenKind::KwNull)) {
+    take();
+    return makeExpr<NullLitExpr>(Line);
+  }
+
+  if (at(TokenKind::KwNew)) {
+    take();
+    auto Node = makeExpr<NewExpr>(Line);
+    if (!at(TokenKind::Identifier)) {
+      error("expected record name after 'new'");
+      return nullptr;
+    }
+    Node->RecordName = take().Text;
+    return Node;
+  }
+
+  if (at(TokenKind::Identifier)) {
+    std::string Name = take().Text;
+    if (at(TokenKind::LParen)) {
+      take();
+      auto Call = makeExpr<CallExpr>(Line);
+      Call->Callee = std::move(Name);
+      if (!at(TokenKind::RParen)) {
+        while (true) {
+          Call->Args.push_back(parseExpr());
+          if (!at(TokenKind::Comma))
+            break;
+          take();
+        }
+      }
+      expect(TokenKind::RParen, "call expression");
+      return Call;
+    }
+    auto Var = makeExpr<VarRefExpr>(Line);
+    Var->Name = std::move(Name);
+    return Var;
+  }
+
+  if (at(TokenKind::LParen)) {
+    take();
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "parenthesized expression");
+    return E;
+  }
+
+  error(format("expected an expression, found %s",
+               tokenKindName(Current.Kind)));
+  return nullptr;
+}

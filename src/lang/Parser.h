@@ -1,0 +1,106 @@
+//===- lang/Parser.h - MicroC recursive-descent parser --------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MicroC. The grammar:
+///
+/// \code
+///   program    := (recordDecl | globalDecl | funcDecl)*
+///   recordDecl := 'record' IDENT '{' (IDENT ';')* '}'
+///   globalDecl := kind IDENT ('=' expr)? ';'
+///   kind       := 'int' | 'str' | 'arr' | 'rec'
+///   funcDecl   := 'fn' IDENT '(' (kind IDENT (',' kind IDENT)*)? ')' block
+///   block      := '{' stmt* '}'
+///   stmt       := varDecl | if | while | for | return ';' | 'break' ';'
+///              | 'continue' ';' | block | exprOrAssign ';'
+///   varDecl    := kind IDENT ('=' expr)? ';'
+///   if         := 'if' '(' expr ')' stmt ('else' stmt)?
+///   while      := 'while' '(' expr ')' stmt
+///   for        := 'for' '(' simple? ';' expr? ';' simple? ')' stmt
+///   simple     := varDecl-no-semi | exprOrAssign
+///   exprOrAssign := postfixLValue '=' expr | expr
+///   expr       := or; or := and ('||' and)*; and := eq ('&&' eq)*
+///   eq         := rel (('=='|'!=') rel)*; rel := add (relop add)*
+///   add        := mul (('+'|'-') mul)*; mul := unary (('*'|'/'|'%') unary)*
+///   unary      := ('!'|'-') unary | postfix
+///   postfix    := primary ('[' expr ']' | '.' IDENT)*
+///   primary    := INT | STRING | 'null' | 'new' IDENT
+///              | IDENT '(' args ')' | IDENT | '(' expr ')'
+/// \endcode
+///
+/// On a syntax error the parser records a diagnostic and stops; partial
+/// programs are never returned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_LANG_PARSER_H
+#define SBI_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Lexer.h"
+
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+/// One parse or semantic diagnostic.
+struct Diagnostic {
+  int Line = 0;
+  std::string Message;
+};
+
+std::string renderDiagnostics(const std::vector<Diagnostic> &Diags);
+
+class Parser {
+public:
+  /// Parses \p Source. Returns the program, or null after appending at
+  /// least one diagnostic to \p Diags.
+  static std::unique_ptr<Program> parse(std::string_view Source,
+                                        std::vector<Diagnostic> &Diags);
+
+private:
+  Parser(std::string_view Source, std::vector<Diagnostic> &Diags);
+
+  const Token &peek() const { return Current; }
+  bool at(TokenKind Kind) const { return Current.is(Kind); }
+  bool atKind() const;
+  Token take();
+  bool expect(TokenKind Kind, const char *Context);
+  void error(const std::string &Message);
+  int nextId() { return NumIds++; }
+
+  template <typename T> std::unique_ptr<T> makeExpr(int Line);
+  template <typename T> std::unique_ptr<T> makeStmt(int Line);
+
+  std::unique_ptr<Program> parseProgram();
+  std::unique_ptr<RecordDecl> parseRecord();
+  std::unique_ptr<GlobalDecl> parseGlobal(VarKind Kind);
+  std::unique_ptr<FuncDecl> parseFunction();
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseVarDecl(VarKind Kind, bool ConsumeSemicolon);
+  StmtPtr parseSimpleStmt();
+  StmtPtr parseExprOrAssign();
+  VarKind parseKind();
+
+  ExprPtr parseExpr();
+  ExprPtr parseBinary(int MinPrecedence);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  Lexer Lex;
+  Token Current;
+  std::vector<Diagnostic> &Diags;
+  bool HadError = false;
+  int NumIds = 0;
+};
+
+} // namespace sbi
+
+#endif // SBI_LANG_PARSER_H

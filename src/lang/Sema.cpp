@@ -1,0 +1,359 @@
+//===- lang/Sema.cpp - MicroC semantic analysis ---------------------------===//
+
+#include "lang/Sema.h"
+
+#include "lang/Intrinsics.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+
+using namespace sbi;
+
+namespace {
+
+/// One declared variable visible in the current scope chain.
+struct Binding {
+  std::string Name;
+  VarKind Kind;
+  VarSlot Slot;
+};
+
+class SemaPass {
+public:
+  SemaPass(Program &Prog, std::vector<Diagnostic> &Diags)
+      : Prog(Prog), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(int Line, const std::string &Message) {
+    Diags.push_back({Line, Message});
+    Failed = true;
+  }
+
+  /// Collects every int-kinded binding currently visible, except \p Exclude.
+  std::vector<ScopedIntVar> visibleIntVars(const VarSlot *Exclude) const;
+
+  Binding *findBinding(const std::string &Name);
+  void declare(int Line, VarKind Kind, const std::string &Name, VarSlot Slot);
+
+  void checkFunction(FuncDecl &Func);
+  void checkStmt(Stmt &S);
+  void checkExpr(Expr &E);
+  void checkLValue(Expr &E);
+
+  Program &Prog;
+  std::vector<Diagnostic> &Diags;
+  bool Failed = false;
+
+  /// Scope chain: Scopes[i] holds bindings opened by scope i. Globals live
+  /// in Scopes[0].
+  std::vector<std::vector<Binding>> Scopes;
+  int NextLocalSlot = 0;
+  int MaxLocalSlot = 0;
+  int LoopDepth = 0;
+  std::unordered_map<std::string, const FuncDecl *> FunctionsByName;
+};
+
+} // namespace
+
+std::vector<ScopedIntVar>
+SemaPass::visibleIntVars(const VarSlot *Exclude) const {
+  std::vector<ScopedIntVar> Result;
+  for (const auto &Scope : Scopes)
+    for (const Binding &B : Scope) {
+      if (B.Kind != VarKind::Int)
+        continue;
+      if (Exclude && B.Slot == *Exclude)
+        continue;
+      Result.push_back({B.Name, B.Slot});
+    }
+  return Result;
+}
+
+Binding *SemaPass::findBinding(const std::string &Name) {
+  for (auto ScopeIt = Scopes.rbegin(); ScopeIt != Scopes.rend(); ++ScopeIt)
+    for (auto It = ScopeIt->rbegin(); It != ScopeIt->rend(); ++It)
+      if (It->Name == Name)
+        return &*It;
+  return nullptr;
+}
+
+void SemaPass::declare(int Line, VarKind Kind, const std::string &Name,
+                       VarSlot Slot) {
+  // Shadowing across scopes is allowed; redeclaration in one scope is not.
+  for (const Binding &B : Scopes.back())
+    if (B.Name == Name) {
+      error(Line, format("redeclaration of '%s'", Name.c_str()));
+      return;
+    }
+  Scopes.back().push_back({Name, Kind, Slot});
+}
+
+bool SemaPass::run() {
+  Scopes.emplace_back(); // Global scope.
+
+  for (const auto &Record : Prog.Records) {
+    for (size_t I = 0; I < Record->Fields.size(); ++I)
+      for (size_t J = I + 1; J < Record->Fields.size(); ++J)
+        if (Record->Fields[I] == Record->Fields[J])
+          error(Record->Line, format("duplicate field '%s' in record '%s'",
+                                     Record->Fields[I].c_str(),
+                                     Record->Name.c_str()));
+    for (const auto &Other : Prog.Records)
+      if (Other.get() != Record.get() && Other->Name == Record->Name) {
+        error(Record->Line,
+              format("duplicate record '%s'", Record->Name.c_str()));
+        break;
+      }
+  }
+
+  for (const auto &Func : Prog.Functions) {
+    if (lookupIntrinsic(Func->Name))
+      error(Func->Line, format("function '%s' shadows a builtin",
+                               Func->Name.c_str()));
+    if (!FunctionsByName.emplace(Func->Name, Func.get()).second)
+      error(Func->Line,
+            format("duplicate function '%s'", Func->Name.c_str()));
+  }
+
+  int GlobalSlot = 0;
+  for (auto &Global : Prog.Globals) {
+    // The initializer may only use globals declared earlier, so check it
+    // before declaring this one.
+    if (Global->Init) {
+      checkExpr(*Global->Init);
+      if (Global->Kind == VarKind::Int)
+        Global->VisibleIntVars = visibleIntVars(/*Exclude=*/nullptr);
+    }
+    Global->Slot = GlobalSlot++;
+    declare(Global->Line, Global->Kind, Global->Name,
+            {/*IsGlobal=*/true, Global->Slot});
+  }
+
+  for (auto &Func : Prog.Functions)
+    checkFunction(*Func);
+
+  const FuncDecl *Main = Prog.findFunction("main");
+  if (!Main)
+    error(1, "program has no 'main' function");
+  else if (!Main->Params.empty())
+    error(Main->Line, "'main' must take no parameters");
+
+  return !Failed;
+}
+
+void SemaPass::checkFunction(FuncDecl &Func) {
+  NextLocalSlot = 0;
+  MaxLocalSlot = 0;
+  LoopDepth = 0;
+  Scopes.emplace_back(); // Parameter scope.
+
+  for (const Param &P : Func.Params)
+    declare(Func.Line, P.Kind, P.Name, {/*IsGlobal=*/false, NextLocalSlot++});
+  MaxLocalSlot = NextLocalSlot;
+
+  checkStmt(*Func.Body);
+  Func.NumLocals = MaxLocalSlot;
+  Scopes.pop_back();
+}
+
+void SemaPass::checkLValue(Expr &E) {
+  checkExpr(E);
+  if (E.Kind == ExprKind::VarRef || E.Kind == ExprKind::Index ||
+      E.Kind == ExprKind::Field)
+    return;
+  error(E.Line, "assignment target must be a variable, element, or field");
+}
+
+void SemaPass::checkStmt(Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Expr:
+    checkExpr(*static_cast<ExprStmt &>(S).E);
+    return;
+
+  case StmtKind::Assign: {
+    auto &Assign = static_cast<AssignStmt &>(S);
+    checkLValue(*Assign.Target);
+    checkExpr(*Assign.Value);
+    if (Assign.Target->Kind == ExprKind::VarRef) {
+      auto &Var = static_cast<VarRefExpr &>(*Assign.Target);
+      if (Var.DeclaredKind == VarKind::Int && Var.Slot.isValid()) {
+        Assign.TargetIsIntVar = true;
+        Assign.VisibleIntVars = visibleIntVars(&Var.Slot);
+      }
+    }
+    return;
+  }
+
+  case StmtKind::VarDecl: {
+    auto &Decl = static_cast<VarDeclStmt &>(S);
+    if (Decl.Init)
+      checkExpr(*Decl.Init);
+    Decl.Slot = {/*IsGlobal=*/false, NextLocalSlot++};
+    MaxLocalSlot = std::max(MaxLocalSlot, NextLocalSlot);
+    if (Decl.DeclKind == VarKind::Int && Decl.Init)
+      Decl.VisibleIntVars = visibleIntVars(&Decl.Slot);
+    declare(Decl.Line, Decl.DeclKind, Decl.Name, Decl.Slot);
+    return;
+  }
+
+  case StmtKind::Block: {
+    auto &Block = static_cast<BlockStmt &>(S);
+    int SavedSlot = NextLocalSlot;
+    Scopes.emplace_back();
+    for (StmtPtr &Child : Block.Body)
+      checkStmt(*Child);
+    Scopes.pop_back();
+    // Slots of block-scoped locals are reused by sibling blocks.
+    NextLocalSlot = SavedSlot;
+    return;
+  }
+
+  case StmtKind::If: {
+    auto &If = static_cast<IfStmt &>(S);
+    checkExpr(*If.Cond);
+    checkStmt(*If.Then);
+    if (If.Else)
+      checkStmt(*If.Else);
+    return;
+  }
+
+  case StmtKind::While: {
+    auto &While = static_cast<WhileStmt &>(S);
+    checkExpr(*While.Cond);
+    ++LoopDepth;
+    checkStmt(*While.Body);
+    --LoopDepth;
+    return;
+  }
+
+  case StmtKind::For: {
+    auto &For = static_cast<ForStmt &>(S);
+    int SavedSlot = NextLocalSlot;
+    Scopes.emplace_back(); // The init declaration scopes over the loop.
+    if (For.Init)
+      checkStmt(*For.Init);
+    if (For.Cond)
+      checkExpr(*For.Cond);
+    if (For.Step)
+      checkStmt(*For.Step);
+    ++LoopDepth;
+    checkStmt(*For.Body);
+    --LoopDepth;
+    Scopes.pop_back();
+    NextLocalSlot = SavedSlot;
+    return;
+  }
+
+  case StmtKind::Return: {
+    auto &Return = static_cast<ReturnStmt &>(S);
+    if (Return.Value)
+      checkExpr(*Return.Value);
+    return;
+  }
+
+  case StmtKind::Break:
+    if (LoopDepth == 0)
+      error(S.Line, "'break' outside of a loop");
+    return;
+
+  case StmtKind::Continue:
+    if (LoopDepth == 0)
+      error(S.Line, "'continue' outside of a loop");
+    return;
+  }
+}
+
+void SemaPass::checkExpr(Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::StrLit:
+  case ExprKind::NullLit:
+    return;
+
+  case ExprKind::VarRef: {
+    auto &Var = static_cast<VarRefExpr &>(E);
+    Binding *B = findBinding(Var.Name);
+    if (!B) {
+      error(E.Line, format("use of undeclared variable '%s'",
+                           Var.Name.c_str()));
+      return;
+    }
+    Var.Slot = B->Slot;
+    Var.DeclaredKind = B->Kind;
+    return;
+  }
+
+  case ExprKind::Unary:
+    checkExpr(*static_cast<UnaryExpr &>(E).Operand);
+    return;
+
+  case ExprKind::Binary: {
+    auto &Bin = static_cast<BinaryExpr &>(E);
+    checkExpr(*Bin.Lhs);
+    checkExpr(*Bin.Rhs);
+    return;
+  }
+
+  case ExprKind::Index: {
+    auto &Index = static_cast<IndexExpr &>(E);
+    checkExpr(*Index.Base);
+    checkExpr(*Index.Subscript);
+    return;
+  }
+
+  case ExprKind::Field:
+    checkExpr(*static_cast<FieldExpr &>(E).Base);
+    return;
+
+  case ExprKind::Call: {
+    auto &Call = static_cast<CallExpr &>(E);
+    for (ExprPtr &Arg : Call.Args)
+      checkExpr(*Arg);
+    if (const IntrinsicInfo *Info = lookupIntrinsic(Call.Callee)) {
+      Call.IntrinsicId = static_cast<int>(Info->Id);
+      if (static_cast<int>(Call.Args.size()) != Info->Arity)
+        error(E.Line, format("'%s' expects %d argument(s), got %zu",
+                             Call.Callee.c_str(), Info->Arity,
+                             Call.Args.size()));
+      return;
+    }
+    auto It = FunctionsByName.find(Call.Callee);
+    if (It == FunctionsByName.end()) {
+      error(E.Line,
+            format("call to undefined function '%s'", Call.Callee.c_str()));
+      return;
+    }
+    Call.Target = It->second;
+    if (Call.Args.size() != It->second->Params.size())
+      error(E.Line, format("'%s' expects %zu argument(s), got %zu",
+                           Call.Callee.c_str(), It->second->Params.size(),
+                           Call.Args.size()));
+    return;
+  }
+
+  case ExprKind::New: {
+    auto &New = static_cast<NewExpr &>(E);
+    New.Record = Prog.findRecord(New.RecordName);
+    if (!New.Record)
+      error(E.Line,
+            format("unknown record '%s'", New.RecordName.c_str()));
+    return;
+  }
+  }
+}
+
+bool sbi::analyzeProgram(Program &Prog, std::vector<Diagnostic> &Diags) {
+  return SemaPass(Prog, Diags).run();
+}
+
+std::unique_ptr<Program>
+sbi::parseAndAnalyze(std::string_view Source, std::vector<Diagnostic> &Diags) {
+  std::unique_ptr<Program> Prog = Parser::parse(Source, Diags);
+  if (!Prog)
+    return nullptr;
+  if (!analyzeProgram(*Prog, Diags))
+    return nullptr;
+  return Prog;
+}

@@ -1,0 +1,43 @@
+//===- lang/Sema.h - MicroC semantic analysis -----------------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for MicroC programs:
+///
+///   - binds every variable reference to a storage slot (global table or
+///     function frame) and records the declared kind;
+///   - resolves calls to user functions or intrinsics and checks arity;
+///   - resolves 'new' expressions to record declarations;
+///   - verifies break/continue appear inside loops and that main() exists;
+///   - annotates every scalar (int) assignment and int declaration with the
+///     list of in-scope int variables, which the scalar-pairs
+///     instrumentation scheme consumes (Section 2 of the paper).
+///
+/// Runs in place on the AST produced by the parser. Returns false and fills
+/// diagnostics on error; a program that passes Sema is safe to interpret.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_LANG_SEMA_H
+#define SBI_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "lang/Parser.h"
+
+namespace sbi {
+
+/// Analyzes \p Prog in place. Returns true on success; on failure appends
+/// at least one entry to \p Diags.
+bool analyzeProgram(Program &Prog, std::vector<Diagnostic> &Diags);
+
+/// Convenience: parse + analyze. Returns null on any error.
+std::unique_ptr<Program> parseAndAnalyze(std::string_view Source,
+                                         std::vector<Diagnostic> &Diags);
+
+} // namespace sbi
+
+#endif // SBI_LANG_SEMA_H

@@ -1,0 +1,92 @@
+//===- lang/Token.h - MicroC token definitions ----------------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for MicroC, the small C-like language that stands in for the
+/// paper's C subject programs. See lang/Parser.h for the grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_LANG_TOKEN_H
+#define SBI_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace sbi {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  StrLiteral,
+
+  // Keywords.
+  KwFn,
+  KwRecord,
+  KwInt,
+  KwStr,
+  KwArr,
+  KwRec,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwNull,
+  KwNew,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  NotEqual,
+  AmpAmp,
+  PipePipe,
+  Bang,
+
+  Eof,
+  Error,
+};
+
+/// Returns a human-readable spelling for diagnostics ("'<='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  /// Identifier or string-literal text (unescaped for strings).
+  std::string Text;
+  /// Value for integer literals.
+  int64_t IntValue = 0;
+  /// 1-based source line.
+  int Line = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace sbi
+
+#endif // SBI_LANG_TOKEN_H

@@ -1,0 +1,89 @@
+//===- runtime/Interp.h - MicroC tree-walking interpreter -----------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an analyzed MicroC program on one input and produces a
+/// RunOutcome: output text, exit code, a trap record with a stack trace if
+/// the run crashed, and the set of ground-truth bugs that triggered
+/// (reported by the __bug intrinsic; the analysis never sees these — they
+/// exist so experiments can score predictors against known causes, as the
+/// paper does in its Table 3 validation study).
+///
+/// Crash model: null dereference, out-of-bounds access beyond the per-run
+/// overrun padding, division by zero, dynamic kind errors, explicit trap(),
+/// runaway step count, and call-stack overflow all end the run as failures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_RUNTIME_INTERP_H
+#define SBI_RUNTIME_INTERP_H
+
+#include "lang/AST.h"
+#include "runtime/Observer.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+enum class TrapKind {
+  None,
+  NullDeref,    ///< Field/element access through null.
+  OutOfBounds,  ///< Array access beyond logical size + padding.
+  DivByZero,    ///< Integer division or remainder by zero.
+  KindError,    ///< Dynamic kind mismatch (e.g. "s" + 1, if (null)).
+  BadArg,       ///< Intrinsic argument out of domain (charat range, etc).
+  OutOfMemory,  ///< mkarray with a negative or absurd size.
+  ExplicitTrap, ///< The program called trap(msg).
+  StepLimit,    ///< Run exceeded the step budget (runaway loop).
+  StackOverflow ///< Call depth exceeded the limit.
+};
+
+const char *trapKindName(TrapKind Kind);
+
+/// How one run of a subject program is configured.
+struct RunConfig {
+  /// Input tokens visible through arg(i)/nargs().
+  std::vector<std::string> Args;
+  /// Silent-overrun padding for every array in this run; drawn per run by
+  /// the harness to make overruns non-deterministic.
+  size_t OverrunPad = 0;
+  /// Abort the run after this many interpreter steps.
+  uint64_t StepLimit = 50'000'000;
+  /// Maximum call depth.
+  int MaxCallDepth = 256;
+  /// Dynamic-event sink; may be null for uninstrumented runs.
+  ExecutionObserver *Observer = nullptr;
+};
+
+/// Everything a run produced.
+struct RunOutcome {
+  TrapKind Trap = TrapKind::None;
+  std::string TrapMessage;
+  int TrapLine = 0;
+  /// Innermost-first "function@line" frames captured at the trap.
+  std::vector<std::string> StackTrace;
+  int ExitCode = 0;
+  std::string Output;
+  /// Ground-truth bug ids recorded via __bug(n), sorted and deduplicated.
+  std::vector<int> BugsTriggered;
+  uint64_t Steps = 0;
+
+  bool crashed() const { return Trap != TrapKind::None; }
+  /// A run fails if it crashed or exited nonzero (output-oracle failures
+  /// are layered on by the feedback module).
+  bool failed() const { return crashed() || ExitCode != 0; }
+};
+
+/// Runs \p Prog (which must have passed Sema) under \p Config.
+RunOutcome runProgram(const Program &Prog, const RunConfig &Config);
+
+} // namespace sbi
+
+#endif // SBI_RUNTIME_INTERP_H

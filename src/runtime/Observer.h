@@ -1,0 +1,67 @@
+//===- runtime/Observer.h - Execution observation hooks -------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface through which the interpreter reports the dynamic events
+/// that the paper's three instrumentation schemes observe (Section 2):
+/// branch outcomes, scalar function-return values, and scalar assignments.
+/// The interpreter calls these hooks unconditionally; sampling decisions
+/// (the "coin flip" of the sampling transformation) are the observer's job,
+/// which keeps the runtime layer independent of the instrument layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_RUNTIME_OBSERVER_H
+#define SBI_RUNTIME_OBSERVER_H
+
+#include "lang/AST.h"
+#include "runtime/Value.h"
+
+namespace sbi {
+
+/// Read-only access to variable storage at one moment of execution; lets
+/// the scalar-pairs scheme read the in-scope variables y_i when x = ... is
+/// executed.
+class FrameView {
+public:
+  FrameView(const std::vector<Value> &Globals, const std::vector<Value> &Locals)
+      : Globals(Globals), Locals(Locals) {}
+
+  const Value &get(VarSlot Slot) const {
+    const std::vector<Value> &Storage = Slot.IsGlobal ? Globals : Locals;
+    assert(Slot.Index >= 0 &&
+           static_cast<size_t>(Slot.Index) < Storage.size() &&
+           "variable slot out of range");
+    return Storage[static_cast<size_t>(Slot.Index)];
+  }
+
+private:
+  const std::vector<Value> &Globals;
+  const std::vector<Value> &Locals;
+};
+
+/// Dynamic-event callbacks keyed by AST node id.
+class ExecutionObserver {
+public:
+  virtual ~ExecutionObserver();
+
+  /// A conditional (if/while/for test or &&/|| left operand) evaluated to
+  /// \p Taken at the node with id \p NodeId.
+  virtual void onBranch(int NodeId, bool Taken);
+
+  /// The call expression \p NodeId returned the scalar \p Result.
+  virtual void onScalarReturn(int NodeId, int64_t Result);
+
+  /// The assignment or initialized declaration \p NodeId stored the scalar
+  /// \p NewValue into an int variable; \p Frame reads other variables.
+  virtual void onScalarAssign(int NodeId, int64_t NewValue,
+                              const FrameView &Frame);
+};
+
+} // namespace sbi
+
+#endif // SBI_RUNTIME_OBSERVER_H

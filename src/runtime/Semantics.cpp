@@ -1,0 +1,391 @@
+//===- runtime/Semantics.cpp - Shared MicroC evaluation semantics ---------===//
+
+#include "runtime/Semantics.h"
+
+#include "lang/Intrinsics.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace sbi;
+
+EvalSink::~EvalSink() = default;
+
+Value sbi::defaultValueFor(VarKind Kind) {
+  switch (Kind) {
+  case VarKind::Int:
+    return Value::makeInt(0);
+  case VarKind::Str:
+    return Value::makeStr(std::string());
+  case VarKind::Arr:
+  case VarKind::Rec:
+    return Value::makeNull();
+  }
+  return Value();
+}
+
+bool sbi::semTruthy(const Value &V, EvalSink &Sink) {
+  if (V.isInt())
+    return V.asInt() != 0;
+  Sink.trap(TrapKind::KindError,
+            format("condition must be an int, got %s",
+                   valueKindName(V.kind())));
+  return false;
+}
+
+Value sbi::semBinaryOp(BinaryOp Op, const Value &Lhs, const Value &Rhs,
+                       EvalSink &Sink) {
+  if (Op == BinaryOp::Eq)
+    return Value::makeInt(Lhs.equals(Rhs) ? 1 : 0);
+  if (Op == BinaryOp::Ne)
+    return Value::makeInt(Lhs.equals(Rhs) ? 0 : 1);
+
+  if (!Lhs.isInt() || !Rhs.isInt()) {
+    Sink.trap(TrapKind::KindError,
+              format("'%s' requires int operands, got %s and %s",
+                     binaryOpSpelling(Op), valueKindName(Lhs.kind()),
+                     valueKindName(Rhs.kind())));
+    return Value();
+  }
+
+  int64_t A = Lhs.asInt();
+  int64_t B = Rhs.asInt();
+  auto wrap = [](uint64_t V) { return static_cast<int64_t>(V); };
+
+  switch (Op) {
+  case BinaryOp::Add:
+    return Value::makeInt(
+        wrap(static_cast<uint64_t>(A) + static_cast<uint64_t>(B)));
+  case BinaryOp::Sub:
+    return Value::makeInt(
+        wrap(static_cast<uint64_t>(A) - static_cast<uint64_t>(B)));
+  case BinaryOp::Mul:
+    return Value::makeInt(
+        wrap(static_cast<uint64_t>(A) * static_cast<uint64_t>(B)));
+  case BinaryOp::Div:
+    if (B == 0) {
+      Sink.trap(TrapKind::DivByZero, "division by zero");
+      return Value();
+    }
+    if (A == INT64_MIN && B == -1)
+      return Value::makeInt(INT64_MIN);
+    return Value::makeInt(A / B);
+  case BinaryOp::Rem:
+    if (B == 0) {
+      Sink.trap(TrapKind::DivByZero, "remainder by zero");
+      return Value();
+    }
+    if (A == INT64_MIN && B == -1)
+      return Value::makeInt(0);
+    return Value::makeInt(A % B);
+  case BinaryOp::Lt:
+    return Value::makeInt(A < B ? 1 : 0);
+  case BinaryOp::Le:
+    return Value::makeInt(A <= B ? 1 : 0);
+  case BinaryOp::Gt:
+    return Value::makeInt(A > B ? 1 : 0);
+  case BinaryOp::Ge:
+    return Value::makeInt(A >= B ? 1 : 0);
+  default:
+    assert(false && "And/Or are control flow; Eq/Ne handled above");
+    return Value();
+  }
+}
+
+Value sbi::semUnaryOp(UnaryOp Op, const Value &V, EvalSink &Sink) {
+  if (!V.isInt()) {
+    Sink.trap(TrapKind::KindError,
+              format("unary operator on %s", valueKindName(V.kind())));
+    return Value();
+  }
+  if (Op == UnaryOp::Not)
+    return Value::makeInt(V.asInt() == 0 ? 1 : 0);
+  // Negate through unsigned arithmetic to avoid overflow UB on INT64_MIN.
+  return Value::makeInt(
+      static_cast<int64_t>(0 - static_cast<uint64_t>(V.asInt())));
+}
+
+Value *sbi::semResolveElement(const Value &Base, const Value &Subscript,
+                              EvalSink &Sink) {
+  if (Base.isNull()) {
+    Sink.trap(TrapKind::NullDeref, "element access through null");
+    return nullptr;
+  }
+  if (!Base.isArr()) {
+    Sink.trap(TrapKind::KindError,
+              format("element access on %s", valueKindName(Base.kind())));
+    return nullptr;
+  }
+  if (!Subscript.isInt()) {
+    Sink.trap(TrapKind::KindError,
+              format("array index must be int, got %s",
+                     valueKindName(Subscript.kind())));
+    return nullptr;
+  }
+  ArrayObj &Arr = Base.asArr();
+  int64_t I = Subscript.asInt();
+  // Accesses within [LogicalSize, physical size) land in the per-run
+  // padding: silent corruption, no trap. Past the padding: crash. This is
+  // the source of the paper's non-deterministic overrun behaviour.
+  if (I < 0 || static_cast<uint64_t>(I) >= Arr.Data.size()) {
+    Sink.trap(TrapKind::OutOfBounds,
+              format("index %lld out of bounds (size %zu)",
+                     static_cast<long long>(I), Arr.LogicalSize));
+    return nullptr;
+  }
+  return &Arr.Data[static_cast<size_t>(I)];
+}
+
+Value sbi::semLoadField(const Value &Base, const std::string &Field,
+                        EvalSink &Sink) {
+  if (Base.isNull()) {
+    Sink.trap(TrapKind::NullDeref,
+              format("field '%s' of null", Field.c_str()));
+    return Value();
+  }
+  if (!Base.isRec()) {
+    Sink.trap(TrapKind::KindError,
+              format("field access on %s", valueKindName(Base.kind())));
+    return Value();
+  }
+  const RecordObj &Rec = Base.asRec();
+  int FieldIndex = Rec.Decl->fieldIndex(Field);
+  if (FieldIndex < 0) {
+    Sink.trap(TrapKind::KindError,
+              format("record '%s' has no field '%s'",
+                     Rec.Decl->Name.c_str(), Field.c_str()));
+    return Value();
+  }
+  return Rec.Fields[static_cast<size_t>(FieldIndex)];
+}
+
+bool sbi::semStoreField(const Value &Base, const std::string &Field, Value V,
+                        EvalSink &Sink) {
+  if (Base.isNull()) {
+    Sink.trap(TrapKind::NullDeref,
+              format("field '%s' of null", Field.c_str()));
+    return false;
+  }
+  if (!Base.isRec()) {
+    Sink.trap(TrapKind::KindError,
+              format("field access on %s", valueKindName(Base.kind())));
+    return false;
+  }
+  RecordObj &Rec = Base.asRec();
+  int FieldIndex = Rec.Decl->fieldIndex(Field);
+  if (FieldIndex < 0) {
+    Sink.trap(TrapKind::KindError,
+              format("record '%s' has no field '%s'",
+                     Rec.Decl->Name.c_str(), Field.c_str()));
+    return false;
+  }
+  Rec.Fields[static_cast<size_t>(FieldIndex)] = std::move(V);
+  return true;
+}
+
+bool sbi::semCheckKind(VarKind DeclaredKind, const Value &V,
+                       const std::string &Name, EvalSink &Sink) {
+  bool Ok = false;
+  switch (DeclaredKind) {
+  case VarKind::Int:
+    Ok = V.isInt();
+    break;
+  case VarKind::Str:
+    Ok = V.isStr() || V.isNull();
+    break;
+  case VarKind::Arr:
+    Ok = V.isArr() || V.isNull();
+    break;
+  case VarKind::Rec:
+    Ok = V.isRec() || V.isNull();
+    break;
+  }
+  if (!Ok)
+    Sink.trap(TrapKind::KindError,
+              format("cannot store %s into %s variable '%s'",
+                     valueKindName(V.kind()), varKindName(DeclaredKind),
+                     Name.c_str()));
+  return Ok;
+}
+
+Value sbi::semCallIntrinsic(int IntrinsicId, const std::string &CalleeName,
+                            std::vector<Value> Args, EvalSink &Sink) {
+  auto Which = static_cast<Intrinsic>(IntrinsicId);
+
+  auto wantInt = [&](size_t I) -> bool {
+    if (Args[I].isInt())
+      return true;
+    Sink.trap(TrapKind::KindError,
+              format("'%s' argument %zu must be int, got %s",
+                     CalleeName.c_str(), I + 1,
+                     valueKindName(Args[I].kind())));
+    return false;
+  };
+  auto wantStr = [&](size_t I) -> bool {
+    if (Args[I].isStr())
+      return true;
+    if (Args[I].isNull())
+      Sink.trap(TrapKind::NullDeref,
+                format("'%s' applied to null string", CalleeName.c_str()));
+    else
+      Sink.trap(TrapKind::KindError,
+                format("'%s' argument %zu must be str, got %s",
+                       CalleeName.c_str(), I + 1,
+                       valueKindName(Args[I].kind())));
+    return false;
+  };
+
+  switch (Which) {
+  case Intrinsic::Print:
+  case Intrinsic::Println: {
+    std::string Text = Args[0].toDisplayString();
+    if (Which == Intrinsic::Println)
+      Text += '\n';
+    Sink.emitOutput(Text);
+    return Value();
+  }
+
+  case Intrinsic::Len:
+    if (Args[0].isStr())
+      return Value::makeInt(static_cast<int64_t>(Args[0].asStr().size()));
+    if (Args[0].isArr())
+      return Value::makeInt(
+          static_cast<int64_t>(Args[0].asArr().LogicalSize));
+    if (Args[0].isNull()) {
+      Sink.trap(TrapKind::NullDeref, "len of null");
+      return Value();
+    }
+    Sink.trap(TrapKind::KindError,
+              format("len of %s", valueKindName(Args[0].kind())));
+    return Value();
+
+  case Intrinsic::Substr: {
+    if (!wantStr(0) || !wantInt(1) || !wantInt(2))
+      return Value();
+    const std::string &S = Args[0].asStr();
+    int64_t Start = std::clamp<int64_t>(Args[1].asInt(), 0,
+                                        static_cast<int64_t>(S.size()));
+    int64_t Count = std::clamp<int64_t>(
+        Args[2].asInt(), 0, static_cast<int64_t>(S.size()) - Start);
+    return Value::makeStr(S.substr(static_cast<size_t>(Start),
+                                   static_cast<size_t>(Count)));
+  }
+
+  case Intrinsic::Charat: {
+    if (!wantStr(0) || !wantInt(1))
+      return Value();
+    const std::string &S = Args[0].asStr();
+    int64_t I = Args[1].asInt();
+    if (I < 0 || static_cast<uint64_t>(I) >= S.size()) {
+      Sink.trap(TrapKind::BadArg,
+                format("charat index %lld out of range (length %zu)",
+                       static_cast<long long>(I), S.size()));
+      return Value();
+    }
+    return Value::makeInt(
+        static_cast<unsigned char>(S[static_cast<size_t>(I)]));
+  }
+
+  case Intrinsic::Strcmp: {
+    if (!wantStr(0) || !wantStr(1))
+      return Value();
+    int Raw = Args[0].asStr().compare(Args[1].asStr());
+    return Value::makeInt(Raw < 0 ? -1 : (Raw > 0 ? 1 : 0));
+  }
+
+  case Intrinsic::Strcat:
+    if (!wantStr(0) || !wantStr(1))
+      return Value();
+    return Value::makeStr(Args[0].asStr() + Args[1].asStr());
+
+  case Intrinsic::Itoa:
+    if (!wantInt(0))
+      return Value();
+    return Value::makeStr(
+        format("%lld", static_cast<long long>(Args[0].asInt())));
+
+  case Intrinsic::Atoi: {
+    if (!wantStr(0))
+      return Value();
+    const std::string &S = Args[0].asStr();
+    size_t I = 0;
+    bool Negative = false;
+    if (I < S.size() && (S[I] == '-' || S[I] == '+')) {
+      Negative = S[I] == '-';
+      ++I;
+    }
+    int64_t V = 0;
+    for (; I < S.size() && S[I] >= '0' && S[I] <= '9'; ++I)
+      V = V * 10 + (S[I] - '0');
+    return Value::makeInt(Negative ? -V : V);
+  }
+
+  case Intrinsic::Mkarray: {
+    if (!wantInt(0))
+      return Value();
+    int64_t N = Args[0].asInt();
+    if (N < 0 || N > MaxArrayElements) {
+      Sink.trap(TrapKind::OutOfMemory,
+                format("mkarray(%lld)", static_cast<long long>(N)));
+      return Value();
+    }
+    auto Arr = std::make_shared<ArrayObj>();
+    Arr->LogicalSize = static_cast<size_t>(N);
+    Arr->Data.assign(static_cast<size_t>(N) + Sink.overrunPad(),
+                     Value::makeInt(0));
+    return Value::makeArr(std::move(Arr));
+  }
+
+  case Intrinsic::Arg: {
+    if (!wantInt(0))
+      return Value();
+    int64_t I = Args[0].asInt();
+    if (I < 0 || static_cast<uint64_t>(I) >= Sink.inputArgs().size()) {
+      Sink.trap(TrapKind::BadArg,
+                format("arg(%lld) out of range (%zu args)",
+                       static_cast<long long>(I), Sink.inputArgs().size()));
+      return Value();
+    }
+    return Value::makeStr(Sink.inputArgs()[static_cast<size_t>(I)]);
+  }
+
+  case Intrinsic::Nargs:
+    return Value::makeInt(static_cast<int64_t>(Sink.inputArgs().size()));
+
+  case Intrinsic::Exit:
+    if (!wantInt(0))
+      return Value();
+    Sink.exitRun(static_cast<int>(Args[0].asInt()));
+    return Value();
+
+  case Intrinsic::Abs:
+    if (!wantInt(0))
+      return Value();
+    return Value::makeInt(Args[0].asInt() < 0 ? -Args[0].asInt()
+                                              : Args[0].asInt());
+
+  case Intrinsic::Min:
+    if (!wantInt(0) || !wantInt(1))
+      return Value();
+    return Value::makeInt(std::min(Args[0].asInt(), Args[1].asInt()));
+
+  case Intrinsic::Max:
+    if (!wantInt(0) || !wantInt(1))
+      return Value();
+    return Value::makeInt(std::max(Args[0].asInt(), Args[1].asInt()));
+
+  case Intrinsic::BugMark:
+    if (!wantInt(0))
+      return Value();
+    Sink.recordBug(static_cast<int>(Args[0].asInt()));
+    return Value();
+
+  case Intrinsic::Trap: {
+    std::string Message =
+        Args[0].isStr() ? Args[0].asStr() : Args[0].toDisplayString();
+    Sink.trap(TrapKind::ExplicitTrap, Message);
+    return Value();
+  }
+  }
+  return Value();
+}

@@ -1,0 +1,96 @@
+//===- runtime/Semantics.h - Shared MicroC evaluation semantics -----------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for MicroC's dynamic semantics — operators,
+/// truthiness, array/record access with the silent-overrun model, declared-
+/// kind enforcement, and every intrinsic — shared by the two execution
+/// engines (the tree-walking interpreter in runtime/Interp.cpp and the
+/// bytecode VM in vm/). Keeping these here guarantees the engines cannot
+/// drift: a program must produce the same output, traps, exit code, and
+/// observable events on both, which the differential tests assert.
+///
+/// Engines plug in through EvalSink: traps, output, exit, ground-truth bug
+/// markers, run inputs, and the per-run overrun padding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_RUNTIME_SEMANTICS_H
+#define SBI_RUNTIME_SEMANTICS_H
+
+#include "lang/AST.h"
+#include "runtime/Interp.h"
+#include "runtime/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+/// What the shared semantics need from an execution engine.
+class EvalSink {
+public:
+  virtual ~EvalSink();
+
+  /// Reports a trap; the engine must stop execution after this returns.
+  virtual void trap(TrapKind Kind, std::string Message) = 0;
+  /// Appends run output (the engine applies its output cap).
+  virtual void emitOutput(const std::string &Text) = 0;
+  /// The exit(code) intrinsic.
+  virtual void exitRun(int Code) = 0;
+  /// The __bug(n) ground-truth marker.
+  virtual void recordBug(int BugId) = 0;
+  virtual const std::vector<std::string> &inputArgs() const = 0;
+  virtual size_t overrunPad() const = 0;
+};
+
+/// Cap on a single allocation's logical size (mkarray traps beyond it).
+inline constexpr int64_t MaxArrayElements = 4'000'000;
+/// Cap on run output; excess is silently dropped.
+inline constexpr size_t MaxOutputBytes = 1u << 20;
+
+/// The default value a declaration of \p Kind initializes to.
+Value defaultValueFor(VarKind Kind);
+
+/// int -> nonzero test; traps KindError on any other kind and returns
+/// false.
+bool semTruthy(const Value &V, EvalSink &Sink);
+
+/// Evaluates a non-short-circuit binary operator (And/Or are control flow
+/// and stay in the engines). Traps on kind errors and division by zero.
+Value semBinaryOp(BinaryOp Op, const Value &Lhs, const Value &Rhs,
+                  EvalSink &Sink);
+
+Value semUnaryOp(UnaryOp Op, const Value &V, EvalSink &Sink);
+
+/// Resolves Base[Subscript] to a storage cell, applying the paper's
+/// silent-overrun padding model; null on trap.
+Value *semResolveElement(const Value &Base, const Value &Subscript,
+                         EvalSink &Sink);
+
+/// Loads Base.Field; traps NullDeref/KindError as the interpreter does.
+Value semLoadField(const Value &Base, const std::string &Field,
+                   EvalSink &Sink);
+
+/// Stores into Base.Field; returns false after trapping.
+bool semStoreField(const Value &Base, const std::string &Field, Value V,
+                   EvalSink &Sink);
+
+/// Declared-kind enforcement for variable stores; returns false after
+/// trapping KindError.
+bool semCheckKind(VarKind DeclaredKind, const Value &V,
+                  const std::string &Name, EvalSink &Sink);
+
+/// Evaluates intrinsic \p IntrinsicId on \p Args. \p CalleeName feeds
+/// error messages. Unit for void intrinsics; engine must check for traps
+/// and exits afterwards.
+Value semCallIntrinsic(int IntrinsicId, const std::string &CalleeName,
+                       std::vector<Value> Args, EvalSink &Sink);
+
+} // namespace sbi
+
+#endif // SBI_RUNTIME_SEMANTICS_H

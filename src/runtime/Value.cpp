@@ -1,0 +1,62 @@
+//===- runtime/Value.cpp - MicroC runtime values --------------------------===//
+
+#include "runtime/Value.h"
+
+#include "support/StringUtils.h"
+
+using namespace sbi;
+
+const char *sbi::valueKindName(ValueKind Kind) {
+  switch (Kind) {
+  case ValueKind::Unit:
+    return "unit";
+  case ValueKind::Int:
+    return "int";
+  case ValueKind::Str:
+    return "str";
+  case ValueKind::Null:
+    return "null";
+  case ValueKind::Arr:
+    return "arr";
+  case ValueKind::Rec:
+    return "rec";
+  }
+  return "?";
+}
+
+bool Value::equals(const Value &Other) const {
+  if (Kind != Other.Kind)
+    return false;
+  switch (Kind) {
+  case ValueKind::Unit:
+  case ValueKind::Null:
+    return true;
+  case ValueKind::Int:
+    return Int == Other.Int;
+  case ValueKind::Str:
+    return *Str == *Other.Str;
+  case ValueKind::Arr:
+    return Arr == Other.Arr;
+  case ValueKind::Rec:
+    return Rec == Other.Rec;
+  }
+  return false;
+}
+
+std::string Value::toDisplayString() const {
+  switch (Kind) {
+  case ValueKind::Unit:
+    return "<unit>";
+  case ValueKind::Int:
+    return format("%lld", static_cast<long long>(Int));
+  case ValueKind::Str:
+    return *Str;
+  case ValueKind::Null:
+    return "null";
+  case ValueKind::Arr:
+    return format("<arr:%zu>", Arr->LogicalSize);
+  case ValueKind::Rec:
+    return format("<rec %s>", Rec->Decl ? Rec->Decl->Name.c_str() : "?");
+  }
+  return "?";
+}

@@ -1,0 +1,155 @@
+//===- runtime/Value.h - MicroC runtime values ----------------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamically typed runtime values for the MicroC interpreter. Strings are
+/// immutable and shared; arrays and records have reference semantics (like
+/// pointers in the paper's C subjects), which is what makes null-dereference
+/// and buffer-overrun bug patterns expressible.
+///
+/// Arrays model the paper's non-deterministic buffer overruns (Section 3.1):
+/// each array carries a logical size plus a per-run "padding" region.
+/// Accesses past the logical size but within the padding succeed silently
+/// (memory corruption that happens not to crash); accesses past the padding
+/// trap. The padding is drawn randomly per run, so whether a given overrun
+/// crashes varies from run to run exactly as layout decisions do in C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_RUNTIME_VALUE_H
+#define SBI_RUNTIME_VALUE_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+class Value;
+
+/// Heap array object: logical size plus silent-overrun padding.
+struct ArrayObj {
+  std::vector<Value> Data; ///< Physical storage (logical size + padding).
+  size_t LogicalSize = 0;
+};
+
+/// Heap record object: field storage indexed per the RecordDecl.
+struct RecordObj {
+  const RecordDecl *Decl = nullptr;
+  std::vector<Value> Fields;
+};
+
+enum class ValueKind { Unit, Int, Str, Null, Arr, Rec };
+
+const char *valueKindName(ValueKind Kind);
+
+/// A dynamically typed MicroC value. Cheap to copy: one tag, one word, and
+/// one shared_ptr.
+class Value {
+public:
+  Value() : Kind(ValueKind::Unit) {}
+
+  static Value makeInt(int64_t V) {
+    Value Result;
+    Result.Kind = ValueKind::Int;
+    Result.Int = V;
+    return Result;
+  }
+
+  static Value makeStr(std::string V) {
+    Value Result;
+    Result.Kind = ValueKind::Str;
+    Result.Str = std::make_shared<const std::string>(std::move(V));
+    return Result;
+  }
+
+  static Value makeStrShared(std::shared_ptr<const std::string> V) {
+    Value Result;
+    Result.Kind = ValueKind::Str;
+    Result.Str = std::move(V);
+    return Result;
+  }
+
+  static Value makeNull() {
+    Value Result;
+    Result.Kind = ValueKind::Null;
+    return Result;
+  }
+
+  static Value makeArr(std::shared_ptr<ArrayObj> V) {
+    Value Result;
+    Result.Kind = ValueKind::Arr;
+    Result.Arr = std::move(V);
+    return Result;
+  }
+
+  static Value makeRec(std::shared_ptr<RecordObj> V) {
+    Value Result;
+    Result.Kind = ValueKind::Rec;
+    Result.Rec = std::move(V);
+    return Result;
+  }
+
+  ValueKind kind() const { return Kind; }
+  bool isUnit() const { return Kind == ValueKind::Unit; }
+  bool isInt() const { return Kind == ValueKind::Int; }
+  bool isStr() const { return Kind == ValueKind::Str; }
+  bool isNull() const { return Kind == ValueKind::Null; }
+  bool isArr() const { return Kind == ValueKind::Arr; }
+  bool isRec() const { return Kind == ValueKind::Rec; }
+
+  int64_t asInt() const {
+    assert(isInt() && "value is not an int");
+    return Int;
+  }
+
+  const std::string &asStr() const {
+    assert(isStr() && "value is not a string");
+    return *Str;
+  }
+
+  const std::shared_ptr<const std::string> &strHandle() const {
+    assert(isStr() && "value is not a string");
+    return Str;
+  }
+
+  ArrayObj &asArr() const {
+    assert(isArr() && "value is not an array");
+    return *Arr;
+  }
+
+  const std::shared_ptr<ArrayObj> &arrHandle() const {
+    assert(isArr() && "value is not an array");
+    return Arr;
+  }
+
+  RecordObj &asRec() const {
+    assert(isRec() && "value is not a record");
+    return *Rec;
+  }
+
+  /// Structural equality for Int/Str/Null, reference equality for Arr/Rec,
+  /// false across kinds.
+  bool equals(const Value &Other) const;
+
+  /// Renders the value the way print() would.
+  std::string toDisplayString() const;
+
+private:
+  ValueKind Kind;
+  int64_t Int = 0;
+  std::shared_ptr<const std::string> Str;
+  std::shared_ptr<ArrayObj> Arr;
+  std::shared_ptr<RecordObj> Rec;
+};
+
+} // namespace sbi
+
+#endif // SBI_RUNTIME_VALUE_H

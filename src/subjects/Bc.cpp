@@ -1,0 +1,342 @@
+//===- subjects/Bc.cpp - The BC study subject ------------------------------===//
+//
+// Models GNU BC 1.06's reported heap buffer overrun (Section 4.2.2): the
+// interpreter's array-name table holds 32 entries; defining a 33rd array
+// writes past the table into adjacent heap metadata. The crash happens much
+// later, when an unrelated summary routine follows the clobbered metadata,
+// so the stack at the crash says nothing about the cause — exactly the
+// situation the paper highlights ("no useful information on the stack").
+//
+// The heap is emulated inside the program (one big int array with
+// bump-pointer allocation), so the overrun corrupts program-managed
+// metadata rather than interpreter state, and whether the corruption
+// crashes depends on what the clobbered cell later makes the summary
+// routine read — non-deterministic, like real memory corruption.
+//
+// Input layout: each arg token is one calculator statement:
+//   "v<name>=<n>"       assign scalar variable (name in a..z)
+//   "d<id>:<size>"      define array <id> with <size> cells
+//   "s<id>:<idx>=<n>"   store into array <id>
+//   "p<id>:<idx>"       print an array element
+//   "e<name>"           print a scalar variable
+//   "q"                 print the summary and quit
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+#include "support/StringUtils.h"
+
+using namespace sbi;
+
+static const char BcTemplate[] = R"mc(
+// bc: tiny calculator with an emulated heap, modeled on GNU bc 1.06.
+int HEAP_SIZE = 4096;
+int A_CAP = 32;
+arr heap = null;
+int heap_top = 0;
+int a_base = 0;      // name table: heap[0 .. A_CAP-1]
+int a_count = 0;
+int summary_cell = 0; // heap[summary_cell] points at the summary block
+int summary_base = 0;
+int stmt_count = 0;
+int store_count = 0;
+arr vars = null;
+
+fn halloc(int n) {
+  int p = heap_top;
+  if (heap_top + n > HEAP_SIZE) {
+    println("bc: out of memory");
+    exit(0);
+  }
+  heap_top = heap_top + n;
+  return p;
+}
+
+fn heap_init() {
+  heap = mkarray(HEAP_SIZE);
+  vars = mkarray(26);
+  heap_top = A_CAP + 1;
+  summary_cell = A_CAP;
+  summary_base = halloc(34);
+  heap[summary_cell] = summary_base;
+  heap[summary_base] = 32;  // number of summary slots that follow
+  return 0;
+}
+
+fn array_define(int id, int size) {
+  if (size < 1) {
+    size = 1;
+  }
+  int hdr = halloc(size + 1);
+  heap[hdr] = size;
+${DEFINE_CHECK}
+  // Record the data pointer in the name table. When a_count reaches A_CAP
+  // this write lands on summary_cell, clobbering the summary pointer.
+  heap[a_base + a_count] = hdr + 1;
+  a_count = a_count + 1;
+  return hdr + 1;
+}
+
+fn array_slot(int id) {
+  if (id < 0) {
+    return 0 - 1;
+  }
+  if (id >= a_count) {
+    return 0 - 1;
+  }
+  return heap[a_base + id];
+}
+
+fn array_store(int id, int idx, int value) {
+  int base = array_slot(id);
+  if (base < 0) {
+    return 0;
+  }
+  int size = heap[base - 1];
+  if (idx < 0 || idx >= size) {
+    return 0;
+  }
+  heap[base + idx] = value;
+  store_count = store_count + 1;
+  return 1;
+}
+
+fn array_load(int id, int idx) {
+  int base = array_slot(id);
+  if (base < 0) {
+    return 0;
+  }
+  int size = heap[base - 1];
+  if (idx < 0 || idx >= size) {
+    return 0;
+  }
+  return heap[base + idx];
+}
+
+// Parses "<digits>" starting at position p; returns the value (stops at the
+// first non-digit).
+fn parse_num(str s, int p) {
+  int v = 0;
+  int i = p;
+  while (i < len(s)) {
+    int c = charat(s, i);
+    if (c < 48 || c > 57) {
+      return v;
+    }
+    v = v * 10 + (c - 48);
+    i = i + 1;
+  }
+  return v;
+}
+
+fn find_char(str s, int target) {
+  int i = 0;
+  while (i < len(s)) {
+    if (charat(s, i) == target) {
+      return i;
+    }
+    i = i + 1;
+  }
+  return 0 - 1;
+}
+
+// The block walk lives in "library" code (the __lib_ prefix excludes it
+// from instrumentation): in real bc the corrupted metadata was followed
+// inside malloc, which the instrumentor never sees. Only the crash itself
+// is observable there, exactly as in the paper's study.
+fn __lib_block_walk(int sp) {
+  int total = 0;
+  int i = 0;
+  while (i < heap[sp]) {
+    total = total + heap[sp + 1 + i];
+    i = i + 1;
+  }
+  return total;
+}
+
+// The summary pass runs at quit: it walks the summary block through the
+// pointer stored at heap[summary_cell]. After the overrun that pointer is
+// an array's data pointer, the "slot count" becomes whatever the user
+// stored in that array's first cell, and the walk can run off the heap.
+fn print_summary() {
+  int total = __lib_block_walk(heap[summary_cell]);
+  print("summary ");
+  print(a_count);
+  print(" arrays ");
+  print(store_count);
+  print(" stores total ");
+  println(total);
+  return total;
+}
+
+fn run_stmt(str s) {
+  stmt_count = stmt_count + 1;
+  if (len(s) < 1) {
+    return 0;
+  }
+  int op = charat(s, 0);
+  if (op == 118) { // 'v' assign variable: v<name>=<n>
+    if (len(s) < 4) {
+      return 0;
+    }
+    int name = charat(s, 1) - 97;
+    if (name < 0 || name >= 26) {
+      return 0;
+    }
+    int eq = find_char(s, 61);
+    if (eq < 0) {
+      return 0;
+    }
+    vars[name] = parse_num(s, eq + 1);
+    return 1;
+  }
+  if (op == 100) { // 'd' define array: d<id>:<size>
+    int colon = find_char(s, 58);
+    if (colon < 0) {
+      return 0;
+    }
+    int id = parse_num(s, 1);
+    int size = parse_num(s, colon + 1);
+    array_define(id, size);
+    return 1;
+  }
+  if (op == 115) { // 's' store: s<id>:<idx>=<n>
+    int colon = find_char(s, 58);
+    int eq = find_char(s, 61);
+    if (colon < 0 || eq < 0) {
+      return 0;
+    }
+    int id = parse_num(s, 1);
+    int idx = parse_num(s, colon + 1);
+    int value = parse_num(s, eq + 1);
+    array_store(id, idx, value);
+    return 1;
+  }
+  if (op == 112) { // 'p' print element: p<id>:<idx>
+    int colon = find_char(s, 58);
+    if (colon < 0) {
+      return 0;
+    }
+    int id = parse_num(s, 1);
+    int idx = parse_num(s, colon + 1);
+    println(array_load(id, idx));
+    return 1;
+  }
+  if (op == 101) { // 'e' print variable: e<name>
+    if (len(s) < 2) {
+      return 0;
+    }
+    int name = charat(s, 1) - 97;
+    if (name < 0 || name >= 26) {
+      return 0;
+    }
+    println(vars[name]);
+    return 1;
+  }
+  if (op == 113) { // 'q' quit
+    print_summary();
+    exit(0);
+  }
+  return 0;
+}
+
+fn main() {
+  heap_init();
+  int i = 0;
+  int n = nargs();
+  while (i < n) {
+    run_stmt(arg(i));
+    i = i + 1;
+  }
+  print_summary();
+}
+)mc";
+
+static std::string buildBcSource(bool Buggy) {
+  // Real bc 1.06 fails to grow the array-name table past its initial 32
+  // entries ("old_count == 32"); the fixed version refuses further
+  // definitions instead of overrunning.
+  const char *BuggyCheck = R"(  if (a_count >= A_CAP) {
+    __bug(1);
+  })";
+  const char *FixedCheck = R"(  if (a_count >= A_CAP) {
+    println("bc: too many arrays");
+    exit(0);
+  })";
+  return expandTemplate(BcTemplate,
+                        {{"DEFINE_CHECK", Buggy ? BuggyCheck : FixedCheck}});
+}
+
+static std::vector<std::string> generateBcInput(Rng &R) {
+  std::vector<std::string> Args;
+
+  // Number of arrays defined; > 32 with moderate probability so the
+  // overrun fires in a sizable minority of runs.
+  int NumArrays = static_cast<int>(R.nextInRange(0, 48));
+  int NextArrayId = 0;
+
+  auto defineNextArray = [&] {
+    int Size = static_cast<int>(R.nextInRange(2, 60));
+    Args.push_back(format("d%d:%d", NextArrayId, Size));
+    // Stores follow most definitions; large values in low slots are what
+    // later turn the clobbered summary pointer into a wild walk.
+    int NumStores = static_cast<int>(R.nextInRange(1, 3));
+    for (int S = 0; S < NumStores; ++S) {
+      int Index = R.nextBernoulli(0.7)
+                      ? 0
+                      : static_cast<int>(R.nextInRange(1, 4));
+      int Value = R.nextBernoulli(0.75)
+                      ? static_cast<int>(R.nextInRange(4000, 60000))
+                      : static_cast<int>(R.nextInRange(0, 99));
+      Args.push_back(format("s%d:%d=%d", NextArrayId, Index, Value));
+    }
+    ++NextArrayId;
+  };
+
+  size_t NumStatements = static_cast<size_t>(R.nextInRange(4, 70));
+  for (size_t I = 0; I < NumStatements; ++I) {
+    double Roll = R.nextDouble();
+    if (Roll < 0.40 && NextArrayId < NumArrays) {
+      defineNextArray();
+    } else if (Roll < 0.55) {
+      Args.push_back(format("v%c=%d", 'a' + static_cast<char>(R.nextBelow(26)),
+                            static_cast<int>(R.nextInRange(0, 9999))));
+    } else if (Roll < 0.70) {
+      Args.push_back(
+          format("e%c", 'a' + static_cast<char>(R.nextBelow(26))));
+    } else if (Roll < 0.85 && NextArrayId > 0) {
+      Args.push_back(format("p%d:%d",
+                            static_cast<int>(R.nextBelow(
+                                static_cast<uint64_t>(NextArrayId))),
+                            static_cast<int>(R.nextInRange(0, 8))));
+    } else {
+      Args.push_back(format("s%d:%d=%d",
+                            static_cast<int>(R.nextInRange(0, 40)),
+                            static_cast<int>(R.nextInRange(0, 8)),
+                            static_cast<int>(R.nextInRange(0, 999))));
+    }
+  }
+  // Finish any remaining definitions so the drawn array count is realized.
+  while (NextArrayId < NumArrays)
+    defineNextArray();
+  return Args;
+}
+
+const Subject &sbi::bcSubject() {
+  static const Subject S = [] {
+    Subject Subj;
+    Subj.Name = "bc";
+    Subj.Source = buildBcSource(/*Buggy=*/true);
+    Subj.GoldenSource = buildBcSource(/*Buggy=*/false);
+    Subj.Bugs = {{1, "buffer overrun",
+                  "array-name table is never grown past 32 entries; the "
+                  "33rd definition clobbers heap metadata and the crash "
+                  "surfaces later in the summary walk",
+                  /*Deterministic=*/false, "array_define"}};
+    Subj.UseOutputOracle = false;
+    Subj.GenerateInput = generateBcInput;
+    return Subj;
+  }();
+  return S;
+}

@@ -1,0 +1,177 @@
+//===- subjects/CCrypt.cpp - The CCRYPT study subject ---------------------===//
+//
+// Models CCRYPT 1.2's known input-validation bug (Section 4.2.1): when the
+// tool asks whether to overwrite an existing output file and the response
+// read hits end of input, the response pointer is null and is dereferenced
+// without a check. The paper's two retained predictors both point at this
+// prompt path.
+//
+// Input layout (arg tokens):
+//   arg0 = mode ("-e" or "-d"), arg1 = key, arg2 = "1" if the output file
+//   already exists else "0", arg3 = text, arg4.. = optional prompt
+//   responses ("y"/"n").
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+using namespace sbi;
+
+static const char CCryptTemplate[] = R"mc(
+// ccrypt: toy stream cipher modeled on ccrypt 1.2.
+int rounds = 8;
+int sched_sum = 0;
+arr sched = null;
+
+fn build_schedule(str key) {
+  sched = mkarray(16);
+  int i = 0;
+  int acc = 7;
+  while (i < 16) {
+    int kc = 0;
+    if (len(key) > 0) {
+      kc = charat(key, i % len(key));
+    }
+    acc = (acc * 31 + kc + i) % 251;
+    sched[i] = acc;
+    sched_sum = sched_sum + acc;
+    i = i + 1;
+  }
+  return sched_sum;
+}
+
+fn mix(int c, int r) {
+  int v = (c + sched[r % 16]) % 256;
+  if (v < 0) {
+    v = v + 256;
+  }
+  return v;
+}
+
+fn unmix(int c, int r) {
+  int v = (c - sched[r % 16]) % 256;
+  if (v < 0) {
+    v = v + 256;
+  }
+  return v;
+}
+
+fn transform(str text, int decrypt) {
+  int i = 0;
+  int checksum = 0;
+  while (i < len(text)) {
+    int c = charat(text, i);
+    int r = 0;
+    while (r < rounds) {
+      if (decrypt == 1) {
+        c = unmix(c, r + i);
+      } else {
+        c = mix(c, r + i);
+      }
+      r = r + 1;
+    }
+    checksum = (checksum * 17 + c) % 65536;
+    i = i + 1;
+  }
+  return checksum;
+}
+
+// Reads the overwrite-prompt response; returns null at end of input, like
+// fgets at EOF.
+fn prompt_response(int respindex) {
+  if (respindex < nargs()) {
+    return arg(respindex);
+  }
+  return null;
+}
+
+fn main() {
+  if (nargs() < 4) {
+    println("usage: ccrypt mode key exists text [responses]");
+    exit(0);
+  }
+  str mode = arg(0);
+  str key = arg(1);
+  int exists = atoi(arg(2));
+  str text = arg(3);
+  int decrypt = 0;
+  if (strcmp(mode, "-d") == 0) {
+    decrypt = 1;
+  }
+
+  build_schedule(key);
+
+  if (exists == 1) {
+    str res = prompt_response(4);
+${PROMPT_CHECK}
+    int first = charat(res, 0);
+    if (first == 110) {
+      println("not overwriting");
+      exit(0);
+    }
+  }
+
+  int checksum = transform(text, decrypt);
+  print("checksum ");
+  println(checksum);
+  println(sched_sum);
+}
+)mc";
+
+static std::string buildCCryptSource(bool Buggy) {
+  // The bug: ccrypt reads the prompt response and immediately inspects its
+  // first character. At end of input the response is null; the fixed
+  // version checks, the buggy one dereferences.
+  const char *BuggyCheck = R"(    if (res == null) {
+      __bug(1);
+    })";
+  const char *FixedCheck = R"(    if (res == null) {
+      println("end of input; not overwriting");
+      exit(0);
+    })";
+  return expandTemplate(CCryptTemplate,
+                        {{"PROMPT_CHECK", Buggy ? BuggyCheck : FixedCheck}});
+}
+
+static std::vector<std::string> generateCCryptInput(Rng &R) {
+  std::vector<std::string> Args;
+  Args.push_back(R.nextBernoulli(0.5) ? "-e" : "-d");
+
+  std::string Key;
+  size_t KeyLen = static_cast<size_t>(R.nextInRange(1, 8));
+  for (size_t I = 0; I < KeyLen; ++I)
+    Key += static_cast<char>('a' + R.nextBelow(26));
+  Args.push_back(Key);
+
+  bool Exists = R.nextBernoulli(0.65);
+  Args.push_back(Exists ? "1" : "0");
+
+  std::string Text;
+  size_t TextLen = static_cast<size_t>(R.nextInRange(0, 80));
+  for (size_t I = 0; I < TextLen; ++I)
+    Text += static_cast<char>('a' + R.nextBelow(26));
+  Args.push_back(Text);
+
+  // Half the time the "user" supplies a response; otherwise the prompt
+  // reads end of input and the bug fires.
+  if (R.nextBernoulli(0.5))
+    Args.push_back(R.nextBernoulli(0.7) ? "y" : "n");
+  return Args;
+}
+
+const Subject &sbi::ccryptSubject() {
+  static const Subject S = [] {
+    Subject Subj;
+    Subj.Name = "ccrypt";
+    Subj.Source = buildCCryptSource(/*Buggy=*/true);
+    Subj.GoldenSource = buildCCryptSource(/*Buggy=*/false);
+    Subj.Bugs = {{1, "null dereference",
+                  "overwrite-prompt response read at end of input is null "
+                  "and dereferenced without a check",
+                  /*Deterministic=*/true, "main"}};
+    Subj.UseOutputOracle = false;
+    Subj.GenerateInput = generateCCryptInput;
+    return Subj;
+  }();
+  return S;
+}

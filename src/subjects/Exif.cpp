@@ -1,0 +1,328 @@
+//===- subjects/Exif.cpp - The EXIF study subject --------------------------===//
+//
+// Models EXIF 0.6.9's three previously unknown crashing bugs (Section
+// 4.2.3), with occurrence rates spread over two orders of magnitude:
+//
+//   bug 1  a tag-count byte is mishandled as signed; a derived length goes
+//          negative ("i < 0") and the allocation crashes;
+//   bug 2  thumbnail assembly accumulates entry lengths into a 2000-byte
+//          buffer without a bound check ("maxlen > 1900");
+//   bug 3  the maker-note loader bails out when o + s > buf_size but
+//          leaves n.count already incremented and entries[i].data
+//          uninitialized; the save path later reads the null data and
+//          crashes in a different function with a stack that names only
+//          the save path — the exact scenario the paper walks through.
+//
+// Input layout: a single arg token holding the synthetic image byte stream
+// (one char per byte):
+//   [0]='E' magic, [1]=#IFD entries, then 4 bytes per entry
+//   (tag, type, count, value), then, if any entry has tag 'M', a maker
+//   note: [0]=#entries, then 2 bytes per entry (offset, size), then the
+//   data area.
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+using namespace sbi;
+
+static const char ExifTemplate[] = R"mc(
+// exif: synthetic image-tag parser modeled on exif 0.6.9.
+int buf_size = 2000;
+int n_entries = 0;
+int maxlen = 0;
+int mnote_pos = 0;
+int mnote_count = 0;
+int checksum = 0;
+arr entries = null;  // of rec Entry
+arr thumb = null;
+arr mn_entries = null; // of rec MnEntry
+
+record Entry {
+  tag;
+  type;
+  count;
+  value;
+  data;
+}
+
+record MnEntry {
+  offset;
+  size;
+  data;
+}
+
+fn byte_at(str d, int p) {
+  return charat(d, p);
+}
+
+fn load_entry(str d, int p, int slot) {
+  rec en = new Entry;
+  en.tag = byte_at(d, p);
+  en.type = byte_at(d, p + 1);
+  int cnt = byte_at(d, p + 2);
+  en.value = byte_at(d, p + 3);
+${SIGN_FIX}
+  en.count = cnt;
+  int cells = cnt * 4;
+  // bug 1 fires here: cells went negative and the allocation traps.
+  en.data = mkarray(cells);
+  int i = 0;
+  while (i < cells && i < 64) {
+    en.data[i] = (en.value + i * 7) % 256;
+    i = i + 1;
+  }
+  entries[slot] = en;
+  if (en.tag == 77) {
+    return 1;
+  }
+  return 0;
+}
+
+fn assemble_thumbnail() {
+  thumb = mkarray(buf_size);
+  maxlen = 0;
+  int e = 0;
+  while (e < n_entries) {
+    rec en = entries[e];
+    int l = en.value * 2;
+${THUMB_CHECK}
+    int k = 0;
+    while (k < l) {
+      thumb[maxlen + k] = (en.tag + k) % 256;
+      k = k + 1;
+    }
+    maxlen = maxlen + l;
+    e = e + 1;
+  }
+  return maxlen;
+}
+
+fn mnote_load(str d, int mpos) {
+  int c = byte_at(d, mpos);
+  mn_entries = mkarray(c);
+  mnote_count = 0;
+  int data_base = mpos + 1 + c * 2;
+  int mn_buf_size = len(d) - data_base;
+  int i = 0;
+  while (i < c) {
+    int o = byte_at(d, mpos + 1 + i * 2);
+    int s = byte_at(d, mpos + 2 + i * 2);
+    rec me = new MnEntry;
+    me.offset = o;
+    me.size = s;
+    mn_entries[i] = me;
+    mnote_count = i + 1;
+    if (o + s > mn_buf_size) {
+${MNOTE_BAIL}
+    }
+    me.data = mkarray(s);
+    int k = 0;
+    while (k < s) {
+      me.data[k] = byte_at(d, data_base + o + k);
+      k = k + 1;
+    }
+    i = i + 1;
+  }
+  return mnote_count;
+}
+
+fn mnote_save() {
+  int total = 0;
+  int i = 0;
+  while (i < mnote_count) {
+    rec me = mn_entries[i];
+    // The memcpy of the paper's trace: reads me.data, which is null for an
+    // entry the loader bailed out on.
+    int k = 0;
+    while (k < me.size) {
+      total = total + me.data[k];
+      k = k + 1;
+    }
+    i = i + 1;
+  }
+  return total;
+}
+
+fn save_entry(int e) {
+  rec en = entries[e];
+  checksum = (checksum * 13 + en.tag + en.count) % 100000;
+  if (en.tag == 77) {
+    checksum = (checksum + mnote_save()) % 100000;
+  }
+  return checksum;
+}
+
+fn save_data() {
+  int e = 0;
+  while (e < n_entries) {
+    save_entry(e);
+    e = e + 1;
+  }
+  return checksum;
+}
+
+fn main() {
+  if (nargs() < 1) {
+    println("usage: exif <stream>");
+    exit(0);
+  }
+  str d = arg(0);
+  if (len(d) < 2 || byte_at(d, 0) != 69) {
+    println("exif: bad magic");
+    exit(0);
+  }
+  n_entries = byte_at(d, 1);
+  if (len(d) < 2 + n_entries * 4) {
+    println("exif: truncated");
+    exit(0);
+  }
+  entries = mkarray(n_entries);
+
+  int has_mnote = 0;
+  int e = 0;
+  int p = 2;
+  while (e < n_entries) {
+    if (load_entry(d, p, e) == 1) {
+      has_mnote = 1;
+    }
+    p = p + 4;
+    e = e + 1;
+  }
+
+  if (has_mnote == 1) {
+    if (p >= len(d)) {
+      println("exif: missing maker note");
+      exit(0);
+    }
+    mnote_pos = p;
+    mnote_load(d, mnote_pos);
+  }
+
+  assemble_thumbnail();
+  save_data();
+
+  print("entries ");
+  print(n_entries);
+  print(" maxlen ");
+  print(maxlen);
+  print(" checksum ");
+  println(checksum);
+}
+)mc";
+
+static std::string buildExifSource(bool Buggy) {
+  // Bug 1: the count byte is "sign extended" instead of treated as
+  // unsigned; the fix clamps it.
+  const char *BuggySign = R"(  if (cnt >= 128) {
+    __bug(1);
+    cnt = cnt - 256;
+  })";
+  const char *FixedSign = "";
+
+  // Bug 2: the bound check exists but the buggy version fails to act on it
+  // (the paper's predictor for this bug is the analogous accumulated-length
+  // condition, "maxlen > 1900").
+  const char *BuggyThumb = R"(    if (maxlen + l > buf_size) {
+      __bug(2);
+    })";
+  const char *FixedThumb = R"(    if (maxlen + l > buf_size) {
+      break;
+    })";
+
+  // Bug 3: early return without undoing the count increment; the fix
+  // restores the count so the save path never sees the dead entry.
+  const char *BuggyBail = R"(      __bug(3);
+      return mnote_count;)";
+  const char *FixedBail = R"(      mnote_count = i;
+      return mnote_count;)";
+
+  return expandTemplate(ExifTemplate,
+                        {{"SIGN_FIX", Buggy ? BuggySign : FixedSign},
+                         {"THUMB_CHECK", Buggy ? BuggyThumb : FixedThumb},
+                         {"MNOTE_BAIL", Buggy ? BuggyBail : FixedBail}});
+}
+
+static std::vector<std::string> generateExifInput(Rng &R) {
+  std::string Stream;
+  Stream += 'E';
+
+  int NumEntries = static_cast<int>(R.nextInRange(0, 8));
+  Stream += static_cast<char>(NumEntries);
+
+  // ~4% of runs carry an oversized thumbnail profile (bug 2 territory).
+  bool BigThumb = R.nextBernoulli(0.035);
+  // ~10% of runs have a maker note at all; bug 3 also needs a bad entry.
+  bool WantMnote = R.nextBernoulli(0.10);
+  bool MnotePlaced = false;
+
+  for (int E = 0; E < NumEntries; ++E) {
+    int Tag = static_cast<int>(R.nextInRange(1, 120));
+    if (WantMnote && !MnotePlaced && (E == NumEntries - 1 ||
+                                      R.nextBernoulli(0.3))) {
+      Tag = 77; // maker-note tag
+      MnotePlaced = true;
+    } else if (Tag == 77) {
+      Tag = 78;
+    }
+    int Type = static_cast<int>(R.nextInRange(1, 12));
+    // The count byte: mostly small; ~2.5% in the "negative" range >= 128.
+    int Count = R.nextBernoulli(0.018)
+                    ? static_cast<int>(R.nextInRange(128, 255))
+                    : static_cast<int>(R.nextInRange(0, 20));
+    int ValueByte = BigThumb ? static_cast<int>(R.nextInRange(150, 255))
+                             : static_cast<int>(R.nextInRange(0, 45));
+    Stream += static_cast<char>(Tag);
+    Stream += static_cast<char>(Type);
+    Stream += static_cast<char>(Count);
+    Stream += static_cast<char>(ValueByte);
+  }
+
+  if (MnotePlaced) {
+    int MnCount = static_cast<int>(R.nextInRange(1, 5));
+    Stream += static_cast<char>(MnCount);
+    int DataArea = static_cast<int>(R.nextInRange(120, 250));
+    for (int I = 0; I < MnCount; ++I) {
+      // Bad (o, s) pairs whose sum exceeds the data area are rare; this is
+      // what makes bug 3 two orders of magnitude rarer than bug 2.
+      bool Bad = R.nextBernoulli(0.02);
+      int Offset = Bad ? static_cast<int>(R.nextInRange(150, 255))
+                       : static_cast<int>(R.nextInRange(0, 60));
+      int Size = Bad ? static_cast<int>(R.nextInRange(100, 255))
+                     : static_cast<int>(R.nextInRange(0, 50));
+      Stream += static_cast<char>(Offset);
+      Stream += static_cast<char>(Size);
+    }
+    for (int I = 0; I < DataArea; ++I)
+      Stream += static_cast<char>(R.nextInRange(1, 255));
+  }
+
+  return {Stream};
+}
+
+const Subject &sbi::exifSubject() {
+  static const Subject S = [] {
+    Subject Subj;
+    Subj.Name = "exif";
+    Subj.Source = buildExifSource(/*Buggy=*/true);
+    Subj.GoldenSource = buildExifSource(/*Buggy=*/false);
+    Subj.Bugs = {
+        {1, "sign error",
+         "tag-count byte treated as signed; derived allocation length goes "
+         "negative",
+         /*Deterministic=*/true, "load_entry"},
+        {2, "buffer overrun",
+         "thumbnail assembly appends past the 2000-byte buffer when the "
+         "accumulated length passes 1900",
+         /*Deterministic=*/false, "assemble_thumbnail"},
+        {3, "uninitialized data",
+         "maker-note loader bails out on o + s > buf_size leaving "
+         "entries[i].data null; the save path crashes later",
+         /*Deterministic=*/true, "mnote_load"},
+    };
+    Subj.UseOutputOracle = false;
+    Subj.GenerateInput = generateExifInput;
+    return Subj;
+  }();
+  return S;
+}

@@ -1,0 +1,624 @@
+//===- subjects/Moss.cpp - The MOSS study subject --------------------------===//
+//
+// Models MOSS, the winnowing-based plagiarism detector used for the paper's
+// controlled validation study (Section 4.1), with nine seeded bugs that
+// mirror the paper's inventory:
+//
+//   bug 1  fingerprint-table buffer overrun (long input + small window)
+//   bug 2  missing capacity check on the file table (the paper's missing
+//          out-of-memory check); rarest bug
+//   bug 3  null file record in certain cases (empty document + -b flag)
+//   bug 4  token-buffer overrun (total input longer than the token cap)
+//   bug 5  missing end-of-list check walking a hash bucket chain; biased
+//          against files whose language classification exceeds 16 — the
+//          paper's top predictor is "files[filesindex].language > 16"
+//   bug 6  violated invariant between two halves of the passage structure
+//          (index wraps at the cap while the total keeps counting)
+//   bug 7  buffer overrun that never causes a failure in any run (the
+//          paper's bug whose column would be all zeros... it overruns a
+//          sub-buffer inside a larger allocation)
+//   bug 8  present in the source but never triggered (requires the -z
+//          flag, which the input generator never emits)
+//   bug 9  incorrect comment handling: output-only wrong results, caught
+//          by the output oracle against the golden version, never a crash
+//
+// Input layout: option tokens, then "--", then one token per document:
+//   -w<n> winnowing window (1..8)   -k<n> k-gram size (1..6)
+//   -c    match comments            -b    bflag
+//   -m<n> max matches shown         -z    (never generated; bug 8)
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+#include "support/StringUtils.h"
+
+using namespace sbi;
+
+static const char MossTemplate[] = R"mc(
+// moss: winnowing document-fingerprint matcher.
+int TOKEN_CAP = 1800;
+int FP_CAP = 900;
+int FILE_CAP = 12;
+int PASSAGE_CAP = 80;
+int NBUCKETS = 64;
+
+int winnow_window = 4;
+int kgram = 3;
+int match_comment = 0;
+int bflag = 0;
+int zflag = 0;
+int max_matches = 100;
+
+int nfiles = 0;
+int token_index = 0;
+int fp_count = 0;
+int passage_index = 0;
+int passage_total = 0;
+
+arr token_sequence = null;
+arr files = null;
+arr fp_val = null;
+arr fp_file = null;
+arr fp_pos = null;
+arr bucket_head = null;
+arr bucket_next = null;
+arr passages = null;
+arr win = null;
+
+record File {
+  language;
+  size;
+  start;
+  fps_start;
+  fps_count;
+}
+
+record Passage {
+  fileid;
+  otherid;
+  first_token;
+  last_token;
+}
+
+fn parse_args() {
+  int i = 0;
+  while (i < nargs()) {
+    str a = arg(i);
+    if (strcmp(a, "--") == 0) {
+      return i + 1;
+    }
+    if (len(a) >= 2 && charat(a, 0) == 45) {
+      int c = charat(a, 1);
+      if (c == 119) { // -w<n>
+        winnow_window = atoi(substr(a, 2, 8));
+        winnow_window = max(1, min(winnow_window, 8));
+      }
+      if (c == 107) { // -k<n>
+        kgram = atoi(substr(a, 2, 8));
+        kgram = max(1, min(kgram, 6));
+      }
+      if (c == 99) { // -c
+        match_comment = 1;
+      }
+      if (c == 98) { // -b
+        bflag = 1;
+      }
+      if (c == 122) { // -z
+        zflag = 1;
+      }
+      if (c == 109) { // -m<n>
+        max_matches = atoi(substr(a, 2, 8));
+        max_matches = max(1, max_matches);
+      }
+    }
+    i = i + 1;
+  }
+  return i;
+}
+
+fn classify_language(str doc) {
+  if (len(doc) == 0) {
+    return 0;
+  }
+  int c = charat(doc, 0);
+  if (c >= 97 && c <= 122) {
+    return 1 + c % 16;
+  }
+  return 17 + c % 3;
+}
+
+fn tokenize(int fid, str doc) {
+  rec f = files[fid];
+  f.start = token_index;
+  int i = 0;
+  while (i < len(doc)) {
+    int c = charat(doc, i);
+    int skip = 0;
+    if (match_comment == 1 && c == 59) { // ';' starts a comment
+${COMMENT_HANDLING}
+    }
+    if (skip == 0) {
+      int tok = c % 64;
+      if (tok == 0) {
+${WINDOW_SCRATCH}
+      }
+${TOKEN_CAP_CHECK}
+      token_sequence[token_index] = tok;
+      token_index = token_index + 1;
+    }
+    i = i + 1;
+  }
+  f.size = token_index - f.start;
+  return f.size;
+}
+
+fn hash_kgram(int start) {
+  int h = 0;
+  int j = 0;
+  while (j < kgram) {
+    h = (h * 31 + token_sequence[start + j]) % 9973;
+    j = j + 1;
+  }
+  return h;
+}
+
+fn insert_fp(int fid, int val, int pos) {
+${FP_CAP_CHECK}
+  fp_val[fp_count] = val;
+  fp_file[fp_count] = fid;
+  fp_pos[fp_count] = pos;
+  rec f = files[fid];
+${BUCKET_INSERT}
+  fp_count = fp_count + 1;
+  return 1;
+}
+
+fn winnow_file(int fid) {
+  rec f = files[fid];
+  f.fps_start = fp_count;
+  f.fps_count = 0;
+  if (f.size < kgram) {
+    return 0;
+  }
+  int nk = f.size - kgram + 1;
+  int i = 0;
+  while (i < nk) {
+    int m = 0 - 1;
+    int mpos = i;
+    int j = i;
+    while (j < i + winnow_window && j < nk) {
+      int h = hash_kgram(f.start + j);
+      if (m < 0 || h < m) {
+        m = h;
+        mpos = j;
+      }
+      j = j + 1;
+    }
+    if (insert_fp(fid, m, f.start + mpos) == 1) {
+      f.fps_count = f.fps_count + 1;
+    }
+    i = i + winnow_window;
+  }
+  return f.fps_count;
+}
+
+// Finds the first fingerprint entry holding val by walking its hash
+// bucket's chain.
+fn find_fp(int val) {
+  int cur = bucket_head[val % NBUCKETS];
+${LOOKUP_LOOP}
+  return cur;
+}
+
+// Counts chain entries carrying val that belong to file i; always walks
+// with an end check (the defect lives in find_fp).
+fn chain_count(int i, int val) {
+  int cur = bucket_head[val % NBUCKETS];
+  int m = 0;
+  while (cur >= 0) {
+    if (fp_val[cur] == val && fp_file[cur] == i) {
+      m = m + 1;
+    }
+    cur = bucket_next[cur];
+  }
+  return m;
+}
+
+fn add_passage(int i, int j, int pos) {
+${PASSAGE_CHECK}
+  rec p = new Passage;
+  p.fileid = i;
+  p.otherid = j;
+  p.first_token = pos;
+  p.last_token = pos + kgram;
+  passages[passage_index] = p;
+  passage_index = passage_index + 1;
+  passage_total = passage_total + 1;
+  return 1;
+}
+
+fn compare_pair(int i, int j) {
+  rec fi = files[i];
+  rec fj = files[j];
+  // The missing bucket insertion corrupts this comparison whichever side
+  // the language > 16 file is on: probing its fingerprints walks off the
+  // chain (crash); counting its matches silently yields zero (wrong
+  // output).
+  if (fi.fps_count > 0 && fi.language > 16) {
+    ${BUG5_MARK}
+  }
+  if (fj.fps_count > 0 && fj.language > 16) {
+    ${BUG5_MARK}
+  }
+  int matches = 0;
+  int k = fj.fps_start;
+  int fend = fj.fps_start + fj.fps_count;
+  while (k < fend) {
+    int val = fp_val[k];
+    int probe = find_fp(val);
+    if (probe >= 0) {
+      int c = chain_count(i, val);
+      if (c > 0) {
+        matches = matches + c;
+        add_passage(i, j, fp_pos[k]);
+      }
+    }
+    k = k + 1;
+  }
+  return matches;
+}
+
+fn report() {
+  int t = 0;
+  int shown = 0;
+  while (t < passage_total && shown < max_matches) {
+    rec p = passages[t];
+    print("passage ");
+    print(p.fileid);
+    print(" ");
+    print(p.otherid);
+    print(" ");
+    print(p.first_token);
+    print("..");
+    println(p.last_token);
+    shown = shown + 1;
+    t = t + 1;
+  }
+  return shown;
+}
+
+fn read_files(int firstdoc) {
+  int i = firstdoc;
+  while (i < nargs()) {
+${FILE_CAP_CHECK}
+    str doc = arg(i);
+    rec f = new File;
+    f.language = classify_language(doc);
+    f.size = 0;
+    f.start = 0;
+    f.fps_start = 0;
+    f.fps_count = 0;
+    files[nfiles] = f;
+${EMPTY_FILE_HANDLING}
+    if (files[nfiles] != null) {
+      tokenize(nfiles, doc);
+    }
+    nfiles = nfiles + 1;
+    i = i + 1;
+  }
+  return nfiles;
+}
+
+fn main() {
+  token_sequence = mkarray(TOKEN_CAP);
+  files = mkarray(FILE_CAP);
+  fp_val = mkarray(FP_CAP);
+  fp_file = mkarray(FP_CAP);
+  fp_pos = mkarray(FP_CAP);
+  bucket_head = mkarray(NBUCKETS);
+  bucket_next = mkarray(FP_CAP);
+  passages = mkarray(PASSAGE_CAP);
+  win = mkarray(16);
+
+  int b = 0;
+  while (b < NBUCKETS) {
+    bucket_head[b] = 0 - 1;
+    b = b + 1;
+  }
+
+  int firstdoc = parse_args();
+  if (zflag == 1) {
+${BUG8_BODY}
+  }
+
+  read_files(firstdoc);
+
+  int f = 0;
+  while (f < nfiles) {
+    winnow_file(f);
+    f = f + 1;
+  }
+
+  int i = 0;
+  while (i < nfiles) {
+    int j = i + 1;
+    while (j < nfiles) {
+      int m = compare_pair(i, j);
+      print("pair ");
+      print(i);
+      print(" ");
+      print(j);
+      print(" matches ");
+      println(m);
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+
+  report();
+  print("files ");
+  print(nfiles);
+  print(" tokens ");
+  print(token_index);
+  print(" fps ");
+  print(fp_count);
+  print(" passages ");
+  println(passage_total);
+}
+)mc";
+
+static std::string buildMossSource(bool Buggy) {
+  // Bug 9: the buggy tokenizer drops only the ';' marker, leaking comment
+  // bodies into the token stream; the fix skips to the '.' terminator.
+  const char *BuggyComment = R"(      __bug(9);
+      skip = 1;)";
+  const char *FixedComment = R"(      skip = 1;
+      i = i + 1;
+      while (i < len(doc) && charat(doc, i) != 46) {
+        i = i + 1;
+      })";
+
+  // Bug 7: a stray write one past the logical window, but inside the
+  // 16-cell allocation — a real overrun that can never trap or corrupt
+  // anything that is read.
+  const char *BuggyScratch = R"(        __bug(7);
+        win[winnow_window] = c;)";
+  const char *FixedScratch = R"(        win[0] = c;)";
+
+  // Bug 4: missing token-buffer bound check.
+  const char *BuggyTokenCap = R"(      if (token_index >= TOKEN_CAP) {
+        __bug(4);
+      })";
+  const char *FixedTokenCap = R"(      if (token_index >= TOKEN_CAP) {
+        break;
+      })";
+
+  // Bug 1: missing fingerprint-table bound check.
+  const char *BuggyFpCap = R"(  if (fp_count >= FP_CAP) {
+    __bug(1);
+  })";
+  const char *FixedFpCap = R"(  if (fp_count >= FP_CAP) {
+    return 0;
+  })";
+
+  // Bug 5, part 1: fingerprints of language > 16 files are never inserted
+  // into the hash chains.
+  const char *BuggyBucketInsert = R"(  if (f.language <= 16) {
+    bucket_next[fp_count] = bucket_head[val % NBUCKETS];
+    bucket_head[val % NBUCKETS] = fp_count;
+  })";
+  const char *FixedBucketInsert = R"(  bucket_next[fp_count] = bucket_head[val % NBUCKETS];
+  bucket_head[val % NBUCKETS] = fp_count;)";
+
+  // Bug 5, part 2: the lookup loop has no end-of-list check, so a probe
+  // for a missing value walks off the -1 sentinel.
+  const char *BuggyLookup = R"(  while (fp_val[cur] != val) {
+    cur = bucket_next[cur];
+  })";
+  const char *FixedLookup = R"(  while (cur >= 0 && fp_val[cur] != val) {
+    cur = bucket_next[cur];
+  })";
+
+  // Bug 6: at the passage cap the index silently wraps while the total
+  // keeps counting — the two halves of the structure fall out of sync and
+  // the report walk reads past the real entries.
+  const char *BuggyPassage = R"(  if (passage_index >= PASSAGE_CAP) {
+    __bug(6);
+    passage_index = 0;
+  })";
+  const char *FixedPassage = R"(  if (passage_index >= PASSAGE_CAP) {
+    return 0;
+  })";
+
+  // Bug 2: missing file-table capacity check (missing OOM handling).
+  const char *BuggyFileCap = R"(    if (nfiles >= FILE_CAP) {
+      __bug(2);
+    })";
+  const char *FixedFileCap = R"(    if (nfiles >= FILE_CAP) {
+      println("moss: too many files");
+      exit(0);
+    })";
+
+  // Bug 3: an empty document with -b leaves a null file record behind.
+  const char *BuggyEmptyFile = R"(    if (len(doc) == 0 && bflag == 1) {
+      __bug(3);
+      files[nfiles] = null;
+    })";
+  const char *FixedEmptyFile = "";
+
+  // Bug 8: present but never triggered (the generator never emits -z).
+  const char *BuggyBug8 = R"(    __bug(8);
+    token_sequence[0 - 1] = 0;)";
+  const char *FixedBug8 = R"(    println("moss: -z is unsupported");
+    exit(0);)";
+
+  const char *Bug5Mark = Buggy ? "__bug(5);" : "nfiles = nfiles + 0;";
+
+  return expandTemplate(
+      MossTemplate,
+      {{"COMMENT_HANDLING", Buggy ? BuggyComment : FixedComment},
+       {"WINDOW_SCRATCH", Buggy ? BuggyScratch : FixedScratch},
+       {"TOKEN_CAP_CHECK", Buggy ? BuggyTokenCap : FixedTokenCap},
+       {"FP_CAP_CHECK", Buggy ? BuggyFpCap : FixedFpCap},
+       {"BUCKET_INSERT", Buggy ? BuggyBucketInsert : FixedBucketInsert},
+       {"LOOKUP_LOOP", Buggy ? BuggyLookup : FixedLookup},
+       {"PASSAGE_CHECK", Buggy ? BuggyPassage : FixedPassage},
+       {"FILE_CAP_CHECK", Buggy ? BuggyFileCap : FixedFileCap},
+       {"EMPTY_FILE_HANDLING", Buggy ? BuggyEmptyFile : FixedEmptyFile},
+       {"BUG8_BODY", Buggy ? BuggyBug8 : FixedBug8},
+       {"BUG5_MARK", Bug5Mark}});
+}
+
+namespace {
+
+/// Tunable input-distribution knobs, shared with tests that verify bug
+/// trigger rates.
+struct MossProfile {
+  double SmallWindowP = 0.5;
+  double KgramFlagP = 0.4;
+  double CommentFlagP = 0.15;
+  double BFlagP = 0.2;
+  double MaxMatchFlagP = 0.2;
+  double WeirdFirstCharP = 0.03;
+  double EmptyDocP = 0.05;
+  double LongDocP = 0.065;
+  double CommentedDocP = 0.08;
+  double ScratchDocP = 0.12;
+  double SharedChunkP = 0.5;
+  double PlagiarismRingP = 0.08;
+};
+
+std::string randomDoc(Rng &R, const MossProfile &Profile) {
+  if (R.nextBernoulli(Profile.EmptyDocP))
+    return std::string();
+  size_t Length = R.nextBernoulli(Profile.LongDocP)
+                      ? static_cast<size_t>(R.nextInRange(300, 520))
+                      : static_cast<size_t>(R.nextInRange(20, 200));
+  std::string Doc;
+  Doc.reserve(Length);
+  bool Weird = R.nextBernoulli(Profile.WeirdFirstCharP);
+  Doc += Weird ? static_cast<char>(R.nextInRange('0', '9'))
+               : static_cast<char>('a' + R.nextBelow(26));
+  bool HasComments = R.nextBernoulli(Profile.CommentedDocP);
+  bool HasScratch = R.nextBernoulli(Profile.ScratchDocP);
+  while (Doc.size() < Length) {
+    double Roll = R.nextDouble();
+    if (HasComments && Roll < 0.015) {
+      // A comment: ';' body '.'
+      Doc += ';';
+      size_t BodyLen = static_cast<size_t>(R.nextInRange(2, 12));
+      for (size_t I = 0; I < BodyLen; ++I)
+        Doc += static_cast<char>('a' + R.nextBelow(26));
+      Doc += '.';
+    } else if (HasScratch && Roll < 0.025) {
+      Doc += '@'; // Token 0: drives the harmless bug-7 scratch write.
+    } else {
+      Doc += static_cast<char>('a' + R.nextBelow(26));
+    }
+  }
+  return Doc;
+}
+
+} // namespace
+
+static std::vector<std::string> generateMossInput(Rng &R) {
+  MossProfile Profile;
+  std::vector<std::string> Args;
+
+  if (R.nextBernoulli(Profile.SmallWindowP))
+    Args.push_back(format("-w%d", static_cast<int>(R.nextInRange(1, 8))));
+  if (R.nextBernoulli(Profile.KgramFlagP))
+    Args.push_back(format("-k%d", static_cast<int>(R.nextInRange(2, 5))));
+  if (R.nextBernoulli(Profile.CommentFlagP))
+    Args.push_back("-c");
+  if (R.nextBernoulli(Profile.BFlagP))
+    Args.push_back("-b");
+  if (R.nextBernoulli(Profile.MaxMatchFlagP))
+    Args.push_back(format("-m%d", static_cast<int>(R.nextInRange(20, 200))));
+  Args.push_back("--");
+
+  double Roll = R.nextDouble();
+  int NumDocs;
+  if (Roll < 0.70)
+    NumDocs = static_cast<int>(R.nextInRange(2, 5));
+  else if (Roll < 0.98)
+    NumDocs = static_cast<int>(R.nextInRange(6, 12));
+  else
+    NumDocs = static_cast<int>(R.nextInRange(13, 15)); // Bug-2 territory.
+
+  std::vector<std::string> Docs;
+  Docs.reserve(static_cast<size_t>(NumDocs));
+  for (int I = 0; I < NumDocs; ++I)
+    Docs.push_back(randomDoc(R, Profile));
+
+  // Cross-pollinate documents so fingerprint matches occur.
+  if (Docs.size() >= 2 && R.nextBernoulli(Profile.SharedChunkP)) {
+    size_t From = R.nextBelow(Docs.size());
+    size_t To = R.nextBelow(Docs.size());
+    if (From != To && Docs[From].size() > 30) {
+      size_t ChunkLen = std::min<size_t>(
+          Docs[From].size() - 1, static_cast<size_t>(R.nextInRange(20, 80)));
+      Docs[To] += Docs[From].substr(1, ChunkLen);
+    }
+  }
+  if (Docs.size() >= 3 && R.nextBernoulli(Profile.PlagiarismRingP)) {
+    std::string Chunk;
+    size_t ChunkLen = static_cast<size_t>(R.nextInRange(80, 150));
+    for (size_t I = 0; I < ChunkLen; ++I)
+      Chunk += static_cast<char>('a' + R.nextBelow(26));
+    for (std::string &Doc : Docs)
+      Doc += Chunk;
+  }
+
+  for (std::string &Doc : Docs)
+    Args.push_back(std::move(Doc));
+  return Args;
+}
+
+const Subject &sbi::mossSubject() {
+  static const Subject S = [] {
+    Subject Subj;
+    Subj.Name = "moss";
+    Subj.Source = buildMossSource(/*Buggy=*/true);
+    Subj.GoldenSource = buildMossSource(/*Buggy=*/false);
+    Subj.Bugs = {
+        {1, "buffer overrun", "fingerprint table written past its capacity",
+         false, "insert_fp"},
+        {2, "missing capacity check",
+         "file table written past its capacity when more than 12 documents "
+         "are given",
+         false, "read_files"},
+        {3, "null dereference",
+         "empty document with -b leaves a null file record that the "
+         "winnowing pass dereferences",
+         true, "read_files"},
+        {4, "buffer overrun", "token buffer written past its capacity",
+         false, "tokenize"},
+        {5, "missing end-of-list check",
+         "hash-bucket walk never checks the chain sentinel; probes for "
+         "fingerprints of language > 16 files walk off the end",
+         true, "find_fp"},
+        {6, "invariant violation",
+         "passage index wraps at the cap while the passage total keeps "
+         "counting; the report walk reads past the real entries",
+         false, "add_passage"},
+        {7, "harmless buffer overrun",
+         "stray write past the logical winnowing window that never causes "
+         "a failure",
+         false, "tokenize"},
+        {8, "never triggered",
+         "negative-index write guarded by the -z flag, which the input "
+         "distribution never produces",
+         false, "main"},
+        {9, "incorrect output",
+         "comment bodies leak into the token stream under -c, changing "
+         "match results without crashing",
+         false, "tokenize"},
+    };
+    Subj.UseOutputOracle = true;
+    Subj.GenerateInput = generateMossInput;
+    return Subj;
+  }();
+  return S;
+}

@@ -1,0 +1,346 @@
+//===- subjects/Rhythmbox.cpp - The RHYTHMBOX study subject ----------------===//
+//
+// Models RHYTHMBOX 0.6.5 (Section 4.2.4): an interactive, event-driven
+// program built on an object library. The interesting state lives in a
+// heap-allocated event queue, which is why the paper notes static analysis
+// and stack inspection both struggle here. Two seeded bugs:
+//
+//   bug 1  a race between disposal and a pending timer: dispose() frees an
+//          object's private data; a timer event still queued for that
+//          object later dereferences it.
+//   bug 2  an unsafe object-library usage pattern: reading a property via
+//          object_get() while a change signal is still queued (no
+//          reference held) corrupts the object's state; the crash surfaces
+//          later in the renderer, far from the misuse.
+//
+// Input layout: each arg token is one UI event:
+//   "p"  play (starts the player timer; enqueues a timer tick)
+//   "t<k>" explicit timer tick for object k
+//   "d<k>" dispose object k
+//   "c<k>" property change on object k (queues a change signal and the
+//          notify event that will later deliver it)
+//   "g<k>" object_get on object k (the unsafe pattern when a signal is
+//          still queued)
+//   "s"  status-bar render
+// with k in 0..3 (0 player, 1 view, 2 library, 3 statusbar).
+//
+//===----------------------------------------------------------------------===//
+
+#include "subjects/Subjects.h"
+
+#include "support/StringUtils.h"
+
+using namespace sbi;
+
+static const char RhythmboxTemplate[] = R"mc(
+// rhythmbox: event-driven music-player model.
+int QCAP = 512;
+int NOBJ = 4;
+arr queue = null;
+int qhead = 0;
+int qtail = 0;
+int ticks = 0;
+int renders = 0;
+int gets = 0;
+int notifies = 0;
+arr objects = null; // of rec Obj
+arr styles = null;  // renderer style table, 4 entries
+
+record Obj {
+  kind;
+  disposed;
+  priv;
+}
+
+record Priv {
+  timer;
+  sig_queued;
+  state;
+  busy;
+}
+
+fn enqueue(int code) {
+  if (qtail >= QCAP) {
+    return 0;
+  }
+  queue[qtail] = code;
+  qtail = qtail + 1;
+  return 1;
+}
+
+fn make_object(int kind) {
+  rec o = new Obj;
+  o.kind = kind;
+  o.disposed = 0;
+  rec p = new Priv;
+  p.timer = 0;
+  p.sig_queued = 0;
+  p.state = kind * 3;
+  p.busy = 0;
+  o.priv = p;
+  return o;
+}
+
+fn handle_play() {
+  rec player = objects[0];
+  if (player.disposed == 1) {
+    return 0;
+  }
+  rec p = player.priv;
+  p.timer = 1;
+  ticks = ticks + 1;
+  // The tick is delivered later through the queue; if the player is
+  // disposed in between, the pending tick targets freed data.
+  enqueue(10);
+  return 1;
+}
+
+fn handle_timer(int k) {
+  rec o = objects[k];
+${TIMER_GUARD}
+  rec p = o.priv;
+  if (p.timer == 1) {
+    p.state = p.state + 1;
+    ticks = ticks + 1;
+  }
+  return p.timer;
+}
+
+fn handle_dispose(int k) {
+  rec o = objects[k];
+  if (o.disposed == 1) {
+    return 0;
+  }
+  o.disposed = 1;
+  o.priv = null;
+  return 1;
+}
+
+fn handle_change(int k) {
+  rec o = objects[k];
+  if (o.disposed == 1) {
+    return 0;
+  }
+  rec p = o.priv;
+  p.sig_queued = 1;
+  p.state = p.state + 2;
+  // The notify event that will eventually deliver the signal.
+  enqueue(40 + k);
+  return 1;
+}
+
+fn handle_notify(int k) {
+  rec o = objects[k];
+  if (o.disposed == 1) {
+    return 0;
+  }
+  rec p = o.priv;
+  p.sig_queued = 0;
+  notifies = notifies + 1;
+  return 1;
+}
+
+fn handle_get(int k) {
+  rec o = objects[k];
+  if (o.disposed == 1) {
+    return 0;
+  }
+  rec p = o.priv;
+  gets = gets + 1;
+${GET_BODY}
+  return p.state;
+}
+
+fn handle_render() {
+  renders = renders + 1;
+  int i = 0;
+  int acc = 0;
+  while (i < NOBJ) {
+    rec o = objects[i];
+    if (o.disposed == 0) {
+      rec p = o.priv;
+      int idx = p.state / 1000;
+      // After a bug-2 corruption idx leaves the 4-entry style table.
+      acc = acc + styles[idx] + p.state % 7;
+    }
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn dispatch(int code) {
+  int kind = code / 10;
+  int k = code % 10;
+  if (kind == 1) {
+    return handle_timer(k);
+  }
+  if (kind == 2) {
+    return handle_dispose(k);
+  }
+  if (kind == 3) {
+    return handle_change(k);
+  }
+  if (kind == 4) {
+    return handle_notify(k);
+  }
+  if (kind == 5) {
+    return handle_get(k);
+  }
+  if (kind == 6) {
+    return handle_render();
+  }
+  if (kind == 7) {
+    return handle_play();
+  }
+  return 0;
+}
+
+fn parse_event(str t) {
+  if (len(t) < 1) {
+    return 0 - 1;
+  }
+  int c = charat(t, 0);
+  int k = 0;
+  if (len(t) > 1) {
+    k = charat(t, 1) - 48;
+    if (k < 0 || k >= NOBJ) {
+      k = 0;
+    }
+  }
+  if (c == 112) { // 'p'
+    return 70;
+  }
+  if (c == 116) { // 't'
+    return 10 + k;
+  }
+  if (c == 100) { // 'd'
+    return 20 + k;
+  }
+  if (c == 99) { // 'c'
+    return 30 + k;
+  }
+  if (c == 103) { // 'g'
+    return 50 + k;
+  }
+  if (c == 115) { // 's'
+    return 60;
+  }
+  return 0 - 1;
+}
+
+fn main() {
+  queue = mkarray(QCAP);
+  objects = mkarray(NOBJ);
+  styles = mkarray(4);
+  int i = 0;
+  while (i < NOBJ) {
+    objects[i] = make_object(i);
+    styles[i % 4] = i * 11;
+    i = i + 1;
+  }
+
+  // Seed the queue from the UI script.
+  i = 0;
+  while (i < nargs()) {
+    int code = parse_event(arg(i));
+    if (code >= 0) {
+      enqueue(code);
+    }
+    i = i + 1;
+  }
+
+  // Main loop: drain the queue, including events the handlers enqueue.
+  int processed = 0;
+  while (qhead < qtail && processed < 2000) {
+    int code = queue[qhead];
+    qhead = qhead + 1;
+    dispatch(code);
+    processed = processed + 1;
+  }
+
+  // Final render, like repainting on shutdown.
+  handle_render();
+
+  print("ticks ");
+  print(ticks);
+  print(" gets ");
+  print(gets);
+  print(" notifies ");
+  print(notifies);
+  print(" renders ");
+  println(renders);
+}
+)mc";
+
+static std::string buildRhythmboxSource(bool Buggy) {
+  // Bug 1: the timer handler must check for disposal before touching priv.
+  const char *BuggyTimerGuard = R"(  if (o.disposed == 1) {
+    __bug(1);
+  })";
+  const char *FixedTimerGuard = R"(  if (o.disposed == 1) {
+    return 0;
+  })";
+
+  // Bug 2: object_get while a change signal is queued corrupts the state
+  // the renderer later indexes with. The fix takes a reference (modeled by
+  // waiting for delivery) instead of reading through the queued signal.
+  const char *BuggyGetBody = R"(  if (p.sig_queued == 1) {
+    __bug(2);
+    p.state = p.state + 20000;
+  })";
+  const char *FixedGetBody = R"(  if (p.sig_queued == 1) {
+    p.sig_queued = 0;
+    notifies = notifies + 1;
+  })";
+
+  return expandTemplate(
+      RhythmboxTemplate,
+      {{"TIMER_GUARD", Buggy ? BuggyTimerGuard : FixedTimerGuard},
+       {"GET_BODY", Buggy ? BuggyGetBody : FixedGetBody}});
+}
+
+static std::vector<std::string> generateRhythmboxInput(Rng &R) {
+  std::vector<std::string> Args;
+  size_t NumEvents = static_cast<size_t>(R.nextInRange(6, 40));
+  for (size_t I = 0; I < NumEvents; ++I) {
+    double Roll = R.nextDouble();
+    int K = static_cast<int>(R.nextBelow(4));
+    if (Roll < 0.15) {
+      Args.push_back("p");
+    } else if (Roll < 0.27) {
+      Args.push_back(format("t%d", K));
+    } else if (Roll < 0.32) {
+      Args.push_back(format("d%d", K));
+    } else if (Roll < 0.41) {
+      Args.push_back(format("c%d", K));
+    } else if (Roll < 0.48) {
+      Args.push_back(format("g%d", K));
+    } else {
+      Args.push_back("s");
+    }
+  }
+  return Args;
+}
+
+const Subject &sbi::rhythmboxSubject() {
+  static const Subject S = [] {
+    Subject Subj;
+    Subj.Name = "rhythmbox";
+    Subj.Source = buildRhythmboxSource(/*Buggy=*/true);
+    Subj.GoldenSource = buildRhythmboxSource(/*Buggy=*/false);
+    Subj.Bugs = {
+        {1, "race condition",
+         "a timer tick still queued for a disposed object dereferences its "
+         "freed private data",
+         /*Deterministic=*/true, "handle_timer"},
+        {2, "unsafe API usage",
+         "object_get while a change signal is queued corrupts object "
+         "state; the renderer crashes later on a wild style index",
+         /*Deterministic=*/false, "handle_get"},
+    };
+    Subj.UseOutputOracle = false;
+    Subj.GenerateInput = generateRhythmboxInput;
+    return Subj;
+  }();
+  return S;
+}

@@ -1,0 +1,49 @@
+//===- subjects/SubjectUtil.cpp - Subject registry and helpers ------------===//
+
+#include "subjects/Subjects.h"
+
+#include <cassert>
+
+using namespace sbi;
+
+std::vector<const Subject *> sbi::allSubjects() {
+  return {&mossSubject(), &ccryptSubject(), &bcSubject(), &exifSubject(),
+          &rhythmboxSubject()};
+}
+
+const Subject *sbi::findSubject(const std::string &Name) {
+  for (const Subject *S : allSubjects())
+    if (S->Name == Name)
+      return S;
+  return nullptr;
+}
+
+std::string sbi::expandTemplate(
+    const std::string &Template,
+    const std::vector<std::pair<std::string, std::string>> &Substitutions) {
+  std::string Result;
+  Result.reserve(Template.size());
+  size_t Pos = 0;
+  while (Pos < Template.size()) {
+    size_t Open = Template.find("${", Pos);
+    if (Open == std::string::npos) {
+      Result.append(Template, Pos, std::string::npos);
+      break;
+    }
+    Result.append(Template, Pos, Open - Pos);
+    size_t Close = Template.find('}', Open + 2);
+    assert(Close != std::string::npos && "unterminated ${...} placeholder");
+    std::string Key = Template.substr(Open + 2, Close - Open - 2);
+    bool Found = false;
+    for (const auto &[Name, Value] : Substitutions)
+      if (Name == Key) {
+        Result += Value;
+        Found = true;
+        break;
+      }
+    assert(Found && "unresolved template placeholder");
+    (void)Found;
+    Pos = Close + 1;
+  }
+  return Result;
+}

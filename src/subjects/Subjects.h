@@ -1,0 +1,94 @@
+//===- subjects/Subjects.h - The five buggy study programs ----------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MicroC reimplementations of the paper's five case-study programs, each
+/// seeded with bugs matching the structure of the originals:
+///
+///   MOSS       9 seeded bugs: buffer overruns (one of which never causes a
+///              failure), a null dereference, a missing end-of-list check,
+///              a missing out-of-memory check, a data-structure invariant
+///              violation, and an output-only comment-handling bug that
+///              needs the output oracle (Section 4.1's validation study).
+///   CCRYPT     one input-validation bug: reading the overwrite-prompt
+///              response at end of input yields null, then dereferences.
+///   BC         one heap buffer overrun whose crash happens long after the
+///              overrun, in an unrelated function (useless stack).
+///   EXIF       three independent crashing bugs with rates spread over two
+///              orders of magnitude, including the maker-note loader bug
+///              the paper walks through (o + s > buf_size leaves entry
+///              data uninitialized; a later save path crashes).
+///   RHYTHMBOX  an event-driven program with a dispose/timer race and an
+///              unsafe library-API usage pattern.
+///
+/// Each subject carries a golden (bug-free) variant for output-oracle
+/// labeling and a seeded random input generator shaped like the paper's
+/// random-input campaigns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SUBJECTS_SUBJECTS_H
+#define SBI_SUBJECTS_SUBJECTS_H
+
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+/// One seeded ground-truth bug.
+struct BugSpec {
+  int Id = 0; ///< 1-based; matches the __bug(n) markers in the source.
+  std::string Kind;
+  std::string Description;
+  /// Whether the paper's taxonomy would call the bug deterministic with
+  /// respect to its best predictor.
+  bool Deterministic = false;
+  /// The function containing the defect. The stack study compares crash
+  /// locations against this: a stack is only useful if the crash names
+  /// the cause (Section 6).
+  std::string CauseFunction;
+};
+
+/// A study program: buggy source, golden source, bugs, input generator.
+struct Subject {
+  std::string Name;
+  std::string Source;
+  /// Bug-free variant used as the output oracle; empty when labels come
+  /// from crashes alone.
+  std::string GoldenSource;
+  std::vector<BugSpec> Bugs;
+  /// When true, a run whose output differs from the golden run's output is
+  /// labeled as failing even if it did not crash.
+  bool UseOutputOracle = false;
+
+  /// Draws one random input (the run's arg tokens).
+  std::vector<std::string> (*GenerateInput)(Rng &R) = nullptr;
+};
+
+const Subject &mossSubject();
+const Subject &ccryptSubject();
+const Subject &bcSubject();
+const Subject &exifSubject();
+const Subject &rhythmboxSubject();
+
+/// All five, in the paper's Table 2 order.
+std::vector<const Subject *> allSubjects();
+
+/// Looks a subject up by (case-sensitive) name; null when unknown.
+const Subject *findSubject(const std::string &Name);
+
+/// Expands a subject source template: every occurrence of "${KEY}" is
+/// replaced via \p Substitutions. Asserts that every placeholder resolves.
+std::string expandTemplate(
+    const std::string &Template,
+    const std::vector<std::pair<std::string, std::string>> &Substitutions);
+
+} // namespace sbi
+
+#endif // SBI_SUBJECTS_SUBJECTS_H

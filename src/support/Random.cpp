@@ -1,0 +1,92 @@
+//===- support/Random.cpp - Seeded pseudo-random number generation -------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace sbi;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+  // xoshiro requires a nonzero state; SplitMix64 only yields all-zero words
+  // with negligible probability, but guard anyway.
+  if (!(State[0] | State[1] | State[2] | State[3]))
+    State[0] = 1;
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "nextBelow requires a positive bound");
+  // Lemire's method: multiply-shift with a rejection step to remove bias.
+  uint64_t X = next();
+  __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+  uint64_t Lo = static_cast<uint64_t>(M);
+  if (Lo < Bound) {
+    uint64_t Threshold = -Bound % Bound;
+    while (Lo < Threshold) {
+      X = next();
+      M = static_cast<__uint128_t>(X) * Bound;
+      Lo = static_cast<uint64_t>(M);
+    }
+  }
+  return static_cast<uint64_t>(M >> 64);
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+  if (Span == 0) // Whole 64-bit range.
+    return static_cast<int64_t>(next());
+  return static_cast<int64_t>(static_cast<uint64_t>(Lo) + nextBelow(Span));
+}
+
+double Rng::nextDouble() {
+  // 53 uniformly random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBernoulli(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+uint64_t Rng::nextGeometricSkip(double P) {
+  if (P >= 1.0)
+    return 0;
+  if (P <= 0.0)
+    return UINT64_MAX;
+  double U = nextDouble();
+  // Inverse-CDF sampling of the number of failures before the first success.
+  double Skip = std::floor(std::log1p(-U) / std::log1p(-P));
+  if (Skip >= 9.0e18)
+    return UINT64_MAX;
+  return static_cast<uint64_t>(Skip);
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }

@@ -1,0 +1,75 @@
+//===- support/Random.h - Seeded pseudo-random number generation ---------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable PRNG (xoshiro256**) used everywhere randomness is
+/// needed: subject-program input generation, Bernoulli instrumentation
+/// sampling, and the per-run memory-padding draw that makes buffer overruns
+/// non-deterministic. Determinism under a fixed seed is a hard requirement
+/// for reproducible experiments, so std::mt19937 (whose distributions are
+/// not portable across standard libraries) is deliberately avoided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SUPPORT_RANDOM_H
+#define SBI_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sbi {
+
+/// Deterministic xoshiro256** generator seeded via SplitMix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed (SplitMix64 expansion).
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  /// Uses Lemire's nearly-divisionless bounded rejection method.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBernoulli(double P);
+
+  /// Returns a geometric "countdown" sample: the number of further trials to
+  /// skip before the next success of a Bernoulli(\p P) process. A return of
+  /// 0 means the very next trial is sampled. Used by the sparse-sampling
+  /// transformation's fast path (Section 2 of the paper).
+  uint64_t nextGeometricSkip(double P);
+
+  /// Fisher-Yates shuffles \p Items in place.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[nextBelow(I)]);
+  }
+
+  /// Derives an independent child generator; used to give each program run
+  /// its own stream so that runs are reproducible in isolation.
+  Rng split();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace sbi
+
+#endif // SBI_SUPPORT_RANDOM_H

@@ -1,0 +1,86 @@
+//===- support/Stats.cpp - Statistical primitives for bug isolation ------===//
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace sbi;
+
+double Proportion::variance() const {
+  if (Trials == 0)
+    return 0.0;
+  double P = value();
+  return P * (1.0 - P) / static_cast<double>(Trials);
+}
+
+double sbi::normalCdf(double X) { return 0.5 * std::erfc(-X / std::sqrt(2.0)); }
+
+double sbi::normalQuantile(double P) {
+  assert(P > 0.0 && P < 1.0 && "quantile requires P in (0, 1)");
+  // Acklam's rational approximation to the inverse normal CDF.
+  static const double A[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double B[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double C[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double D[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double PLow = 0.02425;
+
+  if (P < PLow) {
+    double Q = std::sqrt(-2.0 * std::log(P));
+    return (((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+            C[5]) /
+           ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1.0);
+  }
+  if (P <= 1.0 - PLow) {
+    double Q = P - 0.5;
+    double R = Q * Q;
+    return (((((A[0] * R + A[1]) * R + A[2]) * R + A[3]) * R + A[4]) * R +
+            A[5]) *
+           Q /
+           (((((B[0] * R + B[1]) * R + B[2]) * R + B[3]) * R + B[4]) * R + 1.0);
+  }
+  double Q = std::sqrt(-2.0 * std::log(1.0 - P));
+  return -(((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+           C[5]) /
+         ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1.0);
+}
+
+double sbi::twoProportionZ(const Proportion &Pf, const Proportion &Ps) {
+  double Var = Pf.variance() + Ps.variance();
+  if (Var <= 0.0)
+    return 0.0;
+  return (Pf.value() - Ps.value()) / std::sqrt(Var);
+}
+
+ScoreInterval sbi::differenceInterval(const Proportion &A,
+                                      const Proportion &B) {
+  ScoreInterval Result;
+  Result.Value = A.value() - B.value();
+  Result.HalfWidth = Z95 * std::sqrt(A.variance() + B.variance());
+  return Result;
+}
+
+ScoreInterval sbi::harmonicMeanInterval(double X, double VarX, double Y,
+                                        double VarY) {
+  if (X <= 0.0 || Y <= 0.0)
+    return {0.0, 0.0};
+  double H = 2.0 / (1.0 / X + 1.0 / Y);
+  // dH/dX = 2 Y^2 / (X + Y)^2, dH/dY symmetric; first-order delta method.
+  double Sum = X + Y;
+  double DX = 2.0 * Y * Y / (Sum * Sum);
+  double DY = 2.0 * X * X / (Sum * Sum);
+  double Var = DX * DX * VarX + DY * DY * VarY;
+  return {H, Z95 * std::sqrt(Var)};
+}
+
+double sbi::safeLog(double X) {
+  const double Floor = 1e-12;
+  return std::log(X < Floor ? Floor : X);
+}

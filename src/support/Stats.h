@@ -1,0 +1,82 @@
+//===- support/Stats.h - Statistical primitives for bug isolation --------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistical building blocks used by the cause-isolation algorithm of
+/// Section 3: binomial proportion estimates with confidence intervals, the
+/// two-proportion Z statistic of the likelihood-ratio view (Section 3.2),
+/// and the delta-method confidence interval for the harmonic-mean Importance
+/// score (Section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SUPPORT_STATS_H
+#define SBI_SUPPORT_STATS_H
+
+#include <cstdint>
+
+namespace sbi {
+
+/// The standard normal quantile for two-sided 95% intervals.
+inline constexpr double Z95 = 1.959963984540054;
+
+/// A binomial proportion Successes/Trials with helpers for interval
+/// estimation. Trials == 0 yields a value of 0 and an infinite-width
+/// interval surrogate (variance 0 by convention; callers must check).
+struct Proportion {
+  uint64_t Successes = 0;
+  uint64_t Trials = 0;
+
+  double value() const {
+    return Trials == 0 ? 0.0
+                       : static_cast<double>(Successes) /
+                             static_cast<double>(Trials);
+  }
+
+  /// Wald sampling variance p(1-p)/n; 0 when there are no trials.
+  double variance() const;
+};
+
+/// Returns the standard normal CDF Phi(X).
+double normalCdf(double X);
+
+/// Returns the inverse standard normal CDF (Acklam's rational approximation,
+/// good to ~1e-9 absolute error). \p P must lie strictly in (0, 1).
+double normalQuantile(double P);
+
+/// The two-proportion Z statistic of Section 3.2: tests H0: pf == ps against
+/// H1: pf > ps where \p Pf and \p Ps are the heads-probability estimates for
+/// failing and successful runs. Returns 0 when both variances vanish.
+double twoProportionZ(const Proportion &Pf, const Proportion &Ps);
+
+/// A score together with the half-width of its 95% confidence interval.
+struct ScoreInterval {
+  double Value = 0.0;
+  double HalfWidth = 0.0;
+
+  double lowerBound() const { return Value - HalfWidth; }
+  double upperBound() const { return Value + HalfWidth; }
+};
+
+/// Confidence interval for a difference of two proportions (used for
+/// Increase(P) = Failure(P) - Context(P)). Wald interval on the difference;
+/// conservative because Failure and Context share observations.
+ScoreInterval differenceInterval(const Proportion &A, const Proportion &B);
+
+/// Delta-method 95% confidence interval for the harmonic mean
+/// H = 2/(1/X + 1/Y) given the two component estimates and their sampling
+/// variances. Degenerate inputs (nonpositive X or Y) yield {0, 0}.
+ScoreInterval harmonicMeanInterval(double X, double VarX, double Y,
+                                   double VarY);
+
+/// Natural logarithm clamped so that log(0) and log of tiny values do not
+/// produce -inf; used for the log-transformed sensitivity term.
+double safeLog(double X);
+
+} // namespace sbi
+
+#endif // SBI_SUPPORT_STATS_H

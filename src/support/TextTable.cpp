@@ -1,0 +1,80 @@
+//===- support/TextTable.cpp - Aligned text-table rendering --------------===//
+
+#include "support/TextTable.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace sbi;
+
+void TextTable::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*IsSeparator=*/false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, /*IsSeparator=*/true}); }
+
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  size_t Digits = 0;
+  for (char C : Cell) {
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      ++Digits;
+    else if (C != '.' && C != '-' && C != '+' && C != '%' && C != ',' &&
+             C != 'e' && C != 'E')
+      return false;
+  }
+  return Digits > 0;
+}
+
+std::string TextTable::render() const {
+  size_t NumColumns = Header.size();
+  for (const Row &R : Rows)
+    NumColumns = std::max(NumColumns, R.Cells.size());
+
+  std::vector<size_t> Widths(NumColumns, 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const Row &R : Rows)
+    for (size_t I = 0; I < R.Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], R.Cells[I].size());
+
+  auto renderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I < NumColumns; ++I) {
+      if (I != 0)
+        Line += "  ";
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      Line += looksNumeric(Cell) ? padLeft(Cell, Widths[I])
+                                 : padRight(Cell, Widths[I]);
+    }
+    // Trim trailing spaces so output diffs cleanly.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W;
+  TotalWidth += NumColumns > 1 ? 2 * (NumColumns - 1) : 0;
+
+  std::string Result;
+  if (!Header.empty()) {
+    Result += renderRow(Header);
+    Result += std::string(TotalWidth, '-') + "\n";
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      Result += std::string(TotalWidth, '-') + "\n";
+    else
+      Result += renderRow(R.Cells);
+  }
+  return Result;
+}

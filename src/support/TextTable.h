@@ -1,0 +1,52 @@
+//===- support/TextTable.h - Aligned text-table rendering ----------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal column-aligned table printer used by the experiment harness to
+/// reproduce the paper's Tables 1-9 as plain text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SUPPORT_TEXTTABLE_H
+#define SBI_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+/// Column-aligned table builder. Columns are sized to fit their widest cell;
+/// numeric-looking cells are right-aligned, everything else left-aligned.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the full table, each line terminated by '\n'.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace sbi
+
+#endif // SBI_SUPPORT_TEXTTABLE_H

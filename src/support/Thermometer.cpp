@@ -1,0 +1,47 @@
+//===- support/Thermometer.cpp - Text rendering of bug thermometers ------===//
+
+#include "support/Thermometer.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace sbi;
+
+std::string sbi::renderThermometer(const ThermometerSpec &Spec,
+                                   size_t MaxWidth, uint64_t MaxRuns) {
+  // Total bar length is logarithmic in the observed-true run count, scaled
+  // so the most-observed predicate in the table fills MaxWidth cells.
+  double LogMax = std::log1p(static_cast<double>(MaxRuns));
+  double LogThis = std::log1p(static_cast<double>(Spec.RunsObservedTrue));
+  size_t Length =
+      LogMax <= 0.0
+          ? 0
+          : static_cast<size_t>(std::lround(MaxWidth * LogThis / LogMax));
+  Length = std::min(Length, MaxWidth);
+  if (Spec.RunsObservedTrue > 0)
+    Length = std::max<size_t>(Length, 1);
+
+  auto cells = [&](double Fraction) {
+    Fraction = std::clamp(Fraction, 0.0, 1.0);
+    return static_cast<size_t>(std::lround(Fraction * Length));
+  };
+
+  size_t ContextCells = cells(Spec.Context);
+  size_t IncreaseCells = cells(Spec.IncreaseLowerBound);
+  size_t ConfidenceCells = cells(Spec.ConfidenceWidth);
+  // Clamp so the bands never overflow the bar.
+  ContextCells = std::min(ContextCells, Length);
+  IncreaseCells = std::min(IncreaseCells, Length - ContextCells);
+  ConfidenceCells =
+      std::min(ConfidenceCells, Length - ContextCells - IncreaseCells);
+
+  std::string Bar;
+  Bar += '[';
+  Bar.append(ContextCells, '#');
+  Bar.append(IncreaseCells, '=');
+  Bar.append(ConfidenceCells, '~');
+  Bar.append(Length - ContextCells - IncreaseCells - ConfidenceCells, ' ');
+  Bar.append(MaxWidth - Length, ' ');
+  Bar += ']';
+  return Bar;
+}

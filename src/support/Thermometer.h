@@ -1,0 +1,51 @@
+//===- support/Thermometer.h - Text rendering of bug thermometers --------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper visualizes each ranked predicate with a "bug thermometer"
+/// (Section 3.3): a bar whose length is logarithmic in the number of runs in
+/// which the predicate was observed, divided into four bands:
+///
+///   - black  ('#'): Context(P), as a fraction of the bar;
+///   - dark   ('='): the lower bound of Increase(P) at 95% confidence;
+///   - light  ('~'): the width of that confidence interval;
+///   - white  (' '): the remainder, dominated by S(P).
+///
+/// This header renders the same visualization in plain ASCII.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SUPPORT_THERMOMETER_H
+#define SBI_SUPPORT_THERMOMETER_H
+
+#include <cstdint>
+#include <string>
+
+namespace sbi {
+
+/// The band widths of one thermometer, all in [0, 1] and summing to <= 1.
+struct ThermometerSpec {
+  /// Context(P): probability of failure merely on reaching P's site.
+  double Context = 0.0;
+  /// Lower bound of the 95% interval on Increase(P), clamped at 0.
+  double IncreaseLowerBound = 0.0;
+  /// Width of that confidence interval (upper minus lower bound).
+  double ConfidenceWidth = 0.0;
+  /// Number of runs in which P was observed true (F(P) + S(P)); sets the
+  /// logarithmic total length of the bar.
+  uint64_t RunsObservedTrue = 0;
+};
+
+/// Renders \p Spec as an ASCII bar like "[###====~     ]". \p MaxWidth is
+/// the bar length (excluding brackets) used for the largest run count seen
+/// in a table; \p MaxRuns is that largest count (log scaling reference).
+std::string renderThermometer(const ThermometerSpec &Spec, size_t MaxWidth,
+                              uint64_t MaxRuns);
+
+} // namespace sbi
+
+#endif // SBI_SUPPORT_THERMOMETER_H

@@ -1,0 +1,116 @@
+//===- vm/Bytecode.h - MicroC bytecode definitions ------------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact stack bytecode for MicroC, the repository's second execution
+/// engine. The paper's substrate is compiled C; the bytecode VM plays that
+/// role here — faster campaigns than the tree-walking interpreter while
+/// preserving *identical observable semantics* (output, traps, exit codes,
+/// ground-truth markers, and the exact sequence of instrumentation events,
+/// so sampled feedback reports match bit for bit under the same seed).
+/// Differential tests in tests/vm/ hold the two engines to that contract.
+///
+/// Observer integration mirrors the interpreter: conditionals compile to
+/// observed jumps (branches scheme), every call site is followed by
+/// ObserveCall (returns scheme), and instrumented scalar assignments end
+/// with ObserveAssign (scalar-pairs scheme).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_VM_BYTECODE_H
+#define SBI_VM_BYTECODE_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+enum class Opcode : uint8_t {
+  // Stack and constants.
+  PushInt,  ///< A = index into IntPool.
+  PushStr,  ///< A = index into StrPool.
+  PushNull,
+  PushUnit,
+  Pop,
+  Dup,
+
+  // Variables. Loads trap on Unit (uninitialized) with the variable name
+  // (B = StrPool index); stores enforce the declared kind (C = VarKind).
+  LoadLocal,   ///< A = slot, B = name.
+  LoadGlobal,  ///< A = slot, B = name.
+  StoreLocal,  ///< A = slot, B = name, C = VarKind.
+  StoreGlobal, ///< A = slot, B = name, C = VarKind.
+
+  // Operators (semantics shared with the interpreter via runtime/Semantics).
+  Binary, ///< A = BinaryOp (never And/Or, which are control flow).
+  Unary,  ///< A = UnaryOp.
+  ToBool, ///< Pop, truthiness-check (may trap), push 0/1.
+
+  // Control flow. Observed jumps drive the branches instrumentation
+  // scheme: pop the condition, truthiness-check, report onBranch(B, taken),
+  // then jump to A when not-taken (IfFalse) / taken (IfTrue).
+  Jump,            ///< A = target pc.
+  ObsJumpIfFalse,  ///< A = target pc, B = AST node id.
+  ObsJumpIfTrue,   ///< A = target pc, B = AST node id.
+
+  // Heap access (shared silent-overrun semantics).
+  IndexLoad,  ///< stack: base, subscript -> value.
+  IndexStore, ///< stack: base, subscript, value.
+  FieldLoad,  ///< A = field name (StrPool); stack: base -> value.
+  FieldStore, ///< A = field name; stack: base, value.
+  NewRec,     ///< A = index into Records.
+
+  // Calls.
+  Call,          ///< A = chunk index, B = arg count.
+  CallIntrinsic, ///< A = intrinsic id, B = arg count.
+  ObserveCall,   ///< A = node id; peek top, report ints (returns scheme).
+  ObserveAssign, ///< A = node id; pop stored value, report (scalar-pairs).
+  Return,        ///< Pop result, pop frame.
+  Halt,          ///< End of the global-initializer chunk.
+};
+
+const char *opcodeName(Opcode Op);
+
+struct Instr {
+  Opcode Op;
+  int32_t A = 0;
+  int32_t B = 0;
+  int32_t C = 0;
+  /// Source line, for traps and stack traces.
+  int32_t Line = 0;
+};
+
+/// One compiled function.
+struct Chunk {
+  std::string Name;
+  int NumLocals = 0;
+  int NumParams = 0;
+  int Line = 0; ///< Declaration line (initial frame line).
+  std::vector<Instr> Code;
+};
+
+/// A whole compiled program. Must not outlive the Program it was compiled
+/// from (records are referenced, not copied).
+struct CompiledProgram {
+  std::vector<Chunk> Chunks;
+  Chunk InitChunk; ///< Global initializers; ends with Halt.
+  std::vector<int64_t> IntPool;
+  std::vector<std::string> StrPool;
+  std::vector<const RecordDecl *> Records;
+  int MainChunk = -1;
+  uint32_t NumGlobals = 0;
+
+  /// Human-readable disassembly (for tests and debugging).
+  std::string disassemble() const;
+};
+
+} // namespace sbi
+
+#endif // SBI_VM_BYTECODE_H

@@ -1,0 +1,503 @@
+//===- vm/Compiler.cpp - MicroC AST -> bytecode compiler ------------------===//
+
+#include "vm/Compiler.h"
+
+#include "lang/Intrinsics.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+
+using namespace sbi;
+
+const char *sbi::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::PushInt:
+    return "push.int";
+  case Opcode::PushStr:
+    return "push.str";
+  case Opcode::PushNull:
+    return "push.null";
+  case Opcode::PushUnit:
+    return "push.unit";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Dup:
+    return "dup";
+  case Opcode::LoadLocal:
+    return "load.local";
+  case Opcode::LoadGlobal:
+    return "load.global";
+  case Opcode::StoreLocal:
+    return "store.local";
+  case Opcode::StoreGlobal:
+    return "store.global";
+  case Opcode::Binary:
+    return "binary";
+  case Opcode::Unary:
+    return "unary";
+  case Opcode::ToBool:
+    return "tobool";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::ObsJumpIfFalse:
+    return "obs.jfalse";
+  case Opcode::ObsJumpIfTrue:
+    return "obs.jtrue";
+  case Opcode::IndexLoad:
+    return "index.load";
+  case Opcode::IndexStore:
+    return "index.store";
+  case Opcode::FieldLoad:
+    return "field.load";
+  case Opcode::FieldStore:
+    return "field.store";
+  case Opcode::NewRec:
+    return "new.rec";
+  case Opcode::Call:
+    return "call";
+  case Opcode::CallIntrinsic:
+    return "call.intrinsic";
+  case Opcode::ObserveCall:
+    return "observe.call";
+  case Opcode::ObserveAssign:
+    return "observe.assign";
+  case Opcode::Return:
+    return "return";
+  case Opcode::Halt:
+    return "halt";
+  }
+  return "?";
+}
+
+std::string CompiledProgram::disassemble() const {
+  std::string Out;
+  auto dumpChunk = [&](const Chunk &C) {
+    Out += format("chunk %s (locals=%d, params=%d):\n", C.Name.c_str(),
+                  C.NumLocals, C.NumParams);
+    for (size_t I = 0; I < C.Code.size(); ++I) {
+      const Instr &In = C.Code[I];
+      Out += format("  %4zu  %-14s %d %d %d   ; line %d\n", I,
+                    opcodeName(In.Op), In.A, In.B, In.C, In.Line);
+    }
+  };
+  dumpChunk(InitChunk);
+  for (const Chunk &C : Chunks)
+    dumpChunk(C);
+  return Out;
+}
+
+namespace {
+
+class Compiler {
+public:
+  explicit Compiler(const Program &Prog) : Prog(Prog) {}
+
+  CompiledProgram compile();
+
+private:
+  // --- Pools -------------------------------------------------------------
+  int32_t intConst(int64_t V) {
+    auto [It, Inserted] = IntIndex.try_emplace(V, Out.IntPool.size());
+    if (Inserted)
+      Out.IntPool.push_back(V);
+    return static_cast<int32_t>(It->second);
+  }
+
+  int32_t strConst(const std::string &S) {
+    auto [It, Inserted] = StrIndex.try_emplace(S, Out.StrPool.size());
+    if (Inserted)
+      Out.StrPool.push_back(S);
+    return static_cast<int32_t>(It->second);
+  }
+
+  int32_t recordIndex(const RecordDecl *Decl) {
+    for (size_t I = 0; I < Out.Records.size(); ++I)
+      if (Out.Records[I] == Decl)
+        return static_cast<int32_t>(I);
+    Out.Records.push_back(Decl);
+    return static_cast<int32_t>(Out.Records.size() - 1);
+  }
+
+  // --- Emission ------------------------------------------------------------
+  size_t emit(Opcode Op, int32_t A = 0, int32_t B = 0, int32_t C = 0) {
+    Current->Code.push_back({Op, A, B, C, Line});
+    return Current->Code.size() - 1;
+  }
+
+  void patchJump(size_t At) {
+    Current->Code[At].A = static_cast<int32_t>(Current->Code.size());
+  }
+
+  // --- Compilation ---------------------------------------------------------
+  void compileFunction(const FuncDecl &Func, Chunk &C);
+  void compileStmt(const Stmt &S);
+  void compileExpr(const Expr &E);
+  void compileStore(VarSlot Slot, VarKind Kind, const std::string &Name);
+  void compileLoad(const VarRefExpr &Var);
+
+  const Program &Prog;
+  CompiledProgram Out;
+  Chunk *Current = nullptr;
+  int32_t Line = 0;
+  std::unordered_map<int64_t, size_t> IntIndex;
+  std::unordered_map<std::string, size_t> StrIndex;
+  std::unordered_map<const FuncDecl *, int32_t> FuncIndex;
+  /// Jump-patch targets for the innermost loop.
+  std::vector<std::vector<size_t>> BreakPatches;
+  std::vector<int32_t> ContinueTargets;
+  std::vector<std::vector<size_t>> ContinuePatches;
+};
+
+} // namespace
+
+CompiledProgram Compiler::compile() {
+  Out.NumGlobals = static_cast<uint32_t>(Prog.Globals.size());
+
+  for (size_t I = 0; I < Prog.Functions.size(); ++I)
+    FuncIndex[Prog.Functions[I].get()] =
+        static_cast<int32_t>(I);
+
+  // The global-initializer chunk.
+  Out.InitChunk.Name = "<globals>";
+  Current = &Out.InitChunk;
+  for (const auto &Global : Prog.Globals) {
+    Line = Global->Line;
+    if (Global->Init)
+      compileExpr(*Global->Init);
+    else
+      switch (Global->Kind) {
+      case VarKind::Int:
+        emit(Opcode::PushInt, intConst(0));
+        break;
+      case VarKind::Str:
+        emit(Opcode::PushStr, strConst(""));
+        break;
+      case VarKind::Arr:
+      case VarKind::Rec:
+        emit(Opcode::PushNull);
+        break;
+      }
+    Line = Global->Line;
+    emit(Opcode::StoreGlobal, Global->Slot, strConst(Global->Name),
+         static_cast<int32_t>(Global->Kind));
+  }
+  emit(Opcode::Halt);
+
+  Out.Chunks.resize(Prog.Functions.size());
+  for (size_t I = 0; I < Prog.Functions.size(); ++I)
+    compileFunction(*Prog.Functions[I], Out.Chunks[I]);
+
+  const FuncDecl *Main = Prog.findFunction("main");
+  assert(Main && "Sema guarantees main exists");
+  Out.MainChunk = FuncIndex[Main];
+  return std::move(Out);
+}
+
+void Compiler::compileFunction(const FuncDecl &Func, Chunk &C) {
+  C.Name = Func.Name;
+  C.NumLocals = Func.NumLocals;
+  C.NumParams = static_cast<int>(Func.Params.size());
+  C.Line = Func.Line;
+  Current = &C;
+  Line = Func.Line;
+  compileStmt(*Func.Body);
+  // Implicit unit return for functions that fall off the end.
+  emit(Opcode::PushUnit);
+  emit(Opcode::Return);
+}
+
+void Compiler::compileStore(VarSlot Slot, VarKind Kind,
+                            const std::string &Name) {
+  emit(Slot.IsGlobal ? Opcode::StoreGlobal : Opcode::StoreLocal, Slot.Index,
+       strConst(Name), static_cast<int32_t>(Kind));
+}
+
+void Compiler::compileLoad(const VarRefExpr &Var) {
+  emit(Var.Slot.IsGlobal ? Opcode::LoadGlobal : Opcode::LoadLocal,
+       Var.Slot.Index, strConst(Var.Name));
+}
+
+void Compiler::compileStmt(const Stmt &S) {
+  Line = S.Line;
+  switch (S.Kind) {
+  case StmtKind::Expr:
+    compileExpr(*static_cast<const ExprStmt &>(S).E);
+    emit(Opcode::Pop);
+    return;
+
+  case StmtKind::Assign: {
+    const auto &Assign = static_cast<const AssignStmt &>(S);
+    switch (Assign.Target->Kind) {
+    case ExprKind::VarRef: {
+      const auto &Var = static_cast<const VarRefExpr &>(*Assign.Target);
+      compileExpr(*Assign.Value);
+      Line = Assign.Line;
+      bool Observed = Assign.TargetIsIntVar;
+      if (Observed)
+        emit(Opcode::Dup);
+      compileStore(Var.Slot, Var.DeclaredKind, Var.Name);
+      if (Observed)
+        emit(Opcode::ObserveAssign, Assign.Id);
+      return;
+    }
+    case ExprKind::Index: {
+      const auto &Index = static_cast<const IndexExpr &>(*Assign.Target);
+      compileExpr(*Index.Base);
+      compileExpr(*Index.Subscript);
+      compileExpr(*Assign.Value);
+      Line = Index.Line;
+      emit(Opcode::IndexStore);
+      return;
+    }
+    case ExprKind::Field: {
+      const auto &Field = static_cast<const FieldExpr &>(*Assign.Target);
+      compileExpr(*Field.Base);
+      compileExpr(*Assign.Value);
+      Line = Field.Line;
+      emit(Opcode::FieldStore, strConst(Field.FieldName));
+      return;
+    }
+    default:
+      assert(false && "Sema rejects other assignment targets");
+      return;
+    }
+  }
+
+  case StmtKind::VarDecl: {
+    const auto &Decl = static_cast<const VarDeclStmt &>(S);
+    if (Decl.Init)
+      compileExpr(*Decl.Init);
+    else
+      switch (Decl.DeclKind) {
+      case VarKind::Int:
+        emit(Opcode::PushInt, intConst(0));
+        break;
+      case VarKind::Str:
+        emit(Opcode::PushStr, strConst(""));
+        break;
+      case VarKind::Arr:
+      case VarKind::Rec:
+        emit(Opcode::PushNull);
+        break;
+      }
+    Line = Decl.Line;
+    bool Observed = Decl.DeclKind == VarKind::Int && Decl.Init != nullptr;
+    if (Observed)
+      emit(Opcode::Dup);
+    compileStore(Decl.Slot, Decl.DeclKind, Decl.Name);
+    if (Observed)
+      emit(Opcode::ObserveAssign, Decl.Id);
+    return;
+  }
+
+  case StmtKind::Block:
+    for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Body)
+      compileStmt(*Child);
+    return;
+
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    compileExpr(*If.Cond);
+    Line = If.Cond->Line;
+    size_t ToElse = emit(Opcode::ObsJumpIfFalse, 0, If.Id);
+    compileStmt(*If.Then);
+    if (If.Else) {
+      Line = If.Line;
+      size_t ToEnd = emit(Opcode::Jump);
+      patchJump(ToElse);
+      compileStmt(*If.Else);
+      patchJump(ToEnd);
+    } else {
+      patchJump(ToElse);
+    }
+    return;
+  }
+
+  case StmtKind::While: {
+    const auto &While = static_cast<const WhileStmt &>(S);
+    int32_t Top = static_cast<int32_t>(Current->Code.size());
+    compileExpr(*While.Cond);
+    Line = While.Cond->Line;
+    size_t ToEnd = emit(Opcode::ObsJumpIfFalse, 0, While.Id);
+    BreakPatches.emplace_back();
+    ContinueTargets.push_back(Top);
+    ContinuePatches.emplace_back();
+    compileStmt(*While.Body);
+    Line = While.Line;
+    emit(Opcode::Jump, Top);
+    patchJump(ToEnd);
+    for (size_t At : BreakPatches.back())
+      patchJump(At);
+    for (size_t At : ContinuePatches.back())
+      Current->Code[At].A = Top;
+    BreakPatches.pop_back();
+    ContinueTargets.pop_back();
+    ContinuePatches.pop_back();
+    return;
+  }
+
+  case StmtKind::For: {
+    const auto &For = static_cast<const ForStmt &>(S);
+    if (For.Init)
+      compileStmt(*For.Init);
+    int32_t CondTop = static_cast<int32_t>(Current->Code.size());
+    Line = For.Line;
+    size_t ToEnd;
+    if (For.Cond) {
+      compileExpr(*For.Cond);
+      Line = For.Cond->Line;
+      ToEnd = emit(Opcode::ObsJumpIfFalse, 0, For.Id);
+    } else {
+      emit(Opcode::PushInt, intConst(1));
+      ToEnd = emit(Opcode::ObsJumpIfFalse, 0, For.Id);
+    }
+    BreakPatches.emplace_back();
+    ContinueTargets.push_back(-1); // Patched after the step is placed.
+    ContinuePatches.emplace_back();
+    compileStmt(*For.Body);
+    int32_t StepTop = static_cast<int32_t>(Current->Code.size());
+    if (For.Step)
+      compileStmt(*For.Step);
+    Line = For.Line;
+    emit(Opcode::Jump, CondTop);
+    patchJump(ToEnd);
+    for (size_t At : BreakPatches.back())
+      patchJump(At);
+    for (size_t At : ContinuePatches.back())
+      Current->Code[At].A = StepTop;
+    BreakPatches.pop_back();
+    ContinueTargets.pop_back();
+    ContinuePatches.pop_back();
+    return;
+  }
+
+  case StmtKind::Return: {
+    const auto &Return = static_cast<const ReturnStmt &>(S);
+    if (Return.Value)
+      compileExpr(*Return.Value);
+    else
+      emit(Opcode::PushUnit);
+    Line = S.Line;
+    emit(Opcode::Return);
+    return;
+  }
+
+  case StmtKind::Break:
+    assert(!BreakPatches.empty() && "Sema guarantees break inside a loop");
+    BreakPatches.back().push_back(emit(Opcode::Jump));
+    return;
+
+  case StmtKind::Continue:
+    assert(!ContinuePatches.empty() &&
+           "Sema guarantees continue inside a loop");
+    ContinuePatches.back().push_back(emit(Opcode::Jump));
+    return;
+  }
+}
+
+void Compiler::compileExpr(const Expr &E) {
+  Line = E.Line;
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    emit(Opcode::PushInt,
+         intConst(static_cast<const IntLitExpr &>(E).Value));
+    return;
+
+  case ExprKind::StrLit:
+    emit(Opcode::PushStr,
+         strConst(static_cast<const StrLitExpr &>(E).Value));
+    return;
+
+  case ExprKind::NullLit:
+    emit(Opcode::PushNull);
+    return;
+
+  case ExprKind::VarRef:
+    compileLoad(static_cast<const VarRefExpr &>(E));
+    return;
+
+  case ExprKind::Unary: {
+    const auto &Unary = static_cast<const UnaryExpr &>(E);
+    compileExpr(*Unary.Operand);
+    Line = E.Line;
+    emit(Opcode::Unary, static_cast<int32_t>(Unary.Op));
+    return;
+  }
+
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    if (Bin.Op == BinaryOp::And) {
+      compileExpr(*Bin.Lhs);
+      Line = Bin.Lhs->Line;
+      size_t ToFalse = emit(Opcode::ObsJumpIfFalse, 0, Bin.Id);
+      compileExpr(*Bin.Rhs);
+      Line = Bin.Rhs->Line;
+      emit(Opcode::ToBool);
+      size_t ToEnd = emit(Opcode::Jump);
+      patchJump(ToFalse);
+      emit(Opcode::PushInt, intConst(0));
+      patchJump(ToEnd);
+      return;
+    }
+    if (Bin.Op == BinaryOp::Or) {
+      compileExpr(*Bin.Lhs);
+      Line = Bin.Lhs->Line;
+      size_t ToTrue = emit(Opcode::ObsJumpIfTrue, 0, Bin.Id);
+      compileExpr(*Bin.Rhs);
+      Line = Bin.Rhs->Line;
+      emit(Opcode::ToBool);
+      size_t ToEnd = emit(Opcode::Jump);
+      patchJump(ToTrue);
+      emit(Opcode::PushInt, intConst(1));
+      patchJump(ToEnd);
+      return;
+    }
+    compileExpr(*Bin.Lhs);
+    compileExpr(*Bin.Rhs);
+    Line = Bin.Line;
+    emit(Opcode::Binary, static_cast<int32_t>(Bin.Op));
+    return;
+  }
+
+  case ExprKind::Index: {
+    const auto &Index = static_cast<const IndexExpr &>(E);
+    compileExpr(*Index.Base);
+    compileExpr(*Index.Subscript);
+    Line = Index.Line;
+    emit(Opcode::IndexLoad);
+    return;
+  }
+
+  case ExprKind::Field: {
+    const auto &Field = static_cast<const FieldExpr &>(E);
+    compileExpr(*Field.Base);
+    Line = Field.Line;
+    emit(Opcode::FieldLoad, strConst(Field.FieldName));
+    return;
+  }
+
+  case ExprKind::Call: {
+    const auto &Call = static_cast<const CallExpr &>(E);
+    for (const ExprPtr &Arg : Call.Args)
+      compileExpr(*Arg);
+    Line = Call.Line;
+    if (Call.Target)
+      emit(Opcode::Call, FuncIndex.at(Call.Target),
+           static_cast<int32_t>(Call.Args.size()));
+    else
+      emit(Opcode::CallIntrinsic, Call.IntrinsicId,
+           static_cast<int32_t>(Call.Args.size()));
+    emit(Opcode::ObserveCall, Call.Id);
+    return;
+  }
+
+  case ExprKind::New:
+    emit(Opcode::NewRec,
+         recordIndex(static_cast<const NewExpr &>(E).Record));
+    return;
+  }
+}
+
+CompiledProgram sbi::compileProgram(const Program &Prog) {
+  return Compiler(Prog).compile();
+}

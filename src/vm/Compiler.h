@@ -1,0 +1,31 @@
+//===- vm/Compiler.h - MicroC AST -> bytecode compiler --------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles an analyzed MicroC Program into the stack bytecode of
+/// vm/Bytecode.h. The compiler is total on Sema-checked programs — there
+/// are no compile errors at this stage — and preserves evaluation order
+/// and observer-event order exactly as the tree-walking interpreter
+/// produces them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_VM_COMPILER_H
+#define SBI_VM_COMPILER_H
+
+#include "lang/AST.h"
+#include "vm/Bytecode.h"
+
+namespace sbi {
+
+/// Compiles \p Prog (which must have passed Sema). The result references
+/// \p Prog's record declarations and must not outlive it.
+CompiledProgram compileProgram(const Program &Prog);
+
+} // namespace sbi
+
+#endif // SBI_VM_COMPILER_H

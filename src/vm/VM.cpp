@@ -1,0 +1,347 @@
+//===- vm/VM.cpp - MicroC bytecode virtual machine -------------------------===//
+
+#include "vm/VM.h"
+
+#include "lang/Intrinsics.h"
+#include "runtime/Semantics.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace sbi;
+
+namespace {
+
+class VM final : public EvalSink {
+public:
+  VM(const CompiledProgram &Compiled, const RunConfig &Config)
+      : Compiled(Compiled), Config(Config) {
+    // Pre-shared string values: PushStr copies a handle instead of
+    // allocating a fresh string per execution.
+    StrValues.reserve(Compiled.StrPool.size());
+    for (const std::string &S : Compiled.StrPool)
+      StrValues.push_back(Value::makeStr(S));
+    Operands.reserve(256);
+  }
+
+  RunOutcome run();
+
+  // --- EvalSink -----------------------------------------------------------
+  void trap(TrapKind Kind, std::string Message) override {
+    if (Stopped)
+      return;
+    Stopped = true;
+    Outcome.Trap = Kind;
+    Outcome.TrapLine = CurLine;
+    Outcome.TrapMessage = std::move(Message);
+    captureStack();
+  }
+
+  void emitOutput(const std::string &Text) override {
+    if (Outcome.Output.size() + Text.size() <= MaxOutputBytes)
+      Outcome.Output += Text;
+  }
+
+  void exitRun(int Code) override {
+    Outcome.ExitCode = Code;
+    Stopped = true;
+  }
+
+  void recordBug(int BugId) override {
+    Outcome.BugsTriggered.push_back(BugId);
+  }
+
+  const std::vector<std::string> &inputArgs() const override {
+    return Config.Args;
+  }
+
+  size_t overrunPad() const override { return Config.OverrunPad; }
+
+private:
+  struct Frame {
+    const Chunk *C = nullptr;
+    std::vector<Value> Locals;
+    size_t Pc = 0;
+    /// Line of the last executed instruction (for outer stack frames).
+    int CallLine = 0;
+  };
+
+  void captureStack();
+  void execute(const Chunk &Entry);
+
+  Value pop() {
+    assert(!Operands.empty() && "operand stack underflow");
+    Value V = std::move(Operands.back());
+    Operands.pop_back();
+    return V;
+  }
+
+  const CompiledProgram &Compiled;
+  const RunConfig &Config;
+  std::vector<Value> StrValues;
+  RunOutcome Outcome;
+  bool Stopped = false;
+  std::vector<Value> Globals;
+  std::vector<Value> Operands;
+  std::vector<Frame> Frames;
+  std::vector<Value> EmptyLocals;
+  uint64_t Steps = 0;
+  int CurLine = 0;
+};
+
+} // namespace
+
+void VM::captureStack() {
+  Outcome.StackTrace.clear();
+  int InnerLine = CurLine;
+  for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
+    Outcome.StackTrace.push_back(
+        format("%s@%d", It->C->Name.c_str(), InnerLine));
+    InnerLine = It->CallLine;
+  }
+}
+
+RunOutcome VM::run() {
+  Globals.resize(Compiled.NumGlobals);
+  execute(Compiled.InitChunk);
+
+  if (!Stopped) {
+    assert(Compiled.MainChunk >= 0);
+    execute(Compiled.Chunks[static_cast<size_t>(Compiled.MainChunk)]);
+    if (!Stopped && !Operands.empty()) {
+      Value Result = pop();
+      if (Result.isInt())
+        Outcome.ExitCode = static_cast<int>(Result.asInt());
+    }
+  }
+
+  std::sort(Outcome.BugsTriggered.begin(), Outcome.BugsTriggered.end());
+  Outcome.BugsTriggered.erase(std::unique(Outcome.BugsTriggered.begin(),
+                                          Outcome.BugsTriggered.end()),
+                              Outcome.BugsTriggered.end());
+  Outcome.Steps = Steps;
+  return std::move(Outcome);
+}
+
+void VM::execute(const Chunk &Entry) {
+  Operands.clear();
+  Frames.clear();
+  Frame Top;
+  Top.C = &Entry;
+  Top.Locals.resize(static_cast<size_t>(Entry.NumLocals));
+  Top.CallLine = Entry.Line;
+  Frames.push_back(std::move(Top));
+
+  // The dispatch loop is split in two: the outer loop re-binds the frame
+  // after calls and returns; the inner loop keeps the hot state (frame,
+  // code, pc) in registers between frame changes.
+  while (!Stopped && !Frames.empty()) {
+    Frame &F = Frames.back();
+    const Instr *Code = F.C->Code.data();
+    std::vector<Value> &Locals = F.Locals;
+    size_t Pc = F.Pc;
+    bool FrameChanged = false;
+    while (!Stopped && !FrameChanged) {
+    assert(Pc < F.C->Code.size() && "fell off the end of a chunk");
+    const Instr &In = Code[Pc++];
+    CurLine = In.Line;
+    if (++Steps >= Config.StepLimit) {
+      trap(TrapKind::StepLimit, "step limit exceeded");
+      return;
+    }
+
+    switch (In.Op) {
+    case Opcode::PushInt:
+      Operands.push_back(
+          Value::makeInt(Compiled.IntPool[static_cast<size_t>(In.A)]));
+      break;
+    case Opcode::PushStr:
+      Operands.push_back(StrValues[static_cast<size_t>(In.A)]);
+      break;
+    case Opcode::PushNull:
+      Operands.push_back(Value::makeNull());
+      break;
+    case Opcode::PushUnit:
+      Operands.push_back(Value());
+      break;
+    case Opcode::Pop:
+      pop();
+      break;
+    case Opcode::Dup:
+      Operands.push_back(Operands.back());
+      break;
+
+    case Opcode::LoadLocal:
+    case Opcode::LoadGlobal: {
+      std::vector<Value> &Storage =
+          In.Op == Opcode::LoadGlobal ? Globals : Locals;
+      const Value &V = Storage[static_cast<size_t>(In.A)];
+      if (V.isUnit()) {
+        trap(TrapKind::KindError,
+             format("use of uninitialized variable '%s'",
+                    Compiled.StrPool[static_cast<size_t>(In.B)].c_str()));
+        break;
+      }
+      Operands.push_back(V);
+      break;
+    }
+
+    case Opcode::StoreLocal:
+    case Opcode::StoreGlobal: {
+      Value V = pop();
+      if (!semCheckKind(static_cast<VarKind>(In.C), V,
+                        Compiled.StrPool[static_cast<size_t>(In.B)], *this))
+        break;
+      std::vector<Value> &Storage =
+          In.Op == Opcode::StoreGlobal ? Globals : Locals;
+      Storage[static_cast<size_t>(In.A)] = std::move(V);
+      break;
+    }
+
+    case Opcode::Binary: {
+      Value Rhs = pop();
+      Value Lhs = pop();
+      Operands.push_back(
+          semBinaryOp(static_cast<BinaryOp>(In.A), Lhs, Rhs, *this));
+      break;
+    }
+
+    case Opcode::Unary: {
+      Value V = pop();
+      Operands.push_back(semUnaryOp(static_cast<UnaryOp>(In.A), V, *this));
+      break;
+    }
+
+    case Opcode::ToBool: {
+      Value V = pop();
+      bool B = semTruthy(V, *this);
+      Operands.push_back(Value::makeInt(B ? 1 : 0));
+      break;
+    }
+
+    case Opcode::Jump:
+      Pc = static_cast<size_t>(In.A);
+      break;
+
+    case Opcode::ObsJumpIfFalse:
+    case Opcode::ObsJumpIfTrue: {
+      Value V = pop();
+      bool Taken = semTruthy(V, *this);
+      if (Stopped)
+        break;
+      if (Config.Observer)
+        Config.Observer->onBranch(In.B, Taken);
+      bool Jump = In.Op == Opcode::ObsJumpIfFalse ? !Taken : Taken;
+      if (Jump)
+        Pc = static_cast<size_t>(In.A);
+      break;
+    }
+
+    case Opcode::IndexLoad: {
+      Value Subscript = pop();
+      Value Base = pop();
+      Value *Element = semResolveElement(Base, Subscript, *this);
+      Operands.push_back(Element ? *Element : Value());
+      break;
+    }
+
+    case Opcode::IndexStore: {
+      Value V = pop();
+      Value Subscript = pop();
+      Value Base = pop();
+      if (Value *Element = semResolveElement(Base, Subscript, *this))
+        *Element = std::move(V);
+      break;
+    }
+
+    case Opcode::FieldLoad: {
+      Value Base = pop();
+      Operands.push_back(semLoadField(
+          Base, Compiled.StrPool[static_cast<size_t>(In.A)], *this));
+      break;
+    }
+
+    case Opcode::FieldStore: {
+      Value V = pop();
+      Value Base = pop();
+      semStoreField(Base, Compiled.StrPool[static_cast<size_t>(In.A)],
+                    std::move(V), *this);
+      break;
+    }
+
+    case Opcode::NewRec: {
+      const RecordDecl *Decl = Compiled.Records[static_cast<size_t>(In.A)];
+      auto Rec = std::make_shared<RecordObj>();
+      Rec->Decl = Decl;
+      Rec->Fields.assign(Decl->Fields.size(), Value::makeNull());
+      Operands.push_back(Value::makeRec(std::move(Rec)));
+      break;
+    }
+
+    case Opcode::Call: {
+      F.Pc = Pc; // The frame reference dies when the callee is pushed.
+      const Chunk &Callee = Compiled.Chunks[static_cast<size_t>(In.A)];
+      if (static_cast<int>(Frames.size()) >= Config.MaxCallDepth) {
+        trap(TrapKind::StackOverflow,
+             format("call depth exceeded calling '%s'",
+                    Callee.Name.c_str()));
+        break;
+      }
+      Frame NewFrame;
+      NewFrame.C = &Callee;
+      NewFrame.Locals.resize(static_cast<size_t>(Callee.NumLocals));
+      NewFrame.CallLine = In.Line;
+      size_t NumArgs = static_cast<size_t>(In.B);
+      for (size_t I = NumArgs; I > 0; --I)
+        NewFrame.Locals[I - 1] = pop();
+      Frames.push_back(std::move(NewFrame));
+      FrameChanged = true;
+      break;
+    }
+
+    case Opcode::CallIntrinsic: {
+      size_t NumArgs = static_cast<size_t>(In.B);
+      std::vector<Value> Args(NumArgs);
+      for (size_t I = NumArgs; I > 0; --I)
+        Args[I - 1] = pop();
+      Operands.push_back(semCallIntrinsic(In.A, intrinsicInfo(In.A).Name,
+                                          std::move(Args), *this));
+      break;
+    }
+
+    case Opcode::ObserveCall:
+      if (Config.Observer && Operands.back().isInt())
+        Config.Observer->onScalarReturn(In.A, Operands.back().asInt());
+      break;
+
+    case Opcode::ObserveAssign: {
+      Value V = pop();
+      if (Config.Observer && V.isInt())
+        Config.Observer->onScalarAssign(In.A, V.asInt(),
+                                        FrameView(Globals, Locals));
+      break;
+    }
+
+    case Opcode::Return: {
+      Value Result = pop();
+      Frames.pop_back();
+      Operands.push_back(std::move(Result));
+      FrameChanged = true;
+      break;
+    }
+
+    case Opcode::Halt:
+      Frames.clear();
+      FrameChanged = true;
+      break;
+    }
+    }
+    if (!Frames.empty() && &Frames.back() == &F)
+      F.Pc = Pc;
+  }
+}
+
+RunOutcome sbi::runCompiled(const CompiledProgram &Compiled,
+                            const RunConfig &Config) {
+  return VM(Compiled, Config).run();
+}

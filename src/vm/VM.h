@@ -1,0 +1,34 @@
+//===- vm/VM.h - MicroC bytecode virtual machine ---------------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes compiled MicroC bytecode with the same RunConfig/RunOutcome
+/// contract as runtime/Interp.h and identical observable behaviour
+/// (enforced by the engine differential tests). Use this engine for large
+/// campaigns; the tree-walker remains the reference semantics.
+///
+/// The step budget counts bytecode instructions rather than AST node
+/// visits, so RunOutcome::Steps is not comparable across engines (both are
+/// only runaway guards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_VM_VM_H
+#define SBI_VM_VM_H
+
+#include "runtime/Interp.h"
+#include "vm/Bytecode.h"
+
+namespace sbi {
+
+/// Runs \p Compiled under \p Config.
+RunOutcome runCompiled(const CompiledProgram &Compiled,
+                       const RunConfig &Config);
+
+} // namespace sbi
+
+#endif // SBI_VM_VM_H

@@ -1,0 +1,426 @@
+//===- tests/core/AnalysisTest.cpp - Cause-isolation algorithm tests ------===//
+
+#include "core/Analysis.h"
+
+#include "SyntheticWorld.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sbi;
+
+namespace {
+
+/// Report builder that can set any predicate offset within a site true,
+/// enabling complementary-predicate (P vs not-P) scenarios.
+FeedbackReport makeOffsetReport(
+    const SiteTable &Sites, bool Failed,
+    std::vector<std::pair<uint32_t, uint32_t>> SiteAndOffset,
+    std::vector<uint32_t> ObservedOnly = {}) {
+  FeedbackReport Report;
+  Report.Failed = Failed;
+  std::set<uint32_t> All;
+  for (const auto &[Site, Offset] : SiteAndOffset)
+    All.insert(Site);
+  for (uint32_t Site : ObservedOnly)
+    All.insert(Site);
+  for (uint32_t Site : All)
+    Report.Counts.SiteObservations.emplace_back(Site, 1);
+  std::set<uint32_t> Preds;
+  for (const auto &[Site, Offset] : SiteAndOffset)
+    Preds.insert(Sites.site(Site).FirstPredicate + Offset);
+  for (uint32_t Pred : Preds)
+    Report.Counts.TruePredicates.emplace_back(Pred, 1);
+  return Report;
+}
+
+} // namespace
+
+TEST(PruningTest, DoomedPathPredicateIsDiscarded) {
+  // Site 0: the real cause (true exactly in failing runs, observed
+  // everywhere). Site 1: the paper's x == 0 predicate, observed only on
+  // the doomed path and always true there.
+  SyntheticWorld World(8);
+  ReportSet Set = World.emptySet();
+  for (int I = 0; I < 30; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {0, 1}));
+  for (int I = 0; I < 70; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, false, {}, {0}));
+
+  CauseIsolator Isolator(World.Sites, Set);
+  std::vector<uint32_t> Survivors = Isolator.prune();
+  std::set<uint32_t> Surviving(Survivors.begin(), Survivors.end());
+  EXPECT_TRUE(Surviving.count(World.predOf(0)));
+  EXPECT_FALSE(Surviving.count(World.predOf(1)))
+      << "Failure = Context = 1.0 predicates must not survive";
+}
+
+TEST(PruningTest, InvariantPredicateIsDiscarded) {
+  SyntheticWorld World(8);
+  ReportSet Set = World.emptySet();
+  for (int I = 0; I < 25; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {2}));
+  for (int I = 0; I < 75; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, false, {2}));
+  CauseIsolator Isolator(World.Sites, Set);
+  for (uint32_t Survivor : Isolator.prune())
+    EXPECT_NE(Survivor, World.predOf(2));
+}
+
+TEST(PruningTest, LowConfidencePredicateIsDiscarded) {
+  // A mildly positive Increase from very few observations: the point
+  // estimate is above zero but the 95% interval is not.
+  SyntheticWorld World(8);
+  ReportSet Set = World.emptySet();
+  Set.add(SyntheticWorld::makeReport(World.Sites, true, {3}));
+  Set.add(SyntheticWorld::makeReport(World.Sites, true, {3}));
+  Set.add(SyntheticWorld::makeReport(World.Sites, false, {3}));
+  for (int I = 0; I < 8; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {}, {3}));
+  for (int I = 0; I < 19; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, false, {}, {3}));
+  // Failure = 2/3 vs Context = 10/30: positive but uncertain.
+  RunView View = RunView::allOf(Set);
+  Aggregates Agg = Aggregates::compute(Set, View);
+  PredicateScores Scores = Agg.scores(World.predOf(3), World.Sites);
+  ASSERT_GT(Scores.increase().Value, 0.0);
+  CauseIsolator Isolator(World.Sites, Set);
+  for (uint32_t Survivor : Isolator.prune())
+    EXPECT_NE(Survivor, World.predOf(3));
+}
+
+TEST(EliminationTest, TwoBugsGetTwoPredictors) {
+  SyntheticWorld World(12);
+  ReportSet Set = World.emptySet();
+  // Bug A (common): predicted by site 0. Bug B (rarer): by site 1.
+  // Everything is also observed at sites 0 and 1 so Context is meaningful.
+  for (int I = 0; I < 60; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {0}, {1},
+                                       FeedbackReport::bugBit(1)));
+  for (int I = 0; I < 20; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {1}, {0},
+                                       FeedbackReport::bugBit(2)));
+  for (int I = 0; I < 200; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, false, {}, {0, 1}));
+
+  CauseIsolator Isolator(World.Sites, Set);
+  AnalysisResult Result = Isolator.run();
+  ASSERT_GE(Result.Selected.size(), 2u);
+  EXPECT_EQ(Result.Selected[0].Pred, World.predOf(0))
+      << "the more important bug's predictor is selected first";
+  EXPECT_EQ(Result.Selected[1].Pred, World.predOf(1));
+}
+
+TEST(EliminationTest, RedundantPredicatesCollapseToOne) {
+  SyntheticWorld World(12);
+  ReportSet Set = World.emptySet();
+  // Sites 0 and 1 are perfectly redundant (always true together).
+  for (int I = 0; I < 40; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {0, 1}));
+  for (int I = 0; I < 160; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, false, {}, {0, 1}));
+
+  CauseIsolator Isolator(World.Sites, Set);
+  AnalysisResult Result = Isolator.run();
+  // The first selection covers every failing run, so exactly one of the
+  // two is selected.
+  ASSERT_EQ(Result.Selected.size(), 1u);
+  // And the redundant partner tops its affinity list.
+  ASSERT_FALSE(Result.Selected[0].Affinity.empty());
+  uint32_t Partner = Result.Selected[0].Pred == World.predOf(0)
+                         ? World.predOf(1)
+                         : World.predOf(0);
+  EXPECT_EQ(Result.Selected[0].Affinity[0].first, Partner);
+}
+
+TEST(EliminationTest, EffectiveScoresReflectDilution) {
+  SyntheticWorld World(12);
+  ReportSet Set = World.emptySet();
+  // Bug A at site 0 (strong); site 1 is a sub-predictor: true in half of
+  // bug A's failing runs plus a few unique failures of bug B.
+  for (int I = 0; I < 30; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {0, 1}, {}));
+  for (int I = 0; I < 30; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {0}, {1}));
+  for (int I = 0; I < 12; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {1}, {0}));
+  for (int I = 0; I < 150; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, false, {}, {0, 1}));
+
+  CauseIsolator Isolator(World.Sites, Set);
+  AnalysisResult Result = Isolator.run();
+  ASSERT_GE(Result.Selected.size(), 2u);
+  const SelectedPredicate *Second = nullptr;
+  for (const SelectedPredicate &Entry : Result.Selected)
+    if (Entry.Pred == World.predOf(1))
+      Second = &Entry;
+  ASSERT_NE(Second, nullptr);
+  // By the time site 1 is selected, its shared runs are gone: the
+  // effective F is the 12 unique failures, well below the initial 42.
+  EXPECT_EQ(Second->InitialScores.counts().F, 42u);
+  EXPECT_EQ(Second->EffectiveScores.counts().F, 12u);
+  EXPECT_LT(Second->FailingRunsAtSelection, 72u);
+}
+
+TEST(EliminationTest, DeterministicAcrossCalls) {
+  SyntheticWorld World(12);
+  ReportSet Set = World.emptySet();
+  Rng R(99);
+  for (int I = 0; I < 150; ++I) {
+    bool BugA = R.nextBernoulli(0.2);
+    bool BugB = R.nextBernoulli(0.1);
+    std::vector<uint32_t> True;
+    if (BugA)
+      True.push_back(0);
+    if (BugB)
+      True.push_back(1);
+    if (R.nextBernoulli(0.5))
+      True.push_back(2); // Noise.
+    Set.add(SyntheticWorld::makeReport(World.Sites, BugA || BugB, True,
+                                       {0, 1, 2}));
+  }
+  CauseIsolator Isolator(World.Sites, Set);
+  AnalysisResult A = Isolator.run();
+  AnalysisResult B = Isolator.run();
+  ASSERT_EQ(A.Selected.size(), B.Selected.size());
+  for (size_t I = 0; I < A.Selected.size(); ++I)
+    EXPECT_EQ(A.Selected[I].Pred, B.Selected[I].Pred);
+}
+
+TEST(EliminationTest, MaxSelectionsHonored) {
+  SyntheticWorld World(24);
+  ReportSet Set = World.emptySet();
+  // Ten independent "bugs", each with its own predictor site.
+  for (uint32_t Bug = 0; Bug < 10; ++Bug)
+    for (int I = 0; I < 12; ++I)
+      Set.add(SyntheticWorld::makeReport(World.Sites, true, {Bug},
+                                         {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  for (int I = 0; I < 100; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, false, {},
+                                       {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  AnalysisOptions Options;
+  Options.MaxSelections = 3;
+  CauseIsolator Isolator(World.Sites, Set, Options);
+  EXPECT_EQ(Isolator.run().Selected.size(), 3u);
+}
+
+// --- Lemma 3.1: every covered bug keeps a predictor ----------------------
+
+class LemmaCoverageTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LemmaCoverageTest, EveryCoveredBugGetsAPredictor) {
+  SyntheticWorld World(24);
+  Rng R(GetParam());
+  ReportSet Set = World.emptySet();
+
+  constexpr int NumBugs = 4;
+  // Bug k is predicted by site k; rates differ by an order of magnitude.
+  double Rates[NumBugs] = {0.2, 0.1, 0.05, 0.02};
+  for (int I = 0; I < 600; ++I) {
+    std::vector<uint32_t> True;
+    uint64_t Mask = 0;
+    for (int Bug = 0; Bug < NumBugs; ++Bug)
+      if (R.nextBernoulli(Rates[Bug])) {
+        True.push_back(static_cast<uint32_t>(Bug));
+        Mask |= FeedbackReport::bugBit(Bug + 1);
+      }
+    bool Failed = Mask != 0;
+    // Noise predicate, uncorrelated.
+    if (R.nextBernoulli(0.3))
+      True.push_back(10);
+    Set.add(SyntheticWorld::makeReport(World.Sites, Failed, True,
+                                       {0, 1, 2, 3, 10}, Mask));
+  }
+
+  CauseIsolator Isolator(World.Sites, Set);
+  AnalysisResult Result = Isolator.run();
+
+  // Lemma 3.1: each bug that causes at least one failing run where its
+  // predictor is observed true must be covered by some selected predicate.
+  for (int Bug = 1; Bug <= NumBugs; ++Bug) {
+    size_t BugFailures = 0;
+    for (const FeedbackReport &Report : Set.reports())
+      if (Report.Failed && Report.hasBug(Bug))
+        ++BugFailures;
+    if (BugFailures == 0)
+      continue;
+    bool Covered = false;
+    for (const SelectedPredicate &Entry : Result.Selected)
+      for (const FeedbackReport &Report : Set.reports())
+        if (Report.Failed && Report.hasBug(Bug) &&
+            Report.observedTrue(Entry.Pred)) {
+          Covered = true;
+          break;
+        }
+    EXPECT_TRUE(Covered) << "bug " << Bug << " (seed " << GetParam()
+                         << ", " << BugFailures << " failures) uncovered";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaCoverageTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Section 5: the three run-discard policies ----------------------------
+
+namespace {
+
+/// Two anti-correlated bugs: bug A's predictor P is site 0's Lt predicate
+/// (offset 0); bug B's predictor is the complementary Ge predicate
+/// (offset 3) of the SAME site. Every run observes site 0 and exactly one
+/// of the two predicates is true, like P and not-P in Section 5. Bug A
+/// dominates, so Increase(not-P) is initially negative.
+ReportSet antiCorrelatedSet(const SyntheticWorld &World) {
+  ReportSet Set =
+      ReportSet(World.Sites.numSites(), World.Sites.numPredicates());
+  for (int I = 0; I < 80; ++I) // Bug A failures: P true.
+    Set.add(makeOffsetReport(World.Sites, true, {{0, 0}}));
+  for (int I = 0; I < 30; ++I) // Bug B failures: not-P true.
+    Set.add(makeOffsetReport(World.Sites, true, {{0, 3}}));
+  for (int I = 0; I < 20; ++I) // Successes: P true (innocuously).
+    Set.add(makeOffsetReport(World.Sites, false, {{0, 0}}));
+  for (int I = 0; I < 70; ++I) // Successes: not-P true.
+    Set.add(makeOffsetReport(World.Sites, false, {{0, 3}}));
+  return Set;
+}
+
+} // namespace
+
+TEST(PolicyTest, NotPInitiallyFailsThePruningTest) {
+  SyntheticWorld World(8);
+  ReportSet Set = antiCorrelatedSet(World);
+  uint32_t NotP = World.Sites.site(0).FirstPredicate + 3;
+  RunView View = RunView::allOf(Set);
+  Aggregates Agg = Aggregates::compute(Set, View);
+  // Overshadowed by the anti-correlated dominant bug (Section 5).
+  EXPECT_LT(Agg.scores(NotP, World.Sites).increase().Value, 0.0);
+}
+
+TEST(PolicyTest, RetainingPoliciesIsolateAntiCorrelatedBugs) {
+  // Under proposals (2) and (3), not-P must not be discarded early and is
+  // found once P's runs are handled.
+  SyntheticWorld World(8);
+  ReportSet Set = antiCorrelatedSet(World);
+  uint32_t P = World.Sites.site(0).FirstPredicate + 0;
+  uint32_t NotP = World.Sites.site(0).FirstPredicate + 3;
+
+  for (DiscardPolicy Policy : {DiscardPolicy::DiscardFailingRuns,
+                               DiscardPolicy::RelabelFailingRuns}) {
+    AnalysisOptions Options;
+    Options.Policy = Policy;
+    CauseIsolator Isolator(World.Sites, Set, Options);
+    AnalysisResult Result = Isolator.run();
+    std::set<uint32_t> Picked;
+    for (const SelectedPredicate &Entry : Result.Selected)
+      Picked.insert(Entry.Pred);
+    EXPECT_TRUE(Picked.count(P)) << discardPolicyName(Policy);
+    EXPECT_TRUE(Picked.count(NotP)) << discardPolicyName(Policy);
+  }
+}
+
+TEST(PolicyTest, DiscardAllFindsOnlyOneOfTheComplements) {
+  // Under proposal (1), once P's runs are discarded, every remaining run
+  // observing the site has not-P true, so Increase(not-P) is exactly 0 and
+  // not-P can never rise; "only one of P or not-P can have positive
+  // predictive power".
+  SyntheticWorld World(8);
+  ReportSet Set = antiCorrelatedSet(World);
+  uint32_t P = World.Sites.site(0).FirstPredicate + 0;
+  uint32_t NotP = World.Sites.site(0).FirstPredicate + 3;
+
+  CauseIsolator Isolator(World.Sites, Set);
+  AnalysisResult Result = Isolator.run();
+  std::set<uint32_t> Picked;
+  for (const SelectedPredicate &Entry : Result.Selected)
+    Picked.insert(Entry.Pred);
+  EXPECT_TRUE(Picked.count(P));
+  EXPECT_FALSE(Picked.count(NotP));
+}
+
+TEST(PolicyTest, ComplementIncreaseNonNegativeAfterSelection) {
+  // Section 5: right after P is selected, Increase(not-P) >= 0 under every
+  // proposal (when defined). Apply each policy's run-view transformation
+  // for P by hand and check the complement's score.
+  SyntheticWorld World(8);
+  ReportSet Set = antiCorrelatedSet(World);
+  uint32_t P = World.Sites.site(0).FirstPredicate + 0;
+  uint32_t NotP = World.Sites.site(0).FirstPredicate + 3;
+
+  for (DiscardPolicy Policy :
+       {DiscardPolicy::DiscardAllRuns, DiscardPolicy::DiscardFailingRuns,
+        DiscardPolicy::RelabelFailingRuns}) {
+    RunView View = RunView::allOf(Set);
+    for (size_t Run = 0; Run < Set.size(); ++Run) {
+      if (!Set[Run].observedTrue(P))
+        continue;
+      switch (Policy) {
+      case DiscardPolicy::DiscardAllRuns:
+        View.Active[Run] = 0;
+        break;
+      case DiscardPolicy::DiscardFailingRuns:
+        if (View.Failed[Run])
+          View.Active[Run] = 0;
+        break;
+      case DiscardPolicy::RelabelFailingRuns:
+        if (View.Failed[Run])
+          View.Failed[Run] = 0;
+        break;
+      }
+    }
+    Aggregates Agg = Aggregates::compute(Set, View);
+    PredicateScores Scores = Agg.scores(NotP, World.Sites);
+    if (Scores.counts().observed() > 0)
+      EXPECT_GE(Scores.increase().Value, -1e-12)
+          << discardPolicyName(Policy);
+  }
+}
+
+TEST(PolicyTest, RelabelKeepsEveryRunActive) {
+  SyntheticWorld World(8);
+  ReportSet Set = antiCorrelatedSet(World);
+  AnalysisOptions Options;
+  Options.Policy = DiscardPolicy::RelabelFailingRuns;
+  CauseIsolator Isolator(World.Sites, Set, Options);
+  AnalysisResult Result = Isolator.run();
+  ASSERT_GE(Result.Selected.size(), 2u);
+  // The second selection still sees the full population.
+  EXPECT_EQ(Result.Selected[1].ActiveRunsAtSelection, Set.size());
+}
+
+TEST(PolicyTest, DiscardFailingKeepsSuccesses) {
+  SyntheticWorld World(8);
+  ReportSet Set = antiCorrelatedSet(World);
+  AnalysisOptions Options;
+  Options.Policy = DiscardPolicy::DiscardFailingRuns;
+  CauseIsolator Isolator(World.Sites, Set, Options);
+  AnalysisResult Result = Isolator.run();
+  ASSERT_GE(Result.Selected.size(), 2u);
+  // The 80 failing runs with P were discarded; every success remains.
+  EXPECT_EQ(Result.Selected[1].ActiveRunsAtSelection, Set.size() - 80);
+}
+
+// --- Ranking ---------------------------------------------------------------
+
+TEST(RankTest, OrdersByImportanceThenF) {
+  SyntheticWorld World(12);
+  ReportSet Set = World.emptySet();
+  for (int I = 0; I < 40; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {0}, {1, 2}));
+  for (int I = 0; I < 10; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, true, {1}, {0, 2}));
+  for (int I = 0; I < 100; ++I)
+    Set.add(SyntheticWorld::makeReport(World.Sites, false, {2}, {0, 1}));
+
+  CauseIsolator Isolator(World.Sites, Set);
+  RunView View = RunView::allOf(Set);
+  std::vector<uint32_t> Candidates = {World.predOf(0), World.predOf(1),
+                                      World.predOf(2)};
+  auto Ranked = Isolator.rank(Candidates, View);
+  ASSERT_EQ(Ranked.size(), 3u);
+  EXPECT_EQ(Ranked[0].Pred, World.predOf(0));
+  EXPECT_EQ(Ranked[1].Pred, World.predOf(1));
+  EXPECT_EQ(Ranked[2].Pred, World.predOf(2)); // Zero importance last.
+  EXPECT_GE(Ranked[0].Importance, Ranked[1].Importance);
+  EXPECT_DOUBLE_EQ(Ranked[2].Importance, 0.0);
+}

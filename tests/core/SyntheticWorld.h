@@ -1,0 +1,85 @@
+//===- tests/core/SyntheticWorld.h - Planted-bug report fixtures ----------===//
+//
+// Shared fixture for core-analysis tests: a small MicroC program mints a
+// real SiteTable, and reports are synthesized directly against it with
+// planted bugs, so tests control ground truth exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_TESTS_CORE_SYNTHETICWORLD_H
+#define SBI_TESTS_CORE_SYNTHETICWORLD_H
+
+#include "feedback/Report.h"
+#include "instrument/Sites.h"
+#include "lang/Sema.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sbi {
+
+struct SyntheticWorld {
+  std::unique_ptr<Program> Prog;
+  SiteTable Sites;
+
+  /// Mints a program with at least \p MinSites six-way scalar-pairs sites.
+  explicit SyntheticWorld(size_t MinSites = 24) {
+    std::string Source = "fn main() {\n  int a = 1;\n";
+    size_t Vars = 1;
+    size_t Estimate = 0;
+    while (Estimate < MinSites) {
+      Source += "  int v" + std::to_string(Vars) + " = " +
+                std::to_string(Vars % 5) + ";\n";
+      Estimate += Vars;
+      ++Vars;
+    }
+    Source += "  println(a);\n}\n";
+    std::vector<Diagnostic> Diags;
+    Prog = parseAndAnalyze(Source, Diags);
+    EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+    Sites = SiteTable::build(*Prog);
+    EXPECT_GE(Sites.numSites(), MinSites);
+  }
+
+  ReportSet emptySet() const {
+    return ReportSet(Sites.numSites(), Sites.numPredicates());
+  }
+
+  /// Adds a report that observed the given sites, with the site's FIRST
+  /// predicate true for each entry of \p TrueAtSites, and sites in
+  /// \p ObservedOnly merely observed.
+  static FeedbackReport makeReport(const SiteTable &Sites, bool Failed,
+                                   std::vector<uint32_t> TrueAtSites,
+                                   std::vector<uint32_t> ObservedOnly = {},
+                                   uint64_t BugMask = 0) {
+    FeedbackReport Report;
+    Report.Failed = Failed;
+    Report.BugMask = BugMask;
+    std::vector<uint32_t> AllSites = TrueAtSites;
+    AllSites.insert(AllSites.end(), ObservedOnly.begin(),
+                    ObservedOnly.end());
+    std::sort(AllSites.begin(), AllSites.end());
+    AllSites.erase(std::unique(AllSites.begin(), AllSites.end()),
+                   AllSites.end());
+    for (uint32_t Site : AllSites)
+      Report.Counts.SiteObservations.emplace_back(Site, 1);
+    std::sort(TrueAtSites.begin(), TrueAtSites.end());
+    TrueAtSites.erase(std::unique(TrueAtSites.begin(), TrueAtSites.end()),
+                      TrueAtSites.end());
+    for (uint32_t Site : TrueAtSites)
+      Report.Counts.TruePredicates.emplace_back(
+          Sites.site(Site).FirstPredicate, 1);
+    return Report;
+  }
+
+  /// First predicate id of a site (the one makeReport sets true).
+  uint32_t predOf(uint32_t Site) const {
+    return Sites.site(Site).FirstPredicate;
+  }
+};
+
+} // namespace sbi
+
+#endif // SBI_TESTS_CORE_SYNTHETICWORLD_H

@@ -1,0 +1,124 @@
+//===- tests/feedback/ReportTest.cpp - Feedback report tests --------------===//
+
+#include "feedback/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+FeedbackReport makeReport(bool Failed,
+                          std::vector<std::pair<uint32_t, uint32_t>> Sites,
+                          std::vector<std::pair<uint32_t, uint32_t>> Preds) {
+  FeedbackReport Report;
+  Report.Failed = Failed;
+  Report.Counts.SiteObservations = std::move(Sites);
+  Report.Counts.TruePredicates = std::move(Preds);
+  return Report;
+}
+
+} // namespace
+
+TEST(FeedbackReportTest, ObservedTrueBinarySearch) {
+  FeedbackReport Report =
+      makeReport(false, {{0, 1}}, {{3, 2}, {7, 1}, {100, 5}});
+  EXPECT_TRUE(Report.observedTrue(3));
+  EXPECT_TRUE(Report.observedTrue(7));
+  EXPECT_TRUE(Report.observedTrue(100));
+  EXPECT_FALSE(Report.observedTrue(0));
+  EXPECT_FALSE(Report.observedTrue(5));
+  EXPECT_FALSE(Report.observedTrue(101));
+}
+
+TEST(FeedbackReportTest, ZeroCountIsNotObservedTrue) {
+  FeedbackReport Report = makeReport(false, {}, {{4, 0}});
+  EXPECT_FALSE(Report.observedTrue(4));
+}
+
+TEST(FeedbackReportTest, SiteObserved) {
+  FeedbackReport Report = makeReport(false, {{2, 3}, {9, 1}}, {});
+  EXPECT_TRUE(Report.siteObserved(2));
+  EXPECT_TRUE(Report.siteObserved(9));
+  EXPECT_FALSE(Report.siteObserved(5));
+}
+
+TEST(FeedbackReportTest, BugMask) {
+  FeedbackReport Report;
+  Report.BugMask = FeedbackReport::bugBit(1) | FeedbackReport::bugBit(9);
+  EXPECT_TRUE(Report.hasBug(1));
+  EXPECT_TRUE(Report.hasBug(9));
+  EXPECT_FALSE(Report.hasBug(2));
+}
+
+TEST(ReportSetTest, Counting) {
+  ReportSet Set(10, 60);
+  Set.add(makeReport(true, {}, {}));
+  Set.add(makeReport(false, {}, {}));
+  Set.add(makeReport(true, {}, {}));
+  EXPECT_EQ(Set.size(), 3u);
+  EXPECT_EQ(Set.numFailing(), 2u);
+  EXPECT_EQ(Set.numSuccessful(), 1u);
+  EXPECT_EQ(Set.numSites(), 10u);
+  EXPECT_EQ(Set.numPredicates(), 60u);
+}
+
+TEST(ReportSetTest, SerializeRoundTrip) {
+  ReportSet Set(4, 24);
+  FeedbackReport A = makeReport(true, {{0, 2}, {3, 1}}, {{5, 1}, {20, 9}});
+  A.Trap = TrapKind::NullDeref;
+  A.ExitCode = 0;
+  A.StackSignature = "f@3>main@10";
+  A.BugMask = FeedbackReport::bugBit(2);
+  Set.add(A);
+  FeedbackReport B = makeReport(false, {{1, 1}}, {});
+  Set.add(B);
+
+  std::string Text = Set.serialize();
+  ReportSet Out;
+  ASSERT_TRUE(ReportSet::deserialize(Text, Out));
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out.numSites(), 4u);
+  EXPECT_EQ(Out.numPredicates(), 24u);
+  EXPECT_TRUE(Out[0].Failed);
+  EXPECT_EQ(Out[0].Trap, TrapKind::NullDeref);
+  EXPECT_EQ(Out[0].StackSignature, "f@3>main@10");
+  EXPECT_TRUE(Out[0].hasBug(2));
+  EXPECT_EQ(Out[0].Counts.SiteObservations, A.Counts.SiteObservations);
+  EXPECT_EQ(Out[0].Counts.TruePredicates, A.Counts.TruePredicates);
+  EXPECT_FALSE(Out[1].Failed);
+  EXPECT_TRUE(Out[1].StackSignature.empty());
+}
+
+TEST(ReportSetTest, SerializeEmptySet) {
+  ReportSet Set(0, 0);
+  ReportSet Out;
+  ASSERT_TRUE(ReportSet::deserialize(Set.serialize(), Out));
+  EXPECT_EQ(Out.size(), 0u);
+}
+
+TEST(ReportSetTest, DeserializeRejectsGarbage) {
+  ReportSet Out;
+  EXPECT_FALSE(ReportSet::deserialize("", Out));
+  EXPECT_FALSE(ReportSet::deserialize("not a report file", Out));
+  EXPECT_FALSE(ReportSet::deserialize("SBI-REPORTS v1\n", Out));
+  EXPECT_FALSE(ReportSet::deserialize(
+      "SBI-REPORTS v1\n1 1 1\nR bogus\n", Out));
+}
+
+TEST(ReportSetTest, DeserializeRejectsTruncated) {
+  ReportSet Set(2, 12);
+  Set.add(makeReport(true, {{0, 1}}, {{3, 1}}));
+  std::string Text = Set.serialize();
+  ReportSet Out;
+  EXPECT_FALSE(
+      ReportSet::deserialize(Text.substr(0, Text.size() / 2), Out));
+}
+
+TEST(ReportSetTest, DeserializeFailureLeavesOutputUntouched) {
+  ReportSet Out(7, 8);
+  Out.add(makeReport(true, {}, {}));
+  EXPECT_FALSE(ReportSet::deserialize("garbage", Out));
+  EXPECT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out.numSites(), 7u);
+}

@@ -1,0 +1,184 @@
+//===- tests/harness/CampaignTest.cpp - Campaign driver tests -------------===//
+
+#include "harness/Campaign.h"
+
+#include "runtime/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+CampaignOptions smallOptions(size_t Runs = 150) {
+  CampaignOptions Options;
+  Options.NumRuns = Runs;
+  Options.TrainingRuns = 40;
+  Options.Seed = 777;
+  return Options;
+}
+
+} // namespace
+
+TEST(CampaignTest, ProducesOneReportPerRun) {
+  CampaignResult Result = runCampaign(ccryptSubject(), smallOptions());
+  EXPECT_EQ(Result.Reports.size(), 150u);
+  EXPECT_EQ(Result.Reports.numPredicates(), Result.Sites.numPredicates());
+  EXPECT_EQ(Result.Reports.numSites(), Result.Sites.numSites());
+}
+
+TEST(CampaignTest, HasBothLabels) {
+  CampaignResult Result = runCampaign(ccryptSubject(), smallOptions());
+  EXPECT_GT(Result.numFailing(), 0u);
+  EXPECT_GT(Result.numSuccessful(), 0u);
+}
+
+TEST(CampaignTest, DeterministicForSameSeed) {
+  CampaignResult A = runCampaign(exifSubject(), smallOptions());
+  CampaignResult B = runCampaign(exifSubject(), smallOptions());
+  ASSERT_EQ(A.Reports.size(), B.Reports.size());
+  for (size_t I = 0; I < A.Reports.size(); ++I) {
+    EXPECT_EQ(A.Reports[I].Failed, B.Reports[I].Failed);
+    EXPECT_EQ(A.Reports[I].Counts.TruePredicates,
+              B.Reports[I].Counts.TruePredicates);
+    EXPECT_EQ(A.Reports[I].BugMask, B.Reports[I].BugMask);
+  }
+}
+
+TEST(CampaignTest, DifferentSeedsDiffer) {
+  CampaignOptions OtherSeed = smallOptions();
+  OtherSeed.Seed = 778;
+  CampaignResult A = runCampaign(exifSubject(), smallOptions());
+  CampaignResult B = runCampaign(exifSubject(), OtherSeed);
+  size_t Differences = 0;
+  for (size_t I = 0; I < A.Reports.size(); ++I)
+    Differences += A.Reports[I].Counts.TruePredicates !=
+                           B.Reports[I].Counts.TruePredicates
+                       ? 1
+                       : 0;
+  EXPECT_GT(Differences, A.Reports.size() / 2);
+}
+
+TEST(CampaignTest, FailedLabelMatchesTrapOrExit) {
+  CampaignResult Result = runCampaign(bcSubject(), smallOptions());
+  for (const FeedbackReport &Report : Result.Reports.reports()) {
+    if (Report.Trap != TrapKind::None || Report.ExitCode != 0)
+      EXPECT_TRUE(Report.Failed);
+  }
+}
+
+TEST(CampaignTest, CrashedRunsHaveStacks) {
+  CampaignResult Result = runCampaign(rhythmboxSubject(), smallOptions());
+  for (const FeedbackReport &Report : Result.Reports.reports())
+    if (Report.Trap != TrapKind::None)
+      EXPECT_FALSE(Report.StackSignature.empty());
+}
+
+TEST(CampaignTest, AdaptivePlanHasMixedRates) {
+  CampaignResult Result = runCampaign(mossSubject(), smallOptions(100));
+  size_t FullRate = 0, Reduced = 0;
+  for (uint32_t Site = 0; Site < Result.Plan.numSites(); ++Site) {
+    double Rate = Result.Plan.rate(Site);
+    EXPECT_GE(Rate, 0.01 - 1e-12);
+    EXPECT_LE(Rate, 1.0);
+    if (Rate >= 1.0)
+      ++FullRate;
+    else
+      ++Reduced;
+  }
+  // Rarely executed sites get rate 1.0; hot loop sites get reduced rates.
+  EXPECT_GT(FullRate, 0u);
+  EXPECT_GT(Reduced, 0u);
+}
+
+TEST(CampaignTest, UniformModeUsesRequestedRate) {
+  CampaignOptions Options = smallOptions(50);
+  Options.Mode = SamplingMode::Uniform;
+  Options.UniformRate = 0.02;
+  CampaignResult Result = runCampaign(ccryptSubject(), Options);
+  for (uint32_t Site = 0; Site < Result.Plan.numSites(); ++Site)
+    EXPECT_DOUBLE_EQ(Result.Plan.rate(Site), 0.02);
+}
+
+TEST(CampaignTest, NoSamplingObservesEverySiteOnEveryReach) {
+  CampaignOptions Options = smallOptions(50);
+  Options.Mode = SamplingMode::None;
+  CampaignResult Result = runCampaign(ccryptSubject(), Options);
+  for (uint32_t Site = 0; Site < Result.Plan.numSites(); ++Site)
+    EXPECT_DOUBLE_EQ(Result.Plan.rate(Site), 1.0);
+}
+
+TEST(CampaignTest, BugStatsAreConsistent) {
+  CampaignResult Result = runCampaign(mossSubject(), smallOptions());
+  ASSERT_EQ(Result.Bugs.size(), mossSubject().Bugs.size());
+  for (const auto &Stats : Result.Bugs) {
+    EXPECT_LE(Stats.TriggeredAndFailed, Stats.Triggered);
+    EXPECT_LE(Stats.Triggered, Result.Reports.size());
+  }
+}
+
+TEST(CampaignTest, BugMasksMatchBugStats) {
+  CampaignResult Result = runCampaign(exifSubject(), smallOptions());
+  for (const auto &Stats : Result.Bugs) {
+    size_t FromMasks = 0;
+    for (const FeedbackReport &Report : Result.Reports.reports())
+      FromMasks += Report.hasBug(Stats.BugId) ? 1 : 0;
+    EXPECT_EQ(FromMasks, Stats.Triggered);
+  }
+}
+
+TEST(CampaignTest, LinesOfCodeReported) {
+  CampaignResult Result = runCampaign(bcSubject(), smallOptions(20));
+  EXPECT_GT(Result.LinesOfCode, 100);
+}
+
+TEST(CampaignTest, ParallelCampaignIsBitIdenticalToSerial) {
+  CampaignOptions Options = smallOptions(160);
+  CampaignResult Serial = runCampaign(mossSubject(), Options);
+  Options.Threads = 4;
+  CampaignResult Parallel = runCampaign(mossSubject(), Options);
+  ASSERT_EQ(Serial.Reports.size(), Parallel.Reports.size());
+  for (size_t I = 0; I < Serial.Reports.size(); ++I) {
+    EXPECT_EQ(Serial.Reports[I].Failed, Parallel.Reports[I].Failed) << I;
+    EXPECT_EQ(Serial.Reports[I].BugMask, Parallel.Reports[I].BugMask) << I;
+    EXPECT_EQ(Serial.Reports[I].StackSignature,
+              Parallel.Reports[I].StackSignature)
+        << I;
+    EXPECT_EQ(Serial.Reports[I].Counts.TruePredicates,
+              Parallel.Reports[I].Counts.TruePredicates)
+        << I;
+    EXPECT_EQ(Serial.Reports[I].Counts.SiteObservations,
+              Parallel.Reports[I].Counts.SiteObservations)
+        << I;
+  }
+  ASSERT_EQ(Serial.Bugs.size(), Parallel.Bugs.size());
+  for (size_t I = 0; I < Serial.Bugs.size(); ++I)
+    EXPECT_EQ(Serial.Bugs[I].Triggered, Parallel.Bugs[I].Triggered);
+}
+
+TEST(CampaignTest, EnginesProduceIdenticalCampaigns) {
+  CampaignOptions Options = smallOptions(120);
+  CampaignResult ViaInterp = runCampaign(exifSubject(), Options);
+  Options.Exec = Engine::VM;
+  CampaignResult ViaVM = runCampaign(exifSubject(), Options);
+  ASSERT_EQ(ViaInterp.Reports.size(), ViaVM.Reports.size());
+  for (size_t I = 0; I < ViaInterp.Reports.size(); ++I) {
+    EXPECT_EQ(ViaInterp.Reports[I].Failed, ViaVM.Reports[I].Failed) << I;
+    EXPECT_EQ(ViaInterp.Reports[I].Trap, ViaVM.Reports[I].Trap) << I;
+    EXPECT_EQ(ViaInterp.Reports[I].BugMask, ViaVM.Reports[I].BugMask) << I;
+    EXPECT_EQ(ViaInterp.Reports[I].Counts.TruePredicates,
+              ViaVM.Reports[I].Counts.TruePredicates)
+        << I;
+    EXPECT_EQ(ViaInterp.Reports[I].Counts.SiteObservations,
+              ViaVM.Reports[I].Counts.SiteObservations)
+        << I;
+  }
+}
+
+TEST(CampaignTest, CompileSubjectSourceWorksForAllSubjects) {
+  for (const Subject *Subj : allSubjects()) {
+    EXPECT_NE(compileSubjectSource(Subj->Source, Subj->Name), nullptr);
+    EXPECT_NE(compileSubjectSource(Subj->GoldenSource, Subj->Name),
+              nullptr);
+  }
+}

@@ -1,0 +1,106 @@
+//===- tests/harness/HtmlReportTest.cpp - HTML report tests ----------------===//
+
+#include "harness/HtmlReport.h"
+
+#include "core/Analysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+struct Fixture {
+  CampaignResult Campaign;
+  AnalysisResult Analysis;
+
+  Fixture() {
+    CampaignOptions Options;
+    Options.NumRuns = 250;
+    Options.TrainingRuns = 40;
+    Options.Seed = 909;
+    Campaign = runCampaign(exifSubject(), Options);
+    CauseIsolator Isolator(Campaign.Sites, Campaign.Reports);
+    Analysis = Isolator.run();
+  }
+
+  static const Fixture &get() {
+    static Fixture F;
+    return F;
+  }
+};
+
+} // namespace
+
+TEST(HtmlReportTest, IsSelfContainedDocument) {
+  const Fixture &F = Fixture::get();
+  std::string Html =
+      renderHtmlReport(F.Campaign.Sites, F.Campaign.Reports, F.Analysis);
+  EXPECT_EQ(Html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(Html.find("</html>"), std::string::npos);
+  // Self-contained: no external references.
+  EXPECT_EQ(Html.find("http://"), std::string::npos);
+  EXPECT_EQ(Html.find("src="), std::string::npos);
+  EXPECT_EQ(Html.find("<script"), std::string::npos);
+}
+
+TEST(HtmlReportTest, ContainsEverySelectedPredicate) {
+  const Fixture &F = Fixture::get();
+  std::string Html =
+      renderHtmlReport(F.Campaign.Sites, F.Campaign.Reports, F.Analysis);
+  for (const SelectedPredicate &Entry : F.Analysis.Selected) {
+    // The raw text may contain HTML-escaped characters; check a stable
+    // fragment (the site function name).
+    const auto &Site =
+        F.Campaign.Sites.site(F.Campaign.Sites.predicate(Entry.Pred).Site);
+    EXPECT_NE(Html.find(Site.Function), std::string::npos);
+  }
+  // Thermometer bands are present.
+  EXPECT_NE(Html.find("class=\"ctx\""), std::string::npos);
+  EXPECT_NE(Html.find("class=\"inc\""), std::string::npos);
+}
+
+TEST(HtmlReportTest, EscapesPredicateText) {
+  const Fixture &F = Fixture::get();
+  std::string Html =
+      renderHtmlReport(F.Campaign.Sites, F.Campaign.Reports, F.Analysis);
+  // EXIF predictors contain "(o + s) > mn_buf_size"; the '>' must be
+  // escaped inside code spans.
+  EXPECT_NE(Html.find("&gt;"), std::string::npos);
+  // And no bare "<" from predicate text leaks outside tags: every '<' in
+  // the document starts an HTML tag (crude check: "< " never appears).
+  EXPECT_EQ(Html.find("< "), std::string::npos);
+}
+
+TEST(HtmlReportTest, TopKTruncates) {
+  const Fixture &F = Fixture::get();
+  HtmlReportOptions Options;
+  Options.TopK = 1;
+  std::string Html = renderHtmlReport(F.Campaign.Sites, F.Campaign.Reports,
+                                      F.Analysis, Options);
+  EXPECT_EQ(Html.find("affinity-1\""), std::string::npos);
+  EXPECT_NE(Html.find("affinity-0\""), std::string::npos);
+}
+
+TEST(HtmlReportTest, CampaignOverloadAddsTitleAndGroundTruth) {
+  const Fixture &F = Fixture::get();
+  HtmlReportOptions Options;
+  Options.ShowGroundTruth = true;
+  std::string Html = renderHtmlReport(F.Campaign, F.Analysis, Options);
+  EXPECT_NE(Html.find("report: exif"), std::string::npos);
+  EXPECT_NE(Html.find("Ground truth"), std::string::npos);
+  EXPECT_NE(Html.find("#3"), std::string::npos);
+}
+
+TEST(HtmlReportTest, AffinityAnchorsLink) {
+  const Fixture &F = Fixture::get();
+  std::string Html =
+      renderHtmlReport(F.Campaign.Sites, F.Campaign.Reports, F.Analysis);
+  // Each main-table row anchor has a matching affinity section id.
+  for (size_t I = 0; I < F.Analysis.Selected.size(); ++I) {
+    std::string Anchor = "href=\"#affinity-" + std::to_string(I) + "\"";
+    std::string Target = "id=\"affinity-" + std::to_string(I) + "\"";
+    EXPECT_NE(Html.find(Anchor), std::string::npos) << I;
+    EXPECT_NE(Html.find(Target), std::string::npos) << I;
+  }
+}

@@ -1,0 +1,294 @@
+//===- tests/instrument/CollectorTest.cpp - Report collection tests -------===//
+
+#include "instrument/Collector.h"
+
+#include "lang/Sema.h"
+#include "runtime/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace sbi;
+
+namespace {
+
+struct Harness {
+  std::unique_ptr<Program> Prog;
+  SiteTable Sites;
+
+  explicit Harness(std::string_view Source) {
+    std::vector<Diagnostic> Diags;
+    Prog = parseAndAnalyze(Source, Diags);
+    EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+    Sites = SiteTable::build(*Prog);
+  }
+
+  RawReport collect(ReportCollector &Collector, uint64_t Seed,
+                    std::vector<std::string> Args = {}) {
+    RunConfig Config;
+    Config.Args = std::move(Args);
+    Config.OverrunPad = 4;
+    Config.Observer = &Collector;
+    Collector.beginRun(Seed);
+    runProgram(*Prog, Config);
+    return Collector.takeReport();
+  }
+
+  /// Predicate id by exact text, asserting it exists.
+  uint32_t predByText(const std::string &Text) {
+    for (const PredicateInfo &Pred : Sites.predicates())
+      if (Pred.Text == Text)
+        return Pred.Id;
+    ADD_FAILURE() << "no predicate with text: " << Text;
+    return 0;
+  }
+
+  static uint32_t countFor(const RawReport &Report, uint32_t PredId) {
+    for (const auto &[Pred, Count] : Report.TruePredicates)
+      if (Pred == PredId)
+        return Count;
+    return 0;
+  }
+
+  /// Sums true-counts over ALL predicates sharing \p Text: the same
+  /// predicate text can appear at several sites (e.g. one returns site per
+  /// call expression).
+  uint32_t countForText(const RawReport &Report, const std::string &Text) {
+    uint32_t Total = 0;
+    for (const PredicateInfo &Pred : Sites.predicates())
+      if (Pred.Text == Text)
+        Total += countFor(Report, Pred.Id);
+    return Total;
+  }
+};
+
+} // namespace
+
+TEST(CollectorTest, FullMonitoringCountsBranchOutcomesExactly) {
+  Harness H(R"(fn main() {
+  for (int i = 0; i < 7; i = i + 1) {
+    if (i % 2 == 0) { println(i); }
+  }
+})");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport Report = H.collect(Collector, 1);
+  // The if executes 7 times: true for i = 0,2,4,6 (4), false for 1,3,5 (3).
+  EXPECT_EQ(Harness::countFor(Report, H.predByText("(i % 2) == 0 is TRUE")),
+            4u);
+  EXPECT_EQ(Harness::countFor(Report, H.predByText("(i % 2) == 0 is FALSE")),
+            3u);
+  // The loop condition: true 7 times, false once.
+  EXPECT_EQ(Harness::countFor(Report, H.predByText("i < 7 is TRUE")), 7u);
+  EXPECT_EQ(Harness::countFor(Report, H.predByText("i < 7 is FALSE")), 1u);
+}
+
+TEST(CollectorTest, ReturnsSchemeObservesSign) {
+  Harness H(R"(
+fn signof(int x) {
+  if (x < 0) { return 0 - 1; }
+  if (x > 0) { return 1; }
+  return 0;
+}
+fn main() {
+  int a = signof(0 - 5);
+  int b = signof(9);
+  int c = signof(0);
+})");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport Report = H.collect(Collector, 1);
+  // Three call sites, each returning a different sign exactly once; the
+  // text-keyed counts aggregate across the three sites.
+  EXPECT_EQ(H.countForText(Report, "signof < 0"), 1u);
+  EXPECT_EQ(H.countForText(Report, "signof > 0"), 1u);
+  EXPECT_EQ(H.countForText(Report, "signof == 0"), 1u);
+  EXPECT_EQ(H.countForText(Report, "signof != 0"), 2u);
+}
+
+TEST(CollectorTest, ScalarPairsCompareAgainstVariables) {
+  // 'limit' and 'value' are declared without initializers so only the
+  // plain assignment mints pair sites, keeping each text unique.
+  Harness H(R"(fn main() {
+  int limit;
+  int value;
+  limit = 10;
+  value = 25;
+})");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport Report = H.collect(Collector, 1);
+  EXPECT_EQ(H.countForText(Report, "value > limit"), 1u);
+  EXPECT_EQ(H.countForText(Report, "value < limit"), 0u);
+  EXPECT_EQ(H.countForText(Report, "value >= limit"), 1u);
+  EXPECT_EQ(H.countForText(Report, "value != limit"), 1u);
+  EXPECT_EQ(H.countForText(Report, "value == limit"), 0u);
+}
+
+TEST(CollectorTest, ScalarPairsSeeDeclarationDefaults) {
+  // Declarations initialize their slot immediately (int -> 0), so when
+  // 'limit = 10' executes, 'value' reads as its default 0 and the pair is
+  // observed against it. Lexically visible ints are always initialized.
+  Harness H(R"(fn main() {
+  int limit;
+  int value;
+  limit = 10;
+  value = 25;
+})");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport Report = H.collect(Collector, 1);
+  EXPECT_EQ(H.countForText(Report, "limit > value"), 1u);  // 10 > 0
+  EXPECT_EQ(H.countForText(Report, "limit != value"), 1u);
+  EXPECT_EQ(H.countForText(Report, "limit < value"), 0u);
+}
+
+TEST(CollectorTest, ScalarPairsCompareAgainstConstants) {
+  Harness H(R"(fn main() {
+  int x;
+  x = 10;
+})");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport Report = H.collect(Collector, 1);
+  // The only constant in main is 10; the assignment compares the new value
+  // against it.
+  EXPECT_EQ(H.countForText(Report, "x == 10"), 1u);
+  EXPECT_EQ(H.countForText(Report, "x >= 10"), 1u);
+  EXPECT_EQ(H.countForText(Report, "x <= 10"), 1u);
+  EXPECT_EQ(H.countForText(Report, "x < 10"), 0u);
+  EXPECT_EQ(H.countForText(Report, "x > 10"), 0u);
+  EXPECT_EQ(H.countForText(Report, "x != 10"), 0u);
+}
+
+TEST(CollectorTest, SiteObservationCountsMatchReaches) {
+  Harness H(R"(fn main() {
+  for (int i = 0; i < 4; i = i + 1) { }
+})");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport Report = H.collect(Collector, 1);
+  // Find the for-condition branch site: observed 5 times (4 true + 1
+  // false).
+  bool Found = false;
+  for (const auto &[Site, Count] : Report.SiteObservations)
+    if (H.Sites.site(Site).SchemeKind == Scheme::Branches) {
+      EXPECT_EQ(Count, 5u);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CollectorTest, ReportsAreSortedAndUnique) {
+  Harness H(R"(fn main() {
+  int a = 0;
+  for (int i = 0; i < 20; i = i + 1) { a = a + i; }
+  println(a);
+})");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport Report = H.collect(Collector, 1);
+  for (size_t I = 1; I < Report.TruePredicates.size(); ++I)
+    EXPECT_LT(Report.TruePredicates[I - 1].first,
+              Report.TruePredicates[I].first);
+  for (size_t I = 1; I < Report.SiteObservations.size(); ++I)
+    EXPECT_LT(Report.SiteObservations[I - 1].first,
+              Report.SiteObservations[I].first);
+}
+
+TEST(CollectorTest, CollectorIsReusableAcrossRuns) {
+  Harness H("fn main() { if (1 < 2) { println(1); } }");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport First = H.collect(Collector, 1);
+  RawReport Second = H.collect(Collector, 2);
+  ASSERT_EQ(First.TruePredicates.size(), Second.TruePredicates.size());
+  for (size_t I = 0; I < First.TruePredicates.size(); ++I) {
+    EXPECT_EQ(First.TruePredicates[I], Second.TruePredicates[I]);
+  }
+}
+
+TEST(CollectorTest, SamplingIsDeterministicPerSeed) {
+  Harness H(R"(fn main() {
+  int a = 0;
+  for (int i = 0; i < 200; i = i + 1) { a = a + 1; }
+  println(a);
+})");
+  ReportCollector A(H.Sites, SamplingPlan::uniform(H.Sites.numSites(), 0.1));
+  ReportCollector B(H.Sites, SamplingPlan::uniform(H.Sites.numSites(), 0.1));
+  RawReport RA = H.collect(A, 42);
+  RawReport RB = H.collect(B, 42);
+  EXPECT_EQ(RA.TruePredicates, RB.TruePredicates);
+  EXPECT_EQ(RA.SiteObservations, RB.SiteObservations);
+}
+
+TEST(CollectorTest, SamplingRateIsRespectedOnAverage) {
+  Harness H(R"(fn main() {
+  int a = 0;
+  for (int i = 0; i < 1000; i = i + 1) { a = a + 1; }
+  println(a);
+})");
+  const double Rate = 0.05;
+  ReportCollector Collector(H.Sites,
+                            SamplingPlan::uniform(H.Sites.numSites(), Rate));
+  // The loop condition site is reached 1001 times per run; across 40 runs,
+  // the observed count should be close to 1001 * 40 * rate.
+  uint64_t TotalObserved = 0;
+  const int Runs = 40;
+  for (int Run = 0; Run < Runs; ++Run) {
+    RawReport Report =
+        H.collect(Collector, static_cast<uint64_t>(Run) + 100);
+    for (const auto &[Site, Count] : Report.SiteObservations)
+      if (H.Sites.site(Site).SchemeKind == Scheme::Branches)
+        TotalObserved += Count;
+  }
+  double Expected = 1001.0 * Runs * Rate;
+  EXPECT_GT(static_cast<double>(TotalObserved), Expected * 0.7);
+  EXPECT_LT(static_cast<double>(TotalObserved), Expected * 1.3);
+}
+
+TEST(CollectorTest, ZeroRateObservesNothing) {
+  Harness H("fn main() { if (1 < 2) { println(1); } }");
+  ReportCollector Collector(H.Sites,
+                            SamplingPlan::uniform(H.Sites.numSites(), 0.0));
+  RawReport Report = H.collect(Collector, 7);
+  EXPECT_TRUE(Report.TruePredicates.empty());
+  EXPECT_TRUE(Report.SiteObservations.empty());
+}
+
+TEST(CollectorTest, JointObservationWithinASite) {
+  // When a six-way site is sampled, consistent predicates must be observed
+  // together: for any sampled return observation, exactly one of <,==,>
+  // and the implied non-strict forms hold.
+  Harness H(R"(
+fn f(int x) { return x; }
+fn main() {
+  int a = f(3);
+  int b = f(0 - 3);
+  int c = f(0);
+})");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport Report = H.collect(Collector, 1);
+  // Each of the 3 call sites observed once; per observation exactly 3 of
+  // the 6 predicates hold (e.g. >0 implies >=0 and !=0).
+  std::map<uint32_t, uint32_t> TrueBySite;
+  for (const auto &[Pred, Count] : Report.TruePredicates) {
+    const PredicateInfo &Info = H.Sites.predicate(Pred);
+    if (H.Sites.site(Info.Site).SchemeKind == Scheme::Returns)
+      TrueBySite[Info.Site] += Count;
+  }
+  for (const auto &[Site, Count] : TrueBySite)
+    EXPECT_EQ(Count, 3u) << "site " << Site;
+}
+
+TEST(CollectorTest, UninitializedComparandSkipsObservation) {
+  // 'b' is declared after the assignment to 'a' executes on the first
+  // pass... construct: inside a loop, a's assignment runs while b's slot
+  // is stale from the previous iteration's block exit. The collector must
+  // simply skip non-int comparands rather than crash.
+  Harness H(R"(fn main() {
+  int i = 0;
+  while (i < 2) {
+    int a = 1;
+    a = i;
+    int b = 2;
+    i = i + b - 1;
+  }
+})");
+  ReportCollector Collector(H.Sites, SamplingPlan::full(H.Sites.numSites()));
+  RawReport Report = H.collect(Collector, 1);
+  EXPECT_FALSE(Report.TruePredicates.empty());
+}

@@ -1,0 +1,71 @@
+//===- tests/instrument/SamplingPlanTest.cpp - Sampling plan tests --------===//
+
+#include "instrument/Collector.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+TEST(SamplingPlanTest, FullPlanIsAllOnes) {
+  SamplingPlan Plan = SamplingPlan::full(5);
+  ASSERT_EQ(Plan.numSites(), 5u);
+  for (uint32_t S = 0; S < 5; ++S)
+    EXPECT_DOUBLE_EQ(Plan.rate(S), 1.0);
+}
+
+TEST(SamplingPlanTest, UniformPlanClamps) {
+  SamplingPlan Plan = SamplingPlan::uniform(3, 0.01);
+  for (uint32_t S = 0; S < 3; ++S)
+    EXPECT_DOUBLE_EQ(Plan.rate(S), 0.01);
+  EXPECT_DOUBLE_EQ(SamplingPlan::uniform(1, 2.0).rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(SamplingPlan::uniform(1, -1.0).rate(0), 0.0);
+}
+
+TEST(SamplingPlanTest, AdaptiveRareSitesGetFullRate) {
+  // A site reached fewer than TargetSamples times per run is sampled on
+  // every reach (Section 4: rarely executed code gets a much higher rate).
+  SamplingPlan Plan = SamplingPlan::adaptive({5.0, 99.9, 100.0});
+  EXPECT_DOUBLE_EQ(Plan.rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(Plan.rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(Plan.rate(2), 1.0);
+}
+
+TEST(SamplingPlanTest, AdaptiveHotSitesGetProportionalRate) {
+  SamplingPlan Plan = SamplingPlan::adaptive({1000.0, 10000.0});
+  EXPECT_NEAR(Plan.rate(0), 0.1, 1e-12);
+  EXPECT_NEAR(Plan.rate(1), 0.01, 1e-12);
+}
+
+TEST(SamplingPlanTest, AdaptiveSnapsNearFullRatesToFull) {
+  // Sampling at 100/150 of reaches costs more than it saves; such sites
+  // are monitored completely.
+  SamplingPlan Plan = SamplingPlan::adaptive({150.0, 190.0, 210.0});
+  EXPECT_DOUBLE_EQ(Plan.rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(Plan.rate(1), 1.0);
+  EXPECT_NEAR(Plan.rate(2), 100.0 / 210.0, 1e-12);
+}
+
+TEST(SamplingPlanTest, AdaptiveClampsAtMinimumRate) {
+  // The paper clamps at 1/100: even the hottest site keeps that floor.
+  SamplingPlan Plan = SamplingPlan::adaptive({1e9});
+  EXPECT_DOUBLE_EQ(Plan.rate(0), 0.01);
+}
+
+TEST(SamplingPlanTest, AdaptiveNeverReachedSiteGetsFullRate) {
+  SamplingPlan Plan = SamplingPlan::adaptive({0.0});
+  EXPECT_DOUBLE_EQ(Plan.rate(0), 1.0);
+}
+
+TEST(SamplingPlanTest, AdaptiveHonorsCustomTargetAndFloor) {
+  SamplingPlan Plan = SamplingPlan::adaptive({1000.0}, /*TargetSamples=*/10,
+                                             /*MinRate=*/0.05);
+  EXPECT_NEAR(Plan.rate(0), 0.05, 1e-12); // 10/1000 clamped to 0.05.
+}
+
+TEST(SamplingPlanTest, NamesDescribeConfiguration) {
+  EXPECT_EQ(SamplingPlan::full(1).name(), "full");
+  EXPECT_NE(SamplingPlan::uniform(1, 0.01).name().find("uniform"),
+            std::string::npos);
+  EXPECT_NE(SamplingPlan::adaptive({1.0}).name().find("adaptive"),
+            std::string::npos);
+}

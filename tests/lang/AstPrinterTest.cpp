@@ -1,0 +1,66 @@
+//===- tests/lang/AstPrinterTest.cpp - Expression printer unit tests ------===//
+
+#include "lang/AstPrinter.h"
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+std::string print(const std::string &Expr) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = Parser::parse("fn main() { return " + Expr + "; }", Diags);
+  EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+  if (!Prog)
+    return "<error>";
+  auto &Return =
+      static_cast<ReturnStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  return exprToString(*Return.Value);
+}
+
+} // namespace
+
+TEST(AstPrinterTest, Literals) {
+  EXPECT_EQ(print("42"), "42");
+  EXPECT_EQ(print("0"), "0");
+  EXPECT_EQ(print("null"), "null");
+  EXPECT_EQ(print("\"hi\""), "\"hi\"");
+}
+
+TEST(AstPrinterTest, StringEscapes) {
+  EXPECT_EQ(print("\"a\\nb\""), "\"a\\nb\"");
+  EXPECT_EQ(print("\"q\\\"q\""), "\"q\\\"q\"");
+  EXPECT_EQ(print("\"t\\tt\""), "\"t\\tt\"");
+}
+
+TEST(AstPrinterTest, BinaryParenthesization) {
+  EXPECT_EQ(print("a + b"), "a + b");
+  EXPECT_EQ(print("a + b * c"), "a + (b * c)");
+  EXPECT_EQ(print("a % b == 0"), "(a % b) == 0");
+}
+
+TEST(AstPrinterTest, UnaryForms) {
+  EXPECT_EQ(print("-a"), "-a");
+  EXPECT_EQ(print("!a"), "!a");
+  EXPECT_EQ(print("!(a && b)"), "!(a && b)");
+}
+
+TEST(AstPrinterTest, PostfixForms) {
+  EXPECT_EQ(print("a[i + 1]"), "a[i + 1]");
+  EXPECT_EQ(print("r.field"), "r.field");
+  EXPECT_EQ(print("files[i].language"), "files[i].language");
+}
+
+TEST(AstPrinterTest, Calls) {
+  EXPECT_EQ(print("strcmp(a, b)"), "strcmp(a, b)");
+  EXPECT_EQ(print("nargs()"), "nargs()");
+}
+
+TEST(AstPrinterTest, New) { EXPECT_EQ(print("new File"), "new File"); }
+
+TEST(AstPrinterTest, NegativeViaUnary) {
+  EXPECT_EQ(print("0 - 1"), "0 - 1");
+}

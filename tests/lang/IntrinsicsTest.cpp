@@ -1,0 +1,58 @@
+//===- tests/lang/IntrinsicsTest.cpp - Intrinsic table tests --------------===//
+
+#include "lang/Intrinsics.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+TEST(IntrinsicsTest, LookupKnownNames) {
+  const IntrinsicInfo *Print = lookupIntrinsic("print");
+  ASSERT_NE(Print, nullptr);
+  EXPECT_EQ(Print->Id, Intrinsic::Print);
+  EXPECT_EQ(Print->Arity, 1);
+  EXPECT_FALSE(Print->ReturnsInt);
+
+  const IntrinsicInfo *Strcmp = lookupIntrinsic("strcmp");
+  ASSERT_NE(Strcmp, nullptr);
+  EXPECT_EQ(Strcmp->Arity, 2);
+  EXPECT_TRUE(Strcmp->ReturnsInt);
+
+  const IntrinsicInfo *BugMark = lookupIntrinsic("__bug");
+  ASSERT_NE(BugMark, nullptr);
+  EXPECT_EQ(BugMark->Id, Intrinsic::BugMark);
+}
+
+TEST(IntrinsicsTest, LookupUnknownReturnsNull) {
+  EXPECT_EQ(lookupIntrinsic("no_such_builtin"), nullptr);
+  EXPECT_EQ(lookupIntrinsic(""), nullptr);
+  EXPECT_EQ(lookupIntrinsic("Print"), nullptr); // Case-sensitive.
+}
+
+TEST(IntrinsicsTest, TableOrderMatchesEnumValues) {
+  // intrinsicInfo(int) indexes the table by enum value; every entry's Id
+  // must round-trip.
+  for (int I = 0; I <= static_cast<int>(Intrinsic::Trap); ++I)
+    EXPECT_EQ(static_cast<int>(intrinsicInfo(I).Id), I);
+}
+
+TEST(IntrinsicsTest, EveryEntryIsLookupConsistent) {
+  for (int I = 0; I <= static_cast<int>(Intrinsic::Trap); ++I) {
+    const IntrinsicInfo &Info = intrinsicInfo(I);
+    const IntrinsicInfo *Found = lookupIntrinsic(Info.Name);
+    ASSERT_NE(Found, nullptr) << Info.Name;
+    EXPECT_EQ(Found, &Info);
+  }
+}
+
+TEST(IntrinsicsTest, ScalarReturnersAreExactlyTheDocumentedSet) {
+  // The "returns" instrumentation scheme keys off ReturnsInt; pin the set
+  // so adding an intrinsic forces a deliberate decision.
+  std::vector<std::string> Returners;
+  for (int I = 0; I <= static_cast<int>(Intrinsic::Trap); ++I)
+    if (intrinsicInfo(I).ReturnsInt)
+      Returners.push_back(intrinsicInfo(I).Name);
+  EXPECT_EQ(Returners,
+            (std::vector<std::string>{"len", "charat", "strcmp", "atoi",
+                                      "nargs", "abs", "min", "max"}));
+}

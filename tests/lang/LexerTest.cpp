@@ -1,0 +1,148 @@
+//===- tests/lang/LexerTest.cpp - Lexer unit tests ------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(std::string_view Source) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Lexer::lexAll(Source))
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInput) {
+  auto Tokens = Lexer::lexAll("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::Eof));
+}
+
+TEST(LexerTest, Keywords) {
+  auto Kinds = kindsOf("fn record int str arr rec if else while for "
+                       "return break continue null new");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwFn,     TokenKind::KwRecord,   TokenKind::KwInt,
+      TokenKind::KwStr,    TokenKind::KwArr,      TokenKind::KwRec,
+      TokenKind::KwIf,     TokenKind::KwElse,     TokenKind::KwWhile,
+      TokenKind::KwFor,    TokenKind::KwReturn,   TokenKind::KwBreak,
+      TokenKind::KwContinue, TokenKind::KwNull,   TokenKind::KwNew,
+      TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, IdentifiersAreNotKeywords) {
+  auto Tokens = Lexer::lexAll("iffy whiled _x x_1");
+  ASSERT_EQ(Tokens.size(), 5u);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_TRUE(Tokens[I].is(TokenKind::Identifier));
+  EXPECT_EQ(Tokens[0].Text, "iffy");
+  EXPECT_EQ(Tokens[2].Text, "_x");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Tokens = Lexer::lexAll("0 7 1234567");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 7);
+  EXPECT_EQ(Tokens[2].IntValue, 1234567);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto Tokens = Lexer::lexAll(R"("hello" "a\nb" "q\"q" "back\\slash")");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Text, "hello");
+  EXPECT_EQ(Tokens[1].Text, "a\nb");
+  EXPECT_EQ(Tokens[2].Text, "q\"q");
+  EXPECT_EQ(Tokens[3].Text, "back\\slash");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  auto Tokens = Lexer::lexAll("\"oops");
+  EXPECT_TRUE(Tokens.back().is(TokenKind::Error));
+}
+
+TEST(LexerTest, UnknownEscape) {
+  auto Tokens = Lexer::lexAll(R"("bad\q")");
+  EXPECT_TRUE(Tokens.back().is(TokenKind::Error));
+}
+
+TEST(LexerTest, Operators) {
+  auto Kinds = kindsOf("+ - * / % < <= > >= == != && || ! = . , ;");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,        TokenKind::Minus,    TokenKind::Star,
+      TokenKind::Slash,       TokenKind::Percent,  TokenKind::Less,
+      TokenKind::LessEqual,   TokenKind::Greater,  TokenKind::GreaterEqual,
+      TokenKind::EqualEqual,  TokenKind::NotEqual, TokenKind::AmpAmp,
+      TokenKind::PipePipe,    TokenKind::Bang,     TokenKind::Assign,
+      TokenKind::Dot,         TokenKind::Comma,    TokenKind::Semicolon,
+      TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, MaximalMunch) {
+  // "<=" must not lex as "<" "=".
+  auto Kinds = kindsOf("a<=b==c");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::LessEqual,
+                                     TokenKind::Identifier,
+                                     TokenKind::EqualEqual,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, SingleAmpIsError) {
+  auto Tokens = Lexer::lexAll("a & b");
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Error));
+}
+
+TEST(LexerTest, LineComments) {
+  auto Kinds = kindsOf("a // this is ignored\nb");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, BlockComments) {
+  auto Kinds = kindsOf("a /* multi\nline\ncomment */ b");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto Tokens = Lexer::lexAll("a\nb\n\nc");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Line, 1);
+  EXPECT_EQ(Tokens[1].Line, 2);
+  EXPECT_EQ(Tokens[2].Line, 4);
+}
+
+TEST(LexerTest, LineNumbersThroughBlockComments) {
+  auto Tokens = Lexer::lexAll("/* a\nb\n*/ x");
+  EXPECT_EQ(Tokens[0].Line, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  auto Tokens = Lexer::lexAll("a $ b");
+  EXPECT_TRUE(Tokens[1].is(TokenKind::Error));
+}
+
+TEST(LexerTest, BracketsAndBraces) {
+  auto Kinds = kindsOf("( ) { } [ ]");
+  std::vector<TokenKind> Expected = {TokenKind::LParen,   TokenKind::RParen,
+                                     TokenKind::LBrace,   TokenKind::RBrace,
+                                     TokenKind::LBracket, TokenKind::RBracket,
+                                     TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, TokenKindNamesAreNonNull) {
+  for (int K = 0; K <= static_cast<int>(TokenKind::Error); ++K)
+    EXPECT_NE(tokenKindName(static_cast<TokenKind>(K)), nullptr);
+}

@@ -1,0 +1,201 @@
+//===- tests/lang/ParserTest.cpp - Parser unit tests ----------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/AstPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(std::string_view Source) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = Parser::parse(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+  return Prog;
+}
+
+std::string firstError(std::string_view Source) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = Parser::parse(Source, Diags);
+  if (Prog)
+    return "";
+  EXPECT_FALSE(Diags.empty());
+  return Diags.empty() ? "" : Diags[0].Message;
+}
+
+/// Parses "fn main() { return <expr>; }" and prints the expression back.
+std::string roundTripExpr(const std::string &Expr) {
+  auto Prog = parseOk("fn main() { return " + Expr + "; }");
+  if (!Prog)
+    return "<parse error>";
+  auto &Return = static_cast<ReturnStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  return exprToString(*Return.Value);
+}
+
+} // namespace
+
+TEST(ParserTest, EmptyProgram) {
+  auto Prog = parseOk("");
+  EXPECT_TRUE(Prog->Functions.empty());
+  EXPECT_TRUE(Prog->Globals.empty());
+  EXPECT_TRUE(Prog->Records.empty());
+}
+
+TEST(ParserTest, FunctionWithParams) {
+  auto Prog = parseOk("fn add(int a, int b) { return a + b; }");
+  ASSERT_EQ(Prog->Functions.size(), 1u);
+  const FuncDecl &Func = *Prog->Functions[0];
+  EXPECT_EQ(Func.Name, "add");
+  ASSERT_EQ(Func.Params.size(), 2u);
+  EXPECT_EQ(Func.Params[0].Name, "a");
+  EXPECT_EQ(Func.Params[1].Kind, VarKind::Int);
+}
+
+TEST(ParserTest, AllParamKinds) {
+  auto Prog = parseOk("fn f(int a, str b, arr c, rec d) { return 0; }");
+  const FuncDecl &Func = *Prog->Functions[0];
+  EXPECT_EQ(Func.Params[0].Kind, VarKind::Int);
+  EXPECT_EQ(Func.Params[1].Kind, VarKind::Str);
+  EXPECT_EQ(Func.Params[2].Kind, VarKind::Arr);
+  EXPECT_EQ(Func.Params[3].Kind, VarKind::Rec);
+}
+
+TEST(ParserTest, Globals) {
+  auto Prog = parseOk("int x = 5;\nstr s;\narr a = null;\n");
+  ASSERT_EQ(Prog->Globals.size(), 3u);
+  EXPECT_EQ(Prog->Globals[0]->Name, "x");
+  EXPECT_NE(Prog->Globals[0]->Init, nullptr);
+  EXPECT_EQ(Prog->Globals[1]->Init, nullptr);
+}
+
+TEST(ParserTest, RecordDecl) {
+  auto Prog = parseOk("record Point { x; y; }");
+  ASSERT_EQ(Prog->Records.size(), 1u);
+  EXPECT_EQ(Prog->Records[0]->Name, "Point");
+  EXPECT_EQ(Prog->Records[0]->fieldIndex("y"), 1);
+  EXPECT_EQ(Prog->Records[0]->fieldIndex("z"), -1);
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  EXPECT_EQ(roundTripExpr("1 + 2 * 3"), "1 + (2 * 3)");
+  EXPECT_EQ(roundTripExpr("(1 + 2) * 3"), "(1 + 2) * 3");
+}
+
+TEST(ParserTest, PrecedenceComparisonOverLogic) {
+  EXPECT_EQ(roundTripExpr("a < b && c > d"), "(a < b) && (c > d)");
+  EXPECT_EQ(roundTripExpr("a == b || c != d"), "(a == b) || (c != d)");
+}
+
+TEST(ParserTest, PrecedenceAndOverOr) {
+  EXPECT_EQ(roundTripExpr("a || b && c"), "a || (b && c)");
+}
+
+TEST(ParserTest, LeftAssociativity) {
+  EXPECT_EQ(roundTripExpr("a - b - c"), "(a - b) - c");
+  EXPECT_EQ(roundTripExpr("a / b / c"), "(a / b) / c");
+}
+
+TEST(ParserTest, UnaryOperators) {
+  EXPECT_EQ(roundTripExpr("-x + !y"), "-x + !y");
+  EXPECT_EQ(roundTripExpr("-(x + y)"), "-(x + y)");
+}
+
+TEST(ParserTest, PostfixChains) {
+  EXPECT_EQ(roundTripExpr("a[1].f"), "a[1].f");
+  EXPECT_EQ(roundTripExpr("m[i][j]"), "m[i][j]");
+  EXPECT_EQ(roundTripExpr("p.q.r"), "p.q.r");
+}
+
+TEST(ParserTest, Calls) {
+  EXPECT_EQ(roundTripExpr("f()"), "f()");
+  EXPECT_EQ(roundTripExpr("g(1, x, \"s\")"), "g(1, x, \"s\")");
+}
+
+TEST(ParserTest, NewExpression) {
+  EXPECT_EQ(roundTripExpr("new Point"), "new Point");
+}
+
+TEST(ParserTest, IfElseChain) {
+  auto Prog = parseOk(R"(
+fn main() {
+  if (1) { return 1; } else if (2) { return 2; } else { return 3; }
+}
+)");
+  auto &If = static_cast<IfStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  ASSERT_NE(If.Else, nullptr);
+  EXPECT_EQ(If.Else->Kind, StmtKind::If);
+}
+
+TEST(ParserTest, WhileAndFor) {
+  auto Prog = parseOk(R"(
+fn main() {
+  while (1) { break; }
+  for (int i = 0; i < 10; i = i + 1) { continue; }
+  for (;;) { break; }
+}
+)");
+  auto &Body = Prog->Functions[0]->Body->Body;
+  ASSERT_EQ(Body.size(), 3u);
+  EXPECT_EQ(Body[0]->Kind, StmtKind::While);
+  auto &For = static_cast<ForStmt &>(*Body[1]);
+  EXPECT_NE(For.Init, nullptr);
+  EXPECT_NE(For.Cond, nullptr);
+  EXPECT_NE(For.Step, nullptr);
+  auto &Bare = static_cast<ForStmt &>(*Body[2]);
+  EXPECT_EQ(Bare.Init, nullptr);
+  EXPECT_EQ(Bare.Cond, nullptr);
+  EXPECT_EQ(Bare.Step, nullptr);
+}
+
+TEST(ParserTest, AssignmentTargets) {
+  auto Prog = parseOk(R"(
+fn main() {
+  int x = 0;
+  x = 1;
+  arr a = mkarray(3);
+  a[0] = 2;
+}
+)");
+  auto &Body = Prog->Functions[0]->Body->Body;
+  EXPECT_EQ(Body[1]->Kind, StmtKind::Assign);
+  EXPECT_EQ(Body[3]->Kind, StmtKind::Assign);
+}
+
+TEST(ParserTest, AssignToCallIsError) {
+  EXPECT_NE(firstError("fn main() { f() = 3; }"), "");
+}
+
+TEST(ParserTest, MissingSemicolonIsError) {
+  EXPECT_NE(firstError("fn main() { int x = 1 }"), "");
+}
+
+TEST(ParserTest, UnbalancedBraceIsError) {
+  EXPECT_NE(firstError("fn main() { if (1) { }"), "");
+}
+
+TEST(ParserTest, GarbageAtTopLevelIsError) {
+  EXPECT_NE(firstError("42;"), "");
+}
+
+TEST(ParserTest, NodeIdsAreUniqueAndDense) {
+  auto Prog = parseOk("fn main() { int x = 1 + 2; if (x) { x = 3; } }");
+  EXPECT_GT(Prog->NumNodeIds, 5);
+  // Spot-check a couple of ids are within range and distinct.
+  auto &Decl = static_cast<VarDeclStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  auto &If = static_cast<IfStmt &>(*Prog->Functions[0]->Body->Body[1]);
+  EXPECT_NE(Decl.Id, If.Id);
+  EXPECT_LT(Decl.Id, Prog->NumNodeIds);
+  EXPECT_LT(If.Id, Prog->NumNodeIds);
+}
+
+TEST(ParserTest, CountsLines) {
+  auto Prog = parseOk("fn main() {\n  return 0;\n}\n");
+  EXPECT_EQ(Prog->NumLines, 4);
+}
+
+TEST(ParserTest, LexErrorPropagates) {
+  EXPECT_NE(firstError("fn main() { int x = $; }"), "");
+}

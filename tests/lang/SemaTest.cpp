@@ -1,0 +1,229 @@
+//===- tests/lang/SemaTest.cpp - Semantic analysis unit tests -------------===//
+
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+std::unique_ptr<Program> analyzeOk(std::string_view Source) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+  return Prog;
+}
+
+std::string firstError(std::string_view Source) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  if (Prog)
+    return "";
+  EXPECT_FALSE(Diags.empty());
+  return Diags.empty() ? "" : Diags[0].Message;
+}
+
+} // namespace
+
+TEST(SemaTest, MinimalProgram) {
+  auto Prog = analyzeOk("fn main() { }");
+  EXPECT_EQ(Prog->Functions[0]->NumLocals, 0);
+}
+
+TEST(SemaTest, MissingMainIsError) {
+  EXPECT_NE(firstError("fn notmain() { }"), "");
+}
+
+TEST(SemaTest, MainWithParamsIsError) {
+  EXPECT_NE(firstError("fn main(int x) { }"), "");
+}
+
+TEST(SemaTest, UndeclaredVariableIsError) {
+  EXPECT_NE(firstError("fn main() { x = 1; }"), "");
+}
+
+TEST(SemaTest, UseBeforeDeclarationIsError) {
+  EXPECT_NE(firstError("fn main() { int y = x; int x = 1; }"), "");
+}
+
+TEST(SemaTest, RedeclarationInSameScopeIsError) {
+  EXPECT_NE(firstError("fn main() { int x = 1; int x = 2; }"), "");
+}
+
+TEST(SemaTest, ShadowingAcrossScopesIsAllowed) {
+  analyzeOk("fn main() { int x = 1; { int x = 2; println(x); } }");
+}
+
+TEST(SemaTest, GlobalsResolveInFunctions) {
+  auto Prog = analyzeOk("int g = 7;\nfn main() { g = g + 1; }");
+  auto &Assign = static_cast<AssignStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  auto &Target = static_cast<VarRefExpr &>(*Assign.Target);
+  EXPECT_TRUE(Target.Slot.IsGlobal);
+  EXPECT_EQ(Target.Slot.Index, 0);
+}
+
+TEST(SemaTest, GlobalInitMayOnlyUseEarlierGlobals) {
+  analyzeOk("int a = 1;\nint b = a + 1;\nfn main() { }");
+  EXPECT_NE(firstError("int b = a + 1;\nint a = 1;\nfn main() { }"), "");
+}
+
+TEST(SemaTest, LocalSlotsAssigned) {
+  auto Prog = analyzeOk(R"(
+fn f(int p, str q) {
+  int a = 0;
+  { int b = 1; println(b); }
+  { int c = 2; println(c); }
+  return a;
+}
+fn main() { f(1, "x"); }
+)");
+  const FuncDecl &Func = *Prog->Functions[0];
+  // p, q, a occupy 3 slots; b and c reuse the same 4th slot.
+  EXPECT_EQ(Func.NumLocals, 4);
+}
+
+TEST(SemaTest, BreakOutsideLoopIsError) {
+  EXPECT_NE(firstError("fn main() { break; }"), "");
+}
+
+TEST(SemaTest, ContinueOutsideLoopIsError) {
+  EXPECT_NE(firstError("fn main() { continue; }"), "");
+}
+
+TEST(SemaTest, BreakInsideLoopIsFine) {
+  analyzeOk("fn main() { while (1) { break; } }");
+  analyzeOk("fn main() { for (;;) { continue; } }");
+}
+
+TEST(SemaTest, CallArityChecked) {
+  EXPECT_NE(firstError("fn f(int a) { return a; }\nfn main() { f(); }"), "");
+  EXPECT_NE(firstError("fn f(int a) { return a; }\nfn main() { f(1, 2); }"),
+            "");
+}
+
+TEST(SemaTest, IntrinsicArityChecked) {
+  EXPECT_NE(firstError("fn main() { len(); }"), "");
+  EXPECT_NE(firstError("fn main() { substr(\"a\", 1); }"), "");
+}
+
+TEST(SemaTest, UndefinedFunctionIsError) {
+  EXPECT_NE(firstError("fn main() { mystery(); }"), "");
+}
+
+TEST(SemaTest, ShadowingBuiltinIsError) {
+  EXPECT_NE(firstError("fn len(int x) { return x; }\nfn main() { }"), "");
+}
+
+TEST(SemaTest, DuplicateFunctionIsError) {
+  EXPECT_NE(firstError("fn f() { }\nfn f() { }\nfn main() { }"), "");
+}
+
+TEST(SemaTest, UnknownRecordIsError) {
+  EXPECT_NE(firstError("fn main() { rec r = new Nope; }"), "");
+}
+
+TEST(SemaTest, DuplicateRecordIsError) {
+  EXPECT_NE(firstError("record R { x; }\nrecord R { y; }\nfn main() { }"),
+            "");
+}
+
+TEST(SemaTest, DuplicateFieldIsError) {
+  EXPECT_NE(firstError("record R { x; x; }\nfn main() { }"), "");
+}
+
+TEST(SemaTest, RecordResolved) {
+  auto Prog = analyzeOk("record R { x; }\nfn main() { rec r = new R; }");
+  auto &Decl = static_cast<VarDeclStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  auto &New = static_cast<NewExpr &>(*Decl.Init);
+  ASSERT_NE(New.Record, nullptr);
+  EXPECT_EQ(New.Record->Name, "R");
+}
+
+TEST(SemaTest, IntrinsicResolved) {
+  auto Prog = analyzeOk("fn main() { println(1); }");
+  auto &Stmt = static_cast<ExprStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  auto &Call = static_cast<CallExpr &>(*Stmt.E);
+  EXPECT_EQ(Call.Target, nullptr);
+  EXPECT_GE(Call.IntrinsicId, 0);
+}
+
+TEST(SemaTest, UserFunctionResolved) {
+  auto Prog = analyzeOk("fn f() { return 1; }\nfn main() { f(); }");
+  auto &Stmt = static_cast<ExprStmt &>(*Prog->Functions[1]->Body->Body[0]);
+  auto &Call = static_cast<CallExpr &>(*Stmt.E);
+  ASSERT_NE(Call.Target, nullptr);
+  EXPECT_EQ(Call.Target->Name, "f");
+}
+
+// --- Scalar-pairs scope annotations (the data Sema feeds Section 2's
+// scalar-pairs scheme) ---------------------------------------------------
+
+TEST(SemaScalarPairsTest, AssignSeesInScopeInts) {
+  auto Prog = analyzeOk(R"(
+int g = 1;
+fn main() {
+  int a = 0;
+  int b = 0;
+  str s = "";
+  b = 5;
+}
+)");
+  auto &Body = Prog->Functions[0]->Body->Body;
+  auto &Assign = static_cast<AssignStmt &>(*Body[3]);
+  ASSERT_TRUE(Assign.TargetIsIntVar);
+  // Visible: g (global), a. Not b (the target), not s (wrong kind).
+  std::vector<std::string> Names;
+  for (const ScopedIntVar &Var : Assign.VisibleIntVars)
+    Names.push_back(Var.Name);
+  EXPECT_EQ(Names, (std::vector<std::string>{"g", "a"}));
+}
+
+TEST(SemaScalarPairsTest, DeclWithInitSeesEarlierInts) {
+  auto Prog = analyzeOk("fn main() { int a = 0; int b = a + 1; }");
+  auto &Decl = static_cast<VarDeclStmt &>(*Prog->Functions[0]->Body->Body[1]);
+  ASSERT_EQ(Decl.VisibleIntVars.size(), 1u);
+  EXPECT_EQ(Decl.VisibleIntVars[0].Name, "a");
+}
+
+TEST(SemaScalarPairsTest, DeclWithoutInitHasNoPairs) {
+  auto Prog = analyzeOk("fn main() { int a = 0; int b; }");
+  auto &Decl = static_cast<VarDeclStmt &>(*Prog->Functions[0]->Body->Body[1]);
+  EXPECT_TRUE(Decl.VisibleIntVars.empty());
+}
+
+TEST(SemaScalarPairsTest, NonIntAssignGetsNoPairs) {
+  auto Prog = analyzeOk("fn main() { int a = 0; str s = \"\"; s = \"x\"; }");
+  auto &Assign = static_cast<AssignStmt &>(*Prog->Functions[0]->Body->Body[2]);
+  EXPECT_FALSE(Assign.TargetIsIntVar);
+  EXPECT_TRUE(Assign.VisibleIntVars.empty());
+}
+
+TEST(SemaScalarPairsTest, ElementAssignGetsNoPairs) {
+  auto Prog = analyzeOk(
+      "fn main() { int a = 0; arr v = mkarray(2); v[0] = a; }");
+  auto &Assign = static_cast<AssignStmt &>(*Prog->Functions[0]->Body->Body[2]);
+  EXPECT_FALSE(Assign.TargetIsIntVar);
+}
+
+TEST(SemaScalarPairsTest, OutOfScopeVarsNotVisible) {
+  auto Prog = analyzeOk(R"(
+fn main() {
+  { int hidden = 1; println(hidden); }
+  int a = 0;
+  a = 2;
+}
+)");
+  auto &Assign = static_cast<AssignStmt &>(*Prog->Functions[0]->Body->Body[2]);
+  for (const ScopedIntVar &Var : Assign.VisibleIntVars)
+    EXPECT_NE(Var.Name, "hidden");
+}
+
+TEST(SemaScalarPairsTest, ParamsAreVisible) {
+  auto Prog = analyzeOk("fn f(int p) { int a = p; return a; }\n"
+                        "fn main() { f(1); }");
+  auto &Decl = static_cast<VarDeclStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  ASSERT_EQ(Decl.VisibleIntVars.size(), 1u);
+  EXPECT_EQ(Decl.VisibleIntVars[0].Name, "p");
+  EXPECT_FALSE(Decl.VisibleIntVars[0].Slot.IsGlobal);
+}

@@ -1,0 +1,404 @@
+//===- tests/runtime/InterpTest.cpp - Interpreter semantics tests ---------===//
+
+#include "runtime/Interp.h"
+
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+RunOutcome run(const std::string &Source,
+               std::vector<std::string> Args = {}, size_t Pad = 4) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+  if (!Prog)
+    return {};
+  RunConfig Config;
+  Config.Args = std::move(Args);
+  Config.OverrunPad = Pad;
+  return runProgram(*Prog, Config);
+}
+
+std::string output(const std::string &Source,
+                   std::vector<std::string> Args = {}) {
+  RunOutcome Outcome = run(Source, std::move(Args));
+  EXPECT_EQ(Outcome.Trap, TrapKind::None) << Outcome.TrapMessage;
+  return Outcome.Output;
+}
+
+} // namespace
+
+TEST(InterpTest, HelloWorld) {
+  EXPECT_EQ(output("fn main() { println(\"hello\"); }"), "hello\n");
+}
+
+TEST(InterpTest, IntegerArithmetic) {
+  EXPECT_EQ(output("fn main() { println(2 + 3 * 4); }"), "14\n");
+  EXPECT_EQ(output("fn main() { println((2 + 3) * 4); }"), "20\n");
+  EXPECT_EQ(output("fn main() { println(7 / 2); }"), "3\n");
+  EXPECT_EQ(output("fn main() { println(-7 / 2); }"), "-3\n");
+  EXPECT_EQ(output("fn main() { println(7 % 3); }"), "1\n");
+  EXPECT_EQ(output("fn main() { println(-7 % 3); }"), "-1\n");
+}
+
+TEST(InterpTest, Comparisons) {
+  EXPECT_EQ(output("fn main() { println(1 < 2); println(2 < 1); }"),
+            "1\n0\n");
+  EXPECT_EQ(output("fn main() { println(2 <= 2); println(3 >= 4); }"),
+            "1\n0\n");
+  EXPECT_EQ(output("fn main() { println(5 == 5); println(5 != 5); }"),
+            "1\n0\n");
+}
+
+TEST(InterpTest, EqualityAcrossKinds) {
+  EXPECT_EQ(output(R"(fn main() {
+  str s = "a";
+  println(s == null);
+  s = null;
+  println(s == null);
+  println(null == null);
+})"),
+            "0\n1\n1\n");
+}
+
+TEST(InterpTest, StringEquality) {
+  EXPECT_EQ(output(R"(fn main() {
+  str a = "xy";
+  str b = strcat("x", "y");
+  println(a == b);
+})"),
+            "1\n");
+}
+
+TEST(InterpTest, ShortCircuitAnd) {
+  // The right operand must not execute when the left is false.
+  EXPECT_EQ(output(R"(
+int hits = 0;
+fn touch() { hits = hits + 1; return 1; }
+fn main() {
+  int r = 0 && touch();
+  println(r);
+  println(hits);
+})"),
+            "0\n0\n");
+}
+
+TEST(InterpTest, ShortCircuitOr) {
+  EXPECT_EQ(output(R"(
+int hits = 0;
+fn touch() { hits = hits + 1; return 1; }
+fn main() {
+  int r = 1 || touch();
+  println(r);
+  println(hits);
+})"),
+            "1\n0\n");
+}
+
+TEST(InterpTest, UnaryOperators) {
+  EXPECT_EQ(output("fn main() { println(-5); println(!0); println(!7); }"),
+            "-5\n1\n0\n");
+}
+
+TEST(InterpTest, WhileLoop) {
+  EXPECT_EQ(output(R"(fn main() {
+  int i = 0;
+  int sum = 0;
+  while (i < 5) { sum = sum + i; i = i + 1; }
+  println(sum);
+})"),
+            "10\n");
+}
+
+TEST(InterpTest, ForLoopWithBreakContinue) {
+  EXPECT_EQ(output(R"(fn main() {
+  int sum = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 6) { break; }
+    sum = sum + i;
+  }
+  println(sum);
+})"),
+            "9\n"); // 1 + 3 + 5
+}
+
+TEST(InterpTest, NestedLoopsBreakInner) {
+  EXPECT_EQ(output(R"(fn main() {
+  int n = 0;
+  for (int i = 0; i < 3; i = i + 1) {
+    for (int j = 0; j < 10; j = j + 1) {
+      if (j == 2) { break; }
+      n = n + 1;
+    }
+  }
+  println(n);
+})"),
+            "6\n");
+}
+
+TEST(InterpTest, FunctionsAndRecursion) {
+  EXPECT_EQ(output(R"(
+fn fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn main() { println(fib(10)); })"),
+            "55\n");
+}
+
+TEST(InterpTest, FunctionWithoutReturnYieldsUnitAndNoExitCode) {
+  RunOutcome Outcome = run("fn f() { }\nfn main() { f(); }");
+  EXPECT_EQ(Outcome.ExitCode, 0);
+  EXPECT_FALSE(Outcome.failed());
+}
+
+TEST(InterpTest, MainReturnValueIsExitCode) {
+  EXPECT_EQ(run("fn main() { return 3; }").ExitCode, 3);
+  EXPECT_TRUE(run("fn main() { return 3; }").failed());
+  EXPECT_FALSE(run("fn main() { return 0; }").failed());
+}
+
+TEST(InterpTest, ExitIntrinsic) {
+  RunOutcome Outcome = run(R"(fn main() {
+  println("before");
+  exit(5);
+  println("after");
+})");
+  EXPECT_EQ(Outcome.ExitCode, 5);
+  EXPECT_EQ(Outcome.Output, "before\n");
+  EXPECT_EQ(Outcome.Trap, TrapKind::None);
+}
+
+TEST(InterpTest, GlobalsInitializeInOrder) {
+  EXPECT_EQ(output(R"(
+int a = 2;
+int b = a * 10;
+fn main() { println(b); })"),
+            "20\n");
+}
+
+TEST(InterpTest, GlobalDefaults) {
+  EXPECT_EQ(output(R"(
+int i;
+str s;
+fn main() { println(i); println(len(s)); })"),
+            "0\n0\n");
+}
+
+TEST(InterpTest, LocalDefaults) {
+  EXPECT_EQ(output(R"(fn main() {
+  int i;
+  str s;
+  arr a;
+  rec r;
+  println(i);
+  println(len(s));
+  println(a == null);
+  println(r == null);
+})"),
+            "0\n0\n1\n1\n");
+}
+
+TEST(InterpTest, ArraysBasic) {
+  EXPECT_EQ(output(R"(fn main() {
+  arr a = mkarray(3);
+  a[0] = 10;
+  a[2] = 30;
+  println(a[0] + a[1] + a[2]);
+  println(len(a));
+})"),
+            "40\n3\n");
+}
+
+TEST(InterpTest, ArraysHaveReferenceSemantics) {
+  EXPECT_EQ(output(R"(
+fn poke(arr v) { v[0] = 99; return 0; }
+fn main() {
+  arr a = mkarray(1);
+  poke(a);
+  println(a[0]);
+})"),
+            "99\n");
+}
+
+TEST(InterpTest, ArraysHoldMixedValues) {
+  EXPECT_EQ(output(R"(fn main() {
+  arr a = mkarray(2);
+  a[0] = "text";
+  a[1] = 7;
+  println(a[0]);
+  println(a[1]);
+})"),
+            "text\n7\n");
+}
+
+TEST(InterpTest, RecordsBasic) {
+  EXPECT_EQ(output(R"(
+record Point { x; y; }
+fn main() {
+  rec p = new Point;
+  p.x = 3;
+  p.y = 4;
+  println(p.x * p.x + p.y * p.y);
+})"),
+            "25\n");
+}
+
+TEST(InterpTest, RecordFieldsDefaultNull) {
+  EXPECT_EQ(output(R"(
+record Box { payload; }
+fn main() {
+  rec b = new Box;
+  println(b.payload == null);
+})"),
+            "1\n");
+}
+
+TEST(InterpTest, RecordsHaveReferenceSemantics) {
+  EXPECT_EQ(output(R"(
+record Cell { v; }
+fn bump(rec c) { c.v = c.v + 1; return 0; }
+fn main() {
+  rec c = new Cell;
+  c.v = 1;
+  bump(c);
+  bump(c);
+  println(c.v);
+})"),
+            "3\n");
+}
+
+TEST(InterpTest, StringIntrinsics) {
+  EXPECT_EQ(output(R"(fn main() {
+  str s = "hello";
+  println(len(s));
+  println(charat(s, 1));
+  println(substr(s, 1, 3));
+  println(strcmp("a", "b"));
+  println(strcmp("b", "a"));
+  println(strcmp("same", "same"));
+  println(strcat("ab", "cd"));
+})"),
+            "5\n101\nell\n-1\n1\n0\nabcd\n");
+}
+
+TEST(InterpTest, SubstrClamps) {
+  EXPECT_EQ(output(R"(fn main() {
+  println(substr("abc", 2, 99));
+  println(substr("abc", 99, 1));
+  println(len(substr("abc", 0, 0)));
+})"),
+            "c\n\n0\n");
+}
+
+TEST(InterpTest, AtoiAndItoa) {
+  EXPECT_EQ(output(R"(fn main() {
+  println(atoi("123"));
+  println(atoi("-45"));
+  println(atoi("12ab"));
+  println(atoi("junk"));
+  println(itoa(789));
+  println(itoa(-6));
+})"),
+            "123\n-45\n12\n0\n789\n-6\n");
+}
+
+TEST(InterpTest, MinMaxAbs) {
+  EXPECT_EQ(output(R"(fn main() {
+  println(min(3, 5));
+  println(max(3, 5));
+  println(abs(-9));
+  println(abs(9));
+})"),
+            "3\n5\n9\n9\n");
+}
+
+TEST(InterpTest, ArgsIntrinsics) {
+  EXPECT_EQ(output(R"(fn main() {
+  println(nargs());
+  println(arg(0));
+  println(arg(1));
+})",
+                   {"first", "second"}),
+            "2\nfirst\nsecond\n");
+}
+
+TEST(InterpTest, BugMarkersRecorded) {
+  RunOutcome Outcome = run(R"(fn main() {
+  __bug(3);
+  __bug(1);
+  __bug(3);
+})");
+  EXPECT_EQ(Outcome.BugsTriggered, (std::vector<int>{1, 3}));
+  // Markers alone do not fail a run.
+  EXPECT_FALSE(Outcome.failed());
+}
+
+TEST(InterpTest, KindEnforcementOnVarStore) {
+  RunOutcome Outcome = run("fn main() { int x = 0; x = \"nope\"; }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::KindError);
+}
+
+TEST(InterpTest, NullAssignableToStrArrRec) {
+  EXPECT_EQ(output(R"(fn main() {
+  str s = null;
+  arr a = null;
+  rec r = null;
+  println(s == null);
+})"),
+            "1\n");
+}
+
+TEST(InterpTest, StepsAreCounted) {
+  RunOutcome Outcome = run("fn main() { int x = 1 + 2; println(x); }");
+  EXPECT_GT(Outcome.Steps, 4u);
+}
+
+TEST(InterpTest, OutputCapDoesNotCrash) {
+  RunOutcome Outcome = run(R"(fn main() {
+  int i = 0;
+  while (i < 300000) {
+    print("xxxxxxxxxx");
+    i = i + 1;
+  }
+})");
+  EXPECT_EQ(Outcome.Trap, TrapKind::None);
+  EXPECT_LE(Outcome.Output.size(), (1u << 20));
+}
+
+TEST(InterpTest, ForLoopScopeReusesSlots) {
+  EXPECT_EQ(output(R"(fn main() {
+  int total = 0;
+  for (int i = 0; i < 3; i = i + 1) { total = total + i; }
+  for (int j = 0; j < 3; j = j + 1) { total = total + j; }
+  println(total);
+})"),
+            "6\n");
+}
+
+TEST(InterpTest, DeclReinitializedEachIteration) {
+  EXPECT_EQ(output(R"(fn main() {
+  int total = 0;
+  for (int i = 0; i < 3; i = i + 1) {
+    int acc = 0;
+    acc = acc + 1;
+    total = total + acc;
+  }
+  println(total);
+})"),
+            "3\n");
+}
+
+TEST(InterpTest, Int64Wraparound) {
+  // Overflow wraps (two's complement) instead of being undefined.
+  EXPECT_EQ(output(R"(fn main() {
+  int big = 9223372036854775807;
+  println(big + 1 < 0);
+})"),
+            "1\n");
+}

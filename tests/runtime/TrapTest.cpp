@@ -1,0 +1,246 @@
+//===- tests/runtime/TrapTest.cpp - Crash-model tests ----------------------===//
+//
+// The trap model is the substrate for the paper's failure labels: these
+// tests pin down every crash kind, the silent-overrun padding semantics
+// that make buffer overruns non-deterministic (Section 3.1), and stack
+// capture.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interp.h"
+
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+RunOutcome runWithPad(const std::string &Source, size_t Pad,
+                      std::vector<std::string> Args = {}) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+  if (!Prog)
+    return {};
+  RunConfig Config;
+  Config.Args = std::move(Args);
+  Config.OverrunPad = Pad;
+  return runProgram(*Prog, Config);
+}
+
+RunOutcome run(const std::string &Source) { return runWithPad(Source, 4); }
+
+} // namespace
+
+TEST(TrapTest, NullFieldRead) {
+  RunOutcome Outcome = run(R"(
+record R { x; }
+fn main() { rec r = null; println(r.x); })");
+  EXPECT_EQ(Outcome.Trap, TrapKind::NullDeref);
+  EXPECT_TRUE(Outcome.failed());
+}
+
+TEST(TrapTest, NullFieldWrite) {
+  RunOutcome Outcome = run(R"(
+record R { x; }
+fn main() { rec r = null; r.x = 1; })");
+  EXPECT_EQ(Outcome.Trap, TrapKind::NullDeref);
+}
+
+TEST(TrapTest, NullElementAccess) {
+  RunOutcome Outcome = run("fn main() { arr a = null; println(a[0]); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::NullDeref);
+}
+
+TEST(TrapTest, NullStringIntrinsic) {
+  RunOutcome Outcome = run("fn main() { str s = null; println(len(s)); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::NullDeref);
+}
+
+TEST(TrapTest, NegativeIndexAlwaysTraps) {
+  for (size_t Pad : {0u, 7u}) {
+    RunOutcome Outcome = runWithPad(
+        "fn main() { arr a = mkarray(4); println(a[0 - 1]); }", Pad);
+    EXPECT_EQ(Outcome.Trap, TrapKind::OutOfBounds);
+  }
+}
+
+TEST(TrapTest, OverrunWithinPaddingIsSilent) {
+  // Index 4 on a 4-element array: one past the end. With padding it is a
+  // silent corruption; without padding it traps. This is the paper's
+  // non-deterministic overrun in miniature.
+  const char *Source = R"(fn main() {
+  arr a = mkarray(4);
+  a[4] = 1;
+  println("survived");
+})";
+  RunOutcome Padded = runWithPad(Source, 4);
+  EXPECT_EQ(Padded.Trap, TrapKind::None);
+  EXPECT_EQ(Padded.Output, "survived\n");
+
+  RunOutcome Unpadded = runWithPad(Source, 0);
+  EXPECT_EQ(Unpadded.Trap, TrapKind::OutOfBounds);
+}
+
+TEST(TrapTest, OverrunBeyondPaddingTraps) {
+  RunOutcome Outcome = runWithPad(
+      "fn main() { arr a = mkarray(4); a[10] = 1; }", 4);
+  EXPECT_EQ(Outcome.Trap, TrapKind::OutOfBounds);
+}
+
+TEST(TrapTest, PaddingReadsBackStores) {
+  RunOutcome Outcome = runWithPad(R"(fn main() {
+  arr a = mkarray(2);
+  a[2] = 42;
+  println(a[2]);
+})",
+                                  4);
+  EXPECT_EQ(Outcome.Trap, TrapKind::None);
+  EXPECT_EQ(Outcome.Output, "42\n");
+}
+
+TEST(TrapTest, LenReportsLogicalSizeNotPadding) {
+  RunOutcome Outcome = runWithPad(
+      "fn main() { println(len(mkarray(5))); }", 7);
+  EXPECT_EQ(Outcome.Output, "5\n");
+}
+
+TEST(TrapTest, DivisionByZero) {
+  RunOutcome Outcome = run("fn main() { int x = 0; println(1 / x); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::DivByZero);
+}
+
+TEST(TrapTest, RemainderByZero) {
+  RunOutcome Outcome = run("fn main() { int x = 0; println(1 % x); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::DivByZero);
+}
+
+TEST(TrapTest, Int64MinDivMinusOneDoesNotCrashHost) {
+  RunOutcome Outcome = run(R"(fn main() {
+  int m = 0 - 9223372036854775807 - 1;
+  int d = 0 - 1;
+  println(m / d);
+  println(m % d);
+})");
+  EXPECT_EQ(Outcome.Trap, TrapKind::None);
+}
+
+TEST(TrapTest, KindErrorOnNonIntArithmetic) {
+  RunOutcome Outcome = run("fn main() { str s = \"a\"; println(s + 1); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::KindError);
+}
+
+TEST(TrapTest, KindErrorOnNonIntCondition) {
+  RunOutcome Outcome = run("fn main() { str s = \"a\"; if (s) { } }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::KindError);
+}
+
+TEST(TrapTest, KindErrorOnFieldOfNonRecord) {
+  RunOutcome Outcome = run("fn main() { int x = 1; println(x.f); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::KindError);
+}
+
+TEST(TrapTest, KindErrorOnUnknownField) {
+  RunOutcome Outcome = run(R"(
+record R { x; }
+fn main() { rec r = new R; println(r.nope); })");
+  EXPECT_EQ(Outcome.Trap, TrapKind::KindError);
+}
+
+TEST(TrapTest, BadArgOnCharatOutOfRange) {
+  RunOutcome Outcome = run("fn main() { println(charat(\"ab\", 5)); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::BadArg);
+}
+
+TEST(TrapTest, BadArgOnArgOutOfRange) {
+  RunOutcome Outcome = run("fn main() { println(arg(3)); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::BadArg);
+}
+
+TEST(TrapTest, OutOfMemoryOnNegativeAllocation) {
+  RunOutcome Outcome = run("fn main() { arr a = mkarray(0 - 5); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::OutOfMemory);
+}
+
+TEST(TrapTest, OutOfMemoryOnAbsurdAllocation) {
+  RunOutcome Outcome = run("fn main() { arr a = mkarray(99999999999); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::OutOfMemory);
+}
+
+TEST(TrapTest, ExplicitTrap) {
+  RunOutcome Outcome = run("fn main() { trap(\"boom\"); }");
+  EXPECT_EQ(Outcome.Trap, TrapKind::ExplicitTrap);
+  EXPECT_EQ(Outcome.TrapMessage, "boom");
+}
+
+TEST(TrapTest, StepLimitStopsRunawayLoop) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = parseAndAnalyze("fn main() { while (1) { } }", Diags);
+  ASSERT_NE(Prog, nullptr);
+  RunConfig Config;
+  Config.StepLimit = 10000;
+  RunOutcome Outcome = runProgram(*Prog, Config);
+  EXPECT_EQ(Outcome.Trap, TrapKind::StepLimit);
+  EXPECT_LE(Outcome.Steps, 10001u);
+}
+
+TEST(TrapTest, StackOverflowOnInfiniteRecursion) {
+  RunOutcome Outcome = run(R"(
+fn spin(int n) { return spin(n + 1); }
+fn main() { spin(0); })");
+  EXPECT_EQ(Outcome.Trap, TrapKind::StackOverflow);
+}
+
+TEST(TrapTest, DeclaredVariablesAlwaysReadInitialized) {
+  // Lexical scoping + per-execution declaration initialization means a
+  // declared variable can never be read uninitialized, even across
+  // sibling blocks that reuse frame slots of different kinds.
+  RunOutcome Outcome = run(R"(fn main() {
+  { str s = "x"; println(s); }
+  { int n; println(n + 0); }
+  { arr a; println(a == null); }
+})");
+  EXPECT_EQ(Outcome.Trap, TrapKind::None);
+  EXPECT_EQ(Outcome.Output, "x\n0\n1\n");
+}
+
+TEST(TrapTest, StackTraceInnermostFirst) {
+  RunOutcome Outcome = run(R"(
+fn inner() { trap("deep"); return 0; }
+fn middle() { return inner(); }
+fn main() { middle(); })");
+  ASSERT_EQ(Outcome.StackTrace.size(), 3u);
+  EXPECT_EQ(Outcome.StackTrace[0].substr(0, 6), "inner@");
+  EXPECT_EQ(Outcome.StackTrace[1].substr(0, 7), "middle@");
+  EXPECT_EQ(Outcome.StackTrace[2].substr(0, 5), "main@");
+}
+
+TEST(TrapTest, TrapLineIsRecorded) {
+  RunOutcome Outcome = run("fn main() {\n  trap(\"x\");\n}");
+  EXPECT_EQ(Outcome.TrapLine, 2);
+}
+
+TEST(TrapTest, NoStackTraceOnSuccess) {
+  RunOutcome Outcome = run("fn main() { println(1); }");
+  EXPECT_TRUE(Outcome.StackTrace.empty());
+}
+
+TEST(TrapTest, OutputBeforeTrapIsPreserved) {
+  RunOutcome Outcome = run(R"(fn main() {
+  println("pre");
+  trap("bang");
+  println("post");
+})");
+  EXPECT_EQ(Outcome.Output, "pre\n");
+}
+
+TEST(TrapTest, BugsRecordedBeforeTrapSurvive) {
+  RunOutcome Outcome = run(R"(fn main() {
+  __bug(2);
+  trap("bang");
+})");
+  EXPECT_EQ(Outcome.BugsTriggered, (std::vector<int>{2}));
+  EXPECT_TRUE(Outcome.crashed());
+}

@@ -1,0 +1,98 @@
+//===- tests/runtime/ValueTest.cpp - Value representation tests -----------===//
+
+#include "runtime/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+TEST(ValueTest, DefaultIsUnit) {
+  Value V;
+  EXPECT_TRUE(V.isUnit());
+  EXPECT_EQ(V.kind(), ValueKind::Unit);
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value V = Value::makeInt(-42);
+  EXPECT_TRUE(V.isInt());
+  EXPECT_EQ(V.asInt(), -42);
+}
+
+TEST(ValueTest, StrRoundTrip) {
+  Value V = Value::makeStr("hello");
+  EXPECT_TRUE(V.isStr());
+  EXPECT_EQ(V.asStr(), "hello");
+}
+
+TEST(ValueTest, StringsShareStorage) {
+  Value A = Value::makeStr("shared");
+  Value B = A;
+  EXPECT_EQ(A.strHandle().get(), B.strHandle().get());
+}
+
+TEST(ValueTest, NullIsItsOwnKind) {
+  Value V = Value::makeNull();
+  EXPECT_TRUE(V.isNull());
+  EXPECT_FALSE(V.isUnit());
+}
+
+TEST(ValueTest, EqualsStructuralForScalars) {
+  EXPECT_TRUE(Value::makeInt(3).equals(Value::makeInt(3)));
+  EXPECT_FALSE(Value::makeInt(3).equals(Value::makeInt(4)));
+  EXPECT_TRUE(Value::makeStr("a").equals(Value::makeStr("a")));
+  EXPECT_FALSE(Value::makeStr("a").equals(Value::makeStr("b")));
+  EXPECT_TRUE(Value::makeNull().equals(Value::makeNull()));
+}
+
+TEST(ValueTest, EqualsFalseAcrossKinds) {
+  EXPECT_FALSE(Value::makeInt(0).equals(Value::makeNull()));
+  EXPECT_FALSE(Value::makeStr("0").equals(Value::makeInt(0)));
+  EXPECT_FALSE(Value().equals(Value::makeInt(0)));
+}
+
+TEST(ValueTest, ArrayReferenceEquality) {
+  auto Obj = std::make_shared<ArrayObj>();
+  Obj->LogicalSize = 1;
+  Obj->Data.assign(1, Value::makeInt(0));
+  Value A = Value::makeArr(Obj);
+  Value B = Value::makeArr(Obj);
+  Value C = Value::makeArr(std::make_shared<ArrayObj>());
+  EXPECT_TRUE(A.equals(B));
+  EXPECT_FALSE(A.equals(C));
+}
+
+TEST(ValueTest, RecordReferenceEquality) {
+  RecordDecl Decl;
+  Decl.Name = "R";
+  Decl.Fields = {"x"};
+  auto Obj = std::make_shared<RecordObj>();
+  Obj->Decl = &Decl;
+  Obj->Fields.assign(1, Value::makeNull());
+  Value A = Value::makeRec(Obj);
+  Value B = A;
+  EXPECT_TRUE(A.equals(B));
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value::makeInt(7).toDisplayString(), "7");
+  EXPECT_EQ(Value::makeInt(-7).toDisplayString(), "-7");
+  EXPECT_EQ(Value::makeStr("s").toDisplayString(), "s");
+  EXPECT_EQ(Value::makeNull().toDisplayString(), "null");
+  EXPECT_EQ(Value().toDisplayString(), "<unit>");
+}
+
+TEST(ValueTest, ArrayDisplayShowsLogicalSize) {
+  auto Obj = std::make_shared<ArrayObj>();
+  Obj->LogicalSize = 3;
+  Obj->Data.assign(7, Value::makeInt(0)); // Padding beyond logical size.
+  EXPECT_EQ(Value::makeArr(Obj).toDisplayString(), "<arr:3>");
+}
+
+TEST(ValueTest, KindNames) {
+  EXPECT_STREQ(valueKindName(ValueKind::Int), "int");
+  EXPECT_STREQ(valueKindName(ValueKind::Str), "str");
+  EXPECT_STREQ(valueKindName(ValueKind::Null), "null");
+  EXPECT_STREQ(valueKindName(ValueKind::Arr), "arr");
+  EXPECT_STREQ(valueKindName(ValueKind::Rec), "rec");
+  EXPECT_STREQ(valueKindName(ValueKind::Unit), "unit");
+}

@@ -1,0 +1,166 @@
+//===- tests/support/RandomTest.cpp - Rng unit tests ----------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace sbi;
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Same, 3);
+}
+
+TEST(RandomTest, ReseedRestartsStream) {
+  Rng A(7);
+  std::vector<uint64_t> First;
+  for (int I = 0; I < 16; ++I)
+    First.push_back(A.next());
+  A.reseed(7);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(A.next(), First[static_cast<size_t>(I)]);
+}
+
+TEST(RandomTest, NextBelowStaysInBounds) {
+  Rng R(3);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RandomTest, NextBelowOneIsAlwaysZero) {
+  Rng R(5);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(RandomTest, NextBelowIsRoughlyUniform) {
+  Rng R(11);
+  constexpr uint64_t Buckets = 10;
+  constexpr int Draws = 100000;
+  std::vector<int> Counts(Buckets, 0);
+  for (int I = 0; I < Draws; ++I)
+    ++Counts[R.nextBelow(Buckets)];
+  for (int Count : Counts) {
+    EXPECT_GT(Count, Draws / static_cast<int>(Buckets) * 9 / 10);
+    EXPECT_LT(Count, Draws / static_cast<int>(Buckets) * 11 / 10);
+  }
+}
+
+TEST(RandomTest, NextInRangeCoversEndpoints) {
+  Rng R(13);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 5000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, NextInRangeSingleton) {
+  Rng R(17);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(R.nextInRange(9, 9), 9);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng R(19);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double V = R.nextDouble();
+    ASSERT_GE(V, 0.0);
+    ASSERT_LT(V, 1.0);
+    Sum += V;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, BernoulliMatchesRate) {
+  Rng R(23);
+  for (double P : {0.01, 0.25, 0.5, 0.9}) {
+    int Hits = 0;
+    constexpr int Draws = 50000;
+    for (int I = 0; I < Draws; ++I)
+      Hits += R.nextBernoulli(P) ? 1 : 0;
+    double Rate = static_cast<double>(Hits) / Draws;
+    EXPECT_NEAR(Rate, P, 0.02) << "P = " << P;
+  }
+}
+
+TEST(RandomTest, BernoulliDegenerateRates) {
+  Rng R(29);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.nextBernoulli(0.0));
+    EXPECT_TRUE(R.nextBernoulli(1.0));
+    EXPECT_FALSE(R.nextBernoulli(-1.0));
+    EXPECT_TRUE(R.nextBernoulli(2.0));
+  }
+}
+
+TEST(RandomTest, GeometricSkipMeanMatchesRate) {
+  // E[skip] = (1 - p) / p for the number of failures before a success.
+  Rng R(31);
+  for (double P : {0.5, 0.1, 0.01}) {
+    double Sum = 0;
+    constexpr int Draws = 20000;
+    for (int I = 0; I < Draws; ++I)
+      Sum += static_cast<double>(R.nextGeometricSkip(P));
+    double Mean = Sum / Draws;
+    double Expected = (1.0 - P) / P;
+    EXPECT_NEAR(Mean, Expected, Expected * 0.1 + 0.05) << "P = " << P;
+  }
+}
+
+TEST(RandomTest, GeometricSkipDegenerate) {
+  Rng R(37);
+  EXPECT_EQ(R.nextGeometricSkip(1.0), 0u);
+  EXPECT_EQ(R.nextGeometricSkip(1.5), 0u);
+  EXPECT_EQ(R.nextGeometricSkip(0.0), UINT64_MAX);
+}
+
+TEST(RandomTest, ShuffleIsAPermutation) {
+  Rng R(41);
+  std::vector<int> Items = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> Shuffled = Items;
+  R.shuffle(Shuffled);
+  std::vector<int> Sorted = Shuffled;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(Sorted, Items);
+}
+
+TEST(RandomTest, ShuffleActuallyMoves) {
+  Rng R(43);
+  std::vector<int> Items(100);
+  for (int I = 0; I < 100; ++I)
+    Items[static_cast<size_t>(I)] = I;
+  std::vector<int> Shuffled = Items;
+  R.shuffle(Shuffled);
+  EXPECT_NE(Shuffled, Items);
+}
+
+TEST(RandomTest, SplitProducesIndependentStream) {
+  Rng A(47);
+  Rng B = A.split();
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Same, 3);
+}

@@ -1,0 +1,126 @@
+//===- tests/support/StatsTest.cpp - Statistics unit tests ----------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace sbi;
+
+TEST(ProportionTest, ValueAndVariance) {
+  Proportion P{30, 100};
+  EXPECT_DOUBLE_EQ(P.value(), 0.3);
+  EXPECT_NEAR(P.variance(), 0.3 * 0.7 / 100.0, 1e-12);
+}
+
+TEST(ProportionTest, ZeroTrials) {
+  Proportion P{0, 0};
+  EXPECT_DOUBLE_EQ(P.value(), 0.0);
+  EXPECT_DOUBLE_EQ(P.variance(), 0.0);
+}
+
+TEST(ProportionTest, DegenerateProportionsHaveZeroVariance) {
+  EXPECT_DOUBLE_EQ((Proportion{0, 50}).variance(), 0.0);
+  EXPECT_DOUBLE_EQ((Proportion{50, 50}).variance(), 0.0);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(normalCdf(3.0), 0.99865, 1e-4);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normalQuantile(0.975), 1.959963984540054, 1e-6);
+  EXPECT_NEAR(normalQuantile(0.025), -1.959963984540054, 1e-6);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double P : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999})
+    EXPECT_NEAR(normalCdf(normalQuantile(P)), P, 1e-7) << "P = " << P;
+}
+
+TEST(NormalTest, Z95MatchesQuantile) {
+  EXPECT_NEAR(Z95, normalQuantile(0.975), 1e-6);
+}
+
+TEST(TwoProportionZTest, PositiveWhenFirstLarger) {
+  Proportion Pf{80, 100};
+  Proportion Ps{20, 100};
+  EXPECT_GT(twoProportionZ(Pf, Ps), 0.0);
+  EXPECT_LT(twoProportionZ(Ps, Pf), 0.0);
+}
+
+TEST(TwoProportionZTest, ZeroWhenEqual) {
+  Proportion P{50, 100};
+  EXPECT_DOUBLE_EQ(twoProportionZ(P, P), 0.0);
+}
+
+TEST(TwoProportionZTest, ZeroVarianceGuard) {
+  Proportion A{0, 0};
+  Proportion B{0, 0};
+  EXPECT_DOUBLE_EQ(twoProportionZ(A, B), 0.0);
+}
+
+TEST(TwoProportionZTest, GrowsWithSampleSize) {
+  Proportion SmallF{8, 10}, SmallS{2, 10};
+  Proportion BigF{800, 1000}, BigS{200, 1000};
+  EXPECT_GT(twoProportionZ(BigF, BigS), twoProportionZ(SmallF, SmallS));
+}
+
+TEST(DifferenceIntervalTest, CenterAndWidth) {
+  Proportion A{90, 100};
+  Proportion B{10, 100};
+  ScoreInterval Interval = differenceInterval(A, B);
+  EXPECT_NEAR(Interval.Value, 0.8, 1e-12);
+  double Expected = Z95 * std::sqrt(A.variance() + B.variance());
+  EXPECT_NEAR(Interval.HalfWidth, Expected, 1e-12);
+  EXPECT_NEAR(Interval.lowerBound(), 0.8 - Expected, 1e-12);
+  EXPECT_NEAR(Interval.upperBound(), 0.8 + Expected, 1e-12);
+}
+
+TEST(DifferenceIntervalTest, FewObservationsWidenInterval) {
+  ScoreInterval Few = differenceInterval({3, 4}, {1, 4});
+  ScoreInterval Many = differenceInterval({300, 400}, {100, 400});
+  EXPECT_NEAR(Few.Value, Many.Value, 1e-12);
+  EXPECT_GT(Few.HalfWidth, Many.HalfWidth * 5);
+}
+
+TEST(HarmonicMeanIntervalTest, ExactHarmonicMean) {
+  ScoreInterval H = harmonicMeanInterval(0.5, 0.0, 0.5, 0.0);
+  EXPECT_NEAR(H.Value, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(H.HalfWidth, 0.0);
+}
+
+TEST(HarmonicMeanIntervalTest, AsymmetricComponents) {
+  ScoreInterval H = harmonicMeanInterval(1.0, 0.0, 1.0 / 3.0, 0.0);
+  EXPECT_NEAR(H.Value, 0.5, 1e-12);
+}
+
+TEST(HarmonicMeanIntervalTest, DegenerateInputsYieldZero) {
+  EXPECT_DOUBLE_EQ(harmonicMeanInterval(0.0, 0.1, 0.5, 0.1).Value, 0.0);
+  EXPECT_DOUBLE_EQ(harmonicMeanInterval(0.5, 0.1, -1.0, 0.1).Value, 0.0);
+}
+
+TEST(HarmonicMeanIntervalTest, VarianceWidensInterval) {
+  ScoreInterval Tight = harmonicMeanInterval(0.6, 0.001, 0.6, 0.001);
+  ScoreInterval Wide = harmonicMeanInterval(0.6, 0.01, 0.6, 0.01);
+  EXPECT_GT(Wide.HalfWidth, Tight.HalfWidth);
+}
+
+TEST(HarmonicMeanIntervalTest, DominatedByThSmallerComponent) {
+  // The harmonic mean is at most twice the smaller component.
+  ScoreInterval H = harmonicMeanInterval(0.01, 0.0, 1.0, 0.0);
+  EXPECT_LE(H.Value, 0.02);
+  EXPECT_GT(H.Value, 0.01);
+}
+
+TEST(SafeLogTest, ClampsAtZero) {
+  EXPECT_TRUE(std::isfinite(safeLog(0.0)));
+  EXPECT_TRUE(std::isfinite(safeLog(-5.0)));
+  EXPECT_NEAR(safeLog(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(safeLog(std::exp(1.0)), 1.0, 1e-12);
+}

@@ -1,0 +1,82 @@
+//===- tests/support/StringUtilsTest.cpp - String helper unit tests -------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+TEST(FormatTest, BasicSubstitution) {
+  EXPECT_EQ(format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("%s!", "hello"), "hello!");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(FormatTest, EmptyAndLong) {
+  EXPECT_EQ(format("%s", ""), "");
+  std::string Long(5000, 'x');
+  EXPECT_EQ(format("%s", Long.c_str()), Long);
+}
+
+TEST(SplitTest, Basic) {
+  auto Pieces = splitString("a,b,c", ',');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[1], "b");
+  EXPECT_EQ(Pieces[2], "c");
+}
+
+TEST(SplitTest, AdjacentSeparators) {
+  auto Pieces = splitString("a,,b", ',');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[1], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  auto Pieces = splitString("abc", ',');
+  ASSERT_EQ(Pieces.size(), 1u);
+  EXPECT_EQ(Pieces[0], "abc");
+}
+
+TEST(SplitTest, EmptyInput) {
+  auto Pieces = splitString("", ',');
+  ASSERT_EQ(Pieces.size(), 1u);
+  EXPECT_EQ(Pieces[0], "");
+}
+
+TEST(SplitTest, LeadingAndTrailing) {
+  auto Pieces = splitString(",x,", ',');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[0], "");
+  EXPECT_EQ(Pieces[1], "x");
+  EXPECT_EQ(Pieces[2], "");
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> Pieces = {"one", "two", "three"};
+  EXPECT_EQ(joinStrings(Pieces, ","), "one,two,three");
+  EXPECT_EQ(splitString(joinStrings(Pieces, ";"), ';'), Pieces);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(joinStrings({"solo"}, ","), "solo");
+}
+
+TEST(PadTest, PadRight) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padRight("abcdef", 3), "abc"); // Truncates.
+  EXPECT_EQ(padRight("", 2), "  ");
+}
+
+TEST(PadTest, PadLeft) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef"); // Never truncates.
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(startsWith("__lib_walk", "__lib_"));
+  EXPECT_FALSE(startsWith("walk", "__lib_"));
+  EXPECT_TRUE(startsWith("anything", ""));
+  EXPECT_FALSE(startsWith("", "x"));
+}

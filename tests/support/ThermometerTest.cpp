@@ -1,0 +1,97 @@
+//===- tests/support/ThermometerTest.cpp - Thermometer unit tests ---------===//
+
+#include "support/Thermometer.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+size_t countChar(const std::string &S, char C) {
+  size_t N = 0;
+  for (char X : S)
+    N += X == C ? 1 : 0;
+  return N;
+}
+
+} // namespace
+
+TEST(ThermometerTest, FixedTotalWidth) {
+  ThermometerSpec Spec;
+  Spec.RunsObservedTrue = 100;
+  std::string Bar = renderThermometer(Spec, 20, 1000);
+  EXPECT_EQ(Bar.size(), 22u); // 20 cells + brackets.
+  EXPECT_EQ(Bar.front(), '[');
+  EXPECT_EQ(Bar.back(), ']');
+}
+
+TEST(ThermometerTest, ZeroRunsIsEmpty) {
+  ThermometerSpec Spec;
+  Spec.RunsObservedTrue = 0;
+  std::string Bar = renderThermometer(Spec, 20, 1000);
+  EXPECT_EQ(countChar(Bar, '#') + countChar(Bar, '=') + countChar(Bar, '~'),
+            0u);
+}
+
+TEST(ThermometerTest, LengthIsLogScaled) {
+  ThermometerSpec Small, Large;
+  Small.RunsObservedTrue = 10;
+  Small.IncreaseLowerBound = 1.0;
+  Large.RunsObservedTrue = 1000;
+  Large.IncreaseLowerBound = 1.0;
+  std::string SmallBar = renderThermometer(Small, 20, 1000);
+  std::string LargeBar = renderThermometer(Large, 20, 1000);
+  size_t SmallLen = countChar(SmallBar, '=');
+  size_t LargeLen = countChar(LargeBar, '=');
+  EXPECT_LT(SmallLen, LargeLen);
+  // Log scaling: 100x more runs is far less than 100x longer.
+  EXPECT_GT(SmallLen * 4, LargeLen);
+}
+
+TEST(ThermometerTest, MaxRunsFillsBar) {
+  ThermometerSpec Spec;
+  Spec.RunsObservedTrue = 500;
+  Spec.Context = 1.0;
+  std::string Bar = renderThermometer(Spec, 24, 500);
+  EXPECT_EQ(countChar(Bar, '#'), 24u);
+}
+
+TEST(ThermometerTest, BandsInOrder) {
+  ThermometerSpec Spec;
+  Spec.Context = 0.25;
+  Spec.IncreaseLowerBound = 0.25;
+  Spec.ConfidenceWidth = 0.25;
+  Spec.RunsObservedTrue = 1000;
+  std::string Bar = renderThermometer(Spec, 20, 1000);
+  // Order must be # then = then ~ then spaces.
+  size_t LastHash = Bar.rfind('#');
+  size_t FirstEq = Bar.find('=');
+  size_t LastEq = Bar.rfind('=');
+  size_t FirstTilde = Bar.find('~');
+  ASSERT_NE(LastHash, std::string::npos);
+  ASSERT_NE(FirstEq, std::string::npos);
+  ASSERT_NE(FirstTilde, std::string::npos);
+  EXPECT_LT(LastHash, FirstEq);
+  EXPECT_LT(LastEq, FirstTilde);
+}
+
+TEST(ThermometerTest, BandsNeverOverflow) {
+  ThermometerSpec Spec;
+  Spec.Context = 0.9;
+  Spec.IncreaseLowerBound = 0.9; // Deliberately inconsistent inputs.
+  Spec.ConfidenceWidth = 0.9;
+  Spec.RunsObservedTrue = 1000;
+  std::string Bar = renderThermometer(Spec, 20, 1000);
+  EXPECT_EQ(Bar.size(), 22u);
+  EXPECT_LE(countChar(Bar, '#') + countChar(Bar, '=') + countChar(Bar, '~'),
+            20u);
+}
+
+TEST(ThermometerTest, TinyButNonzeroShowsSomething) {
+  ThermometerSpec Spec;
+  Spec.RunsObservedTrue = 1;
+  Spec.Context = 1.0;
+  std::string Bar = renderThermometer(Spec, 20, 100000);
+  EXPECT_GE(countChar(Bar, '#'), 1u);
+}

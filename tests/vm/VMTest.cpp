@@ -1,0 +1,150 @@
+//===- tests/vm/VMTest.cpp - Bytecode compiler and VM unit tests ----------===//
+
+#include "vm/Compiler.h"
+#include "vm/VM.h"
+
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+struct Compiled {
+  std::unique_ptr<Program> Prog;
+  CompiledProgram Code;
+
+  explicit Compiled(const std::string &Source) {
+    std::vector<Diagnostic> Diags;
+    Prog = parseAndAnalyze(Source, Diags);
+    EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+    if (Prog)
+      Code = compileProgram(*Prog);
+  }
+
+  RunOutcome run(std::vector<std::string> Args = {}, size_t Pad = 4) {
+    RunConfig Config;
+    Config.Args = std::move(Args);
+    Config.OverrunPad = Pad;
+    return runCompiled(Code, Config);
+  }
+};
+
+} // namespace
+
+TEST(VMTest, HelloWorld) {
+  Compiled C("fn main() { println(\"hello vm\"); }");
+  EXPECT_EQ(C.run().Output, "hello vm\n");
+}
+
+TEST(VMTest, ArithmeticAndControlFlow) {
+  Compiled C(R"(fn main() {
+  int sum = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    if (i % 3 == 0) { continue; }
+    if (i == 8) { break; }
+    sum = sum + i;
+  }
+  println(sum);
+})");
+  EXPECT_EQ(C.run().Output, "19\n"); // 1 + 2 + 4 + 5 + 7.
+}
+
+TEST(VMTest, Recursion) {
+  Compiled C(R"(
+fn fact(int n) {
+  if (n < 2) { return 1; }
+  return n * fact(n - 1);
+}
+fn main() { println(fact(10)); })");
+  EXPECT_EQ(C.run().Output, "3628800\n");
+}
+
+TEST(VMTest, ShortCircuitSkipsRhs) {
+  Compiled C(R"(
+int hits = 0;
+fn touch() { hits = hits + 1; return 1; }
+fn main() {
+  int a = 0 && touch();
+  int b = 1 || touch();
+  println(hits);
+  println(a);
+  println(b);
+})");
+  EXPECT_EQ(C.run().Output, "0\n0\n1\n");
+}
+
+TEST(VMTest, GlobalsInitialize) {
+  Compiled C(R"(
+int base = 5;
+int derived = base * base;
+fn main() { println(derived); })");
+  EXPECT_EQ(C.run().Output, "25\n");
+}
+
+TEST(VMTest, TrapsMatchContract) {
+  Compiled Null(R"(
+record R { x; }
+fn main() { rec r = null; println(r.x); })");
+  EXPECT_EQ(Null.run().Trap, TrapKind::NullDeref);
+
+  Compiled Oob("fn main() { arr a = mkarray(2); a[99] = 1; }");
+  EXPECT_EQ(Oob.run().Trap, TrapKind::OutOfBounds);
+
+  Compiled Div("fn main() { int z = 0; println(3 / z); }");
+  EXPECT_EQ(Div.run().Trap, TrapKind::DivByZero);
+}
+
+TEST(VMTest, SilentOverrunPadding) {
+  Compiled C(R"(fn main() {
+  arr a = mkarray(2);
+  a[2] = 7;
+  println(a[2]);
+})");
+  EXPECT_EQ(C.run({}, /*Pad=*/4).Output, "7\n");
+  EXPECT_EQ(C.run({}, /*Pad=*/0).Trap, TrapKind::OutOfBounds);
+}
+
+TEST(VMTest, StackTraceShape) {
+  Compiled C(R"(
+fn inner() { trap("deep"); return 0; }
+fn outer() { return inner(); }
+fn main() { outer(); })");
+  RunOutcome Outcome = C.run();
+  ASSERT_EQ(Outcome.StackTrace.size(), 3u);
+  EXPECT_EQ(Outcome.StackTrace[0].substr(0, 6), "inner@");
+  EXPECT_EQ(Outcome.StackTrace[2].substr(0, 5), "main@");
+}
+
+TEST(VMTest, MainReturnIsExitCode) {
+  Compiled C("fn main() { return 4; }");
+  EXPECT_EQ(C.run().ExitCode, 4);
+}
+
+TEST(VMTest, StepLimit) {
+  Compiled C("fn main() { while (1) { } }");
+  RunConfig Config;
+  Config.StepLimit = 5000;
+  RunOutcome Outcome = runCompiled(C.Code, Config);
+  EXPECT_EQ(Outcome.Trap, TrapKind::StepLimit);
+}
+
+TEST(VMTest, DisassemblyIsReadable) {
+  Compiled C("fn main() { println(1 + 2); }");
+  std::string Text = C.Code.disassemble();
+  EXPECT_NE(Text.find("chunk main"), std::string::npos);
+  EXPECT_NE(Text.find("push.int"), std::string::npos);
+  EXPECT_NE(Text.find("call.intrinsic"), std::string::npos);
+}
+
+TEST(VMTest, ArgsAndBugMarkers) {
+  Compiled C(R"(fn main() {
+  println(arg(0));
+  __bug(4);
+  println(nargs());
+})");
+  RunOutcome Outcome = C.run({"alpha", "beta"});
+  EXPECT_EQ(Outcome.Output, "alpha\n2\n");
+  EXPECT_EQ(Outcome.BugsTriggered, (std::vector<int>{4}));
+}

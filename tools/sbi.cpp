@@ -1,0 +1,319 @@
+//===- tools/sbi.cpp - Command-line statistical debugger ------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+// The command-line face of the library:
+//
+//   sbi subjects
+//       List the bundled study subjects and their seeded bugs.
+//
+//   sbi run --subject=NAME [--runs=N] [--seed=S]
+//           [--sampling=adaptive|none|uniform:RATE] [--out=FILE]
+//       Run a feedback-collection campaign; write the labeled reports to
+//       FILE (default: <subject>.reports).
+//
+//   sbi analyze --subject=NAME [--in=FILE] [--runs=N] [--seed=S]
+//               [--policy=all|failing|relabel] [--top=K] [--affinity]
+//               [--bugs]
+//       Isolate causes. Reads reports from FILE if given, otherwise runs
+//       a fresh campaign. --bugs appends ground-truth columns (the seeded
+//       subjects record which bug actually occurred per run).
+//
+//   sbi logreg --subject=NAME [--in=FILE] [--runs=N] [--top=K]
+//       The Section 4.4 baseline: l1-regularized logistic regression.
+//
+//   sbi report --subject=NAME [--in=FILE] [--runs=N] [--seed=S]
+//              [--out=FILE] [--top=K] [--bugs]
+//       Write the analysis as a self-contained HTML page (the paper's
+//       "interactive version of our analysis tools").
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "harness/Campaign.h"
+#include "harness/HtmlReport.h"
+#include "harness/Tables.h"
+#include "logreg/LogReg.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace sbi;
+
+namespace {
+
+struct CliArgs {
+  std::string Command;
+  std::string SubjectName;
+  std::string InFile;
+  std::string OutFile;
+  std::string Sampling = "adaptive";
+  std::string Policy = "all";
+  size_t Runs = 4000;
+  uint64_t Seed = 20050612;
+  size_t Top = 20;
+  size_t Threads = 0; // 0 = one per hardware thread.
+  bool ShowAffinity = false;
+  bool ShowBugs = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sbi <command> [options]\n"
+      "  subjects\n"
+      "  run     --subject=NAME [--runs=N] [--seed=S]\n"
+      "          [--sampling=adaptive|none|uniform:RATE] [--out=FILE]\n"
+      "  analyze --subject=NAME [--in=FILE] [--runs=N] [--seed=S]\n"
+      "          [--policy=all|failing|relabel] [--top=K] [--affinity] "
+      "[--bugs]\n"
+      "  logreg  --subject=NAME [--in=FILE] [--runs=N] [--top=K]\n"
+      "  report  --subject=NAME [--in=FILE] [--out=FILE] [--top=K] "
+      "[--bugs]\n");
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
+  if (Argc < 2)
+    return false;
+  Args.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto valueOf = [&](std::string_view Prefix,
+                       std::string &Out) {
+      if (Arg.substr(0, Prefix.size()) != Prefix)
+        return false;
+      Out = std::string(Arg.substr(Prefix.size()));
+      return true;
+    };
+    std::string Value;
+    if (valueOf("--subject=", Args.SubjectName) ||
+        valueOf("--in=", Args.InFile) || valueOf("--out=", Args.OutFile) ||
+        valueOf("--sampling=", Args.Sampling) ||
+        valueOf("--policy=", Args.Policy))
+      continue;
+    if (valueOf("--runs=", Value)) {
+      Args.Runs = static_cast<size_t>(std::strtoull(Value.c_str(), nullptr,
+                                                    10));
+    } else if (valueOf("--seed=", Value)) {
+      Args.Seed = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (valueOf("--top=", Value)) {
+      Args.Top = static_cast<size_t>(std::strtoull(Value.c_str(), nullptr,
+                                                   10));
+    } else if (valueOf("--threads=", Value)) {
+      Args.Threads = static_cast<size_t>(
+          std::strtoull(Value.c_str(), nullptr, 10));
+    } else if (Arg == "--affinity") {
+      Args.ShowAffinity = true;
+    } else if (Arg == "--bugs") {
+      Args.ShowBugs = true;
+    } else {
+      std::fprintf(stderr, "sbi: unknown option '%s'\n", Argv[I]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmdSubjects() {
+  for (const Subject *Subj : allSubjects()) {
+    std::printf("%s  (%s-labeled)\n", Subj->Name.c_str(),
+                Subj->UseOutputOracle ? "oracle" : "crash");
+    for (const BugSpec &Bug : Subj->Bugs)
+      std::printf("  #%d  %-26s  %s\n", Bug.Id, Bug.Kind.c_str(),
+                  Bug.Description.c_str());
+  }
+  return 0;
+}
+
+bool configureCampaign(const CliArgs &Args, CampaignOptions &Options) {
+  Options.NumRuns = Args.Runs;
+  Options.Seed = Args.Seed;
+  Options.Threads = Args.Threads;
+  if (Args.Sampling == "adaptive") {
+    Options.Mode = SamplingMode::Adaptive;
+  } else if (Args.Sampling == "none") {
+    Options.Mode = SamplingMode::None;
+  } else if (Args.Sampling.rfind("uniform:", 0) == 0) {
+    Options.Mode = SamplingMode::Uniform;
+    Options.UniformRate = std::strtod(Args.Sampling.c_str() + 8, nullptr);
+  } else {
+    std::fprintf(stderr, "sbi: bad --sampling value '%s'\n",
+                 Args.Sampling.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Runs a campaign or loads reports; either way yields a site table (from
+/// the subject's source, which is deterministic) and a report set.
+bool obtainReports(const CliArgs &Args, CampaignResult &Result) {
+  const Subject *Subj = findSubject(Args.SubjectName);
+  if (!Subj) {
+    std::fprintf(stderr, "sbi: unknown subject '%s' (try 'sbi subjects')\n",
+                 Args.SubjectName.c_str());
+    return false;
+  }
+  if (Args.InFile.empty()) {
+    CampaignOptions Options;
+    if (!configureCampaign(Args, Options))
+      return false;
+    std::fprintf(stderr, "sbi: running %zu '%s' inputs...\n", Args.Runs,
+                 Subj->Name.c_str());
+    Result = runCampaign(*Subj, Options);
+    return true;
+  }
+  // Load reports; rebuild only the static site table.
+  Result.Subj = Subj;
+  Result.Prog = compileSubjectSource(Subj->Source, Subj->Name);
+  Result.Sites = SiteTable::build(*Result.Prog);
+  std::ifstream In(Args.InFile);
+  if (!In) {
+    std::fprintf(stderr, "sbi: cannot open '%s'\n", Args.InFile.c_str());
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  if (!ReportSet::deserialize(Buffer.str(), Result.Reports)) {
+    std::fprintf(stderr, "sbi: '%s' is not a valid report file\n",
+                 Args.InFile.c_str());
+    return false;
+  }
+  if (Result.Reports.numPredicates() != Result.Sites.numPredicates()) {
+    std::fprintf(stderr,
+                 "sbi: report file does not match subject '%s' (%u vs %u "
+                 "predicates)\n",
+                 Subj->Name.c_str(), Result.Reports.numPredicates(),
+                 Result.Sites.numPredicates());
+    return false;
+  }
+  return true;
+}
+
+int cmdRun(const CliArgs &Args) {
+  CampaignResult Result;
+  if (!obtainReports(Args, Result))
+    return 1;
+  std::string OutFile =
+      Args.OutFile.empty() ? Result.Subj->Name + ".reports" : Args.OutFile;
+  std::ofstream Out(OutFile);
+  if (!Out) {
+    std::fprintf(stderr, "sbi: cannot write '%s'\n", OutFile.c_str());
+    return 1;
+  }
+  Out << Result.Reports.serialize();
+  std::printf("wrote %zu reports (%zu failing, %zu successful) to %s\n",
+              Result.Reports.size(), Result.numFailing(),
+              Result.numSuccessful(), OutFile.c_str());
+  return 0;
+}
+
+int cmdAnalyze(const CliArgs &Args) {
+  CampaignResult Result;
+  if (!obtainReports(Args, Result))
+    return 1;
+
+  AnalysisOptions Options;
+  if (Args.Policy == "all")
+    Options.Policy = DiscardPolicy::DiscardAllRuns;
+  else if (Args.Policy == "failing")
+    Options.Policy = DiscardPolicy::DiscardFailingRuns;
+  else if (Args.Policy == "relabel")
+    Options.Policy = DiscardPolicy::RelabelFailingRuns;
+  else {
+    std::fprintf(stderr, "sbi: bad --policy value '%s'\n",
+                 Args.Policy.c_str());
+    return 1;
+  }
+
+  CauseIsolator Isolator(Result.Sites, Result.Reports, Options);
+  AnalysisResult Analysis = Isolator.run();
+  std::printf("%zu reports (%zu failing); %u predicates -> %zu survive "
+              "Increase>0 -> %zu selected\n\n",
+              Result.Reports.size(), Result.numFailing(),
+              Result.Sites.numPredicates(),
+              Analysis.PrunedSurvivors.size(), Analysis.Selected.size());
+
+  std::vector<int> BugIds;
+  if (Args.ShowBugs && Result.Subj)
+    for (const BugSpec &Bug : Result.Subj->Bugs)
+      BugIds.push_back(Bug.Id);
+  std::printf("%s\n", renderSelectedList(Result.Sites, Result.Reports,
+                                         Analysis.Selected, BugIds,
+                                         Args.Top)
+                          .c_str());
+
+  if (Args.ShowAffinity)
+    for (size_t I = 0; I < Analysis.Selected.size() && I < Args.Top; ++I)
+      std::printf("%s", renderAffinity(Result.Sites, Analysis.Selected[I])
+                            .c_str());
+  return 0;
+}
+
+int cmdLogReg(const CliArgs &Args) {
+  CampaignResult Result;
+  if (!obtainReports(Args, Result))
+    return 1;
+  LogRegModel Model = trainForSparsity(
+      Result.Reports, /*MaxActive=*/static_cast<int>(Args.Top) * 3,
+      {0.05, 0.02, 0.01, 0.005, 0.002});
+  std::printf("trained: %d nonzero weights (%d iterations)\n\n",
+              Model.numNonzero(), Model.Iterations);
+  std::printf("%-12s %s\n", "Coefficient", "Predicate");
+  for (const auto &[Pred, Weight] : Model.topByMagnitude(Args.Top))
+    std::printf("%12.6f %s\n", Weight,
+                predicateLabel(Result.Sites, Pred).c_str());
+  return 0;
+}
+
+int cmdReport(const CliArgs &Args) {
+  CampaignResult Result;
+  if (!obtainReports(Args, Result))
+    return 1;
+  CauseIsolator Isolator(Result.Sites, Result.Reports);
+  AnalysisResult Analysis = Isolator.run();
+
+  HtmlReportOptions Options;
+  Options.TopK = Args.Top;
+  Options.ShowGroundTruth = Args.ShowBugs;
+  std::string Html = renderHtmlReport(Result, Analysis, Options);
+
+  std::string OutFile = Args.OutFile.empty()
+                            ? Result.Subj->Name + ".report.html"
+                            : Args.OutFile;
+  std::ofstream Out(OutFile);
+  if (!Out) {
+    std::fprintf(stderr, "sbi: cannot write '%s'\n", OutFile.c_str());
+    return 1;
+  }
+  Out << Html;
+  std::printf("wrote %zu selected predictors to %s\n",
+              Analysis.Selected.size(), OutFile.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliArgs Args;
+  if (!parseArgs(Argc, Argv, Args))
+    return usage();
+  if (Args.Command == "subjects")
+    return cmdSubjects();
+  if (Args.Command == "run")
+    return cmdRun(Args);
+  if (Args.Command == "analyze")
+    return cmdAnalyze(Args);
+  if (Args.Command == "logreg")
+    return cmdLogReg(Args);
+  if (Args.Command == "report")
+    return cmdReport(Args);
+  std::fprintf(stderr, "sbi: unknown command '%s'\n", Args.Command.c_str());
+  return usage();
+}
