@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_analysis.cpp" "bench/CMakeFiles/perf_analysis.dir/perf_analysis.cpp.o" "gcc" "bench/CMakeFiles/perf_analysis.dir/perf_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sbi_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sbi_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sbi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/logreg/CMakeFiles/sbi_logreg.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/sbi_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/sbi_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sbi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/sbi_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/subjects/CMakeFiles/sbi_subjects.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sbi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

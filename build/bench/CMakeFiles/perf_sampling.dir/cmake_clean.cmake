@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sampling.dir/perf_sampling.cpp.o"
+  "CMakeFiles/perf_sampling.dir/perf_sampling.cpp.o.d"
+  "perf_sampling"
+  "perf_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

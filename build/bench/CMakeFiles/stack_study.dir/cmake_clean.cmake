@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_study.dir/stack_study.cpp.o"
+  "CMakeFiles/stack_study.dir/stack_study.cpp.o.d"
+  "stack_study"
+  "stack_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

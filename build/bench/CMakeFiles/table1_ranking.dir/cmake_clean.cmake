@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ranking.dir/table1_ranking.cpp.o"
+  "CMakeFiles/table1_ranking.dir/table1_ranking.cpp.o.d"
+  "table1_ranking"
+  "table1_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

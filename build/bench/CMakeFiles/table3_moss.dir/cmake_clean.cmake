@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_moss.dir/table3_moss.cpp.o"
+  "CMakeFiles/table3_moss.dir/table3_moss.cpp.o.d"
+  "table3_moss"
+  "table3_moss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_moss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

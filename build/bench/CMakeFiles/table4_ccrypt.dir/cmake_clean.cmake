@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ccrypt.dir/table4_ccrypt.cpp.o"
+  "CMakeFiles/table4_ccrypt.dir/table4_ccrypt.cpp.o.d"
+  "table4_ccrypt"
+  "table4_ccrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ccrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

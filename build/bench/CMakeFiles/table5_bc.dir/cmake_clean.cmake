@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_bc.dir/table5_bc.cpp.o"
+  "CMakeFiles/table5_bc.dir/table5_bc.cpp.o.d"
+  "table5_bc"
+  "table5_bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

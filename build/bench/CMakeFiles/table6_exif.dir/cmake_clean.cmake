@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_exif.dir/table6_exif.cpp.o"
+  "CMakeFiles/table6_exif.dir/table6_exif.cpp.o.d"
+  "table6_exif"
+  "table6_exif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_exif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_rhythmbox.dir/table7_rhythmbox.cpp.o"
+  "CMakeFiles/table7_rhythmbox.dir/table7_rhythmbox.cpp.o.d"
+  "table7_rhythmbox"
+  "table7_rhythmbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_rhythmbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

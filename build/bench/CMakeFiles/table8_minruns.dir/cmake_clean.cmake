@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_minruns.dir/table8_minruns.cpp.o"
+  "CMakeFiles/table8_minruns.dir/table8_minruns.cpp.o.d"
+  "table8_minruns"
+  "table8_minruns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_minruns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

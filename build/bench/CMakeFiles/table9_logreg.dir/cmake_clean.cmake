@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_logreg.dir/table9_logreg.cpp.o"
+  "CMakeFiles/table9_logreg.dir/table9_logreg.cpp.o.d"
+  "table9_logreg"
+  "table9_logreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

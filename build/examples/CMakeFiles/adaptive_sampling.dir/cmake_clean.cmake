@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_sampling.dir/adaptive_sampling.cpp.o"
+  "CMakeFiles/adaptive_sampling.dir/adaptive_sampling.cpp.o.d"
+  "adaptive_sampling"
+  "adaptive_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

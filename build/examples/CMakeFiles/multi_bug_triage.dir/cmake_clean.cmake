@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_bug_triage.dir/multi_bug_triage.cpp.o"
+  "CMakeFiles/multi_bug_triage.dir/multi_bug_triage.cpp.o.d"
+  "multi_bug_triage"
+  "multi_bug_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_bug_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_oracle.dir/output_oracle.cpp.o"
+  "CMakeFiles/output_oracle.dir/output_oracle.cpp.o.d"
+  "output_oracle"
+  "output_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

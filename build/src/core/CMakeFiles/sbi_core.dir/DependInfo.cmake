@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Aggregator.cpp" "src/core/CMakeFiles/sbi_core.dir/Aggregator.cpp.o" "gcc" "src/core/CMakeFiles/sbi_core.dir/Aggregator.cpp.o.d"
+  "/root/repo/src/core/Analysis.cpp" "src/core/CMakeFiles/sbi_core.dir/Analysis.cpp.o" "gcc" "src/core/CMakeFiles/sbi_core.dir/Analysis.cpp.o.d"
+  "/root/repo/src/core/Scores.cpp" "src/core/CMakeFiles/sbi_core.dir/Scores.cpp.o" "gcc" "src/core/CMakeFiles/sbi_core.dir/Scores.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/feedback/CMakeFiles/sbi_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/sbi_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sbi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sbi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/sbi_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_core.dir/Aggregator.cpp.o"
+  "CMakeFiles/sbi_core.dir/Aggregator.cpp.o.d"
+  "CMakeFiles/sbi_core.dir/Analysis.cpp.o"
+  "CMakeFiles/sbi_core.dir/Analysis.cpp.o.d"
+  "CMakeFiles/sbi_core.dir/Scores.cpp.o"
+  "CMakeFiles/sbi_core.dir/Scores.cpp.o.d"
+  "libsbi_core.a"
+  "libsbi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

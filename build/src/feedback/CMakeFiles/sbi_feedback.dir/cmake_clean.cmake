@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_feedback.dir/Report.cpp.o"
+  "CMakeFiles/sbi_feedback.dir/Report.cpp.o.d"
+  "libsbi_feedback.a"
+  "libsbi_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_harness.dir/Campaign.cpp.o"
+  "CMakeFiles/sbi_harness.dir/Campaign.cpp.o.d"
+  "CMakeFiles/sbi_harness.dir/HtmlReport.cpp.o"
+  "CMakeFiles/sbi_harness.dir/HtmlReport.cpp.o.d"
+  "CMakeFiles/sbi_harness.dir/Tables.cpp.o"
+  "CMakeFiles/sbi_harness.dir/Tables.cpp.o.d"
+  "libsbi_harness.a"
+  "libsbi_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

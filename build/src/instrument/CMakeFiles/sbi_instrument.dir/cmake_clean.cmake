@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_instrument.dir/Collector.cpp.o"
+  "CMakeFiles/sbi_instrument.dir/Collector.cpp.o.d"
+  "CMakeFiles/sbi_instrument.dir/Sites.cpp.o"
+  "CMakeFiles/sbi_instrument.dir/Sites.cpp.o.d"
+  "libsbi_instrument.a"
+  "libsbi_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/sbi_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/sbi_lang.dir/Intrinsics.cpp.o"
+  "CMakeFiles/sbi_lang.dir/Intrinsics.cpp.o.d"
+  "CMakeFiles/sbi_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/sbi_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/sbi_lang.dir/Parser.cpp.o"
+  "CMakeFiles/sbi_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/sbi_lang.dir/Sema.cpp.o"
+  "CMakeFiles/sbi_lang.dir/Sema.cpp.o.d"
+  "libsbi_lang.a"
+  "libsbi_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

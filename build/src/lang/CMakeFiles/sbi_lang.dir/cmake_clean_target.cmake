@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsbi_lang.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_logreg.dir/LogReg.cpp.o"
+  "CMakeFiles/sbi_logreg.dir/LogReg.cpp.o.d"
+  "libsbi_logreg.a"
+  "libsbi_logreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

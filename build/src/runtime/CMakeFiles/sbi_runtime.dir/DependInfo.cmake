@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Interp.cpp" "src/runtime/CMakeFiles/sbi_runtime.dir/Interp.cpp.o" "gcc" "src/runtime/CMakeFiles/sbi_runtime.dir/Interp.cpp.o.d"
+  "/root/repo/src/runtime/Semantics.cpp" "src/runtime/CMakeFiles/sbi_runtime.dir/Semantics.cpp.o" "gcc" "src/runtime/CMakeFiles/sbi_runtime.dir/Semantics.cpp.o.d"
+  "/root/repo/src/runtime/Value.cpp" "src/runtime/CMakeFiles/sbi_runtime.dir/Value.cpp.o" "gcc" "src/runtime/CMakeFiles/sbi_runtime.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/sbi_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sbi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_runtime.dir/Interp.cpp.o"
+  "CMakeFiles/sbi_runtime.dir/Interp.cpp.o.d"
+  "CMakeFiles/sbi_runtime.dir/Semantics.cpp.o"
+  "CMakeFiles/sbi_runtime.dir/Semantics.cpp.o.d"
+  "CMakeFiles/sbi_runtime.dir/Value.cpp.o"
+  "CMakeFiles/sbi_runtime.dir/Value.cpp.o.d"
+  "libsbi_runtime.a"
+  "libsbi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subjects/Bc.cpp" "src/subjects/CMakeFiles/sbi_subjects.dir/Bc.cpp.o" "gcc" "src/subjects/CMakeFiles/sbi_subjects.dir/Bc.cpp.o.d"
+  "/root/repo/src/subjects/CCrypt.cpp" "src/subjects/CMakeFiles/sbi_subjects.dir/CCrypt.cpp.o" "gcc" "src/subjects/CMakeFiles/sbi_subjects.dir/CCrypt.cpp.o.d"
+  "/root/repo/src/subjects/Exif.cpp" "src/subjects/CMakeFiles/sbi_subjects.dir/Exif.cpp.o" "gcc" "src/subjects/CMakeFiles/sbi_subjects.dir/Exif.cpp.o.d"
+  "/root/repo/src/subjects/Moss.cpp" "src/subjects/CMakeFiles/sbi_subjects.dir/Moss.cpp.o" "gcc" "src/subjects/CMakeFiles/sbi_subjects.dir/Moss.cpp.o.d"
+  "/root/repo/src/subjects/Rhythmbox.cpp" "src/subjects/CMakeFiles/sbi_subjects.dir/Rhythmbox.cpp.o" "gcc" "src/subjects/CMakeFiles/sbi_subjects.dir/Rhythmbox.cpp.o.d"
+  "/root/repo/src/subjects/SubjectUtil.cpp" "src/subjects/CMakeFiles/sbi_subjects.dir/SubjectUtil.cpp.o" "gcc" "src/subjects/CMakeFiles/sbi_subjects.dir/SubjectUtil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sbi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_subjects.dir/Bc.cpp.o"
+  "CMakeFiles/sbi_subjects.dir/Bc.cpp.o.d"
+  "CMakeFiles/sbi_subjects.dir/CCrypt.cpp.o"
+  "CMakeFiles/sbi_subjects.dir/CCrypt.cpp.o.d"
+  "CMakeFiles/sbi_subjects.dir/Exif.cpp.o"
+  "CMakeFiles/sbi_subjects.dir/Exif.cpp.o.d"
+  "CMakeFiles/sbi_subjects.dir/Moss.cpp.o"
+  "CMakeFiles/sbi_subjects.dir/Moss.cpp.o.d"
+  "CMakeFiles/sbi_subjects.dir/Rhythmbox.cpp.o"
+  "CMakeFiles/sbi_subjects.dir/Rhythmbox.cpp.o.d"
+  "CMakeFiles/sbi_subjects.dir/SubjectUtil.cpp.o"
+  "CMakeFiles/sbi_subjects.dir/SubjectUtil.cpp.o.d"
+  "libsbi_subjects.a"
+  "libsbi_subjects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_subjects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

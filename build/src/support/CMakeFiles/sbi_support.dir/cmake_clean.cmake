@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_support.dir/Random.cpp.o"
+  "CMakeFiles/sbi_support.dir/Random.cpp.o.d"
+  "CMakeFiles/sbi_support.dir/Stats.cpp.o"
+  "CMakeFiles/sbi_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/sbi_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/sbi_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/sbi_support.dir/TextTable.cpp.o"
+  "CMakeFiles/sbi_support.dir/TextTable.cpp.o.d"
+  "CMakeFiles/sbi_support.dir/Thermometer.cpp.o"
+  "CMakeFiles/sbi_support.dir/Thermometer.cpp.o.d"
+  "libsbi_support.a"
+  "libsbi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

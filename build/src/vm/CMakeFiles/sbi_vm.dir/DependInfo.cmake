@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Compiler.cpp" "src/vm/CMakeFiles/sbi_vm.dir/Compiler.cpp.o" "gcc" "src/vm/CMakeFiles/sbi_vm.dir/Compiler.cpp.o.d"
+  "/root/repo/src/vm/VM.cpp" "src/vm/CMakeFiles/sbi_vm.dir/VM.cpp.o" "gcc" "src/vm/CMakeFiles/sbi_vm.dir/VM.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/sbi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/sbi_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sbi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi_vm.dir/Compiler.cpp.o"
+  "CMakeFiles/sbi_vm.dir/Compiler.cpp.o.d"
+  "CMakeFiles/sbi_vm.dir/VM.cpp.o"
+  "CMakeFiles/sbi_vm.dir/VM.cpp.o.d"
+  "libsbi_vm.a"
+  "libsbi_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/AggregatorTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/AggregatorTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/AnalysisTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/AnalysisTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ScoresTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ScoresTest.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

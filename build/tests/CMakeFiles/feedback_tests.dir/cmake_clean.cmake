@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_tests.dir/feedback/ReportTest.cpp.o"
+  "CMakeFiles/feedback_tests.dir/feedback/ReportTest.cpp.o.d"
+  "feedback_tests"
+  "feedback_tests.pdb"
+  "feedback_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_tests.dir/instrument/CollectorTest.cpp.o"
+  "CMakeFiles/instrument_tests.dir/instrument/CollectorTest.cpp.o.d"
+  "CMakeFiles/instrument_tests.dir/instrument/SamplingPlanTest.cpp.o"
+  "CMakeFiles/instrument_tests.dir/instrument/SamplingPlanTest.cpp.o.d"
+  "CMakeFiles/instrument_tests.dir/instrument/SitesTest.cpp.o"
+  "CMakeFiles/instrument_tests.dir/instrument/SitesTest.cpp.o.d"
+  "instrument_tests"
+  "instrument_tests.pdb"
+  "instrument_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

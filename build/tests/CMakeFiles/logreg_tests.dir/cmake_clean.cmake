@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logreg_tests.dir/logreg/LogRegTest.cpp.o"
+  "CMakeFiles/logreg_tests.dir/logreg/LogRegTest.cpp.o.d"
+  "logreg_tests"
+  "logreg_tests.pdb"
+  "logreg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logreg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

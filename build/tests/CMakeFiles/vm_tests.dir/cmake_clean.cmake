@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_tests.dir/vm/DifferentialTest.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/DifferentialTest.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/FuzzDifferentialTest.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/FuzzDifferentialTest.cpp.o.d"
+  "CMakeFiles/vm_tests.dir/vm/VMTest.cpp.o"
+  "CMakeFiles/vm_tests.dir/vm/VMTest.cpp.o.d"
+  "vm_tests"
+  "vm_tests.pdb"
+  "vm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

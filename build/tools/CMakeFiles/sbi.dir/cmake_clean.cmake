@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbi.dir/sbi.cpp.o"
+  "CMakeFiles/sbi.dir/sbi.cpp.o.d"
+  "sbi"
+  "sbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
