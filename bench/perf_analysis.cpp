@@ -2,18 +2,22 @@
 //
 // The paper's title claim is scalability: the Increase test plus iterative
 // elimination must digest feedback from hundreds of thousands of
-// predicates over tens of thousands of runs. This google-benchmark binary
-// measures the three analysis stages on synthetic report sets of varying
-// size:
+// predicates over tens of thousands of runs. This binary does two things:
 //
-//   aggregation  one pass of count aggregation (the inner loop of
-//                everything else),
-//   pruning      the Increase > 0 confidence test over all predicates,
-//   elimination  the full iterative algorithm.
+//   1. An engine comparison at the paper's 32,000-run scale: the full
+//      elimination + affinity phase under all three Section 5 discard
+//      policies, once with the reference rescan engine and once with the
+//      inverted-index/delta engine, verifying bit-identical results and
+//      writing machine-readable timings to BENCH_analysis.json.
+//
+//   2. google-benchmark micro-benches of the three analysis stages
+//      (aggregation, pruning, elimination) on synthetic report sets of
+//      varying size, now covering both engines.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Analysis.h"
+#include "core/InvertedIndex.h"
 #include "feedback/Report.h"
 #include "instrument/Sites.h"
 #include "lang/Sema.h"
@@ -21,13 +25,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <map>
+
 using namespace sbi;
 
 namespace {
 
 /// Builds a synthetic world: a trivial program whose site table is
 /// irrelevant except for predicate->site structure, plus reports drawn
-/// from a planted two-bug model.
+/// from a planted multi-bug model.
 struct SyntheticWorld {
   std::unique_ptr<Program> Prog;
   SiteTable Sites;
@@ -57,7 +65,7 @@ std::unique_ptr<Program> syntheticProgram(size_t NumSites) {
 }
 
 SyntheticWorld buildWorld(size_t NumSitesTarget, size_t NumRuns,
-                          size_t TruePredsPerRun) {
+                          size_t TruePredsPerRun, size_t NumBugs = 2) {
   SyntheticWorld World;
   World.Prog = syntheticProgram(NumSitesTarget);
   World.Sites = SiteTable::build(*World.Prog);
@@ -67,16 +75,18 @@ SyntheticWorld buildWorld(size_t NumSitesTarget, size_t NumRuns,
   World.Reports = ReportSet(NumSites, NumPreds);
 
   Rng R(0xabcdefULL);
-  // Two planted bugs, each predicted by one dedicated site.
-  uint32_t BugSiteA = 0;
-  uint32_t BugSiteB = NumSites / 2;
+  // NumBugs planted bugs, each predicted by one dedicated site, with
+  // trigger rates and failure probabilities cycling over an order of
+  // magnitude so the elimination loop has a long tail of selections.
+  const double TriggerRates[] = {0.02, 0.012, 0.008, 0.005, 0.003};
+  const double FailProbs[] = {0.9, 0.8, 0.7};
+  std::vector<uint32_t> BugSites(NumBugs);
+  for (size_t Bug = 0; Bug < NumBugs; ++Bug)
+    BugSites[Bug] = static_cast<uint32_t>(
+        (Bug * static_cast<size_t>(NumSites)) / NumBugs);
+
   for (size_t Run = 0; Run < NumRuns; ++Run) {
     FeedbackReport Report;
-    bool BugA = R.nextBernoulli(0.08);
-    bool BugB = R.nextBernoulli(0.03);
-    Report.Failed = (BugA && R.nextBernoulli(0.9)) ||
-                    (BugB && R.nextBernoulli(0.7));
-
     std::vector<std::pair<uint32_t, uint32_t>> SitesSeen;
     std::vector<std::pair<uint32_t, uint32_t>> PredsTrue;
     for (size_t K = 0; K < TruePredsPerRun; ++K) {
@@ -88,14 +98,15 @@ SyntheticWorld buildWorld(size_t NumSitesTarget, size_t NumRuns,
           static_cast<uint32_t>(R.nextBelow(Info.NumPredicates));
       PredsTrue.emplace_back(Pred, 1);
     }
-    auto planted = [&](uint32_t Site) {
-      SitesSeen.emplace_back(Site, 1);
-      PredsTrue.emplace_back(World.Sites.site(Site).FirstPredicate, 1);
-    };
-    if (BugA)
-      planted(BugSiteA);
-    if (BugB)
-      planted(BugSiteB);
+    for (size_t Bug = 0; Bug < NumBugs; ++Bug) {
+      if (!R.nextBernoulli(TriggerRates[Bug % 5]))
+        continue;
+      SitesSeen.emplace_back(BugSites[Bug], 1);
+      PredsTrue.emplace_back(World.Sites.site(BugSites[Bug]).FirstPredicate,
+                             1);
+      if (R.nextBernoulli(FailProbs[Bug % 3]))
+        Report.Failed = true;
+    }
 
     auto normalize = [](std::vector<std::pair<uint32_t, uint32_t>> &V) {
       std::sort(V.begin(), V.end());
@@ -126,6 +137,128 @@ const SyntheticWorld &worldFor(int64_t Scale) {
   return It->second;
 }
 
+// --- Engine comparison at the paper's 32,000-run scale --------------------
+
+double runEngineMs(const SyntheticWorld &World, DiscardPolicy Policy,
+                   AnalysisEngine Engine, const InvertedIndex *SharedIndex,
+                   AnalysisResult &Result) {
+  AnalysisOptions Options;
+  Options.Policy = Policy;
+  Options.Engine = Engine;
+  Options.ComputeAffinity = true;
+  Options.SharedIndex = SharedIndex;
+  CauseIsolator Isolator(World.Sites, World.Reports, Options);
+  auto Start = std::chrono::steady_clock::now();
+  Result = Isolator.run();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+/// Times elimination + affinity under both engines for every policy,
+/// checks bit-identical results, prints a table, and writes
+/// BENCH_analysis.json. Returns false if any policy's results diverge.
+bool engineComparison() {
+  constexpr size_t NumRuns = 32000;
+  std::printf("# engine comparison: elimination + affinity, %zu runs\n",
+              NumRuns);
+  SyntheticWorld World =
+      buildWorld(/*NumSitesTarget=*/4000, NumRuns, /*TruePredsPerRun=*/200,
+                 /*NumBugs=*/32);
+  std::printf("# %u sites, %u predicates, %zu failing runs\n",
+              World.Sites.numSites(), World.Sites.numPredicates(),
+              World.Reports.numFailing());
+
+  // The index depends only on the report set, so a tool comparing policies
+  // (or re-analyzing as reports stream in) builds it once; time it
+  // separately from the per-policy elimination + affinity phase.
+  auto BuildStart = std::chrono::steady_clock::now();
+  InvertedIndex Index = InvertedIndex::build(World.Reports);
+  auto BuildEnd = std::chrono::steady_clock::now();
+  double IndexBuildMs =
+      std::chrono::duration<double, std::milli>(BuildEnd - BuildStart)
+          .count();
+  std::printf("# one-time index build: %.1f ms (%zu postings)\n",
+              IndexBuildMs, Index.numPostings());
+
+  const DiscardPolicy Policies[] = {DiscardPolicy::DiscardAllRuns,
+                                    DiscardPolicy::DiscardFailingRuns,
+                                    DiscardPolicy::RelabelFailingRuns};
+  struct Row {
+    const char *Policy;
+    double RescanMs;
+    double IncrementalMs;
+    size_t Selections;
+    bool Identical;
+  };
+  std::vector<Row> Rows;
+  bool AllIdentical = true;
+  double TotalRescan = 0.0, TotalIncremental = 0.0;
+  for (DiscardPolicy Policy : Policies) {
+    AnalysisResult Rescan, Incremental;
+    double RescanMs =
+        runEngineMs(World, Policy, AnalysisEngine::Rescan, nullptr, Rescan);
+    double IncrementalMs = runEngineMs(
+        World, Policy, AnalysisEngine::Incremental, &Index, Incremental);
+    bool Identical = bitIdentical(Rescan, Incremental);
+    AllIdentical = AllIdentical && Identical;
+    TotalRescan += RescanMs;
+    TotalIncremental += IncrementalMs;
+    Rows.push_back({discardPolicyName(Policy), RescanMs, IncrementalMs,
+                    Rescan.Selected.size(), Identical});
+    std::printf("%-22s rescan %9.1f ms   incremental %8.1f ms   %5.1fx   "
+                "%zu selected   results %s\n",
+                discardPolicyName(Policy), RescanMs, IncrementalMs,
+                RescanMs / IncrementalMs, Rescan.Selected.size(),
+                Identical ? "identical" : "DIVERGED");
+  }
+  std::printf("%-22s rescan %9.1f ms   incremental %8.1f ms   %5.1fx\n",
+              "total", TotalRescan, TotalIncremental,
+              TotalRescan / TotalIncremental);
+  std::printf("%-22s rescan %9.1f ms   incremental %8.1f ms   %5.1fx\n",
+              "total incl. build", TotalRescan,
+              TotalIncremental + IndexBuildMs,
+              TotalRescan / (TotalIncremental + IndexBuildMs));
+
+  FILE *Json = std::fopen("BENCH_analysis.json", "w");
+  if (!Json) {
+    std::fprintf(stderr, "perf_analysis: cannot write BENCH_analysis.json\n");
+    return false;
+  }
+  std::fprintf(Json, "{\n  \"bench\": \"perf_analysis.engine_comparison\",\n");
+  std::fprintf(Json, "  \"runs\": %zu,\n  \"sites\": %u,\n", NumRuns,
+               World.Sites.numSites());
+  std::fprintf(Json, "  \"predicates\": %u,\n  \"failing_runs\": %zu,\n",
+               World.Sites.numPredicates(), World.Reports.numFailing());
+  std::fprintf(Json, "  \"index_build_ms\": %.3f,\n", IndexBuildMs);
+  std::fprintf(Json, "  \"policies\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(Json,
+                 "    {\"policy\": \"%s\", \"rescan_ms\": %.3f, "
+                 "\"incremental_ms\": %.3f, \"speedup\": %.3f, "
+                 "\"selections\": %zu, \"bit_identical\": %s}%s\n",
+                 R.Policy, R.RescanMs, R.IncrementalMs,
+                 R.RescanMs / R.IncrementalMs, R.Selections,
+                 R.Identical ? "true" : "false",
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(Json, "  ],\n");
+  std::fprintf(Json,
+               "  \"total_rescan_ms\": %.3f,\n"
+               "  \"total_incremental_ms\": %.3f,\n"
+               "  \"total_incremental_plus_build_ms\": %.3f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"speedup_incl_build\": %.3f\n}\n",
+               TotalRescan, TotalIncremental, TotalIncremental + IndexBuildMs,
+               TotalRescan / TotalIncremental,
+               TotalRescan / (TotalIncremental + IndexBuildMs));
+  std::fclose(Json);
+  std::printf("# wrote BENCH_analysis.json\n\n");
+  return AllIdentical;
+}
+
+// --- google-benchmark micro-benches ---------------------------------------
+
 void BM_Aggregation(benchmark::State &State) {
   const SyntheticWorld &World = worldFor(State.range(0));
   RunView View = RunView::allOf(World.Reports);
@@ -138,6 +271,15 @@ void BM_Aggregation(benchmark::State &State) {
   State.counters["runs"] = static_cast<double>(World.Reports.size());
 }
 
+void BM_IndexBuild(benchmark::State &State) {
+  const SyntheticWorld &World = worldFor(State.range(0));
+  for (auto _ : State) {
+    InvertedIndex Index = InvertedIndex::build(World.Reports);
+    benchmark::DoNotOptimize(Index.numPostings());
+  }
+  State.counters["runs"] = static_cast<double>(World.Reports.size());
+}
+
 void BM_Pruning(benchmark::State &State) {
   const SyntheticWorld &World = worldFor(State.range(0));
   CauseIsolator Isolator(World.Sites, World.Reports);
@@ -147,10 +289,11 @@ void BM_Pruning(benchmark::State &State) {
   }
 }
 
-void BM_FullElimination(benchmark::State &State) {
+void eliminationBench(benchmark::State &State, AnalysisEngine Engine) {
   const SyntheticWorld &World = worldFor(State.range(0));
   AnalysisOptions Options;
   Options.ComputeAffinity = false;
+  Options.Engine = Engine;
   CauseIsolator Isolator(World.Sites, World.Reports, Options);
   for (auto _ : State) {
     AnalysisResult Result = Isolator.run();
@@ -158,10 +301,28 @@ void BM_FullElimination(benchmark::State &State) {
   }
 }
 
+void BM_FullEliminationRescan(benchmark::State &State) {
+  eliminationBench(State, AnalysisEngine::Rescan);
+}
+
+void BM_FullEliminationIncremental(benchmark::State &State) {
+  eliminationBench(State, AnalysisEngine::Incremental);
+}
+
 } // namespace
 
 BENCHMARK(BM_Aggregation)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_IndexBuild)->Arg(1)->Arg(4)->Arg(16);
 BENCHMARK(BM_Pruning)->Arg(1)->Arg(4)->Arg(16);
-BENCHMARK(BM_FullElimination)->Arg(1)->Arg(4);
+BENCHMARK(BM_FullEliminationRescan)->Arg(1)->Arg(4);
+BENCHMARK(BM_FullEliminationIncremental)->Arg(1)->Arg(4);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  bool Identical = engineComparison();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return Identical ? 0 : 1;
+}

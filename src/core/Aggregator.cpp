@@ -2,6 +2,9 @@
 
 #include "core/Aggregator.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace sbi;
 
 RunView RunView::allOf(const ReportSet &Set) {
@@ -28,8 +31,17 @@ size_t RunView::numActiveFailing() const {
 }
 
 Aggregates Aggregates::compute(const ReportSet &Set, const RunView &View) {
-  assert(View.Active.size() == Set.size() &&
-         View.Failed.size() == Set.size() && "view does not match set");
+  // A mismatched view would read out of bounds below, so the check must
+  // survive NDEBUG builds (the default RelWithDebInfo configuration strips
+  // asserts). Mirrors ReportSet::deserialize's hard rejection of malformed
+  // input rather than relying on callers to get it right.
+  if (View.Active.size() != Set.size() || View.Failed.size() != Set.size()) {
+    std::fprintf(stderr,
+                 "sbi: Aggregates::compute: run view (%zu active / %zu "
+                 "failed labels) does not match report set (%zu runs)\n",
+                 View.Active.size(), View.Failed.size(), Set.size());
+    std::abort();
+  }
   Aggregates Agg(Set.numSites(), Set.numPredicates());
 
   for (size_t RunIdx = 0; RunIdx < Set.size(); ++RunIdx) {

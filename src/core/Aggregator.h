@@ -73,6 +73,10 @@ private:
   std::vector<std::array<uint64_t, 2>> PredTrue;
   uint64_t NumF = 0;
   uint64_t NumS = 0;
+
+  /// DeltaAggregates (core/InvertedIndex.h) keeps these counts live under
+  /// run discarding instead of recomputing them from scratch.
+  friend class DeltaAggregates;
 };
 
 } // namespace sbi

@@ -2,7 +2,12 @@
 
 #include "core/Analysis.h"
 
+#include "core/InvertedIndex.h"
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <unordered_map>
 
 using namespace sbi;
@@ -19,6 +24,39 @@ const char *sbi::discardPolicyName(DiscardPolicy Policy) {
   return "?";
 }
 
+const char *sbi::analysisEngineName(AnalysisEngine Engine) {
+  switch (Engine) {
+  case AnalysisEngine::Rescan:
+    return "rescan";
+  case AnalysisEngine::Incremental:
+    return "incremental";
+  }
+  return "?";
+}
+
+bool sbi::bitIdentical(const AnalysisResult &A, const AnalysisResult &B) {
+  auto sameScores = [](const PredicateScores &X, const PredicateScores &Y) {
+    const PredicateCounts &C = X.counts(), &D = Y.counts();
+    return C.F == D.F && C.S == D.S && C.FObs == D.FObs && C.SObs == D.SObs;
+  };
+  if (A.NumInitialPredicates != B.NumInitialPredicates ||
+      A.PrunedSurvivors != B.PrunedSurvivors ||
+      A.Selected.size() != B.Selected.size())
+    return false;
+  for (size_t I = 0; I < A.Selected.size(); ++I) {
+    const SelectedPredicate &X = A.Selected[I], &Y = B.Selected[I];
+    if (X.Pred != Y.Pred || !sameScores(X.InitialScores, Y.InitialScores) ||
+        X.InitialImportance != Y.InitialImportance ||
+        !sameScores(X.EffectiveScores, Y.EffectiveScores) ||
+        X.EffectiveImportance != Y.EffectiveImportance ||
+        X.ActiveRunsAtSelection != Y.ActiveRunsAtSelection ||
+        X.FailingRunsAtSelection != Y.FailingRunsAtSelection ||
+        X.Affinity != Y.Affinity)
+      return false;
+  }
+  return true;
+}
+
 CauseIsolator::CauseIsolator(const SiteTable &Sites, const ReportSet &Set,
                              AnalysisOptions Options)
     : Sites(Sites), Set(Set), Options(Options) {
@@ -26,20 +64,15 @@ CauseIsolator::CauseIsolator(const SiteTable &Sites, const ReportSet &Set,
          "report set does not match the site table");
 }
 
-std::vector<uint32_t> CauseIsolator::prune() const {
-  RunView View = RunView::allOf(Set);
-  Aggregates Agg = Aggregates::compute(Set, View);
-  std::vector<uint32_t> Survivors;
-  for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred)
-    if (Agg.scores(Pred, Sites).survivesIncreaseTest())
-      Survivors.push_back(Pred);
-  return Survivors;
-}
+namespace {
 
+/// Scores \p Candidates against precomputed counts, most important first.
+/// Shared by both engines: the rescan path feeds it a fresh full scan, the
+/// incremental path the delta-maintained counts — identical integer counts
+/// make every derived double, and therefore the order, identical.
 std::vector<RankedPredicate>
-CauseIsolator::rank(const std::vector<uint32_t> &Candidates,
-                    const RunView &View) const {
-  Aggregates Agg = Aggregates::compute(Set, View);
+rankAggregated(const Aggregates &Agg, const SiteTable &Sites,
+               const std::vector<uint32_t> &Candidates) {
   uint64_t NumF = Agg.numFailing();
 
   std::vector<RankedPredicate> Ranked;
@@ -64,6 +97,83 @@ CauseIsolator::rank(const std::vector<uint32_t> &Candidates,
   return Ranked;
 }
 
+/// The entry a full sort would surface first among predicates with F > 0.
+struct BestCandidate {
+  bool Found = false;
+  uint32_t Pred = 0;
+  PredicateScores Scores;
+  double Importance = 0.0;
+};
+
+/// One scoring pass of the incremental engine: evaluates every candidate
+/// against the delta-maintained counts, records Importance(P) into
+/// \p ImportanceByPred (indexed by predicate id), and returns the maximum
+/// under (Importance desc, F desc, Pred asc) restricted to F > 0 — exactly
+/// the entry the rescan engine's sorted ranking selects. Skipping the sort,
+/// the per-predicate confidence intervals, and the hash map keeps the pass
+/// O(|Candidates|) with small constants; the doubles computed are the same,
+/// so selection and affinity stay bit-identical across engines.
+BestCandidate scoreCandidates(const Aggregates &Agg, const SiteTable &Sites,
+                              const std::vector<uint32_t> &Candidates,
+                              std::vector<double> &ImportanceByPred) {
+  uint64_t NumF = Agg.numFailing();
+  BestCandidate Best;
+  for (uint32_t Pred : Candidates) {
+    PredicateScores Scores = Agg.scores(Pred, Sites);
+    double Importance = Scores.importance(NumF);
+    ImportanceByPred[Pred] = Importance;
+    if (Scores.counts().F == 0)
+      continue;
+    bool Better =
+        !Best.Found || Importance > Best.Importance ||
+        (Importance == Best.Importance &&
+         (Scores.counts().F > Best.Scores.counts().F ||
+          (Scores.counts().F == Best.Scores.counts().F && Pred < Best.Pred)));
+    if (Better) {
+      Best.Found = true;
+      Best.Pred = Pred;
+      Best.Scores = Scores;
+      Best.Importance = Importance;
+    }
+  }
+  return Best;
+}
+
+/// Orders affinity drops largest-first with the predicate id as tiebreak —
+/// a total order, so both engines produce identical lists — and keeps the
+/// top \p TopK.
+void sortAndCapDrops(std::vector<std::pair<uint32_t, double>> &Drops,
+                     int TopK) {
+  std::sort(Drops.begin(), Drops.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+  if (static_cast<int>(Drops.size()) > TopK)
+    Drops.resize(static_cast<size_t>(TopK));
+}
+
+} // namespace
+
+std::vector<uint32_t> CauseIsolator::prune() const {
+  RunView View = RunView::allOf(Set);
+  return survivorsOf(Aggregates::compute(Set, View));
+}
+
+std::vector<uint32_t> CauseIsolator::survivorsOf(const Aggregates &Agg) const {
+  std::vector<uint32_t> Survivors;
+  for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred)
+    if (Agg.scores(Pred, Sites).survivesIncreaseTest())
+      Survivors.push_back(Pred);
+  return Survivors;
+}
+
+std::vector<RankedPredicate>
+CauseIsolator::rank(const std::vector<uint32_t> &Candidates,
+                    const RunView &View) const {
+  return rankAggregated(Aggregates::compute(Set, View), Sites, Candidates);
+}
+
 void CauseIsolator::applyPolicy(RunView &View, uint32_t Pred) const {
   for (size_t Run = 0; Run < Set.size(); ++Run) {
     if (!View.Active[Run] || !Set[Run].observedTrue(Pred))
@@ -84,7 +194,35 @@ void CauseIsolator::applyPolicy(RunView &View, uint32_t Pred) const {
   }
 }
 
-std::vector<uint32_t> CauseIsolator::initialCandidates() const {
+void CauseIsolator::applyPolicyIncremental(RunView &View, uint32_t Pred,
+                                           const InvertedIndex &Index,
+                                           DeltaAggregates &Delta) const {
+  for (uint32_t Run : Index.runsWhereTrue(Pred)) {
+    if (!View.Active[Run])
+      continue;
+    switch (Options.Policy) {
+    case DiscardPolicy::DiscardAllRuns:
+      View.Active[Run] = 0;
+      Delta.removeRun(Run, View.Failed[Run]);
+      break;
+    case DiscardPolicy::DiscardFailingRuns:
+      if (View.Failed[Run]) {
+        View.Active[Run] = 0;
+        Delta.removeRun(Run, /*Failed=*/true);
+      }
+      break;
+    case DiscardPolicy::RelabelFailingRuns:
+      if (View.Failed[Run]) {
+        View.Failed[Run] = 0;
+        Delta.relabelRunAsSuccess(Run);
+      }
+      break;
+    }
+  }
+}
+
+std::vector<uint32_t>
+CauseIsolator::initialCandidatesOf(const Aggregates &Agg) const {
   // Under proposal (1) a predicate and its complement can never both have
   // positive predictive power, so pruning negatives early is safe. Under
   // proposals (2) and (3) a predicate with Increase <= 0 may become a
@@ -92,9 +230,7 @@ std::vector<uint32_t> CauseIsolator::initialCandidates() const {
   // (Section 5), so only the never-true-in-a-failing-run predicates are
   // dropped.
   if (Options.Policy == DiscardPolicy::DiscardAllRuns)
-    return prune();
-  RunView View = RunView::allOf(Set);
-  Aggregates Agg = Aggregates::compute(Set, View);
+    return survivorsOf(Agg);
   std::vector<uint32_t> Candidates;
   for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred)
     if (Agg.counts(Pred, Sites).F > 0)
@@ -103,80 +239,152 @@ std::vector<uint32_t> CauseIsolator::initialCandidates() const {
 }
 
 AnalysisResult CauseIsolator::run() const {
+  const bool Incremental = Options.Engine == AnalysisEngine::Incremental;
+
   AnalysisResult Result;
   Result.NumInitialPredicates = Set.numPredicates();
-  Result.PrunedSurvivors = prune();
 
   RunView View = RunView::allOf(Set);
-  std::vector<uint32_t> Candidates = initialCandidates();
+
+  // The incremental engine pays one index build plus one full scan up
+  // front, then touches only the selected predicate's posting list and the
+  // discarded runs' sparse entries per iteration. The rescan engine keeps
+  // the paper-literal shape: a full aggregation pass per ranking. A caller
+  // analyzing the same report set repeatedly can pass a prebuilt index;
+  // posting lists are never mutated, so sharing is safe.
+  std::optional<InvertedIndex> OwnedIndex;
+  const InvertedIndex *Index = nullptr;
+  std::optional<DeltaAggregates> Delta;
+  if (Incremental) {
+    if (Options.SharedIndex) {
+      Index = Options.SharedIndex;
+      if (Index->numPredicates() != Set.numPredicates() ||
+          Index->numSites() != Set.numSites()) {
+        std::fprintf(stderr,
+                     "sbi: CauseIsolator::run: shared index (%u sites / %u "
+                     "predicates) was not built over this report set (%u "
+                     "sites / %u predicates)\n",
+                     Index->numSites(), Index->numPredicates(),
+                     Set.numSites(), Set.numPredicates());
+        std::abort();
+      }
+    } else {
+      OwnedIndex.emplace(InvertedIndex::build(Set, Options.IndexThreads));
+      Index = &*OwnedIndex;
+    }
+    Delta.emplace(Set, View);
+  }
 
   // Initial (full-population) scores, shown as the "initial thermometer".
-  Aggregates InitialAgg = Aggregates::compute(Set, View);
+  Aggregates InitialAgg =
+      Incremental ? Delta->aggregates() : Aggregates::compute(Set, View);
   uint64_t InitialNumF = InitialAgg.numFailing();
 
-  std::vector<RankedPredicate> Ranked = rank(Candidates, View);
+  Result.PrunedSurvivors = survivorsOf(InitialAgg);
+  std::vector<uint32_t> Candidates = initialCandidatesOf(InitialAgg);
+
+  // Rescan engine: the paper-literal fully sorted ranking, rebuilt from a
+  // full aggregation pass per iteration. Incremental engine: one importance
+  // value per predicate (all affinity needs) plus the would-be-first entry,
+  // both maintained by a single sort-free scoring pass per iteration.
+  std::vector<RankedPredicate> Ranked;
+  std::vector<double> CurImportance, NextImportance;
+  BestCandidate Best;
+  if (Incremental) {
+    CurImportance.resize(Set.numPredicates());
+    NextImportance.resize(Set.numPredicates());
+    Best =
+        scoreCandidates(Delta->aggregates(), Sites, Candidates, CurImportance);
+  } else {
+    Ranked = rank(Candidates, View);
+  }
 
   for (int Iteration = 0; Iteration < Options.MaxSelections; ++Iteration) {
-    if (Candidates.empty() || View.numActiveFailing() == 0)
+    // Under relabeling every run stays active, so active = F + S in both
+    // engines; the delta counts give the totals without a view scan.
+    uint64_t ActiveRuns = Incremental ? Delta->aggregates().numFailing() +
+                                            Delta->aggregates().numSuccessful()
+                                      : View.numActive();
+    uint64_t FailingRuns =
+        Incremental ? Delta->aggregates().numFailing() : View.numActiveFailing();
+    if (Candidates.empty() || FailingRuns == 0)
       break;
 
     // Select the top-ranked predicate that still covers at least one
     // active failing run; Lemma 3.1's coverage argument rests on F(P) > 0.
-    const RankedPredicate *Best = nullptr;
-    for (const RankedPredicate &Entry : Ranked)
-      if (Entry.Scores.counts().F > 0) {
-        Best = &Entry;
-        break;
-      }
-    if (!Best)
-      break;
-
     SelectedPredicate Selected;
-    Selected.Pred = Best->Pred;
-    Selected.InitialScores = InitialAgg.scores(Best->Pred, Sites);
+    if (Incremental) {
+      if (!Best.Found)
+        break;
+      Selected.Pred = Best.Pred;
+      Selected.EffectiveScores = Best.Scores;
+      Selected.EffectiveImportance = Best.Importance;
+    } else {
+      const RankedPredicate *Top = nullptr;
+      for (const RankedPredicate &Entry : Ranked)
+        if (Entry.Scores.counts().F > 0) {
+          Top = &Entry;
+          break;
+        }
+      if (!Top)
+        break;
+      Selected.Pred = Top->Pred;
+      Selected.EffectiveScores = Top->Scores;
+      Selected.EffectiveImportance = Top->Importance;
+    }
+    Selected.InitialScores = InitialAgg.scores(Selected.Pred, Sites);
     Selected.InitialImportance = Selected.InitialScores.importance(InitialNumF);
-    Selected.EffectiveScores = Best->Scores;
-    Selected.EffectiveImportance = Best->Importance;
-    Selected.ActiveRunsAtSelection = View.numActive();
-    Selected.FailingRunsAtSelection = View.numActiveFailing();
+    Selected.ActiveRunsAtSelection = ActiveRuns;
+    Selected.FailingRunsAtSelection = FailingRuns;
 
-    applyPolicy(View, Best->Pred);
+    if (Incremental)
+      applyPolicyIncremental(View, Selected.Pred, *Index, *Delta);
+    else
+      applyPolicy(View, Selected.Pred);
     Candidates.erase(
-        std::remove(Candidates.begin(), Candidates.end(), Best->Pred),
+        std::remove(Candidates.begin(), Candidates.end(), Selected.Pred),
         Candidates.end());
 
-    std::vector<RankedPredicate> NextRanked = rank(Candidates, View);
-
-    if (Options.ComputeAffinity) {
-      // Affinity(P -> Q): how much Q's Importance fell when P's runs were
-      // removed. Large drops indicate Q predicts (a subset of) P's bug.
-      std::unordered_map<uint32_t, double> After;
-      After.reserve(NextRanked.size());
-      for (const RankedPredicate &Entry : NextRanked)
-        After.emplace(Entry.Pred, Entry.Importance);
-
-      std::vector<std::pair<uint32_t, double>> Drops;
-      for (const RankedPredicate &Entry : Ranked) {
-        auto It = After.find(Entry.Pred);
-        if (It == After.end())
-          continue;
-        double Drop = Entry.Importance - It->second;
-        if (Drop > 0.0)
-          Drops.emplace_back(Entry.Pred, Drop);
+    // Affinity(P -> Q): how much Q's Importance fell when P's runs were
+    // removed. Large drops indicate Q predicts (a subset of) P's bug.
+    if (Incremental) {
+      Best = scoreCandidates(Delta->aggregates(), Sites, Candidates,
+                             NextImportance);
+      if (Options.ComputeAffinity) {
+        std::vector<std::pair<uint32_t, double>> Drops;
+        for (uint32_t Pred : Candidates) {
+          double Drop = CurImportance[Pred] - NextImportance[Pred];
+          if (Drop > 0.0)
+            Drops.emplace_back(Pred, Drop);
+        }
+        sortAndCapDrops(Drops, Options.AffinityTopK);
+        Selected.Affinity = std::move(Drops);
       }
-      std::sort(Drops.begin(), Drops.end(),
-                [](const auto &A, const auto &B) {
-                  if (A.second != B.second)
-                    return A.second > B.second;
-                  return A.first < B.first;
-                });
-      if (static_cast<int>(Drops.size()) > Options.AffinityTopK)
-        Drops.resize(static_cast<size_t>(Options.AffinityTopK));
-      Selected.Affinity = std::move(Drops);
+      std::swap(CurImportance, NextImportance);
+    } else {
+      std::vector<RankedPredicate> NextRanked = rank(Candidates, View);
+      if (Options.ComputeAffinity) {
+        std::unordered_map<uint32_t, double> After;
+        After.reserve(NextRanked.size());
+        for (const RankedPredicate &Entry : NextRanked)
+          After.emplace(Entry.Pred, Entry.Importance);
+
+        std::vector<std::pair<uint32_t, double>> Drops;
+        for (const RankedPredicate &Entry : Ranked) {
+          auto It = After.find(Entry.Pred);
+          if (It == After.end())
+            continue;
+          double Drop = Entry.Importance - It->second;
+          if (Drop > 0.0)
+            Drops.emplace_back(Entry.Pred, Drop);
+        }
+        sortAndCapDrops(Drops, Options.AffinityTopK);
+        Selected.Affinity = std::move(Drops);
+      }
+      Ranked = std::move(NextRanked);
     }
 
     Result.Selected.push_back(std::move(Selected));
-    Ranked = std::move(NextRanked);
   }
 
   return Result;

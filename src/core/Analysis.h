@@ -35,6 +35,9 @@
 
 namespace sbi {
 
+class InvertedIndex;
+class DeltaAggregates;
+
 /// The three run-discarding proposals of Section 5.
 enum class DiscardPolicy {
   DiscardAllRuns,     ///< (1) Remove every run with R(P) = 1 (the default).
@@ -44,13 +47,33 @@ enum class DiscardPolicy {
 
 const char *discardPolicyName(DiscardPolicy Policy);
 
+/// How run() re-aggregates counts after each selection.
+enum class AnalysisEngine {
+  Rescan,      ///< Full report-set scan per iteration (reference).
+  Incremental, ///< Inverted index + delta-updated counts (default).
+};
+
+const char *analysisEngineName(AnalysisEngine Engine);
+
 struct AnalysisOptions {
   DiscardPolicy Policy = DiscardPolicy::DiscardAllRuns;
+  /// Both engines produce bit-identical AnalysisResults (differential
+  /// tested); Rescan survives as the reference implementation.
+  AnalysisEngine Engine = AnalysisEngine::Incremental;
   /// Hard cap on elimination iterations (each selects one predicate).
   int MaxSelections = 60;
   /// How many affinity entries to keep per selected predicate.
   int AffinityTopK = 10;
   bool ComputeAffinity = true;
+  /// Worker threads for the one-time inverted-index build; 0 means one per
+  /// hardware thread. Irrelevant under AnalysisEngine::Rescan.
+  size_t IndexThreads = 0;
+  /// Optional prebuilt index over the same ReportSet, letting callers that
+  /// analyze one report set repeatedly (e.g. once per policy) pay the build
+  /// once. The index is immutable — all per-run() mutable state lives in
+  /// DeltaAggregates — and must outlive the isolator. When null the
+  /// incremental engine builds its own.
+  const InvertedIndex *SharedIndex = nullptr;
 };
 
 /// One ranked predicate with its scores over some run population.
@@ -85,6 +108,11 @@ struct AnalysisResult {
   std::vector<SelectedPredicate> Selected;
 };
 
+/// Exact (bit-level, including every score double) equality of two
+/// analysis results; the contract the rescan and incremental engines are
+/// differential-tested against.
+bool bitIdentical(const AnalysisResult &A, const AnalysisResult &B);
+
 /// Runs pruning + elimination + affinity over \p Set.
 class CauseIsolator {
 public:
@@ -104,13 +132,22 @@ public:
   AnalysisResult run() const;
 
 private:
-  /// The elimination loop's starting candidates. Policy (1) uses prune();
-  /// policies (2)/(3) keep every predicate with F(P) > 0, because a
-  /// nonpositive-Increase predicate may become positive once an
-  /// anti-correlated predictor is selected (Section 5).
-  std::vector<uint32_t> initialCandidates() const;
+  /// Predicates passing the Increase test under precomputed counts.
+  std::vector<uint32_t> survivorsOf(const Aggregates &Agg) const;
+
+  /// The elimination loop's starting candidates. Policy (1) uses the
+  /// Increase survivors; policies (2)/(3) keep every predicate with
+  /// F(P) > 0, because a nonpositive-Increase predicate may become
+  /// positive once an anti-correlated predictor is selected (Section 5).
+  std::vector<uint32_t> initialCandidatesOf(const Aggregates &Agg) const;
 
   void applyPolicy(RunView &View, uint32_t Pred) const;
+
+  /// Policy application that walks only the selected predicate's posting
+  /// list and folds each touched run into \p Delta.
+  void applyPolicyIncremental(RunView &View, uint32_t Pred,
+                              const InvertedIndex &Index,
+                              DeltaAggregates &Delta) const;
 
   const SiteTable &Sites;
   const ReportSet &Set;

@@ -1,0 +1,115 @@
+//===- core/InvertedIndex.cpp - Incremental aggregation engine ------------===//
+
+#include "core/InvertedIndex.h"
+
+#include "support/Parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace sbi;
+
+InvertedIndex InvertedIndex::build(const ReportSet &Set, size_t Threads) {
+  InvertedIndex Index;
+  Index.PredRuns.resize(Set.numPredicates());
+  Index.SiteRuns.resize(Set.numSites());
+
+  const size_t NumRuns = Set.size();
+  // Below ~4k runs the thread spawn/join overhead dominates the scan.
+  size_t Workers = resolveThreadCount(Threads, NumRuns / 4096);
+  if (Workers <= 1) {
+    for (size_t Run = 0; Run < NumRuns; ++Run) {
+      const FeedbackReport &Report = Set[Run];
+      for (const auto &[Site, Count] : Report.Counts.SiteObservations)
+        if (Count > 0)
+          Index.SiteRuns[Site].push_back(static_cast<uint32_t>(Run));
+      for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
+        if (Count > 0)
+          Index.PredRuns[Pred].push_back(static_cast<uint32_t>(Run));
+    }
+    return Index;
+  }
+
+  // Each worker indexes a contiguous run chunk into private lists; chunks
+  // are then concatenated in chunk order, which keeps every posting list
+  // sorted and makes the result independent of the worker count.
+  struct ChunkLists {
+    std::vector<std::vector<uint32_t>> PredRuns;
+    std::vector<std::vector<uint32_t>> SiteRuns;
+  };
+  std::vector<ChunkLists> Chunks(Workers);
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  const size_t ChunkSize = (NumRuns + Workers - 1) / Workers;
+  for (size_t W = 0; W < Workers; ++W)
+    Pool.emplace_back([&, W] {
+      ChunkLists &Local = Chunks[W];
+      Local.PredRuns.resize(Set.numPredicates());
+      Local.SiteRuns.resize(Set.numSites());
+      const size_t Begin = W * ChunkSize;
+      const size_t End = std::min(NumRuns, Begin + ChunkSize);
+      for (size_t Run = Begin; Run < End; ++Run) {
+        const FeedbackReport &Report = Set[Run];
+        for (const auto &[Site, Count] : Report.Counts.SiteObservations)
+          if (Count > 0)
+            Local.SiteRuns[Site].push_back(static_cast<uint32_t>(Run));
+        for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
+          if (Count > 0)
+            Local.PredRuns[Pred].push_back(static_cast<uint32_t>(Run));
+      }
+    });
+  for (std::thread &Worker : Pool)
+    Worker.join();
+
+  for (const ChunkLists &Local : Chunks) {
+    for (size_t Pred = 0; Pred < Local.PredRuns.size(); ++Pred)
+      Index.PredRuns[Pred].insert(Index.PredRuns[Pred].end(),
+                                  Local.PredRuns[Pred].begin(),
+                                  Local.PredRuns[Pred].end());
+    for (size_t Site = 0; Site < Local.SiteRuns.size(); ++Site)
+      Index.SiteRuns[Site].insert(Index.SiteRuns[Site].end(),
+                                  Local.SiteRuns[Site].begin(),
+                                  Local.SiteRuns[Site].end());
+  }
+  return Index;
+}
+
+size_t InvertedIndex::numPostings() const {
+  size_t N = 0;
+  for (const auto &Runs : PredRuns)
+    N += Runs.size();
+  for (const auto &Runs : SiteRuns)
+    N += Runs.size();
+  return N;
+}
+
+void DeltaAggregates::removeRun(size_t Run, bool Failed) {
+  const FeedbackReport &Report = Set[Run];
+  const size_t LabelIdx = Failed ? 0 : 1;
+  if (Failed)
+    --Agg.NumF;
+  else
+    --Agg.NumS;
+  for (const auto &[Site, Count] : Report.Counts.SiteObservations)
+    if (Count > 0)
+      --Agg.SiteObs[Site][LabelIdx];
+  for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
+    if (Count > 0)
+      --Agg.PredTrue[Pred][LabelIdx];
+}
+
+void DeltaAggregates::relabelRunAsSuccess(size_t Run) {
+  const FeedbackReport &Report = Set[Run];
+  --Agg.NumF;
+  ++Agg.NumS;
+  for (const auto &[Site, Count] : Report.Counts.SiteObservations)
+    if (Count > 0) {
+      --Agg.SiteObs[Site][0];
+      ++Agg.SiteObs[Site][1];
+    }
+  for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
+    if (Count > 0) {
+      --Agg.PredTrue[Pred][0];
+      ++Agg.PredTrue[Pred][1];
+    }
+}

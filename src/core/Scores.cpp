@@ -16,7 +16,9 @@ double PredicateScores::sensitivity(uint64_t NumF) const {
 }
 
 double PredicateScores::importance(uint64_t NumF) const {
-  double Inc = increase().Value;
+  // failure() - context() is bit-for-bit increase().Value; computing it
+  // directly skips the interval's sqrt, which dominates the ranking loops.
+  double Inc = failure() - context();
   double Sens = sensitivity(NumF);
   // The harmonic mean is undefined when either term is nonpositive; the
   // paper defines Importance as 0 in that case.

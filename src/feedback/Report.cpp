@@ -5,7 +5,9 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <charconv>
 #include <sstream>
+#include <string_view>
 
 using namespace sbi;
 
@@ -68,11 +70,25 @@ bool ReportSet::deserialize(const std::string &Text, ReportSet &Out) {
   if (!(In >> Result.NumSites >> Result.NumPredicates >> NumReports))
     return false;
 
-  auto readPairs = [&](char Tag,
+  // Exception-free bounded parse of "<id>:<count>"; std::stoul would throw
+  // (and previously crashed the caller) on oversized or non-numeric input.
+  auto parseU32 = [](std::string_view Text, uint32_t &Out) {
+    auto [Ptr, Ec] =
+        std::from_chars(Text.data(), Text.data() + Text.size(), Out);
+    return Ec == std::errc() && Ptr == Text.data() + Text.size();
+  };
+
+  // Entries must be strictly increasing ids below MaxId: the in-memory
+  // representation relies on sorted, duplicate-free sparse lists (the
+  // observedTrue/siteObserved binary searches), and aggregation indexes
+  // dense count arrays with these ids.
+  auto readPairs = [&](char Tag, uint32_t MaxId,
                        std::vector<std::pair<uint32_t, uint32_t>> &V) {
     std::string Mark;
     size_t N = 0;
     if (!(In >> Mark >> N) || Mark.size() != 1 || Mark[0] != Tag)
+      return false;
+    if (N > MaxId) // More entries than distinct ids exist.
       return false;
     V.reserve(N);
     for (size_t I = 0; I < N; ++I) {
@@ -80,11 +96,18 @@ bool ReportSet::deserialize(const std::string &Text, ReportSet &Out) {
       if (!(In >> Entry))
         return false;
       size_t Colon = Entry.find(':');
-      if (Colon == std::string::npos)
+      if (Colon == std::string::npos || Colon == 0 ||
+          Colon + 1 >= Entry.size())
         return false;
-      V.emplace_back(
-          static_cast<uint32_t>(std::stoul(Entry.substr(0, Colon))),
-          static_cast<uint32_t>(std::stoul(Entry.substr(Colon + 1))));
+      uint32_t Id = 0, Count = 0;
+      if (!parseU32(std::string_view(Entry).substr(0, Colon), Id) ||
+          !parseU32(std::string_view(Entry).substr(Colon + 1), Count))
+        return false;
+      if (Id >= MaxId)
+        return false;
+      if (!V.empty() && Id <= V.back().first)
+        return false;
+      V.emplace_back(Id, Count);
     }
     return true;
   };
@@ -103,8 +126,8 @@ bool ReportSet::deserialize(const std::string &Text, ReportSet &Out) {
     R.Trap = static_cast<TrapKind>(TrapInt);
     R.BugMask = Mask;
     R.StackSignature = Sig == "-" ? std::string() : Sig;
-    if (!readPairs('S', R.Counts.SiteObservations) ||
-        !readPairs('P', R.Counts.TruePredicates))
+    if (!readPairs('S', Result.NumSites, R.Counts.SiteObservations) ||
+        !readPairs('P', Result.NumPredicates, R.Counts.TruePredicates))
       return false;
     Result.Reports.push_back(std::move(R));
   }

@@ -40,7 +40,8 @@ struct FeedbackReport {
   int ExitCode = 0;
   /// "func@line>func@line>..." innermost first; empty when no crash.
   std::string StackSignature;
-  /// Bit n set iff ground-truth bug id n (1-based, n <= 63) occurred.
+  /// Bit n set iff ground-truth bug id n (1-based, 1 <= n <= 63)
+  /// occurred. Bit 0 is never set: it is not a valid bug id.
   uint64_t BugMask = 0;
 
   /// True iff predicate \p PredId was observed true at least once, i.e.
@@ -50,7 +51,16 @@ struct FeedbackReport {
   /// True iff the site \p SiteId was sampled at least once ("P observed").
   bool siteObserved(uint32_t SiteId) const;
 
-  static uint64_t bugBit(int BugId) { return 1ull << (BugId & 63); }
+  /// Mask bit for ground-truth bug id \p BugId. Bug ids are 1-based and at
+  /// most 63; any id outside [1, 63] maps to no bit at all (0), so an
+  /// out-of-contract id can neither alias a valid id's bit (the old
+  /// `& 63` masking made id 64 collide with bit 0) nor register as
+  /// present via hasBug().
+  static uint64_t bugBit(int BugId) {
+    if (BugId < 1 || BugId > 63)
+      return 0;
+    return 1ull << BugId;
+  }
   bool hasBug(int BugId) const { return (BugMask & bugBit(BugId)) != 0; }
 };
 

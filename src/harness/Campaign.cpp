@@ -3,6 +3,7 @@
 #include "harness/Campaign.h"
 
 #include "runtime/Interp.h"
+#include "support/Parallel.h"
 #include "support/StringUtils.h"
 #include "vm/Compiler.h"
 #include "vm/VM.h"
@@ -155,10 +156,9 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
     Collected[Run] = std::move(Report);
   };
 
-  size_t Threads = Options.Threads == 0
-                       ? std::max<size_t>(1, std::thread::hardware_concurrency())
-                       : Options.Threads;
-  Threads = std::min(Threads, std::max<size_t>(1, Options.NumRuns));
+  // hardware_concurrency() may legitimately return 0; resolveThreadCount
+  // clamps so a campaign never launches zero workers.
+  size_t Threads = resolveThreadCount(Options.Threads, Options.NumRuns);
   if (Threads <= 1) {
     ReportCollector Collector(Result.Sites, Result.Plan);
     for (size_t Run = 0; Run < Options.NumRuns; ++Run)

@@ -1,0 +1,17 @@
+//===- support/Parallel.cpp - Worker-thread helpers -----------------------===//
+
+#include "support/Parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace sbi;
+
+size_t sbi::hardwareThreadCount() {
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+size_t sbi::resolveThreadCount(size_t Requested, size_t MaxUseful) {
+  size_t Threads = Requested == 0 ? hardwareThreadCount() : Requested;
+  return std::min(Threads, std::max<size_t>(1, MaxUseful));
+}

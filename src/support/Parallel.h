@@ -1,0 +1,34 @@
+//===- support/Parallel.h - Worker-thread helpers -------------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the "0 means one worker per hardware thread"
+/// convention used by the campaign driver and the inverted-index builder.
+/// std::thread::hardware_concurrency() is allowed to return 0 when the
+/// value is not computable; every caller must treat that as 1 so no
+/// parallel loop ever launches zero workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SUPPORT_PARALLEL_H
+#define SBI_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+
+namespace sbi {
+
+/// Number of hardware threads, never less than 1.
+size_t hardwareThreadCount();
+
+/// Resolves a user-facing thread-count option: 0 means "one per hardware
+/// thread"; the result is additionally capped at \p MaxUseful (the number
+/// of independent work items) and is always at least 1.
+size_t resolveThreadCount(size_t Requested, size_t MaxUseful);
+
+} // namespace sbi
+
+#endif // SBI_SUPPORT_PARALLEL_H

@@ -2,6 +2,8 @@
 
 #include "core/Analysis.h"
 
+#include "core/InvertedIndex.h"
+
 #include "SyntheticWorld.h"
 #include "support/Random.h"
 
@@ -370,9 +372,10 @@ TEST(PolicyTest, ComplementIncreaseNonNegativeAfterSelection) {
     }
     Aggregates Agg = Aggregates::compute(Set, View);
     PredicateScores Scores = Agg.scores(NotP, World.Sites);
-    if (Scores.counts().observed() > 0)
+    if (Scores.counts().observed() > 0) {
       EXPECT_GE(Scores.increase().Value, -1e-12)
           << discardPolicyName(Policy);
+    }
   }
 }
 
@@ -398,6 +401,98 @@ TEST(PolicyTest, DiscardFailingKeepsSuccesses) {
   ASSERT_GE(Result.Selected.size(), 2u);
   // The 80 failing runs with P were discarded; every success remains.
   EXPECT_EQ(Result.Selected[1].ActiveRunsAtSelection, Set.size() - 80);
+}
+
+// --- Rescan vs incremental engine differential ----------------------------
+
+namespace {
+
+/// A randomized multi-bug world with noise, shared observations, and both
+/// labels, used to differential-test the two aggregation engines.
+ReportSet multiBugSet(const SyntheticWorld &World, uint64_t Seed) {
+  ReportSet Set =
+      ReportSet(World.Sites.numSites(), World.Sites.numPredicates());
+  Rng R(Seed);
+  constexpr int NumBugs = 5;
+  double Rates[NumBugs] = {0.15, 0.1, 0.06, 0.03, 0.015};
+  for (int I = 0; I < 500; ++I) {
+    std::vector<uint32_t> True;
+    bool Failed = false;
+    for (int Bug = 0; Bug < NumBugs; ++Bug)
+      if (R.nextBernoulli(Rates[Bug])) {
+        True.push_back(static_cast<uint32_t>(Bug));
+        if (R.nextBernoulli(0.8))
+          Failed = true;
+      }
+    for (uint32_t Noise = 5; Noise < 9; ++Noise)
+      if (R.nextBernoulli(0.3))
+        True.push_back(Noise);
+    Set.add(SyntheticWorld::makeReport(World.Sites, Failed, True,
+                                       {0, 1, 2, 3, 4, 5, 6, 7, 8}));
+  }
+  return Set;
+}
+
+} // namespace
+
+class EngineDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineDifferentialTest, EnginesBitIdenticalAcrossPolicies) {
+  SyntheticWorld World(16);
+  ReportSet Set = multiBugSet(World, GetParam());
+  for (DiscardPolicy Policy :
+       {DiscardPolicy::DiscardAllRuns, DiscardPolicy::DiscardFailingRuns,
+        DiscardPolicy::RelabelFailingRuns}) {
+    AnalysisOptions Rescan;
+    Rescan.Policy = Policy;
+    Rescan.Engine = AnalysisEngine::Rescan;
+    AnalysisOptions Incremental = Rescan;
+    Incremental.Engine = AnalysisEngine::Incremental;
+
+    AnalysisResult A = CauseIsolator(World.Sites, Set, Rescan).run();
+    AnalysisResult B = CauseIsolator(World.Sites, Set, Incremental).run();
+    EXPECT_TRUE(bitIdentical(A, B))
+        << discardPolicyName(Policy) << " seed " << GetParam();
+    EXPECT_FALSE(B.Selected.empty()) << "trivial differential";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferentialTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(EngineDifferentialTest, SharedIndexMatchesOwnedIndex) {
+  // A caller may build the index once and reuse it across several run()
+  // invocations (the index is immutable); results must match an isolator
+  // that builds its own.
+  SyntheticWorld World(16);
+  ReportSet Set = multiBugSet(World, 909);
+  InvertedIndex Index = InvertedIndex::build(Set);
+  for (DiscardPolicy Policy :
+       {DiscardPolicy::DiscardAllRuns, DiscardPolicy::DiscardFailingRuns,
+        DiscardPolicy::RelabelFailingRuns}) {
+    AnalysisOptions Owned;
+    Owned.Policy = Policy;
+    AnalysisOptions Shared = Owned;
+    Shared.SharedIndex = &Index;
+
+    AnalysisResult A = CauseIsolator(World.Sites, Set, Owned).run();
+    AnalysisResult B = CauseIsolator(World.Sites, Set, Shared).run();
+    EXPECT_TRUE(bitIdentical(A, B)) << discardPolicyName(Policy);
+    EXPECT_FALSE(B.Selected.empty()) << "trivial differential";
+  }
+}
+
+TEST(EngineDifferentialTest, AffinityDepthAndCapRespected) {
+  // The affinity path is part of the differential contract; also check the
+  // top-K cap holds under the incremental engine.
+  SyntheticWorld World(16);
+  ReportSet Set = multiBugSet(World, 55);
+  AnalysisOptions Options;
+  Options.AffinityTopK = 3;
+  AnalysisResult Result = CauseIsolator(World.Sites, Set, Options).run();
+  ASSERT_FALSE(Result.Selected.empty());
+  for (const SelectedPredicate &Entry : Result.Selected)
+    EXPECT_LE(Entry.Affinity.size(), 3u);
 }
 
 // --- Ranking ---------------------------------------------------------------

@@ -1,0 +1,170 @@
+//===- tests/core/InvertedIndexTest.cpp - Incremental engine tests --------===//
+
+#include "core/InvertedIndex.h"
+
+#include "SyntheticWorld.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+/// A randomized report set with mixed labels, noise, and observed-only
+/// sites, exercising every count bucket.
+ReportSet randomSet(const SyntheticWorld &World, size_t NumRuns,
+                    uint64_t Seed) {
+  ReportSet Set = World.emptySet();
+  Rng R(Seed);
+  uint32_t NumSites = World.Sites.numSites();
+  for (size_t Run = 0; Run < NumRuns; ++Run) {
+    std::vector<uint32_t> True, ObservedOnly;
+    for (uint32_t Site = 0; Site < NumSites; ++Site) {
+      if (R.nextBernoulli(0.15))
+        True.push_back(Site);
+      else if (R.nextBernoulli(0.25))
+        ObservedOnly.push_back(Site);
+    }
+    Set.add(SyntheticWorld::makeReport(World.Sites, R.nextBernoulli(0.3),
+                                       True, ObservedOnly));
+  }
+  return Set;
+}
+
+/// Asserts that \p Agg matches a from-scratch recomputation under \p View
+/// for every predicate.
+void expectMatchesRecompute(const SyntheticWorld &World, const ReportSet &Set,
+                            const RunView &View, const Aggregates &Agg) {
+  Aggregates Fresh = Aggregates::compute(Set, View);
+  ASSERT_EQ(Agg.numFailing(), Fresh.numFailing());
+  ASSERT_EQ(Agg.numSuccessful(), Fresh.numSuccessful());
+  for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred) {
+    PredicateCounts A = Agg.counts(Pred, World.Sites);
+    PredicateCounts B = Fresh.counts(Pred, World.Sites);
+    ASSERT_EQ(A.F, B.F) << "pred " << Pred;
+    ASSERT_EQ(A.S, B.S) << "pred " << Pred;
+    ASSERT_EQ(A.FObs, B.FObs) << "pred " << Pred;
+    ASSERT_EQ(A.SObs, B.SObs) << "pred " << Pred;
+  }
+}
+
+} // namespace
+
+TEST(InvertedIndexTest, PostingListsMatchReports) {
+  SyntheticWorld World(12);
+  ReportSet Set = randomSet(World, 60, 42);
+  InvertedIndex Index = InvertedIndex::build(Set, /*Threads=*/1);
+
+  ASSERT_EQ(Index.numPredicates(), Set.numPredicates());
+  ASSERT_EQ(Index.numSites(), Set.numSites());
+  for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred) {
+    std::vector<uint32_t> Expected;
+    for (size_t Run = 0; Run < Set.size(); ++Run)
+      if (Set[Run].observedTrue(Pred))
+        Expected.push_back(static_cast<uint32_t>(Run));
+    EXPECT_EQ(Index.runsWhereTrue(Pred), Expected) << "pred " << Pred;
+  }
+  for (uint32_t Site = 0; Site < Set.numSites(); ++Site) {
+    std::vector<uint32_t> Expected;
+    for (size_t Run = 0; Run < Set.size(); ++Run)
+      if (Set[Run].siteObserved(Site))
+        Expected.push_back(static_cast<uint32_t>(Run));
+    EXPECT_EQ(Index.runsObservingSite(Site), Expected) << "site " << Site;
+  }
+}
+
+TEST(InvertedIndexTest, ZeroCountEntriesAreNotIndexed) {
+  SyntheticWorld World(8);
+  ReportSet Set = World.emptySet();
+  FeedbackReport Report;
+  Report.Counts.SiteObservations = {{0, 0}, {1, 2}};
+  Report.Counts.TruePredicates = {{World.predOf(0), 0},
+                                  {World.predOf(1), 1}};
+  Set.add(std::move(Report));
+  InvertedIndex Index = InvertedIndex::build(Set, 1);
+  EXPECT_TRUE(Index.runsObservingSite(0).empty());
+  EXPECT_EQ(Index.runsObservingSite(1).size(), 1u);
+  EXPECT_TRUE(Index.runsWhereTrue(World.predOf(0)).empty());
+  EXPECT_EQ(Index.runsWhereTrue(World.predOf(1)).size(), 1u);
+}
+
+TEST(InvertedIndexTest, ParallelBuildMatchesSerial) {
+  SyntheticWorld World(12);
+  // Enough runs that the parallel path actually splits into chunks (the
+  // builder falls back to serial below ~4k runs per worker).
+  ReportSet Set = randomSet(World, 9000, 7);
+  InvertedIndex Serial = InvertedIndex::build(Set, 1);
+  for (size_t Threads : {2u, 3u, 8u}) {
+    InvertedIndex Parallel = InvertedIndex::build(Set, Threads);
+    ASSERT_EQ(Parallel.numPostings(), Serial.numPostings());
+    for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred)
+      ASSERT_EQ(Parallel.runsWhereTrue(Pred), Serial.runsWhereTrue(Pred))
+          << "pred " << Pred << " with " << Threads << " threads";
+    for (uint32_t Site = 0; Site < Set.numSites(); ++Site)
+      ASSERT_EQ(Parallel.runsObservingSite(Site),
+                Serial.runsObservingSite(Site))
+          << "site " << Site << " with " << Threads << " threads";
+  }
+}
+
+TEST(DeltaAggregatesTest, InitialStateMatchesFullScan) {
+  SyntheticWorld World(12);
+  ReportSet Set = randomSet(World, 80, 11);
+  RunView View = RunView::allOf(Set);
+  DeltaAggregates Delta(Set, View);
+  expectMatchesRecompute(World, Set, View, Delta.aggregates());
+}
+
+TEST(DeltaAggregatesTest, RemovalMatchesRecompute) {
+  SyntheticWorld World(12);
+  ReportSet Set = randomSet(World, 80, 23);
+  RunView View = RunView::allOf(Set);
+  DeltaAggregates Delta(Set, View);
+
+  Rng R(5);
+  for (size_t Run = 0; Run < Set.size(); ++Run) {
+    if (!R.nextBernoulli(0.4))
+      continue;
+    Delta.removeRun(Run, View.Failed[Run]);
+    View.Active[Run] = 0;
+    // Compare after every mutation, not just at the end, so an
+    // off-by-one-run bug cannot cancel out.
+    expectMatchesRecompute(World, Set, View, Delta.aggregates());
+  }
+}
+
+TEST(DeltaAggregatesTest, RelabelMatchesRecompute) {
+  SyntheticWorld World(12);
+  ReportSet Set = randomSet(World, 80, 31);
+  RunView View = RunView::allOf(Set);
+  DeltaAggregates Delta(Set, View);
+
+  Rng R(9);
+  for (size_t Run = 0; Run < Set.size(); ++Run) {
+    if (!View.Failed[Run] || !R.nextBernoulli(0.5))
+      continue;
+    Delta.relabelRunAsSuccess(Run);
+    View.Failed[Run] = 0;
+    expectMatchesRecompute(World, Set, View, Delta.aggregates());
+  }
+}
+
+TEST(DeltaAggregatesTest, MixedMutationSequenceMatchesRecompute) {
+  SyntheticWorld World(12);
+  ReportSet Set = randomSet(World, 120, 77);
+  RunView View = RunView::allOf(Set);
+  DeltaAggregates Delta(Set, View);
+
+  Rng R(13);
+  for (size_t Run = 0; Run < Set.size(); ++Run) {
+    double Roll = R.nextDouble();
+    if (Roll < 0.25) {
+      Delta.removeRun(Run, View.Failed[Run]);
+      View.Active[Run] = 0;
+    } else if (Roll < 0.5 && View.Failed[Run]) {
+      Delta.relabelRunAsSuccess(Run);
+      View.Failed[Run] = 0;
+    }
+  }
+  expectMatchesRecompute(World, Set, View, Delta.aggregates());
+}

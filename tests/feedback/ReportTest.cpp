@@ -51,6 +51,27 @@ TEST(FeedbackReportTest, BugMask) {
   EXPECT_FALSE(Report.hasBug(2));
 }
 
+TEST(FeedbackReportTest, BugBitEnforcesOneBased63Contract) {
+  // Regression: bugBit used to mask with `BugId & 63`, so id 64 aliased to
+  // bit 0 and id 0 was representable despite the documented 1-based
+  // contract. Out-of-range ids must map to no bit at all.
+  EXPECT_EQ(FeedbackReport::bugBit(0), 0u);
+  EXPECT_EQ(FeedbackReport::bugBit(64), 0u);
+  EXPECT_EQ(FeedbackReport::bugBit(65), 0u);
+  EXPECT_EQ(FeedbackReport::bugBit(-1), 0u);
+  EXPECT_EQ(FeedbackReport::bugBit(127), 0u); // Used to alias id 63.
+  for (int Id = 1; Id <= 63; ++Id)
+    EXPECT_EQ(FeedbackReport::bugBit(Id), 1ull << Id) << "id " << Id;
+
+  FeedbackReport Report;
+  Report.BugMask = FeedbackReport::bugBit(1) | FeedbackReport::bugBit(63);
+  EXPECT_FALSE(Report.hasBug(64)) << "id 64 must not alias another bug";
+  EXPECT_FALSE(Report.hasBug(0));
+  EXPECT_FALSE(Report.hasBug(-1));
+  EXPECT_TRUE(Report.hasBug(63));
+  EXPECT_FALSE(Report.hasBug(127)) << "id 127 must not alias id 63";
+}
+
 TEST(ReportSetTest, Counting) {
   ReportSet Set(10, 60);
   Set.add(makeReport(true, {}, {}));
@@ -121,4 +142,116 @@ TEST(ReportSetTest, DeserializeFailureLeavesOutputUntouched) {
   EXPECT_FALSE(ReportSet::deserialize("garbage", Out));
   EXPECT_EQ(Out.size(), 1u);
   EXPECT_EQ(Out.numSites(), 7u);
+}
+
+namespace {
+
+/// A two-report set exercising every serialized field, for malformed-input
+/// fuzzing.
+ReportSet fuzzFixture() {
+  ReportSet Set(6, 30);
+  FeedbackReport A = makeReport(true, {{0, 2}, {3, 1}}, {{5, 1}, {20, 9}});
+  A.StackSignature = "f@3>main@10";
+  A.BugMask = FeedbackReport::bugBit(2);
+  Set.add(A);
+  Set.add(makeReport(false, {{1, 1}, {4, 2}}, {{7, 3}}));
+  return Set;
+}
+
+/// deserialize must fail AND leave the output exactly as it was.
+void expectRejected(const std::string &Text, const char *What) {
+  ReportSet Out(7, 8);
+  Out.add(makeReport(true, {{2, 1}}, {{3, 1}}));
+  EXPECT_FALSE(ReportSet::deserialize(Text, Out)) << What;
+  EXPECT_EQ(Out.size(), 1u) << What;
+  EXPECT_EQ(Out.numSites(), 7u) << What;
+  EXPECT_EQ(Out.numPredicates(), 8u) << What;
+  EXPECT_EQ(Out[0].Counts.SiteObservations,
+            (std::vector<std::pair<uint32_t, uint32_t>>{{2, 1}}))
+      << What;
+}
+
+} // namespace
+
+TEST(ReportSetTest, DeserializeRejectsTruncationAtEveryLineBoundary) {
+  std::string Text = fuzzFixture().serialize();
+  // Cut after each newline except the final one: every proper line-prefix
+  // of a report file is malformed.
+  for (size_t Pos = Text.find('\n'); Pos != std::string::npos && Pos + 1 < Text.size();
+       Pos = Text.find('\n', Pos + 1))
+    expectRejected(Text.substr(0, Pos + 1),
+                   ("truncated at byte " + std::to_string(Pos + 1)).c_str());
+}
+
+TEST(ReportSetTest, DeserializeRejectsMidTokenTruncation) {
+  std::string Text = fuzzFixture().serialize();
+  expectRejected(Text.substr(0, Text.size() / 4), "quarter");
+  expectRejected(Text.substr(0, Text.size() / 2), "half");
+  expectRejected(Text.substr(0, (3 * Text.size()) / 4), "three quarters");
+}
+
+TEST(ReportSetTest, DeserializeRejectsCountsExceedingSpace) {
+  // An S/P entry count larger than the number of sites/predicates cannot
+  // be a valid sorted duplicate-free list (and used to drive a huge
+  // reserve()).
+  expectRejected("SBI-REPORTS v1\n2 12 1\nR 1 0 0 0 -\nS 3 0:1 1:1 2:1\nP 0\n",
+                 "site count exceeds NumSites");
+  expectRejected("SBI-REPORTS v1\n2 3 1\nR 1 0 0 0 -\nS 0\nP 4 0:1 1:1 2:1 3:1\n",
+                 "pred count exceeds NumPredicates");
+  expectRejected("SBI-REPORTS v1\n2 3 1\nR 1 0 0 0 -\nS 0\nP 99999999 0:1\n",
+                 "absurd count");
+}
+
+TEST(ReportSetTest, DeserializeRejectsOutOfRangeIds) {
+  expectRejected("SBI-REPORTS v1\n2 12 1\nR 1 0 0 0 -\nS 1 2:1\nP 0\n",
+                 "site id == NumSites");
+  expectRejected("SBI-REPORTS v1\n2 12 1\nR 1 0 0 0 -\nS 0\nP 1 12:1\n",
+                 "pred id == NumPredicates");
+  expectRejected("SBI-REPORTS v1\n2 12 1\nR 1 0 0 0 -\nS 0\nP 1 99:1\n",
+                 "pred id way out of range");
+}
+
+TEST(ReportSetTest, DeserializeRejectsDuplicateAndUnsortedEntries) {
+  expectRejected("SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 0\nP 2 5:1 5:1\n",
+                 "duplicate predicate entry");
+  expectRejected("SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 0\nP 2 7:1 5:1\n",
+                 "unsorted predicate entries");
+  expectRejected("SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 2 3:1 3:2\nP 0\n",
+                 "duplicate site entry");
+}
+
+TEST(ReportSetTest, DeserializeRejectsMalformedPairs) {
+  expectRejected("SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 0\nP 1 5\n",
+                 "missing colon");
+  expectRejected("SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 0\nP 1 :1\n",
+                 "missing id");
+  expectRejected("SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 0\nP 1 5:\n",
+                 "missing count");
+  expectRejected("SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 0\nP 1 x:1\n",
+                 "non-numeric id");
+  expectRejected("SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 0\nP 1 -1:1\n",
+                 "negative id");
+  // std::stoul would have thrown std::out_of_range here and crashed.
+  expectRejected(
+      "SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 0\nP 1 99999999999999999999:1\n",
+      "id overflowing uint32");
+  expectRejected(
+      "SBI-REPORTS v1\n4 12 1\nR 1 0 0 0 -\nS 0\nP 1 5:99999999999999999999\n",
+      "count overflowing uint32");
+}
+
+TEST(ReportSetTest, DeserializeAcceptsCampaignShapedRoundTrip) {
+  // Round-trip of a set with every field populated and multiple sorted
+  // entries per line must keep working after the validation tightening.
+  ReportSet Set = fuzzFixture();
+  ReportSet Out;
+  ASSERT_TRUE(ReportSet::deserialize(Set.serialize(), Out));
+  ASSERT_EQ(Out.size(), Set.size());
+  for (size_t I = 0; I < Set.size(); ++I) {
+    EXPECT_EQ(Out[I].Failed, Set[I].Failed);
+    EXPECT_EQ(Out[I].BugMask, Set[I].BugMask);
+    EXPECT_EQ(Out[I].StackSignature, Set[I].StackSignature);
+    EXPECT_EQ(Out[I].Counts.SiteObservations, Set[I].Counts.SiteObservations);
+    EXPECT_EQ(Out[I].Counts.TruePredicates, Set[I].Counts.TruePredicates);
+  }
 }

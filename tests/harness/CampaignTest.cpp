@@ -132,6 +132,26 @@ TEST(CampaignTest, LinesOfCodeReported) {
   EXPECT_GT(Result.LinesOfCode, 100);
 }
 
+TEST(CampaignTest, ThreadsZeroMeansHardwareThreadsAndStillRuns) {
+  // Threads = 0 is "one per hardware thread"; since
+  // std::thread::hardware_concurrency() may itself report 0, the resolved
+  // worker count must be clamped to at least one or the campaign would
+  // silently execute nothing. Identical reports double as the
+  // bit-identity check for the auto-detected thread count.
+  CampaignOptions Options = smallOptions(60);
+  Options.Threads = 1;
+  CampaignResult Serial = runCampaign(ccryptSubject(), Options);
+  Options.Threads = 0;
+  CampaignResult Auto = runCampaign(ccryptSubject(), Options);
+  ASSERT_EQ(Auto.Reports.size(), 60u);
+  for (size_t I = 0; I < Serial.Reports.size(); ++I) {
+    EXPECT_EQ(Serial.Reports[I].Failed, Auto.Reports[I].Failed) << I;
+    EXPECT_EQ(Serial.Reports[I].Counts.TruePredicates,
+              Auto.Reports[I].Counts.TruePredicates)
+        << I;
+  }
+}
+
 TEST(CampaignTest, ParallelCampaignIsBitIdenticalToSerial) {
   CampaignOptions Options = smallOptions(160);
   CampaignResult Serial = runCampaign(mossSubject(), Options);

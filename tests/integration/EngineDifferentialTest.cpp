@@ -1,0 +1,58 @@
+//===- tests/integration/EngineDifferentialTest.cpp - Engine equivalence --===//
+//
+// The incremental inverted-index engine must produce bit-identical
+// AnalysisResults (selections, every score, affinity lists) to the
+// reference rescan engine on real subject campaigns, for all three
+// Section 5 discard policies. Synthetic differentials live in
+// tests/core/AnalysisTest.cpp; this suite covers end-to-end reports from
+// actual campaigns, whose observation patterns (sampling, overlapping
+// bugs, observed-but-false predicates) are far messier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "harness/Campaign.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+CampaignResult smallCampaign(const Subject &Subj) {
+  CampaignOptions Options;
+  Options.NumRuns = 400;
+  Options.TrainingRuns = 60;
+  Options.Seed = 424242;
+  return runCampaign(Subj, Options);
+}
+
+void expectEnginesAgree(const CampaignResult &Result) {
+  for (DiscardPolicy Policy :
+       {DiscardPolicy::DiscardAllRuns, DiscardPolicy::DiscardFailingRuns,
+        DiscardPolicy::RelabelFailingRuns}) {
+    AnalysisOptions Rescan;
+    Rescan.Policy = Policy;
+    Rescan.Engine = AnalysisEngine::Rescan;
+    AnalysisOptions Incremental = Rescan;
+    Incremental.Engine = AnalysisEngine::Incremental;
+
+    AnalysisResult A =
+        CauseIsolator(Result.Sites, Result.Reports, Rescan).run();
+    AnalysisResult B =
+        CauseIsolator(Result.Sites, Result.Reports, Incremental).run();
+    EXPECT_TRUE(bitIdentical(A, B)) << discardPolicyName(Policy);
+    EXPECT_FALSE(A.Selected.empty())
+        << discardPolicyName(Policy) << ": differential would be trivial";
+  }
+}
+
+} // namespace
+
+TEST(EngineDifferentialTest, MossCampaignAcrossAllPolicies) {
+  expectEnginesAgree(smallCampaign(mossSubject()));
+}
+
+TEST(EngineDifferentialTest, ExifCampaignAcrossAllPolicies) {
+  expectEnginesAgree(smallCampaign(exifSubject()));
+}

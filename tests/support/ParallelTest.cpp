@@ -1,0 +1,31 @@
+//===- tests/support/ParallelTest.cpp - Worker-thread helper tests --------===//
+
+#include "support/Parallel.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+TEST(ParallelTest, HardwareThreadCountIsNeverZero) {
+  // std::thread::hardware_concurrency() is allowed to return 0; the
+  // wrapper must clamp so "one worker per hardware thread" never means
+  // zero workers.
+  EXPECT_GE(hardwareThreadCount(), 1u);
+}
+
+TEST(ParallelTest, ResolveThreadCountHonorsExplicitRequests) {
+  EXPECT_EQ(resolveThreadCount(3, 100), 3u);
+  EXPECT_EQ(resolveThreadCount(1, 100), 1u);
+}
+
+TEST(ParallelTest, ResolveThreadCountCapsAtUsefulWork) {
+  EXPECT_EQ(resolveThreadCount(16, 4), 4u);
+  // Even with no work items the resolved count stays positive so loops
+  // structured as "spawn N workers" remain well-formed.
+  EXPECT_EQ(resolveThreadCount(16, 0), 1u);
+  EXPECT_GE(resolveThreadCount(0, 0), 1u);
+}
+
+TEST(ParallelTest, ZeroMeansHardwareThreads) {
+  EXPECT_EQ(resolveThreadCount(0, 1u << 20), hardwareThreadCount());
+}

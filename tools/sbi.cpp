@@ -55,6 +55,7 @@ struct CliArgs {
   std::string OutFile;
   std::string Sampling = "adaptive";
   std::string Policy = "all";
+  std::string Engine = "incremental";
   size_t Runs = 4000;
   uint64_t Seed = 20050612;
   size_t Top = 20;
@@ -73,6 +74,7 @@ int usage() {
       "  analyze --subject=NAME [--in=FILE] [--runs=N] [--seed=S]\n"
       "          [--policy=all|failing|relabel] [--top=K] [--affinity] "
       "[--bugs]\n"
+      "          [--analysis-engine=rescan|incremental]\n"
       "  logreg  --subject=NAME [--in=FILE] [--runs=N] [--top=K]\n"
       "  report  --subject=NAME [--in=FILE] [--out=FILE] [--top=K] "
       "[--bugs]\n");
@@ -96,7 +98,8 @@ bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
     if (valueOf("--subject=", Args.SubjectName) ||
         valueOf("--in=", Args.InFile) || valueOf("--out=", Args.OutFile) ||
         valueOf("--sampling=", Args.Sampling) ||
-        valueOf("--policy=", Args.Policy))
+        valueOf("--policy=", Args.Policy) ||
+        valueOf("--analysis-engine=", Args.Engine))
       continue;
     if (valueOf("--runs=", Value)) {
       Args.Runs = static_cast<size_t>(std::strtoull(Value.c_str(), nullptr,
@@ -214,12 +217,29 @@ int cmdRun(const CliArgs &Args) {
   return 0;
 }
 
+/// Resolves --analysis-engine; returns false (after complaining) on a bad
+/// value.
+bool configureEngine(const CliArgs &Args, AnalysisOptions &Options) {
+  if (Args.Engine == "incremental")
+    Options.Engine = AnalysisEngine::Incremental;
+  else if (Args.Engine == "rescan")
+    Options.Engine = AnalysisEngine::Rescan;
+  else {
+    std::fprintf(stderr, "sbi: bad --analysis-engine value '%s'\n",
+                 Args.Engine.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmdAnalyze(const CliArgs &Args) {
   CampaignResult Result;
   if (!obtainReports(Args, Result))
     return 1;
 
   AnalysisOptions Options;
+  if (!configureEngine(Args, Options))
+    return 1;
   if (Args.Policy == "all")
     Options.Policy = DiscardPolicy::DiscardAllRuns;
   else if (Args.Policy == "failing")
@@ -276,7 +296,10 @@ int cmdReport(const CliArgs &Args) {
   CampaignResult Result;
   if (!obtainReports(Args, Result))
     return 1;
-  CauseIsolator Isolator(Result.Sites, Result.Reports);
+  AnalysisOptions AnalyzeOptions;
+  if (!configureEngine(Args, AnalyzeOptions))
+    return 1;
+  CauseIsolator Isolator(Result.Sites, Result.Reports, AnalyzeOptions);
   AnalysisResult Analysis = Isolator.run();
 
   HtmlReportOptions Options;
