@@ -3,6 +3,7 @@
 #include "core/Analysis.h"
 
 #include "core/InvertedIndex.h"
+#include "obs/Phase.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -40,9 +41,21 @@ bool sbi::bitIdentical(const AnalysisResult &A, const AnalysisResult &B) {
     return C.F == D.F && C.S == D.S && C.FObs == D.FObs && C.SObs == D.SObs;
   };
   if (A.NumInitialPredicates != B.NumInitialPredicates ||
-      A.PrunedSurvivors != B.PrunedSurvivors ||
-      A.Selected.size() != B.Selected.size())
+      A.Policy != B.Policy || A.PrunedSurvivors != B.PrunedSurvivors ||
+      A.Selected.size() != B.Selected.size() ||
+      A.Trail.size() != B.Trail.size())
     return false;
+  for (size_t I = 0; I < A.Trail.size(); ++I) {
+    const EliminationTraceEntry &X = A.Trail[I], &Y = B.Trail[I];
+    if (X.Pred != Y.Pred || X.Counts.F != Y.Counts.F ||
+        X.Counts.S != Y.Counts.S || X.Counts.FObs != Y.Counts.FObs ||
+        X.Counts.SObs != Y.Counts.SObs || X.Increase != Y.Increase ||
+        X.Importance != Y.Importance || X.ActiveRuns != Y.ActiveRuns ||
+        X.FailingRuns != Y.FailingRuns ||
+        X.RunsDiscarded != Y.RunsDiscarded ||
+        X.SurvivingCandidates != Y.SurvivingCandidates)
+      return false;
+  }
   for (size_t I = 0; I < A.Selected.size(); ++I) {
     const SelectedPredicate &X = A.Selected[I], &Y = B.Selected[I];
     if (X.Pred != Y.Pred || !sameScores(X.InitialScores, Y.InitialScores) ||
@@ -174,29 +187,37 @@ CauseIsolator::rank(const std::vector<uint32_t> &Candidates,
   return rankAggregated(Aggregates::compute(Set, View), Sites, Candidates);
 }
 
-void CauseIsolator::applyPolicy(RunView &View, uint32_t Pred) const {
+uint64_t CauseIsolator::applyPolicy(RunView &View, uint32_t Pred) const {
+  uint64_t Touched = 0;
   for (size_t Run = 0; Run < Set.size(); ++Run) {
     if (!View.Active[Run] || !Set[Run].observedTrue(Pred))
       continue;
     switch (Options.Policy) {
     case DiscardPolicy::DiscardAllRuns:
       View.Active[Run] = 0;
+      ++Touched;
       break;
     case DiscardPolicy::DiscardFailingRuns:
-      if (View.Failed[Run])
+      if (View.Failed[Run]) {
         View.Active[Run] = 0;
+        ++Touched;
+      }
       break;
     case DiscardPolicy::RelabelFailingRuns:
-      if (View.Failed[Run])
+      if (View.Failed[Run]) {
         View.Failed[Run] = 0;
+        ++Touched;
+      }
       break;
     }
   }
+  return Touched;
 }
 
-void CauseIsolator::applyPolicyIncremental(RunView &View, uint32_t Pred,
-                                           const InvertedIndex &Index,
-                                           DeltaAggregates &Delta) const {
+uint64_t CauseIsolator::applyPolicyIncremental(RunView &View, uint32_t Pred,
+                                               const InvertedIndex &Index,
+                                               DeltaAggregates &Delta) const {
+  uint64_t Touched = 0;
   for (uint32_t Run : Index.runsWhereTrue(Pred)) {
     if (!View.Active[Run])
       continue;
@@ -204,21 +225,25 @@ void CauseIsolator::applyPolicyIncremental(RunView &View, uint32_t Pred,
     case DiscardPolicy::DiscardAllRuns:
       View.Active[Run] = 0;
       Delta.removeRun(Run, View.Failed[Run]);
+      ++Touched;
       break;
     case DiscardPolicy::DiscardFailingRuns:
       if (View.Failed[Run]) {
         View.Active[Run] = 0;
         Delta.removeRun(Run, /*Failed=*/true);
+        ++Touched;
       }
       break;
     case DiscardPolicy::RelabelFailingRuns:
       if (View.Failed[Run]) {
         View.Failed[Run] = 0;
         Delta.relabelRunAsSuccess(Run);
+        ++Touched;
       }
       break;
     }
   }
+  return Touched;
 }
 
 std::vector<uint32_t>
@@ -239,10 +264,12 @@ CauseIsolator::initialCandidatesOf(const Aggregates &Agg) const {
 }
 
 AnalysisResult CauseIsolator::run() const {
+  ScopedPhase AnalysisPhase("analysis");
   const bool Incremental = Options.Engine == AnalysisEngine::Incremental;
 
   AnalysisResult Result;
   Result.NumInitialPredicates = Set.numPredicates();
+  Result.Policy = Options.Policy;
 
   RunView View = RunView::allOf(Set);
 
@@ -256,6 +283,7 @@ AnalysisResult CauseIsolator::run() const {
   const InvertedIndex *Index = nullptr;
   std::optional<DeltaAggregates> Delta;
   if (Incremental) {
+    ScopedPhase IndexPhase("index_build");
     if (Options.SharedIndex) {
       Index = Options.SharedIndex;
       if (Index->numPredicates() != Set.numPredicates() ||
@@ -276,12 +304,17 @@ AnalysisResult CauseIsolator::run() const {
   }
 
   // Initial (full-population) scores, shown as the "initial thermometer".
+  std::optional<ScopedPhase> ScanPhase;
+  ScanPhase.emplace("initial_scan");
   Aggregates InitialAgg =
       Incremental ? Delta->aggregates() : Aggregates::compute(Set, View);
   uint64_t InitialNumF = InitialAgg.numFailing();
 
   Result.PrunedSurvivors = survivorsOf(InitialAgg);
   std::vector<uint32_t> Candidates = initialCandidatesOf(InitialAgg);
+  ScanPhase.reset();
+
+  ScopedPhase EliminationPhase("elimination");
 
   // Rescan engine: the paper-literal fully sorted ranking, rebuilt from a
   // full aggregation pass per iteration. Incremental engine: one importance
@@ -337,13 +370,27 @@ AnalysisResult CauseIsolator::run() const {
     Selected.ActiveRunsAtSelection = ActiveRuns;
     Selected.FailingRunsAtSelection = FailingRuns;
 
-    if (Incremental)
-      applyPolicyIncremental(View, Selected.Pred, *Index, *Delta);
-    else
-      applyPolicy(View, Selected.Pred);
+    uint64_t RunsDiscarded =
+        Incremental
+            ? applyPolicyIncremental(View, Selected.Pred, *Index, *Delta)
+            : applyPolicy(View, Selected.Pred);
     Candidates.erase(
         std::remove(Candidates.begin(), Candidates.end(), Selected.Pred),
         Candidates.end());
+
+    // The audit-trail entry for this iteration: selection rationale plus
+    // the policy's effect, derived entirely from engine-shared counts so
+    // both engines emit identical trails.
+    EliminationTraceEntry Trace;
+    Trace.Pred = Selected.Pred;
+    Trace.Counts = Selected.EffectiveScores.counts();
+    Trace.Increase = Selected.EffectiveScores.increase().Value;
+    Trace.Importance = Selected.EffectiveImportance;
+    Trace.ActiveRuns = ActiveRuns;
+    Trace.FailingRuns = FailingRuns;
+    Trace.RunsDiscarded = RunsDiscarded;
+    Trace.SurvivingCandidates = Candidates.size();
+    Result.Trail.push_back(Trace);
 
     // Affinity(P -> Q): how much Q's Importance fell when P's runs were
     // removed. Large drops indicate Q predicts (a subset of) P's bug.

@@ -100,17 +100,43 @@ struct SelectedPredicate {
   std::vector<std::pair<uint32_t, double>> Affinity;
 };
 
+/// One elimination iteration of the audit trail: why the loop picked this
+/// predicate and what applying the discard policy did to the population.
+/// Both engines fill it from the same integer counts, so a trail is
+/// bit-identical (and renders byte-identical) across engines — the same
+/// contract bitIdentical() enforces for selections.
+struct EliminationTraceEntry {
+  uint32_t Pred = 0;
+  /// Effective F/S/FObs/SObs at selection time.
+  PredicateCounts Counts;
+  /// Point value of Increase(P) over the population at selection time.
+  double Increase = 0.0;
+  /// Effective Importance(P) — the value the selection maximized.
+  double Importance = 0.0;
+  /// Population before the discard policy was applied.
+  uint64_t ActiveRuns = 0;
+  uint64_t FailingRuns = 0;
+  /// Runs the policy discarded (or, under relabeling, relabeled).
+  uint64_t RunsDiscarded = 0;
+  /// Candidate predicates remaining after this selection.
+  uint64_t SurvivingCandidates = 0;
+};
+
 struct AnalysisResult {
   uint32_t NumInitialPredicates = 0;
+  /// The discard policy the elimination ran under.
+  DiscardPolicy Policy = DiscardPolicy::DiscardAllRuns;
   /// Predicates surviving the Increase test, in id order.
   std::vector<uint32_t> PrunedSurvivors;
   /// Elimination output in selection order.
   std::vector<SelectedPredicate> Selected;
+  /// Per-iteration audit trail, parallel to Selected.
+  std::vector<EliminationTraceEntry> Trail;
 };
 
 /// Exact (bit-level, including every score double) equality of two
-/// analysis results; the contract the rescan and incremental engines are
-/// differential-tested against.
+/// analysis results, audit trail included; the contract the rescan and
+/// incremental engines are differential-tested against.
 bool bitIdentical(const AnalysisResult &A, const AnalysisResult &B);
 
 /// Runs pruning + elimination + affinity over \p Set.
@@ -141,13 +167,16 @@ private:
   /// positive once an anti-correlated predictor is selected (Section 5).
   std::vector<uint32_t> initialCandidatesOf(const Aggregates &Agg) const;
 
-  void applyPolicy(RunView &View, uint32_t Pred) const;
+  /// Applies the discard policy for \p Pred; returns how many runs it
+  /// discarded (or relabeled).
+  uint64_t applyPolicy(RunView &View, uint32_t Pred) const;
 
   /// Policy application that walks only the selected predicate's posting
-  /// list and folds each touched run into \p Delta.
-  void applyPolicyIncremental(RunView &View, uint32_t Pred,
-                              const InvertedIndex &Index,
-                              DeltaAggregates &Delta) const;
+  /// list and folds each touched run into \p Delta. Returns the number of
+  /// runs discarded (or relabeled), identical to applyPolicy's count.
+  uint64_t applyPolicyIncremental(RunView &View, uint32_t Pred,
+                                  const InvertedIndex &Index,
+                                  DeltaAggregates &Delta) const;
 
   const SiteTable &Sites;
   const ReportSet &Set;

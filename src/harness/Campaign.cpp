@@ -2,14 +2,20 @@
 
 #include "harness/Campaign.h"
 
+#include "obs/Phase.h"
+#include "obs/Telemetry.h"
 #include "runtime/Interp.h"
 #include "support/Parallel.h"
 #include "support/StringUtils.h"
 #include "vm/Compiler.h"
 #include "vm/VM.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 using namespace sbi;
@@ -50,10 +56,53 @@ std::string joinStack(const std::vector<std::string> &Frames) {
   return Sig;
 }
 
+/// Mean planned sampling rate over the sites of one scheme; 1.0 for a
+/// scheme with no sites (vacuously complete monitoring).
+double meanPlannedRate(const SiteTable &Sites, const SamplingPlan &Plan,
+                       Scheme Kind) {
+  double Total = 0.0;
+  size_t Count = 0;
+  for (uint32_t Site = 0; Site < Sites.numSites(); ++Site)
+    if (Sites.site(Site).SchemeKind == Kind) {
+      Total += Plan.rate(Site);
+      ++Count;
+    }
+  return Count == 0 ? 1.0 : Total / static_cast<double>(Count);
+}
+
 } // namespace
 
 CampaignResult sbi::runCampaign(const Subject &Subj,
                                 const CampaignOptions &Options) {
+  ScopedPhase CampaignPhase("campaign");
+  const bool Obs = Telemetry::enabled();
+  MetricsRegistry &Metrics = Telemetry::metrics();
+  // Summary gauges are maintained unconditionally — an O(1) cost per
+  // campaign that lets renderers (the HTML report header) rely on them.
+  // Everything per-run or per-reach below is gated on Telemetry::enabled().
+  // Function-local statics register each metric once per process; gauges
+  // and the label describe the most recent campaign, counters and
+  // histograms accumulate across campaigns.
+  static Gauge &RunsGauge = Metrics.registerGauge("campaign.runs");
+  static Gauge &FailingGauge = Metrics.registerGauge("campaign.failing");
+  static Gauge &WallMsGauge = Metrics.registerGauge("campaign.wall_ms");
+  static Gauge &RunsPerSecGauge =
+      Metrics.registerGauge("campaign.runs_per_sec");
+  static Label &SamplingLabel =
+      Metrics.registerLabel("campaign.sampling_mode");
+  static Counter &RunsTotal = Metrics.registerCounter("campaign.runs_total");
+  static Counter &TrainingRunsTotal =
+      Metrics.registerCounter("campaign.training_runs_total");
+  static Histogram &StepHist =
+      Metrics.registerHistogram("campaign.run_steps");
+  static Histogram &PadHist =
+      Metrics.registerHistogram("campaign.overrun_pad");
+  static Histogram &WorkerHist =
+      Metrics.registerHistogram("campaign.runs_per_worker");
+  auto WallStart = std::chrono::steady_clock::now();
+
+  std::optional<ScopedPhase> ParsePhase;
+  ParsePhase.emplace("parse");
   CampaignResult Result;
   Result.Subj = &Subj;
   Result.Prog = compileSubjectSource(Subj.Source, Subj.Name);
@@ -70,6 +119,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
     if (Result.Golden)
       GoldenBytecode = compileProgram(*Result.Golden);
   }
+  ParsePhase.reset();
   auto executeBuggy = [&](const RunConfig &Config) {
     return Options.Exec == Engine::VM ? runCompiled(Bytecode, Config)
                                       : runProgram(*Result.Prog, Config);
@@ -81,6 +131,8 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
   };
 
   // --- Choose the sampling plan -----------------------------------------
+  std::optional<ScopedPhase> PlanPhase;
+  PlanPhase.emplace("plan_training");
   if (Options.Mode == SamplingMode::None) {
     Result.Plan = SamplingPlan::full(Result.Sites.numSites());
   } else if (Options.Mode == SamplingMode::Uniform) {
@@ -113,13 +165,19 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
                           static_cast<double>(Options.TrainingRuns);
     Result.Plan = SamplingPlan::adaptive(MeanReach, Options.TargetSamples,
                                          Options.MinRate);
+    if (Obs)
+      TrainingRunsTotal.add(Options.TrainingRuns);
   }
+  PlanPhase.reset();
 
   // --- Main campaign -----------------------------------------------------
   // Each run is fully determined by (campaign seed, run index), so the
   // loop parallelizes into bit-identical results for any thread count:
   // workers fill pre-sized slots and share nothing but read-only state.
   std::vector<FeedbackReport> Collected(Options.NumRuns);
+
+  std::atomic<size_t> RunsCompleted{0};
+  const size_t ProgressStride = std::max<size_t>(1, Options.NumRuns / 200);
 
   auto oneRun = [&](size_t Run, ReportCollector &Collector) {
     Rng InputRng(mixSeed(Options.Seed, /*Stream=*/1, Run));
@@ -132,6 +190,11 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
 
     Collector.beginRun(mixSeed(Options.Seed, /*Stream=*/2, Run));
     RunOutcome Outcome = executeBuggy(Config);
+    if (Obs) {
+      RunsTotal.add(1);
+      StepHist.record(Outcome.Steps);
+      PadHist.record(Config.OverrunPad);
+    }
 
     FeedbackReport Report;
     Report.Counts = Collector.takeReport();
@@ -154,44 +217,133 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
         Report.Failed = true;
     }
     Collected[Run] = std::move(Report);
+
+    if (Options.Progress) {
+      size_t Done = RunsCompleted.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (Done % ProgressStride == 0 || Done == Options.NumRuns)
+        Options.Progress(Done, Options.NumRuns);
+    }
   };
 
-  // hardware_concurrency() may legitimately return 0; resolveThreadCount
-  // clamps so a campaign never launches zero workers.
-  size_t Threads = resolveThreadCount(Options.Threads, Options.NumRuns);
-  if (Threads <= 1) {
-    ReportCollector Collector(Result.Sites, Result.Plan);
-    for (size_t Run = 0; Run < Options.NumRuns; ++Run)
-      oneRun(Run, Collector);
-  } else {
-    std::vector<std::thread> Workers;
-    Workers.reserve(Threads);
-    for (size_t T = 0; T < Threads; ++T)
-      Workers.emplace_back([&, T] {
-        ReportCollector Collector(Result.Sites, Result.Plan);
-        for (size_t Run = T; Run < Options.NumRuns; Run += Threads)
-          oneRun(Run, Collector);
-      });
-    for (std::thread &Worker : Workers)
-      Worker.join();
+  // Realized sampling rates need per-scheme reach counts, which only the
+  // collectors see; workers merge their counts here after the loop.
+  ReportCollector::ReachStats MergedReaches;
+  std::mutex ReachMu;
+  auto mergeReaches = [&](const ReportCollector &Collector) {
+    const ReportCollector::ReachStats &S = Collector.reachStats();
+    std::lock_guard<std::mutex> Lock(ReachMu);
+    for (size_t K = 0; K < S.Reaches.size(); ++K) {
+      MergedReaches.Reaches[K] += S.Reaches[K];
+      MergedReaches.Samples[K] += S.Samples[K];
+      MergedReaches.ExpectedSamples[K] += S.ExpectedSamples[K];
+    }
+  };
+
+  auto RunLoopStart = std::chrono::steady_clock::now();
+  {
+    ScopedPhase RunLoopPhase("run_loop");
+    // hardware_concurrency() may legitimately return 0; resolveThreadCount
+    // clamps so a campaign never launches zero workers.
+    size_t Threads = resolveThreadCount(Options.Threads, Options.NumRuns);
+    if (Threads <= 1) {
+      ReportCollector Collector(Result.Sites, Result.Plan);
+      if (Obs)
+        Collector.enableReachStats();
+      for (size_t Run = 0; Run < Options.NumRuns; ++Run)
+        oneRun(Run, Collector);
+      if (Obs) {
+        mergeReaches(Collector);
+        WorkerHist.record(Options.NumRuns);
+      }
+    } else {
+      std::vector<std::thread> Workers;
+      Workers.reserve(Threads);
+      for (size_t T = 0; T < Threads; ++T)
+        Workers.emplace_back([&, T] {
+          ReportCollector Collector(Result.Sites, Result.Plan);
+          if (Obs)
+            Collector.enableReachStats();
+          size_t RunsByThisWorker = 0;
+          for (size_t Run = T; Run < Options.NumRuns; Run += Threads) {
+            oneRun(Run, Collector);
+            ++RunsByThisWorker;
+          }
+          if (Obs) {
+            mergeReaches(Collector);
+            WorkerHist.record(RunsByThisWorker);
+          }
+        });
+      for (std::thread &Worker : Workers)
+        Worker.join();
+    }
+  }
+  double RunLoopSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    RunLoopStart)
+          .count();
+
+  {
+    ScopedPhase LabelPhase("label");
+    Result.Reports =
+        ReportSet(Result.Sites.numSites(), Result.Sites.numPredicates());
+    for (FeedbackReport &Report : Collected)
+      Result.Reports.add(std::move(Report));
+
+    // Ground-truth stats derive from the recorded bug masks.
+    for (const BugSpec &Bug : Subj.Bugs) {
+      CampaignResult::BugStats Stats;
+      Stats.BugId = Bug.Id;
+      for (const FeedbackReport &Report : Result.Reports.reports())
+        if (Report.hasBug(Bug.Id)) {
+          ++Stats.Triggered;
+          if (Report.Failed)
+            ++Stats.TriggeredAndFailed;
+        }
+      Result.Bugs.push_back(Stats);
+    }
   }
 
-  Result.Reports =
-      ReportSet(Result.Sites.numSites(), Result.Sites.numPredicates());
-  for (FeedbackReport &Report : Collected)
-    Result.Reports.add(std::move(Report));
+  // --- Campaign summary --------------------------------------------------
+  RunsGauge.set(static_cast<double>(Options.NumRuns));
+  FailingGauge.set(static_cast<double>(Result.numFailing()));
+  SamplingLabel.set(Result.Plan.name());
+  double WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    WallStart)
+          .count();
+  WallMsGauge.set(WallSeconds * 1e3);
+  if (RunLoopSeconds > 0.0)
+    RunsPerSecGauge.set(static_cast<double>(Options.NumRuns) /
+                        RunLoopSeconds);
 
-  // Ground-truth stats derive from the recorded bug masks.
-  for (const BugSpec &Bug : Subj.Bugs) {
-    CampaignResult::BugStats Stats;
-    Stats.BugId = Bug.Id;
-    for (const FeedbackReport &Report : Result.Reports.reports())
-      if (Report.hasBug(Bug.Id)) {
-        ++Stats.Triggered;
-        if (Report.Failed)
-          ++Stats.TriggeredAndFailed;
+  if (Obs) {
+    // Planned vs. realized sampling rate per instrumentation scheme.
+    // Realized = samples/reaches over the whole campaign; drift from the
+    // planned mean is how one validates the fair-coin machinery at scale.
+    static const char *SchemeNames[3] = {"branches", "returns",
+                                         "scalar_pairs"};
+    static Gauge *PlannedGauges[3] = {nullptr, nullptr, nullptr};
+    static Gauge *RealizedGauges[3] = {nullptr, nullptr, nullptr};
+    for (size_t K = 0; K < 3; ++K) {
+      if (!PlannedGauges[K]) {
+        PlannedGauges[K] = &Metrics.registerGauge(
+            format("campaign.sampling.%s.planned_rate", SchemeNames[K]));
+        RealizedGauges[K] = &Metrics.registerGauge(
+            format("campaign.sampling.%s.realized_rate", SchemeNames[K]));
       }
-    Result.Bugs.push_back(Stats);
+      if (MergedReaches.Reaches[K] > 0) {
+        // Reach-weighted planned rate: under a fair Bernoulli coin the
+        // realized rate converges to it, so any drift is a sampler bug.
+        double Reaches = static_cast<double>(MergedReaches.Reaches[K]);
+        PlannedGauges[K]->set(MergedReaches.ExpectedSamples[K] / Reaches);
+        RealizedGauges[K]->set(
+            static_cast<double>(MergedReaches.Samples[K]) / Reaches);
+      } else {
+        // Scheme never reached: fall back to the plan's unweighted mean.
+        PlannedGauges[K]->set(meanPlannedRate(Result.Sites, Result.Plan,
+                                              static_cast<Scheme>(K)));
+      }
+    }
   }
 
   return Result;

@@ -25,6 +25,7 @@
 #include "lang/Sema.h"
 #include "subjects/Subjects.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -65,6 +66,10 @@ struct CampaignOptions {
   /// run index, so any thread count produces bit-identical reports
   /// (tested); 0 means "one per hardware thread".
   size_t Threads = 1;
+  /// Optional progress sink for the main run loop, called with
+  /// (runs completed, total runs) roughly every 0.5% of runs and once at
+  /// completion. Invoked from worker threads — must be thread-safe.
+  std::function<void(size_t Done, size_t Total)> Progress;
 };
 
 struct CampaignResult {

@@ -3,6 +3,7 @@
 #include "harness/HtmlReport.h"
 
 #include "harness/Tables.h"
+#include "obs/Telemetry.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -94,6 +95,9 @@ code { background: #f6f6f6; padding: 1px 4px; border-radius: 3px; }
 .affinity { margin: 0.4em 0 1.4em 1em; }
 .small { color: #666; font-size: 0.85em; }
 a.anchor { text-decoration: none; color: #2a6; }
+.summary { display: flex; gap: 2.2em; background: #f4f4f4; padding: 8px
+           14px; border-radius: 6px; font-size: 0.92em; }
+.summary b { display: block; font-size: 1.2em; }
 )css";
 
 } // namespace
@@ -201,6 +205,35 @@ std::string sbi::renderHtmlReport(const CampaignResult &Campaign,
 
   std::string Out = renderHtmlReport(Campaign.Sites, Campaign.Reports,
                                      Analysis, Options);
+
+  // Compact run-summary header from the metrics registry. The campaign
+  // driver maintains these gauges unconditionally; when the reports were
+  // loaded from a file instead (no campaign ran this process), the gauges
+  // are absent and the header is simply omitted.
+  const MetricsRegistry &Metrics = Telemetry::metrics();
+  if (const Gauge *Runs = Metrics.findGauge("campaign.runs")) {
+    const Gauge *Failing = Metrics.findGauge("campaign.failing");
+    const Gauge *WallMs = Metrics.findGauge("campaign.wall_ms");
+    const Gauge *RunsPerSec = Metrics.findGauge("campaign.runs_per_sec");
+    const Label *Mode = Metrics.findLabel("campaign.sampling_mode");
+    std::string Box = "<div class=\"summary\">";
+    Box += format("<span><b>%.0f</b>runs</span>", Runs->value());
+    if (Failing)
+      Box += format("<span><b>%.0f</b>failing</span>", Failing->value());
+    if (Mode)
+      Box += format("<span><b>%s</b>sampling</span>",
+                    escapeHtml(Mode->value()).c_str());
+    if (WallMs)
+      Box += format("<span><b>%.0f&thinsp;ms</b>campaign wall time</span>",
+                    WallMs->value());
+    if (RunsPerSec && RunsPerSec->value() > 0.0)
+      Box += format("<span><b>%.0f</b>runs/sec</span>",
+                    RunsPerSec->value());
+    Box += "</div>\n";
+    size_t At = Out.find("</h1>\n");
+    if (At != std::string::npos)
+      Out.insert(At + 6, Box);
+  }
 
   if (!Options.ShowGroundTruth || !Campaign.Subj)
     return Out;

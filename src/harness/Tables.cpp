@@ -115,6 +115,35 @@ std::string sbi::renderAffinity(const SiteTable &Sites,
   return Out;
 }
 
+std::string sbi::renderAuditTrail(const SiteTable &Sites,
+                                  const AnalysisResult &Analysis) {
+  std::string Out =
+      format("elimination audit trail (policy %s): %u predicates, %zu "
+             "survive Increase>0, %zu selected\n",
+             discardPolicyName(Analysis.Policy),
+             Analysis.NumInitialPredicates, Analysis.PrunedSurvivors.size(),
+             Analysis.Trail.size());
+  for (size_t I = 0; I < Analysis.Trail.size(); ++I) {
+    const EliminationTraceEntry &Entry = Analysis.Trail[I];
+    Out += format(
+        "iter %3zu: select P%-6u F=%llu S=%llu FObs=%llu SObs=%llu "
+        "Increase=%.6f Importance=%.6f | %llu/%llu runs active/failing -> "
+        "%llu %s, %llu candidates remain | %s\n",
+        I + 1, Entry.Pred, static_cast<unsigned long long>(Entry.Counts.F),
+        static_cast<unsigned long long>(Entry.Counts.S),
+        static_cast<unsigned long long>(Entry.Counts.FObs),
+        static_cast<unsigned long long>(Entry.Counts.SObs), Entry.Increase,
+        Entry.Importance, static_cast<unsigned long long>(Entry.ActiveRuns),
+        static_cast<unsigned long long>(Entry.FailingRuns),
+        static_cast<unsigned long long>(Entry.RunsDiscarded),
+        Analysis.Policy == DiscardPolicy::RelabelFailingRuns ? "relabeled"
+                                                             : "discarded",
+        static_cast<unsigned long long>(Entry.SurvivingCandidates),
+        predicateLabel(Sites, Entry.Pred).c_str());
+  }
+  return Out;
+}
+
 std::vector<std::pair<int, uint32_t>>
 sbi::choosePredictorPerBug(const ReportSet &Set,
                            const std::vector<SelectedPredicate> &Selected,

@@ -48,6 +48,15 @@ std::string renderSelectedList(const SiteTable &Sites, const ReportSet &Set,
 std::string renderAffinity(const SiteTable &Sites,
                            const SelectedPredicate &Selected);
 
+/// Renders the elimination audit trail (`sbi analyze --trace`): one line
+/// per iteration with the selected predicate, its F/S/FObs/SObs counts,
+/// Increase and Importance at selection time, the runs the discard policy
+/// removed (or relabeled), and the surviving candidate count. Built only
+/// from AnalysisResult::Trail, which both engines fill identically, so the
+/// rendering is byte-identical across engines (differential-tested).
+std::string renderAuditTrail(const SiteTable &Sites,
+                             const AnalysisResult &Analysis);
+
 /// Failing runs in which predicate \p PredId was observed true and bug
 /// \p BugId triggered.
 size_t failingRunsWithPredAndBug(const ReportSet &Set, uint32_t PredId,

@@ -78,7 +78,25 @@ RawReport ReportCollector::takeReport() {
   return Report;
 }
 
+void ReportCollector::enableReachStats() {
+  TrackReaches = true;
+  SchemeOf.resize(Sites.numSites());
+  for (uint32_t Site = 0; Site < Sites.numSites(); ++Site)
+    SchemeOf[Site] = static_cast<uint8_t>(Sites.site(Site).SchemeKind);
+}
+
 bool ReportCollector::shouldSample(uint32_t SiteId) {
+  if (!TrackReaches)
+    return sampleDecision(SiteId);
+  bool Sampled = sampleDecision(SiteId);
+  size_t Scheme = SchemeOf[SiteId];
+  ++Stats.Reaches[Scheme];
+  Stats.Samples[Scheme] += Sampled ? 1 : 0;
+  Stats.ExpectedSamples[Scheme] += Plan.rate(SiteId);
+  return Sampled;
+}
+
+bool ReportCollector::sampleDecision(uint32_t SiteId) {
   double Rate = Plan.rate(SiteId);
   if (Rate >= 1.0)
     return true;

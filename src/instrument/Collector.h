@@ -29,6 +29,7 @@
 #include "runtime/Observer.h"
 #include "support/Random.h"
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -87,9 +88,30 @@ public:
 
   const SamplingPlan &plan() const { return Plan; }
 
+  /// Per-scheme reach/sample totals, accumulated across all runs since
+  /// enableReachStats(): how often sites of each scheme were reached vs.
+  /// actually sampled. Samples/Reaches is the *realized* sampling rate the
+  /// telemetry layer compares against the plan. Off by default — counting
+  /// adds one branch plus two increments per site reach, so the campaign
+  /// only enables it when telemetry is on.
+  struct ReachStats {
+    std::array<uint64_t, 3> Reaches{}; ///< Indexed by Scheme.
+    std::array<uint64_t, 3> Samples{};
+    /// Sum of the planned rate over every reach: what Samples converges
+    /// to if the Bernoulli coin is fair (reach-weighted planned rate =
+    /// ExpectedSamples / Reaches, directly comparable to Samples /
+    /// Reaches).
+    std::array<double, 3> ExpectedSamples{};
+  };
+  void enableReachStats();
+  const ReachStats &reachStats() const { return Stats; }
+
 private:
-  /// Makes the joint sampling decision for one reach of \p SiteId.
+  /// Makes the joint sampling decision for one reach of \p SiteId,
+  /// recording reach stats when enabled.
   bool shouldSample(uint32_t SiteId);
+  /// The undecorated geometric-skip sampling decision.
+  bool sampleDecision(uint32_t SiteId);
   void markObserved(uint32_t SiteId);
   void markTrue(uint32_t PredId);
   /// Records the six relational predicates of a returns/scalar-pairs site.
@@ -98,6 +120,11 @@ private:
   const SiteTable &Sites;
   SamplingPlan Plan;
   Rng SampleRng{0};
+
+  bool TrackReaches = false;
+  ReachStats Stats;
+  /// Site id -> Scheme, materialized by enableReachStats().
+  std::vector<uint8_t> SchemeOf;
 
   // Epoch-lazy dense scratch, reset in O(touched) at run end.
   uint64_t Epoch = 0;

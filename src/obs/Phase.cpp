@@ -1,0 +1,50 @@
+//===- obs/Phase.cpp - Monotonic phase timers with nested scopes ----------===//
+
+#include "obs/Phase.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace sbi;
+
+namespace {
+
+/// The per-thread stack of open phase names; destruction order of
+/// ScopedPhase guarantees stack discipline. Disabled scopes push nothing,
+/// so a phase opened while telemetry was off never distorts the paths of
+/// enabled scopes.
+thread_local std::vector<const char *> PhaseStack;
+
+std::string joinedPath() {
+  std::string Path;
+  for (const char *Name : PhaseStack) {
+    if (!Path.empty())
+      Path += '/';
+    Path += Name;
+  }
+  return Path;
+}
+
+} // namespace
+
+ScopedPhase::ScopedPhase(const char *Name, MetricsRegistry *Registry)
+    : Registry(Registry) {
+  if (!Registry)
+    return;
+  PhaseStack.push_back(Name);
+  Start = std::chrono::steady_clock::now();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (!Registry)
+    return;
+  auto End = std::chrono::steady_clock::now();
+  std::string Path = joinedPath();
+  assert(!PhaseStack.empty() && "phase stack underflow");
+  PhaseStack.pop_back();
+  Registry->recordPhase(
+      Path, static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(End -
+                                                                     Start)
+                    .count()));
+}

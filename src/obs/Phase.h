@@ -1,0 +1,58 @@
+//===- obs/Phase.h - Monotonic phase timers with nested scopes ------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII wall-time phase timing over std::chrono::steady_clock. Scopes nest
+/// per thread: a ScopedPhase("run_loop") opened inside a
+/// ScopedPhase("campaign") accumulates under the path "campaign/run_loop",
+/// so the emitted JSON reads as a call tree without any explicit plumbing.
+///
+///   {
+///     ScopedPhase Campaign("campaign");
+///     { ScopedPhase Parse("parse"); ... }   // -> "campaign/parse"
+///     { ScopedPhase Loop("run_loop"); ... } // -> "campaign/run_loop"
+///   }                                       // -> "campaign"
+///
+/// The default constructor records into MetricsRegistry::global() and is a
+/// no-op (one relaxed atomic load) while Telemetry is disabled. Passing an
+/// explicit registry always records — that form is for tests and for tools
+/// that own a private registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_OBS_PHASE_H
+#define SBI_OBS_PHASE_H
+
+#include "obs/Telemetry.h"
+
+#include <chrono>
+
+namespace sbi {
+
+class ScopedPhase {
+public:
+  /// Records into the global registry iff Telemetry::enabled() at entry.
+  explicit ScopedPhase(const char *Name)
+      : ScopedPhase(Name, Telemetry::enabled() ? &Telemetry::metrics()
+                                               : nullptr) {}
+
+  /// Records into \p Registry unconditionally (null: disabled scope).
+  ScopedPhase(const char *Name, MetricsRegistry *Registry);
+
+  ScopedPhase(const ScopedPhase &) = delete;
+  ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  ~ScopedPhase();
+
+private:
+  MetricsRegistry *Registry; // Null when the scope is disabled.
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace sbi
+
+#endif // SBI_OBS_PHASE_H

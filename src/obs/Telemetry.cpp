@@ -1,0 +1,7 @@
+//===- obs/Telemetry.cpp - Telemetry switch -------------------------------===//
+
+#include "obs/Telemetry.h"
+
+using namespace sbi;
+
+std::atomic<bool> Telemetry::EnabledFlag{false};

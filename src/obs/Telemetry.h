@@ -1,0 +1,64 @@
+//===- obs/Telemetry.h - Telemetry switch and JSON emitter ----------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The facade of the observability layer. Telemetry is off by default and
+/// costs nothing on the hot paths when off:
+///
+///   - Execution engines count steps in a local (they must, for the step
+///     limit) and flush into the registry once per run, only when enabled.
+///   - ScopedPhase (obs/Phase.h) checks one relaxed atomic and otherwise
+///     does no work.
+///   - Optional dense instrumentation (the collector's reach counting) is
+///     only switched on by layers that checked enabled() first.
+///   - O(1)-per-campaign summary gauges are maintained unconditionally so
+///     renderers (the HTML report header) always have them.
+///
+/// Defining SBI_TELEMETRY_DISABLED at compile time removes the engine-side
+/// hooks entirely for builds that want a provably untouched hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_OBS_TELEMETRY_H
+#define SBI_OBS_TELEMETRY_H
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <string>
+
+namespace sbi {
+
+class Telemetry {
+public:
+  /// Turns the optional instrumentation on or off process-wide.
+  static void setEnabled(bool On) {
+    EnabledFlag.store(On, std::memory_order_relaxed);
+  }
+  static bool enabled() {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
+
+  /// The process-wide registry (MetricsRegistry::global()).
+  static MetricsRegistry &metrics() { return MetricsRegistry::global(); }
+
+  /// Serializes the process-wide registry to JSON.
+  static std::string toJson() { return metrics().toJson(); }
+
+  /// Writes the process-wide registry to \p Path as JSON; false on I/O
+  /// failure.
+  static bool writeJson(const std::string &Path) {
+    return metrics().writeJsonFile(Path);
+  }
+
+private:
+  static std::atomic<bool> EnabledFlag;
+};
+
+} // namespace sbi
+
+#endif // SBI_OBS_TELEMETRY_H

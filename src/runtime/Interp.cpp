@@ -2,6 +2,7 @@
 
 #include "runtime/Interp.h"
 
+#include "obs/Telemetry.h"
 #include "runtime/Semantics.h"
 #include "support/StringUtils.h"
 
@@ -183,6 +184,18 @@ RunOutcome Interpreter::run() {
                                           Outcome.BugsTriggered.end()),
                               Outcome.BugsTriggered.end());
   Outcome.Steps = Steps;
+  // Telemetry is a once-per-run flush of the locally maintained step
+  // count; the per-step hot path carries no telemetry at all.
+#if !defined(SBI_TELEMETRY_DISABLED)
+  if (Telemetry::enabled()) {
+    static Counter &RunsCounter =
+        Telemetry::metrics().registerCounter("interp.runs");
+    static Counter &StepsCounter =
+        Telemetry::metrics().registerCounter("interp.steps");
+    RunsCounter.add(1);
+    StepsCounter.add(Steps);
+  }
+#endif
   return std::move(Outcome);
 }
 

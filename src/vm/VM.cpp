@@ -3,6 +3,7 @@
 #include "vm/VM.h"
 
 #include "lang/Intrinsics.h"
+#include "obs/Telemetry.h"
 #include "runtime/Semantics.h"
 #include "support/StringUtils.h"
 
@@ -120,6 +121,18 @@ RunOutcome VM::run() {
                                           Outcome.BugsTriggered.end()),
                               Outcome.BugsTriggered.end());
   Outcome.Steps = Steps;
+  // Telemetry is a once-per-run flush of the locally maintained dispatch
+  // count; the dispatch loop itself carries no telemetry.
+#if !defined(SBI_TELEMETRY_DISABLED)
+  if (Telemetry::enabled()) {
+    static Counter &RunsCounter =
+        Telemetry::metrics().registerCounter("vm.runs");
+    static Counter &DispatchCounter =
+        Telemetry::metrics().registerCounter("vm.dispatches");
+    RunsCounter.add(1);
+    DispatchCounter.add(Steps);
+  }
+#endif
   return std::move(Outcome);
 }
 

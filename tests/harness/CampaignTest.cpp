@@ -2,9 +2,13 @@
 
 #include "harness/Campaign.h"
 
+#include "obs/Telemetry.h"
 #include "runtime/Interp.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
 
 using namespace sbi;
 
@@ -200,5 +204,84 @@ TEST(CampaignTest, CompileSubjectSourceWorksForAllSubjects) {
     EXPECT_NE(compileSubjectSource(Subj->Source, Subj->Name), nullptr);
     EXPECT_NE(compileSubjectSource(Subj->GoldenSource, Subj->Name),
               nullptr);
+  }
+}
+
+TEST(CampaignTest, ProgressCallbackCoversTheWholeRunLoop) {
+  CampaignOptions Options = smallOptions(120);
+  Options.Threads = 4;
+  std::mutex Mu;
+  size_t Calls = 0, MaxDone = 0, Total = 0;
+  Options.Progress = [&](size_t Done, size_t T) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Calls;
+    MaxDone = std::max(MaxDone, Done);
+    Total = T;
+  };
+  runCampaign(ccryptSubject(), Options);
+  EXPECT_GT(Calls, 0u);
+  EXPECT_EQ(Total, 120u);
+  // The completion call always fires, whatever the reporting stride.
+  EXPECT_EQ(MaxDone, 120u);
+}
+
+TEST(CampaignTest, TelemetryDoesNotPerturbCampaignResults) {
+  // Reach-stat tracking wraps every sampling decision; it must never
+  // change one. A telemetry-on campaign must stay bit-identical to the
+  // telemetry-off campaign with the same seed.
+  CampaignOptions Options = smallOptions(100);
+  ASSERT_FALSE(Telemetry::enabled());
+  CampaignResult Off = runCampaign(mossSubject(), Options);
+  Telemetry::setEnabled(true);
+  CampaignResult On = runCampaign(mossSubject(), Options);
+  Telemetry::setEnabled(false);
+  ASSERT_EQ(Off.Reports.size(), On.Reports.size());
+  for (size_t I = 0; I < Off.Reports.size(); ++I) {
+    EXPECT_EQ(Off.Reports[I].Failed, On.Reports[I].Failed) << I;
+    EXPECT_EQ(Off.Reports[I].Counts.TruePredicates,
+              On.Reports[I].Counts.TruePredicates)
+        << I;
+    EXPECT_EQ(Off.Reports[I].Counts.SiteObservations,
+              On.Reports[I].Counts.SiteObservations)
+        << I;
+  }
+}
+
+TEST(CampaignTest, SummaryGaugesDescribeTheMostRecentCampaign) {
+  CampaignOptions Options = smallOptions(90);
+  CampaignResult Result = runCampaign(exifSubject(), Options);
+  const MetricsRegistry &Metrics = Telemetry::metrics();
+  const Gauge *Runs = Metrics.findGauge("campaign.runs");
+  const Gauge *Failing = Metrics.findGauge("campaign.failing");
+  const Label *Mode = Metrics.findLabel("campaign.sampling_mode");
+  ASSERT_NE(Runs, nullptr);
+  ASSERT_NE(Failing, nullptr);
+  ASSERT_NE(Mode, nullptr);
+  EXPECT_EQ(Runs->value(), 90.0);
+  EXPECT_EQ(Failing->value(), static_cast<double>(Result.numFailing()));
+  EXPECT_EQ(Mode->value(), Result.Plan.name());
+}
+
+TEST(CampaignTest, TelemetryRecordsRealizedSamplingRates) {
+  CampaignOptions Options = smallOptions(150);
+  Telemetry::setEnabled(true);
+  runCampaign(mossSubject(), Options);
+  Telemetry::setEnabled(false);
+  const MetricsRegistry &Metrics = Telemetry::metrics();
+  // moss has sites of all three schemes; with adaptive sampling over 150
+  // runs the realized per-scheme rate must track the reach-weighted
+  // planned rate closely (fair Bernoulli coin).
+  for (const char *SchemeName : {"branches", "returns", "scalar_pairs"}) {
+    const Gauge *Planned = Metrics.findGauge(
+        std::string("campaign.sampling.") + SchemeName + ".planned_rate");
+    const Gauge *Realized = Metrics.findGauge(
+        std::string("campaign.sampling.") + SchemeName + ".realized_rate");
+    ASSERT_NE(Planned, nullptr) << SchemeName;
+    ASSERT_NE(Realized, nullptr) << SchemeName;
+    EXPECT_GT(Realized->value(), 0.0) << SchemeName;
+    EXPECT_LE(Realized->value(), 1.0) << SchemeName;
+    EXPECT_NEAR(Realized->value(), Planned->value(),
+                0.05 * std::max(Planned->value(), 0.01))
+        << SchemeName;
   }
 }

@@ -92,6 +92,22 @@ TEST(HtmlReportTest, CampaignOverloadAddsTitleAndGroundTruth) {
   EXPECT_NE(Html.find("#3"), std::string::npos);
 }
 
+TEST(HtmlReportTest, CampaignOverloadAddsRunSummaryHeader) {
+  const Fixture &F = Fixture::get();
+  // The fixture ran a real campaign in this process, so the campaign
+  // summary gauges exist in the metrics registry and the header renders.
+  std::string Html = renderHtmlReport(F.Campaign, F.Analysis);
+  EXPECT_NE(Html.find("<div class=\"summary\">"), std::string::npos);
+  EXPECT_NE(Html.find("<b>250</b>runs"), std::string::npos);
+  EXPECT_NE(Html.find("failing"), std::string::npos);
+  EXPECT_NE(Html.find(F.Campaign.Plan.name()), std::string::npos);
+  EXPECT_NE(Html.find("campaign wall time"), std::string::npos);
+  // The base overload knows nothing of campaigns and stays header-free.
+  std::string Base =
+      renderHtmlReport(F.Campaign.Sites, F.Campaign.Reports, F.Analysis);
+  EXPECT_EQ(Base.find("<div class=\"summary\">"), std::string::npos);
+}
+
 TEST(HtmlReportTest, AffinityAnchorsLink) {
   const Fixture &F = Fixture::get();
   std::string Html =

@@ -12,6 +12,7 @@
 
 #include "core/Analysis.h"
 #include "harness/Campaign.h"
+#include "harness/Tables.h"
 
 #include <gtest/gtest.h>
 
@@ -44,6 +45,15 @@ void expectEnginesAgree(const CampaignResult &Result) {
     EXPECT_TRUE(bitIdentical(A, B)) << discardPolicyName(Policy);
     EXPECT_FALSE(A.Selected.empty())
         << discardPolicyName(Policy) << ": differential would be trivial";
+
+    // The audit trail is part of the engine contract: same selections,
+    // same scores, same run accounting at every iteration — so the
+    // rendered trail must be byte-identical, not merely equivalent.
+    EXPECT_EQ(A.Trail.size(), A.Selected.size())
+        << discardPolicyName(Policy);
+    EXPECT_EQ(renderAuditTrail(Result.Sites, A),
+              renderAuditTrail(Result.Sites, B))
+        << discardPolicyName(Policy);
   }
 }
 

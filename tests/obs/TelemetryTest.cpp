@@ -1,0 +1,384 @@
+//===- tests/obs/TelemetryTest.cpp - Observability layer tests ------------===//
+//
+// Covers the telemetry subsystem: log2 histogram bucketing at the edges,
+// nested phase scopes, counter thread-safety, deterministic and
+// well-formed JSON emission, and the double-registration abort that keeps
+// two layers from silently aliasing one metric.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Phase.h"
+#include "obs/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using namespace sbi;
+
+// --- Histogram bucketing ---------------------------------------------------
+
+TEST(HistogramTest, BucketIndexEdges) {
+  EXPECT_EQ(Histogram::bucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::bucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::bucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::bucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::bucketIndex((1ull << 63) - 1), 63u);
+  EXPECT_EQ(Histogram::bucketIndex(1ull << 63), 64u);
+  EXPECT_EQ(Histogram::bucketIndex(UINT64_MAX), 64u);
+}
+
+TEST(HistogramTest, BucketFloorsInvertBucketIndex) {
+  EXPECT_EQ(Histogram::bucketFloor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFloor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFloor(2), 2u);
+  EXPECT_EQ(Histogram::bucketFloor(3), 4u);
+  EXPECT_EQ(Histogram::bucketFloor(64), 1ull << 63);
+  // Every bucket's floor maps back into that bucket.
+  for (size_t I = 0; I < Histogram::NumBuckets; ++I)
+    EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketFloor(I)), I) << I;
+}
+
+TEST(HistogramTest, RecordsExtremeValues) {
+  MetricsRegistry Registry;
+  Histogram &H = Registry.registerHistogram("h");
+  H.record(0);
+  H.record(1);
+  H.record(UINT64_MAX);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), UINT64_MAX);
+  // Sum wraps mod 2^64 by design: 0 + 1 + (2^64 - 1) == 0.
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(64), 1u);
+  for (size_t I = 2; I < 64; ++I)
+    EXPECT_EQ(H.bucketCount(I), 0u) << I;
+}
+
+TEST(HistogramTest, EmptyHistogramHasSentinelExtremes) {
+  MetricsRegistry Registry;
+  Histogram &H = Registry.registerHistogram("h");
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), UINT64_MAX);
+  EXPECT_EQ(H.max(), 0u);
+}
+
+// --- Phase scopes ----------------------------------------------------------
+
+TEST(PhaseTest, NestedScopesComposePaths) {
+  MetricsRegistry Registry;
+  {
+    ScopedPhase Outer("outer", &Registry);
+    {
+      ScopedPhase Inner("inner", &Registry);
+      ScopedPhase Innermost("leaf", &Registry);
+    }
+    { ScopedPhase Inner("inner", &Registry); }
+  }
+  EXPECT_EQ(Registry.phase("outer").Count, 1u);
+  EXPECT_EQ(Registry.phase("outer/inner").Count, 2u);
+  EXPECT_EQ(Registry.phase("outer/inner/leaf").Count, 1u);
+  // A parent's accumulated time includes all of its children's.
+  EXPECT_GE(Registry.phase("outer").TotalNanos,
+            Registry.phase("outer/inner").TotalNanos);
+  EXPECT_GE(Registry.phase("outer/inner").TotalNanos,
+            Registry.phase("outer/inner/leaf").TotalNanos);
+  // Unknown paths read as zero.
+  EXPECT_EQ(Registry.phase("nonesuch").Count, 0u);
+  EXPECT_EQ(Registry.phase("nonesuch").TotalNanos, 0u);
+}
+
+TEST(PhaseTest, DisabledScopeRecordsNothingAndStaysOffThePath) {
+  MetricsRegistry Registry;
+  {
+    // A disabled (null-registry) outer scope must not distort the path of
+    // an enabled scope nested inside it.
+    ScopedPhase Disabled("ghost", nullptr);
+    ScopedPhase Enabled("real", &Registry);
+  }
+  EXPECT_EQ(Registry.phase("real").Count, 1u);
+  EXPECT_EQ(Registry.phase("ghost").Count, 0u);
+  EXPECT_EQ(Registry.phase("ghost/real").Count, 0u);
+}
+
+TEST(PhaseTest, DefaultConstructorIsNoOpWhileTelemetryOff) {
+  ASSERT_FALSE(Telemetry::enabled());
+  { ScopedPhase Off("telemetry_test_unused_phase"); }
+  EXPECT_EQ(Telemetry::metrics().phase("telemetry_test_unused_phase").Count,
+            0u);
+}
+
+// --- Counters and gauges ---------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  MetricsRegistry Registry;
+  Counter &C = Registry.registerCounter("c");
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&C] {
+      for (int I = 0; I < PerThread; ++I)
+        C.add(1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(NumThreads) * PerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  MetricsRegistry Registry;
+  Gauge &G = Registry.registerGauge("g");
+  G.set(1.5);
+  G.set(-2.25);
+  EXPECT_EQ(G.value(), -2.25);
+}
+
+// --- JSON emission ---------------------------------------------------------
+
+namespace {
+
+/// A minimal JSON validator: accepts exactly the subset toJson() emits
+/// (objects, arrays, strings with escapes, numbers, true/false). Returns
+/// true iff the whole input is one well-formed value.
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &Text) : Text(Text) {}
+
+  bool valid() {
+    skipSpace();
+    if (!value())
+      return false;
+    skipSpace();
+    return Pos == Text.size();
+  }
+
+private:
+  bool value() {
+    if (Pos >= Text.size())
+      return false;
+    switch (Text[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    default:
+      return number();
+    }
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipSpace();
+    if (peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipSpace();
+      if (!string())
+        return false;
+      skipSpace();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipSpace();
+      if (!value())
+        return false;
+      skipSpace();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipSpace();
+    if (peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipSpace();
+      if (!value())
+        return false;
+      skipSpace();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"')
+      return false;
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false; // Raw control characters must be escaped.
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return false;
+        char E = Text[Pos];
+        if (E == 'u') {
+          for (int I = 1; I <= 4; ++I)
+            if (Pos + I >= Text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(Text[Pos + I])))
+              return false;
+          Pos += 4;
+        } else if (E != '"' && E != '\\' && E != '/' && E != 'b' &&
+                   E != 'f' && E != 'n' && E != 'r' && E != 't') {
+          return false;
+        }
+      }
+      ++Pos;
+    }
+    return false;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+
+  bool literal(const char *Word) {
+    for (const char *P = Word; *P; ++P, ++Pos)
+      if (Pos >= Text.size() || Text[Pos] != *P)
+        return false;
+    return true;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+TEST(MetricsJsonTest, EmptyRegistryIsWellFormed) {
+  MetricsRegistry Registry;
+  std::string Json = Registry.toJson();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Json.find("\"phases\""), std::string::npos);
+}
+
+TEST(MetricsJsonTest, PopulatedRegistryIsWellFormed) {
+  MetricsRegistry Registry;
+  Registry.registerCounter("runs").add(42);
+  Registry.registerGauge("rate").set(0.125);
+  Registry.registerGauge("negative").set(-3.5);
+  Histogram &H = Registry.registerHistogram("steps");
+  H.record(0);
+  H.record(7);
+  H.record(UINT64_MAX);
+  Registry.registerHistogram("empty_hist");
+  Registry.recordPhase("campaign", 1'500'000);
+  Registry.recordPhase("campaign/run_loop", 1'000'000);
+  std::string Json = Registry.toJson();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"runs\": 42"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("campaign/run_loop"), std::string::npos);
+}
+
+TEST(MetricsJsonTest, EscapesHostileLabelText) {
+  MetricsRegistry Registry;
+  Registry.registerLabel("mode").set(
+      std::string("quo\"te back\\slash new\nline tab\t ctrl\x01") +
+      std::string(1, '\0') + "end");
+  std::string Json = Registry.toJson();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\\\""), std::string::npos);
+  EXPECT_NE(Json.find("\\\\"), std::string::npos);
+  EXPECT_NE(Json.find("\\n"), std::string::npos);
+  EXPECT_NE(Json.find("\\t"), std::string::npos);
+  EXPECT_NE(Json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(Json.find("\\u0000"), std::string::npos);
+}
+
+TEST(MetricsJsonTest, OutputIsDeterministicAndNameSorted) {
+  MetricsRegistry Registry;
+  Registry.registerCounter("zebra");
+  Registry.registerCounter("aardvark");
+  std::string First = Registry.toJson();
+  EXPECT_EQ(First, Registry.toJson());
+  EXPECT_LT(First.find("aardvark"), First.find("zebra"));
+}
+
+// --- Registration discipline -----------------------------------------------
+
+TEST(MetricsRegistryDeathTest, DuplicateRegistrationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricsRegistry Registry;
+  Registry.registerCounter("dup");
+  EXPECT_DEATH(Registry.registerCounter("dup"), "registered twice");
+  // The name is taken across instrument kinds, too: a gauge may not alias
+  // an existing counter.
+  EXPECT_DEATH(Registry.registerGauge("dup"), "registered twice");
+}
+
+TEST(MetricsRegistryTest, FindReturnsNullForMissingOrMistypedNames) {
+  MetricsRegistry Registry;
+  Counter &C = Registry.registerCounter("only.counter");
+  EXPECT_EQ(Registry.findCounter("only.counter"), &C);
+  EXPECT_EQ(Registry.findCounter("nonesuch"), nullptr);
+  EXPECT_EQ(Registry.findGauge("only.counter"), nullptr);
+  EXPECT_EQ(Registry.findLabel("only.counter"), nullptr);
+  EXPECT_EQ(Registry.findHistogram("only.counter"), nullptr);
+}
+
+// --- Telemetry switch ------------------------------------------------------
+
+TEST(TelemetryTest, SwitchTogglesProcessWide) {
+  ASSERT_FALSE(Telemetry::enabled());
+  Telemetry::setEnabled(true);
+  EXPECT_TRUE(Telemetry::enabled());
+  Telemetry::setEnabled(false);
+  EXPECT_FALSE(Telemetry::enabled());
+}

@@ -35,7 +35,9 @@
 #include "harness/HtmlReport.h"
 #include "harness/Tables.h"
 #include "logreg/LogReg.h"
+#include "obs/Telemetry.h"
 #include "support/StringUtils.h"
+#include "support/Thermometer.h"
 
 #include <cstdio>
 #include <cstring>
@@ -56,12 +58,15 @@ struct CliArgs {
   std::string Sampling = "adaptive";
   std::string Policy = "all";
   std::string Engine = "incremental";
+  std::string MetricsOut;
   size_t Runs = 4000;
   uint64_t Seed = 20050612;
   size_t Top = 20;
   size_t Threads = 0; // 0 = one per hardware thread.
   bool ShowAffinity = false;
   bool ShowBugs = false;
+  bool Trace = false;
+  bool ShowProgress = false;
 };
 
 int usage() {
@@ -74,10 +79,20 @@ int usage() {
       "  analyze --subject=NAME [--in=FILE] [--runs=N] [--seed=S]\n"
       "          [--policy=all|failing|relabel] [--top=K] [--affinity] "
       "[--bugs]\n"
-      "          [--analysis-engine=rescan|incremental]\n"
+      "          [--analysis-engine=rescan|incremental] [--trace]\n"
       "  logreg  --subject=NAME [--in=FILE] [--runs=N] [--top=K]\n"
       "  report  --subject=NAME [--in=FILE] [--out=FILE] [--top=K] "
-      "[--bugs]\n");
+      "[--bugs]\n"
+      "common options (any command that runs a campaign):\n"
+      "  --threads=N        worker threads for the run loop; 0 = one per\n"
+      "                     hardware thread (default; results are\n"
+      "                     bit-identical for any N)\n"
+      "  --metrics-out=FILE enable telemetry and write the metrics\n"
+      "                     registry as JSON on exit\n"
+      "  --trace            (analyze) print the iteration-by-iteration\n"
+      "                     elimination audit trail\n"
+      "  --progress         live progress bar on stderr during the run\n"
+      "                     loop\n");
   return 2;
 }
 
@@ -99,7 +114,8 @@ bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
         valueOf("--in=", Args.InFile) || valueOf("--out=", Args.OutFile) ||
         valueOf("--sampling=", Args.Sampling) ||
         valueOf("--policy=", Args.Policy) ||
-        valueOf("--analysis-engine=", Args.Engine))
+        valueOf("--analysis-engine=", Args.Engine) ||
+        valueOf("--metrics-out=", Args.MetricsOut))
       continue;
     if (valueOf("--runs=", Value)) {
       Args.Runs = static_cast<size_t>(std::strtoull(Value.c_str(), nullptr,
@@ -116,6 +132,10 @@ bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
       Args.ShowAffinity = true;
     } else if (Arg == "--bugs") {
       Args.ShowBugs = true;
+    } else if (Arg == "--trace") {
+      Args.Trace = true;
+    } else if (Arg == "--progress") {
+      Args.ShowProgress = true;
     } else {
       std::fprintf(stderr, "sbi: unknown option '%s'\n", Argv[I]);
       return false;
@@ -139,6 +159,19 @@ bool configureCampaign(const CliArgs &Args, CampaignOptions &Options) {
   Options.NumRuns = Args.Runs;
   Options.Seed = Args.Seed;
   Options.Threads = Args.Threads;
+  if (Args.ShowProgress) {
+    // Reuses the bug-thermometer renderer as a progress bar: the '#' band
+    // is the completed fraction of a full-length bar. Called from worker
+    // threads; one fprintf per call keeps the line updates atomic enough.
+    Options.Progress = [](size_t Done, size_t Total) {
+      ThermometerSpec Spec;
+      Spec.Context = static_cast<double>(Done) / static_cast<double>(Total);
+      Spec.RunsObservedTrue = Total;
+      std::fprintf(stderr, "\r%s %zu/%zu%s",
+                   renderThermometer(Spec, 40, Total).c_str(), Done, Total,
+                   Done == Total ? "\n" : "");
+    };
+  }
   if (Args.Sampling == "adaptive") {
     Options.Mode = SamplingMode::Adaptive;
   } else if (Args.Sampling == "none") {
@@ -260,6 +293,9 @@ int cmdAnalyze(const CliArgs &Args) {
               Result.Sites.numPredicates(),
               Analysis.PrunedSurvivors.size(), Analysis.Selected.size());
 
+  if (Args.Trace)
+    std::printf("%s\n", renderAuditTrail(Result.Sites, Analysis).c_str());
+
   std::vector<int> BugIds;
   if (Args.ShowBugs && Result.Subj)
     for (const BugSpec &Bug : Result.Subj->Bugs)
@@ -321,12 +357,7 @@ int cmdReport(const CliArgs &Args) {
   return 0;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  CliArgs Args;
-  if (!parseArgs(Argc, Argv, Args))
-    return usage();
+int dispatch(const CliArgs &Args) {
   if (Args.Command == "subjects")
     return cmdSubjects();
   if (Args.Command == "run")
@@ -339,4 +370,23 @@ int main(int Argc, char **Argv) {
     return cmdReport(Args);
   std::fprintf(stderr, "sbi: unknown command '%s'\n", Args.Command.c_str());
   return usage();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliArgs Args;
+  if (!parseArgs(Argc, Argv, Args))
+    return usage();
+  if (!Args.MetricsOut.empty())
+    Telemetry::setEnabled(true);
+  int Code = dispatch(Args);
+  if (!Args.MetricsOut.empty() &&
+      !Telemetry::writeJson(Args.MetricsOut)) {
+    std::fprintf(stderr, "sbi: cannot write metrics to '%s'\n",
+                 Args.MetricsOut.c_str());
+    if (Code == 0)
+      Code = 1;
+  }
+  return Code;
 }
