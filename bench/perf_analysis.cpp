@@ -18,6 +18,7 @@
 
 #include "core/Analysis.h"
 #include "core/InvertedIndex.h"
+#include "feedback/Corpus.h"
 #include "feedback/Report.h"
 #include "instrument/Sites.h"
 #include "lang/Sema.h"
@@ -28,7 +29,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
+#include <thread>
 
 using namespace sbi;
 
@@ -155,6 +158,90 @@ double runEngineMs(const SyntheticWorld &World, DiscardPolicy Policy,
   return std::chrono::duration<double, std::milli>(End - Start).count();
 }
 
+// --- v1 text vs. SBI-CORPUS v2 size and ingestion throughput --------------
+
+struct CorpusBenchResult {
+  uint64_t V1Bytes = 0;
+  uint64_t V2Bytes = 0;
+  size_t Shards = 0;
+  double V1ParseMs = 0.0;
+  double V2Ingest1Ms = 0.0; // single ingestion thread
+  double V2IngestNMs = 0.0; // one thread per core
+  size_t IngestThreads = 1;
+  bool Ok = false;
+};
+
+/// Serializes \p World's reports both ways — the v1 text format parsed via
+/// ReportSet::deserialize, and an SBI-CORPUS v2 shard directory streamed
+/// via ingestCorpus — and measures file size plus ingestion throughput of
+/// each. The corpus lands in a scratch directory that is removed
+/// afterwards.
+CorpusBenchResult corpusComparison(const SyntheticWorld &World) {
+  CorpusBenchResult R;
+
+  std::string V1 = World.Reports.serialize();
+  R.V1Bytes = V1.size();
+
+  auto Start = std::chrono::steady_clock::now();
+  ReportSet Parsed;
+  if (!ReportSet::deserialize(V1, Parsed)) {
+    std::fprintf(stderr, "perf_analysis: v1 reparse failed\n");
+    return R;
+  }
+  auto End = std::chrono::steady_clock::now();
+  R.V1ParseMs = std::chrono::duration<double, std::milli>(End - Start).count();
+
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     "sbi-perf-analysis-corpus")
+                        .string();
+  std::error_code Ec;
+  std::filesystem::remove_all(Dir, Ec);
+  std::string Error;
+  if (!writeCorpus(World.Reports, Dir, /*ReportsPerShard=*/4096, Error)) {
+    std::fprintf(stderr, "perf_analysis: writeCorpus: %s\n", Error.c_str());
+    return R;
+  }
+  for (const std::string &Shard : listCorpusShards(Dir)) {
+    R.V2Bytes += std::filesystem::file_size(Shard, Ec);
+    ++R.Shards;
+  }
+
+  R.IngestThreads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  auto ingestMs = [&](size_t Threads, double &OutMs) {
+    RunProfiles Runs;
+    CorpusIngestStats Stats;
+    if (!ingestCorpus(Dir, Runs, Threads, Error, &Stats)) {
+      std::fprintf(stderr, "perf_analysis: ingestCorpus: %s\n",
+                   Error.c_str());
+      return false;
+    }
+    OutMs = Stats.Seconds * 1000.0;
+    return Runs.size() == World.Reports.size();
+  };
+  R.Ok = ingestMs(1, R.V2Ingest1Ms) && ingestMs(R.IngestThreads, R.V2IngestNMs);
+  std::filesystem::remove_all(Dir, Ec);
+
+  auto MBps = [](uint64_t Bytes, double Ms) {
+    return Ms > 0.0 ? (static_cast<double>(Bytes) / 1e6) / (Ms / 1000.0) : 0.0;
+  };
+  std::printf("# corpus formats, %zu reports\n", World.Reports.size());
+  std::printf("v1 text    %9.1f MB   parse  %8.1f ms   %7.1f MB/s\n",
+              static_cast<double>(R.V1Bytes) / 1e6, R.V1ParseMs,
+              MBps(R.V1Bytes, R.V1ParseMs));
+  std::printf("v2 corpus  %9.1f MB   ingest %8.1f ms   %7.1f MB/s   "
+              "(1 thread, %zu shards)\n",
+              static_cast<double>(R.V2Bytes) / 1e6, R.V2Ingest1Ms,
+              MBps(R.V2Bytes, R.V2Ingest1Ms), R.Shards);
+  std::printf("v2 corpus  %9.1f MB   ingest %8.1f ms   %7.1f MB/s   "
+              "(%zu threads)\n",
+              static_cast<double>(R.V2Bytes) / 1e6, R.V2IngestNMs,
+              MBps(R.V2Bytes, R.V2IngestNMs), R.IngestThreads);
+  std::printf("v2/v1 size %.3f\n", R.V1Bytes ? static_cast<double>(R.V2Bytes) /
+                                                   static_cast<double>(R.V1Bytes)
+                                             : 0.0);
+  return R;
+}
+
 /// Times elimination + affinity under both engines for every policy,
 /// checks bit-identical results, prints a table, and writes
 /// BENCH_analysis.json. Returns false if any policy's results diverge.
@@ -219,6 +306,10 @@ bool engineComparison() {
               "total incl. build", TotalRescan,
               TotalIncremental + IndexBuildMs,
               TotalRescan / (TotalIncremental + IndexBuildMs));
+  std::printf("\n");
+
+  CorpusBenchResult Corpus = corpusComparison(World);
+  AllIdentical = AllIdentical && Corpus.Ok;
 
   // One extra pass with telemetry on — outside every timed loop, so the
   // numbers above measure the untouched (telemetry-off) hot path — to
@@ -265,6 +356,16 @@ bool engineComparison() {
                TotalRescan, TotalIncremental, TotalIncremental + IndexBuildMs,
                TotalRescan / TotalIncremental,
                TotalRescan / (TotalIncremental + IndexBuildMs));
+  std::fprintf(Json,
+               "  \"corpus\": {\"reports\": %zu, \"v1_bytes\": %llu, "
+               "\"v2_bytes\": %llu, \"v2_shards\": %zu, "
+               "\"v1_parse_ms\": %.3f, \"v2_ingest_1t_ms\": %.3f, "
+               "\"v2_ingest_ms\": %.3f, \"ingest_threads\": %zu},\n",
+               World.Reports.size(),
+               static_cast<unsigned long long>(Corpus.V1Bytes),
+               static_cast<unsigned long long>(Corpus.V2Bytes), Corpus.Shards,
+               Corpus.V1ParseMs, Corpus.V2Ingest1Ms, Corpus.V2IngestNMs,
+               Corpus.IngestThreads);
   std::fprintf(Json, "  \"telemetry\": ");
   std::fwrite(TelemetryJson.data(), 1, TelemetryJson.size(), Json);
   std::fprintf(Json, "\n}\n");

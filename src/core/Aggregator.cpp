@@ -16,6 +16,15 @@ RunView RunView::allOf(const ReportSet &Set) {
   return View;
 }
 
+RunView RunView::allOf(const RunProfiles &Runs) {
+  RunView View;
+  View.Active.assign(Runs.size(), 1);
+  View.Failed.resize(Runs.size());
+  for (size_t I = 0; I < Runs.size(); ++I)
+    View.Failed[I] = Runs.failed(I) ? 1 : 0;
+  return View;
+}
+
 size_t RunView::numActive() const {
   size_t N = 0;
   for (uint8_t A : Active)
@@ -60,6 +69,34 @@ Aggregates Aggregates::compute(const ReportSet &Set, const RunView &View) {
     for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
       if (Count > 0)
         ++Agg.PredTrue[Pred][LabelIdx];
+  }
+  return Agg;
+}
+
+Aggregates Aggregates::compute(const RunProfiles &Runs, const RunView &View) {
+  if (View.Active.size() != Runs.size() ||
+      View.Failed.size() != Runs.size()) {
+    std::fprintf(stderr,
+                 "sbi: Aggregates::compute: run view (%zu active / %zu "
+                 "failed labels) does not match run profiles (%zu runs)\n",
+                 View.Active.size(), View.Failed.size(), Runs.size());
+    std::abort();
+  }
+  Aggregates Agg(Runs.numSites(), Runs.numPredicates());
+
+  for (size_t RunIdx = 0; RunIdx < Runs.size(); ++RunIdx) {
+    if (!View.Active[RunIdx])
+      continue;
+    size_t LabelIdx = View.Failed[RunIdx] ? 0 : 1;
+    if (View.Failed[RunIdx])
+      ++Agg.NumF;
+    else
+      ++Agg.NumS;
+
+    for (uint32_t Site : Runs.sites(RunIdx))
+      ++Agg.SiteObs[Site][LabelIdx];
+    for (uint32_t Pred : Runs.preds(RunIdx))
+      ++Agg.PredTrue[Pred][LabelIdx];
   }
   return Agg;
 }

@@ -12,6 +12,12 @@
 /// shrinking (or relabeled) run population, so aggregation is phrased over
 /// a RunView: an activity mask plus current failure labels.
 ///
+/// Aggregation accepts either source representation: a materialized
+/// ReportSet or the compact RunProfiles store the streamed-corpus path
+/// produces. Both consider an entry "observed" iff its count is positive,
+/// so the two overloads yield identical integer counts — the foundation of
+/// the in-memory vs. streamed bit-identity contract.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SBI_CORE_AGGREGATOR_H
@@ -19,6 +25,7 @@
 
 #include "core/Scores.h"
 #include "feedback/Report.h"
+#include "feedback/RunProfiles.h"
 #include "instrument/Sites.h"
 
 #include <array>
@@ -34,6 +41,7 @@ struct RunView {
   std::vector<uint8_t> Failed; ///< Current label (may differ from report's).
 
   static RunView allOf(const ReportSet &Set);
+  static RunView allOf(const RunProfiles &Runs);
 
   size_t numActive() const;
   size_t numActiveFailing() const;
@@ -47,6 +55,11 @@ public:
 
   /// Aggregates \p Set under \p View.
   static Aggregates compute(const ReportSet &Set, const RunView &View);
+
+  /// Aggregates a run-profile store under \p View; produces exactly the
+  /// counts the ReportSet overload would for the set the profiles came
+  /// from (zero-count entries are dropped at profile construction).
+  static Aggregates compute(const RunProfiles &Runs, const RunView &View);
 
   uint64_t numFailing() const { return NumF; }
   uint64_t numSuccessful() const { return NumS; }

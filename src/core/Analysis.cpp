@@ -72,9 +72,17 @@ bool sbi::bitIdentical(const AnalysisResult &A, const AnalysisResult &B) {
 
 CauseIsolator::CauseIsolator(const SiteTable &Sites, const ReportSet &Set,
                              AnalysisOptions Options)
-    : Sites(Sites), Set(Set), Options(Options) {
-  assert(Sites.numPredicates() == Set.numPredicates() &&
+    : Sites(Sites), OwnedRuns(RunProfiles::fromReports(Set)),
+      Runs(*OwnedRuns), Options(Options) {
+  assert(Sites.numPredicates() == Runs.numPredicates() &&
          "report set does not match the site table");
+}
+
+CauseIsolator::CauseIsolator(const SiteTable &Sites, const RunProfiles &Runs,
+                             AnalysisOptions Options)
+    : Sites(Sites), Runs(Runs), Options(Options) {
+  assert(Sites.numPredicates() == Runs.numPredicates() &&
+         "run profiles do not match the site table");
 }
 
 namespace {
@@ -169,13 +177,13 @@ void sortAndCapDrops(std::vector<std::pair<uint32_t, double>> &Drops,
 } // namespace
 
 std::vector<uint32_t> CauseIsolator::prune() const {
-  RunView View = RunView::allOf(Set);
-  return survivorsOf(Aggregates::compute(Set, View));
+  RunView View = RunView::allOf(Runs);
+  return survivorsOf(Aggregates::compute(Runs, View));
 }
 
 std::vector<uint32_t> CauseIsolator::survivorsOf(const Aggregates &Agg) const {
   std::vector<uint32_t> Survivors;
-  for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred)
+  for (uint32_t Pred = 0; Pred < Runs.numPredicates(); ++Pred)
     if (Agg.scores(Pred, Sites).survivesIncreaseTest())
       Survivors.push_back(Pred);
   return Survivors;
@@ -184,13 +192,13 @@ std::vector<uint32_t> CauseIsolator::survivorsOf(const Aggregates &Agg) const {
 std::vector<RankedPredicate>
 CauseIsolator::rank(const std::vector<uint32_t> &Candidates,
                     const RunView &View) const {
-  return rankAggregated(Aggregates::compute(Set, View), Sites, Candidates);
+  return rankAggregated(Aggregates::compute(Runs, View), Sites, Candidates);
 }
 
 uint64_t CauseIsolator::applyPolicy(RunView &View, uint32_t Pred) const {
   uint64_t Touched = 0;
-  for (size_t Run = 0; Run < Set.size(); ++Run) {
-    if (!View.Active[Run] || !Set[Run].observedTrue(Pred))
+  for (size_t Run = 0; Run < Runs.size(); ++Run) {
+    if (!View.Active[Run] || !Runs.observedTrue(Run, Pred))
       continue;
     switch (Options.Policy) {
     case DiscardPolicy::DiscardAllRuns:
@@ -257,7 +265,7 @@ CauseIsolator::initialCandidatesOf(const Aggregates &Agg) const {
   if (Options.Policy == DiscardPolicy::DiscardAllRuns)
     return survivorsOf(Agg);
   std::vector<uint32_t> Candidates;
-  for (uint32_t Pred = 0; Pred < Set.numPredicates(); ++Pred)
+  for (uint32_t Pred = 0; Pred < Runs.numPredicates(); ++Pred)
     if (Agg.counts(Pred, Sites).F > 0)
       Candidates.push_back(Pred);
   return Candidates;
@@ -268,10 +276,10 @@ AnalysisResult CauseIsolator::run() const {
   const bool Incremental = Options.Engine == AnalysisEngine::Incremental;
 
   AnalysisResult Result;
-  Result.NumInitialPredicates = Set.numPredicates();
+  Result.NumInitialPredicates = Runs.numPredicates();
   Result.Policy = Options.Policy;
 
-  RunView View = RunView::allOf(Set);
+  RunView View = RunView::allOf(Runs);
 
   // The incremental engine pays one index build plus one full scan up
   // front, then touches only the selected predicate's posting list and the
@@ -286,28 +294,28 @@ AnalysisResult CauseIsolator::run() const {
     ScopedPhase IndexPhase("index_build");
     if (Options.SharedIndex) {
       Index = Options.SharedIndex;
-      if (Index->numPredicates() != Set.numPredicates() ||
-          Index->numSites() != Set.numSites()) {
+      if (Index->numPredicates() != Runs.numPredicates() ||
+          Index->numSites() != Runs.numSites()) {
         std::fprintf(stderr,
                      "sbi: CauseIsolator::run: shared index (%u sites / %u "
-                     "predicates) was not built over this report set (%u "
-                     "sites / %u predicates)\n",
+                     "predicates) was not built over this run population "
+                     "(%u sites / %u predicates)\n",
                      Index->numSites(), Index->numPredicates(),
-                     Set.numSites(), Set.numPredicates());
+                     Runs.numSites(), Runs.numPredicates());
         std::abort();
       }
     } else {
-      OwnedIndex.emplace(InvertedIndex::build(Set, Options.IndexThreads));
+      OwnedIndex.emplace(InvertedIndex::build(Runs, Options.IndexThreads));
       Index = &*OwnedIndex;
     }
-    Delta.emplace(Set, View);
+    Delta.emplace(Runs, View);
   }
 
   // Initial (full-population) scores, shown as the "initial thermometer".
   std::optional<ScopedPhase> ScanPhase;
   ScanPhase.emplace("initial_scan");
   Aggregates InitialAgg =
-      Incremental ? Delta->aggregates() : Aggregates::compute(Set, View);
+      Incremental ? Delta->aggregates() : Aggregates::compute(Runs, View);
   uint64_t InitialNumF = InitialAgg.numFailing();
 
   Result.PrunedSurvivors = survivorsOf(InitialAgg);
@@ -324,8 +332,8 @@ AnalysisResult CauseIsolator::run() const {
   std::vector<double> CurImportance, NextImportance;
   BestCandidate Best;
   if (Incremental) {
-    CurImportance.resize(Set.numPredicates());
-    NextImportance.resize(Set.numPredicates());
+    CurImportance.resize(Runs.numPredicates());
+    NextImportance.resize(Runs.numPredicates());
     Best =
         scoreCandidates(Delta->aggregates(), Sites, Candidates, CurImportance);
   } else {

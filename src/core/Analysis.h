@@ -28,9 +28,11 @@
 #include "core/Aggregator.h"
 #include "core/Scores.h"
 #include "feedback/Report.h"
+#include "feedback/RunProfiles.h"
 #include "instrument/Sites.h"
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace sbi {
@@ -139,10 +141,19 @@ struct AnalysisResult {
 /// incremental engines are differential-tested against.
 bool bitIdentical(const AnalysisResult &A, const AnalysisResult &B);
 
-/// Runs pruning + elimination + affinity over \p Set.
+/// Runs pruning + elimination + affinity over one run population, held
+/// either as a materialized ReportSet or as the compact RunProfiles store
+/// the streamed-corpus path produces. Both constructors feed the same
+/// engine code the same integers, so results (audit trail included) are
+/// bit-identical across the two representations.
 class CauseIsolator {
 public:
   CauseIsolator(const SiteTable &Sites, const ReportSet &Set,
+                AnalysisOptions Options = {});
+
+  /// Analysis over a profile store directly (the --corpus path); \p Runs
+  /// must outlive the isolator.
+  CauseIsolator(const SiteTable &Sites, const RunProfiles &Runs,
                 AnalysisOptions Options = {});
 
   /// Stage 1 only: ids of predicates passing the Increase test, over the
@@ -179,7 +190,10 @@ private:
                                   DeltaAggregates &Delta) const;
 
   const SiteTable &Sites;
-  const ReportSet &Set;
+  /// Set only by the ReportSet constructor; declared before Runs so the
+  /// reference can bind to it in member-initialization order.
+  std::optional<RunProfiles> OwnedRuns;
+  const RunProfiles &Runs;
   AnalysisOptions Options;
 };
 

@@ -9,30 +9,28 @@
 
 using namespace sbi;
 
-InvertedIndex InvertedIndex::build(const ReportSet &Set, size_t Threads) {
-  InvertedIndex Index;
-  Index.PredRuns.resize(Set.numPredicates());
-  Index.SiteRuns.resize(Set.numSites());
+namespace {
 
-  const size_t NumRuns = Set.size();
+/// Shared chunked builder: \p ForEachObservation(Run, SiteFn, PredFn) must
+/// invoke the callbacks for every observed site / true predicate of the
+/// run, ascending. Runs are partitioned into contiguous chunks, one worker
+/// per chunk, and chunk-local lists concatenated in run order, so any
+/// worker count yields the same index.
+template <typename ForEachFn>
+void buildPostings(std::vector<std::vector<uint32_t>> &PredRuns,
+                   std::vector<std::vector<uint32_t>> &SiteRuns,
+                   size_t NumRuns, size_t Threads,
+                   const ForEachFn &ForEachObservation) {
   // Below ~4k runs the thread spawn/join overhead dominates the scan.
   size_t Workers = resolveThreadCount(Threads, NumRuns / 4096);
   if (Workers <= 1) {
-    for (size_t Run = 0; Run < NumRuns; ++Run) {
-      const FeedbackReport &Report = Set[Run];
-      for (const auto &[Site, Count] : Report.Counts.SiteObservations)
-        if (Count > 0)
-          Index.SiteRuns[Site].push_back(static_cast<uint32_t>(Run));
-      for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
-        if (Count > 0)
-          Index.PredRuns[Pred].push_back(static_cast<uint32_t>(Run));
-    }
-    return Index;
+    for (size_t Run = 0; Run < NumRuns; ++Run)
+      ForEachObservation(
+          Run, [&](uint32_t Site) { SiteRuns[Site].push_back(Run); },
+          [&](uint32_t Pred) { PredRuns[Pred].push_back(Run); });
+    return;
   }
 
-  // Each worker indexes a contiguous run chunk into private lists; chunks
-  // are then concatenated in chunk order, which keeps every posting list
-  // sorted and makes the result independent of the worker count.
   struct ChunkLists {
     std::vector<std::vector<uint32_t>> PredRuns;
     std::vector<std::vector<uint32_t>> SiteRuns;
@@ -44,33 +42,63 @@ InvertedIndex InvertedIndex::build(const ReportSet &Set, size_t Threads) {
   for (size_t W = 0; W < Workers; ++W)
     Pool.emplace_back([&, W] {
       ChunkLists &Local = Chunks[W];
-      Local.PredRuns.resize(Set.numPredicates());
-      Local.SiteRuns.resize(Set.numSites());
+      Local.PredRuns.resize(PredRuns.size());
+      Local.SiteRuns.resize(SiteRuns.size());
       const size_t Begin = W * ChunkSize;
       const size_t End = std::min(NumRuns, Begin + ChunkSize);
-      for (size_t Run = Begin; Run < End; ++Run) {
-        const FeedbackReport &Report = Set[Run];
-        for (const auto &[Site, Count] : Report.Counts.SiteObservations)
-          if (Count > 0)
-            Local.SiteRuns[Site].push_back(static_cast<uint32_t>(Run));
-        for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
-          if (Count > 0)
-            Local.PredRuns[Pred].push_back(static_cast<uint32_t>(Run));
-      }
+      for (size_t Run = Begin; Run < End; ++Run)
+        ForEachObservation(
+            Run,
+            [&](uint32_t Site) { Local.SiteRuns[Site].push_back(Run); },
+            [&](uint32_t Pred) { Local.PredRuns[Pred].push_back(Run); });
     });
   for (std::thread &Worker : Pool)
     Worker.join();
 
   for (const ChunkLists &Local : Chunks) {
     for (size_t Pred = 0; Pred < Local.PredRuns.size(); ++Pred)
-      Index.PredRuns[Pred].insert(Index.PredRuns[Pred].end(),
-                                  Local.PredRuns[Pred].begin(),
-                                  Local.PredRuns[Pred].end());
+      PredRuns[Pred].insert(PredRuns[Pred].end(),
+                            Local.PredRuns[Pred].begin(),
+                            Local.PredRuns[Pred].end());
     for (size_t Site = 0; Site < Local.SiteRuns.size(); ++Site)
-      Index.SiteRuns[Site].insert(Index.SiteRuns[Site].end(),
-                                  Local.SiteRuns[Site].begin(),
-                                  Local.SiteRuns[Site].end());
+      SiteRuns[Site].insert(SiteRuns[Site].end(),
+                            Local.SiteRuns[Site].begin(),
+                            Local.SiteRuns[Site].end());
   }
+}
+
+} // namespace
+
+InvertedIndex InvertedIndex::build(const ReportSet &Set, size_t Threads) {
+  InvertedIndex Index;
+  Index.PredRuns.resize(Set.numPredicates());
+  Index.SiteRuns.resize(Set.numSites());
+  buildPostings(Index.PredRuns, Index.SiteRuns, Set.size(), Threads,
+                [&Set](size_t Run, auto &&SiteFn, auto &&PredFn) {
+                  const FeedbackReport &Report = Set[Run];
+                  for (const auto &[Site, Count] :
+                       Report.Counts.SiteObservations)
+                    if (Count > 0)
+                      SiteFn(Site);
+                  for (const auto &[Pred, Count] :
+                       Report.Counts.TruePredicates)
+                    if (Count > 0)
+                      PredFn(Pred);
+                });
+  return Index;
+}
+
+InvertedIndex InvertedIndex::build(const RunProfiles &Runs, size_t Threads) {
+  InvertedIndex Index;
+  Index.PredRuns.resize(Runs.numPredicates());
+  Index.SiteRuns.resize(Runs.numSites());
+  buildPostings(Index.PredRuns, Index.SiteRuns, Runs.size(), Threads,
+                [&Runs](size_t Run, auto &&SiteFn, auto &&PredFn) {
+                  for (uint32_t Site : Runs.sites(Run))
+                    SiteFn(Site);
+                  for (uint32_t Pred : Runs.preds(Run))
+                    PredFn(Pred);
+                });
   return Index;
 }
 
@@ -84,32 +112,26 @@ size_t InvertedIndex::numPostings() const {
 }
 
 void DeltaAggregates::removeRun(size_t Run, bool Failed) {
-  const FeedbackReport &Report = Set[Run];
   const size_t LabelIdx = Failed ? 0 : 1;
   if (Failed)
     --Agg.NumF;
   else
     --Agg.NumS;
-  for (const auto &[Site, Count] : Report.Counts.SiteObservations)
-    if (Count > 0)
-      --Agg.SiteObs[Site][LabelIdx];
-  for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
-    if (Count > 0)
-      --Agg.PredTrue[Pred][LabelIdx];
+  for (uint32_t Site : Runs.sites(Run))
+    --Agg.SiteObs[Site][LabelIdx];
+  for (uint32_t Pred : Runs.preds(Run))
+    --Agg.PredTrue[Pred][LabelIdx];
 }
 
 void DeltaAggregates::relabelRunAsSuccess(size_t Run) {
-  const FeedbackReport &Report = Set[Run];
   --Agg.NumF;
   ++Agg.NumS;
-  for (const auto &[Site, Count] : Report.Counts.SiteObservations)
-    if (Count > 0) {
-      --Agg.SiteObs[Site][0];
-      ++Agg.SiteObs[Site][1];
-    }
-  for (const auto &[Pred, Count] : Report.Counts.TruePredicates)
-    if (Count > 0) {
-      --Agg.PredTrue[Pred][0];
-      ++Agg.PredTrue[Pred][1];
-    }
+  for (uint32_t Site : Runs.sites(Run)) {
+    --Agg.SiteObs[Site][0];
+    ++Agg.SiteObs[Site][1];
+  }
+  for (uint32_t Pred : Runs.preds(Run)) {
+    --Agg.PredTrue[Pred][0];
+    ++Agg.PredTrue[Pred][1];
+  }
 }

@@ -33,8 +33,10 @@
 
 #include "core/Aggregator.h"
 #include "feedback/Report.h"
+#include "feedback/RunProfiles.h"
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace sbi {
@@ -47,6 +49,11 @@ public:
   /// concatenated in run order, so any \p Threads value (0 = one per
   /// hardware thread) yields the same index.
   static InvertedIndex build(const ReportSet &Set, size_t Threads = 0);
+
+  /// Same contract over the compact RunProfiles store (the streamed-corpus
+  /// ingestion path); a profile store converted from \p Set yields a
+  /// bit-identical index.
+  static InvertedIndex build(const RunProfiles &Runs, size_t Threads = 0);
 
   /// Sorted run ids where predicate \p Pred was observed true (R(P) = 1).
   const std::vector<uint32_t> &runsWhereTrue(uint32_t Pred) const {
@@ -77,8 +84,16 @@ private:
 /// for the mutated RunView.
 class DeltaAggregates {
 public:
+  /// Runs off a profile store directly (no copies; \p Runs must outlive
+  /// the aggregates).
+  DeltaAggregates(const RunProfiles &Runs, const RunView &View)
+      : Runs(Runs), Agg(Aggregates::compute(Runs, View)) {}
+
+  /// Convenience for ReportSet callers: converts (and owns) a profile
+  /// copy, then behaves exactly like the RunProfiles constructor.
   DeltaAggregates(const ReportSet &Set, const RunView &View)
-      : Set(Set), Agg(Aggregates::compute(Set, View)) {}
+      : Owned(RunProfiles::fromReports(Set)), Runs(*Owned),
+        Agg(Aggregates::compute(*Owned, View)) {}
 
   /// The live counts, interface-compatible with a fresh full scan.
   const Aggregates &aggregates() const { return Agg; }
@@ -94,7 +109,8 @@ public:
   void relabelRunAsSuccess(size_t Run);
 
 private:
-  const ReportSet &Set;
+  std::optional<RunProfiles> Owned; ///< Before Runs: bound in init order.
+  const RunProfiles &Runs;
   Aggregates Agg;
 };
 

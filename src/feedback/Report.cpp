@@ -38,6 +38,24 @@ size_t ReportSet::numFailing() const {
   return N;
 }
 
+/// Normalized copy of a sparse pair list for serialization: zero-count
+/// entries are dropped (observedTrue/siteObserved already treat them as
+/// unobserved, so writing them only bloats the file and would round-trip a
+/// set into one that compares unequal), and the result is sorted by id —
+/// deserialize rejects unsorted input, so a hand-assembled set with
+/// out-of-order entries must not produce an unreadable file.
+static std::vector<std::pair<uint32_t, uint32_t>>
+normalizedPairs(const std::vector<std::pair<uint32_t, uint32_t>> &Pairs) {
+  std::vector<std::pair<uint32_t, uint32_t>> Out;
+  Out.reserve(Pairs.size());
+  for (const auto &Pair : Pairs)
+    if (Pair.second > 0)
+      Out.push_back(Pair);
+  if (!std::is_sorted(Out.begin(), Out.end()))
+    std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
 std::string ReportSet::serialize() const {
   std::string Out;
   Out += "SBI-REPORTS v1\n";
@@ -47,12 +65,16 @@ std::string ReportSet::serialize() const {
                   static_cast<int>(R.Trap), R.ExitCode,
                   static_cast<unsigned long long>(R.BugMask),
                   R.StackSignature.empty() ? "-" : R.StackSignature.c_str());
-    Out += format("S %zu", R.Counts.SiteObservations.size());
-    for (const auto &[Site, Count] : R.Counts.SiteObservations)
+    std::vector<std::pair<uint32_t, uint32_t>> Sites =
+        normalizedPairs(R.Counts.SiteObservations);
+    Out += format("S %zu", Sites.size());
+    for (const auto &[Site, Count] : Sites)
       Out += format(" %u:%u", Site, Count);
     Out += '\n';
-    Out += format("P %zu", R.Counts.TruePredicates.size());
-    for (const auto &[Pred, Count] : R.Counts.TruePredicates)
+    std::vector<std::pair<uint32_t, uint32_t>> Preds =
+        normalizedPairs(R.Counts.TruePredicates);
+    Out += format("P %zu", Preds.size());
+    for (const auto &[Pred, Count] : Preds)
       Out += format(" %u:%u", Pred, Count);
     Out += '\n';
   }

@@ -2,6 +2,7 @@
 
 #include "harness/Campaign.h"
 
+#include "feedback/Corpus.h"
 #include "obs/Phase.h"
 #include "obs/Telemetry.h"
 #include "runtime/Interp.h"
@@ -14,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -173,8 +175,10 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
   // --- Main campaign -----------------------------------------------------
   // Each run is fully determined by (campaign seed, run index), so the
   // loop parallelizes into bit-identical results for any thread count:
-  // workers fill pre-sized slots and share nothing but read-only state.
-  std::vector<FeedbackReport> Collected(Options.NumRuns);
+  // workers fill pre-sized slots (or, in spill mode, whole shards) and
+  // share nothing but read-only state.
+  const bool Spill = !Options.SpillDir.empty();
+  std::vector<FeedbackReport> Collected(Spill ? 0 : Options.NumRuns);
 
   std::atomic<size_t> RunsCompleted{0};
   const size_t ProgressStride = std::max<size_t>(1, Options.NumRuns / 200);
@@ -216,13 +220,13 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
       if (GoldenOutcome.Output != Outcome.Output)
         Report.Failed = true;
     }
-    Collected[Run] = std::move(Report);
 
     if (Options.Progress) {
       size_t Done = RunsCompleted.fetch_add(1, std::memory_order_relaxed) + 1;
       if (Done % ProgressStride == 0 || Done == Options.NumRuns)
         Options.Progress(Done, Options.NumRuns);
     }
+    return Report;
   };
 
   // Realized sampling rates need per-scheme reach counts, which only the
@@ -239,42 +243,174 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
     }
   };
 
+  // Spill mode shares nothing across shards, so per-worker tallies (failure
+  // labels, per-bug ground truth, bytes) merge here after the loop — the
+  // reports themselves are already on disk by then.
+  struct SpillTally {
+    size_t Failing = 0;
+    uint64_t Bytes = 0;
+    std::vector<CampaignResult::BugStats> Bugs;
+  };
+  SpillTally MergedSpill;
+  std::mutex SpillMu;
+  std::string SpillError;
+  auto tallySpilledReport = [&](SpillTally &Tally,
+                                const FeedbackReport &Report) {
+    if (Report.Failed)
+      ++Tally.Failing;
+    for (size_t B = 0; B < Tally.Bugs.size(); ++B)
+      if (Report.hasBug(Tally.Bugs[B].BugId)) {
+        ++Tally.Bugs[B].Triggered;
+        if (Report.Failed)
+          ++Tally.Bugs[B].TriggeredAndFailed;
+      }
+  };
+  auto newSpillTally = [&] {
+    SpillTally Tally;
+    for (const BugSpec &Bug : Subj.Bugs)
+      Tally.Bugs.push_back({Bug.Id, 0, 0});
+    return Tally;
+  };
+  auto mergeSpill = [&](const SpillTally &Tally) {
+    std::lock_guard<std::mutex> Lock(SpillMu);
+    MergedSpill.Failing += Tally.Failing;
+    MergedSpill.Bytes += Tally.Bytes;
+    for (size_t B = 0; B < Tally.Bugs.size(); ++B) {
+      MergedSpill.Bugs[B].Triggered += Tally.Bugs[B].Triggered;
+      MergedSpill.Bugs[B].TriggeredAndFailed +=
+          Tally.Bugs[B].TriggeredAndFailed;
+    }
+  };
+  // One whole shard per worker iteration: runs [K*S, (K+1)*S) encode into
+  // shard K in run order, making the corpus bytes thread-count-invariant.
+  auto spillShard = [&](size_t Shard, size_t ShardSize,
+                        ReportCollector &Collector, SpillTally &Tally) {
+    const size_t Begin = Shard * ShardSize;
+    const size_t End = std::min(Options.NumRuns, Begin + ShardSize);
+    CorpusWriter Writer;
+    std::string Error;
+    std::string Path = Options.SpillDir + "/" +
+                       corpusShardName(static_cast<uint32_t>(Shard));
+    bool Ok = Writer.open(Path, static_cast<uint32_t>(Shard),
+                          Result.Sites.numSites(),
+                          Result.Sites.numPredicates(), Error);
+    for (size_t Run = Begin; Ok && Run < End; ++Run) {
+      FeedbackReport Report = oneRun(Run, Collector);
+      tallySpilledReport(Tally, Report);
+      Ok = Writer.append(Report, Error);
+    }
+    Ok = Writer.finalize(Error) && Ok;
+    if (Ok) {
+      Tally.Bytes += Writer.bytesWritten();
+      return true;
+    }
+    std::lock_guard<std::mutex> Lock(SpillMu);
+    if (SpillError.empty())
+      SpillError = Path + ": " + Error;
+    return false;
+  };
+
   auto RunLoopStart = std::chrono::steady_clock::now();
   {
     ScopedPhase RunLoopPhase("run_loop");
-    // hardware_concurrency() may legitimately return 0; resolveThreadCount
-    // clamps so a campaign never launches zero workers.
-    size_t Threads = resolveThreadCount(Options.Threads, Options.NumRuns);
-    if (Threads <= 1) {
-      ReportCollector Collector(Result.Sites, Result.Plan);
-      if (Obs)
-        Collector.enableReachStats();
-      for (size_t Run = 0; Run < Options.NumRuns; ++Run)
-        oneRun(Run, Collector);
-      if (Obs) {
-        mergeReaches(Collector);
-        WorkerHist.record(Options.NumRuns);
+    if (Spill) {
+      MergedSpill = newSpillTally();
+      std::error_code DirEc;
+      std::filesystem::create_directories(Options.SpillDir, DirEc);
+      if (DirEc) {
+        std::fprintf(stderr, "sbi: cannot create spill directory '%s': %s\n",
+                     Options.SpillDir.c_str(), DirEc.message().c_str());
+        std::abort();
       }
+      const size_t ShardSize = std::max<size_t>(1, Options.SpillShardReports);
+      // An empty campaign still emits one (empty) shard so the directory is
+      // a well-formed corpus.
+      const size_t NumShards =
+          std::max<size_t>(1, (Options.NumRuns + ShardSize - 1) / ShardSize);
+      size_t Threads = resolveThreadCount(Options.Threads, NumShards);
+      if (Threads <= 1) {
+        ReportCollector Collector(Result.Sites, Result.Plan);
+        if (Obs)
+          Collector.enableReachStats();
+        SpillTally Tally = newSpillTally();
+        for (size_t Shard = 0; Shard < NumShards; ++Shard)
+          if (!spillShard(Shard, ShardSize, Collector, Tally))
+            break;
+        mergeSpill(Tally);
+        if (Obs) {
+          mergeReaches(Collector);
+          WorkerHist.record(Options.NumRuns);
+        }
+      } else {
+        std::vector<std::thread> Workers;
+        Workers.reserve(Threads);
+        for (size_t T = 0; T < Threads; ++T)
+          Workers.emplace_back([&, T] {
+            ReportCollector Collector(Result.Sites, Result.Plan);
+            if (Obs)
+              Collector.enableReachStats();
+            SpillTally Tally = newSpillTally();
+            size_t RunsByThisWorker = 0;
+            for (size_t Shard = T; Shard < NumShards; Shard += Threads) {
+              if (!spillShard(Shard, ShardSize, Collector, Tally))
+                break;
+              RunsByThisWorker +=
+                  std::min(Options.NumRuns, (Shard + 1) * ShardSize) -
+                  std::min(Options.NumRuns, Shard * ShardSize);
+            }
+            mergeSpill(Tally);
+            if (Obs) {
+              mergeReaches(Collector);
+              WorkerHist.record(RunsByThisWorker);
+            }
+          });
+        for (std::thread &Worker : Workers)
+          Worker.join();
+      }
+      if (!SpillError.empty()) {
+        std::fprintf(stderr, "sbi: corpus spill failed: %s\n",
+                     SpillError.c_str());
+        std::abort();
+      }
+      Result.SpilledShards = NumShards;
+      Result.SpilledReports = Options.NumRuns;
+      Result.SpilledFailing = MergedSpill.Failing;
+      Result.SpilledBytes = MergedSpill.Bytes;
     } else {
-      std::vector<std::thread> Workers;
-      Workers.reserve(Threads);
-      for (size_t T = 0; T < Threads; ++T)
-        Workers.emplace_back([&, T] {
-          ReportCollector Collector(Result.Sites, Result.Plan);
-          if (Obs)
-            Collector.enableReachStats();
-          size_t RunsByThisWorker = 0;
-          for (size_t Run = T; Run < Options.NumRuns; Run += Threads) {
-            oneRun(Run, Collector);
-            ++RunsByThisWorker;
-          }
-          if (Obs) {
-            mergeReaches(Collector);
-            WorkerHist.record(RunsByThisWorker);
-          }
-        });
-      for (std::thread &Worker : Workers)
-        Worker.join();
+      // hardware_concurrency() may legitimately return 0; resolveThreadCount
+      // clamps so a campaign never launches zero workers.
+      size_t Threads = resolveThreadCount(Options.Threads, Options.NumRuns);
+      if (Threads <= 1) {
+        ReportCollector Collector(Result.Sites, Result.Plan);
+        if (Obs)
+          Collector.enableReachStats();
+        for (size_t Run = 0; Run < Options.NumRuns; ++Run)
+          Collected[Run] = oneRun(Run, Collector);
+        if (Obs) {
+          mergeReaches(Collector);
+          WorkerHist.record(Options.NumRuns);
+        }
+      } else {
+        std::vector<std::thread> Workers;
+        Workers.reserve(Threads);
+        for (size_t T = 0; T < Threads; ++T)
+          Workers.emplace_back([&, T] {
+            ReportCollector Collector(Result.Sites, Result.Plan);
+            if (Obs)
+              Collector.enableReachStats();
+            size_t RunsByThisWorker = 0;
+            for (size_t Run = T; Run < Options.NumRuns; Run += Threads) {
+              Collected[Run] = oneRun(Run, Collector);
+              ++RunsByThisWorker;
+            }
+            if (Obs) {
+              mergeReaches(Collector);
+              WorkerHist.record(RunsByThisWorker);
+            }
+          });
+        for (std::thread &Worker : Workers)
+          Worker.join();
+      }
     }
   }
   double RunLoopSeconds =
@@ -286,20 +422,26 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
     ScopedPhase LabelPhase("label");
     Result.Reports =
         ReportSet(Result.Sites.numSites(), Result.Sites.numPredicates());
-    for (FeedbackReport &Report : Collected)
-      Result.Reports.add(std::move(Report));
+    if (Spill) {
+      // Reports already live on disk; the tallies collected as they
+      // streamed out are the ground truth.
+      Result.Bugs = std::move(MergedSpill.Bugs);
+    } else {
+      for (FeedbackReport &Report : Collected)
+        Result.Reports.add(std::move(Report));
 
-    // Ground-truth stats derive from the recorded bug masks.
-    for (const BugSpec &Bug : Subj.Bugs) {
-      CampaignResult::BugStats Stats;
-      Stats.BugId = Bug.Id;
-      for (const FeedbackReport &Report : Result.Reports.reports())
-        if (Report.hasBug(Bug.Id)) {
-          ++Stats.Triggered;
-          if (Report.Failed)
-            ++Stats.TriggeredAndFailed;
-        }
-      Result.Bugs.push_back(Stats);
+      // Ground-truth stats derive from the recorded bug masks.
+      for (const BugSpec &Bug : Subj.Bugs) {
+        CampaignResult::BugStats Stats;
+        Stats.BugId = Bug.Id;
+        for (const FeedbackReport &Report : Result.Reports.reports())
+          if (Report.hasBug(Bug.Id)) {
+            ++Stats.Triggered;
+            if (Report.Failed)
+              ++Stats.TriggeredAndFailed;
+          }
+        Result.Bugs.push_back(Stats);
+      }
     }
   }
 
@@ -315,6 +457,14 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
   if (RunLoopSeconds > 0.0)
     RunsPerSecGauge.set(static_cast<double>(Options.NumRuns) /
                         RunLoopSeconds);
+  if (Spill) {
+    static Gauge &SpillShardsGauge =
+        Metrics.registerGauge("campaign.spill.shards");
+    static Gauge &SpillBytesGauge =
+        Metrics.registerGauge("campaign.spill.bytes");
+    SpillShardsGauge.set(static_cast<double>(Result.SpilledShards));
+    SpillBytesGauge.set(static_cast<double>(Result.SpilledBytes));
+  }
 
   if (Obs) {
     // Planned vs. realized sampling rate per instrumentation scheme.

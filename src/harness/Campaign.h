@@ -70,6 +70,16 @@ struct CampaignOptions {
   /// (runs completed, total runs) roughly every 0.5% of runs and once at
   /// completion. Invoked from worker threads — must be thread-safe.
   std::function<void(size_t Done, size_t Total)> Progress;
+  /// Spill mode: when non-empty, workers flush completed reports into
+  /// SBI-CORPUS v2 shards under this directory instead of materializing
+  /// CampaignResult::Reports, bounding memory by Threads x
+  /// SpillShardReports rather than NumRuns. Shard K holds runs
+  /// [K*SpillShardReports, (K+1)*SpillShardReports) in run order, so the
+  /// corpus bytes are identical for any thread count and reading the
+  /// shards back in filename order reproduces the in-memory run order.
+  std::string SpillDir;
+  /// Reports per shard in spill mode.
+  size_t SpillShardReports = 1024;
 };
 
 struct CampaignResult {
@@ -89,8 +99,21 @@ struct CampaignResult {
   };
   std::vector<BugStats> Bugs;
 
-  size_t numFailing() const { return Reports.numFailing(); }
-  size_t numSuccessful() const { return Reports.numSuccessful(); }
+  /// Spill-mode accounting (Options.SpillDir non-empty): Reports stays
+  /// empty — the corpus directory is the output — but run totals, failure
+  /// labels, and per-bug stats are still tallied as the reports stream out.
+  size_t SpilledShards = 0;
+  size_t SpilledReports = 0;
+  size_t SpilledFailing = 0;
+  uint64_t SpilledBytes = 0;
+
+  size_t numFailing() const {
+    return Reports.size() ? Reports.numFailing() : SpilledFailing;
+  }
+  size_t numSuccessful() const {
+    return Reports.size() ? Reports.numSuccessful()
+                          : SpilledReports - SpilledFailing;
+  }
 };
 
 /// Runs the full campaign. Aborts (assert) if the subject's sources fail to

@@ -66,10 +66,23 @@ size_t sbi::failingRunsWithPredAndBug(const ReportSet &Set, uint32_t PredId,
   return N;
 }
 
-std::string
-sbi::renderSelectedList(const SiteTable &Sites, const ReportSet &Set,
-                        const std::vector<SelectedPredicate> &Selected,
-                        const std::vector<int> &BugIds, size_t TopK) {
+size_t sbi::failingRunsWithPredAndBug(const RunProfiles &Runs,
+                                      uint32_t PredId, int BugId) {
+  size_t N = 0;
+  for (size_t Run = 0; Run < Runs.size(); ++Run)
+    if (Runs.failed(Run) && Runs.hasBug(Run, BugId) &&
+        Runs.observedTrue(Run, PredId))
+      ++N;
+  return N;
+}
+
+/// Shared body of the two renderSelectedList overloads; \p Source only
+/// feeds failingRunsWithPredAndBug for the bug columns.
+template <typename SourceT>
+static std::string
+renderSelectedListImpl(const SiteTable &Sites, const SourceT &Source,
+                       const std::vector<SelectedPredicate> &Selected,
+                       const std::vector<int> &BugIds, size_t TopK) {
   uint64_t MaxRuns = 1;
   for (const SelectedPredicate &Entry : Selected)
     MaxRuns = std::max(MaxRuns, Entry.InitialScores.counts().observedTrue());
@@ -97,10 +110,24 @@ sbi::renderSelectedList(const SiteTable &Sites, const ReportSet &Set,
         predicateLabel(Sites, Entry.Pred)};
     for (int Bug : BugIds)
       Row.push_back(
-          format("%zu", failingRunsWithPredAndBug(Set, Entry.Pred, Bug)));
+          format("%zu", failingRunsWithPredAndBug(Source, Entry.Pred, Bug)));
     Table.addRow(std::move(Row));
   }
   return Table.render();
+}
+
+std::string
+sbi::renderSelectedList(const SiteTable &Sites, const ReportSet &Set,
+                        const std::vector<SelectedPredicate> &Selected,
+                        const std::vector<int> &BugIds, size_t TopK) {
+  return renderSelectedListImpl(Sites, Set, Selected, BugIds, TopK);
+}
+
+std::string
+sbi::renderSelectedList(const SiteTable &Sites, const RunProfiles &Runs,
+                        const std::vector<SelectedPredicate> &Selected,
+                        const std::vector<int> &BugIds, size_t TopK) {
+  return renderSelectedListImpl(Sites, Runs, Selected, BugIds, TopK);
 }
 
 std::string sbi::renderAffinity(const SiteTable &Sites,

@@ -43,6 +43,15 @@ std::string renderSelectedList(const SiteTable &Sites, const ReportSet &Set,
                                const std::vector<int> &BugIds,
                                size_t TopK = 0);
 
+/// Same rendering over the compact RunProfiles store (the --corpus path);
+/// profiles carry the failure labels, truth bits, and bug masks the bug
+/// columns need, so output is byte-identical to the ReportSet overload.
+std::string renderSelectedList(const SiteTable &Sites,
+                               const RunProfiles &Runs,
+                               const std::vector<SelectedPredicate> &Selected,
+                               const std::vector<int> &BugIds,
+                               size_t TopK = 0);
+
 /// Renders a selected predicate's affinity list (the interactive tool's
 /// per-predicate view).
 std::string renderAffinity(const SiteTable &Sites,
@@ -60,6 +69,8 @@ std::string renderAuditTrail(const SiteTable &Sites,
 /// Failing runs in which predicate \p PredId was observed true and bug
 /// \p BugId triggered.
 size_t failingRunsWithPredAndBug(const ReportSet &Set, uint32_t PredId,
+                                 int BugId);
+size_t failingRunsWithPredAndBug(const RunProfiles &Runs, uint32_t PredId,
                                  int BugId);
 
 /// For each bug, the selected predicate that best covers its failing runs

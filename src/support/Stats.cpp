@@ -2,8 +2,8 @@
 
 #include "support/Stats.h"
 
-#include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace sbi;
 
@@ -17,7 +17,17 @@ double Proportion::variance() const {
 double sbi::normalCdf(double X) { return 0.5 * std::erfc(-X / std::sqrt(2.0)); }
 
 double sbi::normalQuantile(double P) {
-  assert(P > 0.0 && P < 1.0 && "quantile requires P in (0, 1)");
+  // Explicit domain guard rather than an assert: the default RelWithDebInfo
+  // build defines NDEBUG, so an assert here is compiled out exactly where
+  // callers run — P = 0 would then feed log(0) into the tail branch and
+  // return garbage instead of the documented limit. The quantile's true
+  // limits are well-defined, so return them (and propagate NaN).
+  if (std::isnan(P))
+    return P;
+  if (P <= 0.0)
+    return -std::numeric_limits<double>::infinity();
+  if (P >= 1.0)
+    return std::numeric_limits<double>::infinity();
   // Acklam's rational approximation to the inverse normal CDF.
   static const double A[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                              -2.759285104469687e+02, 1.383577518672690e+02,

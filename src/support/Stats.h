@@ -45,7 +45,10 @@ struct Proportion {
 double normalCdf(double X);
 
 /// Returns the inverse standard normal CDF (Acklam's rational approximation,
-/// good to ~1e-9 absolute error). \p P must lie strictly in (0, 1).
+/// good to ~1e-9 absolute error). Out-of-domain inputs take the limits
+/// deliberately — -infinity for P <= 0, +infinity for P >= 1, NaN for NaN —
+/// in every build type (the guard is explicit code, not an assert, so it
+/// survives NDEBUG).
 double normalQuantile(double P);
 
 /// The two-proportion Z statistic of Section 3.2: tests H0: pf == ps against

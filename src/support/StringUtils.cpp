@@ -2,6 +2,7 @@
 
 #include "support/StringUtils.h"
 
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 
@@ -64,4 +65,19 @@ std::string sbi::padLeft(std::string_view Text, size_t Width) {
 
 bool sbi::startsWith(std::string_view Text, std::string_view Prefix) {
   return Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool sbi::parseUnsigned(std::string_view Text, uint64_t &Out) {
+  // from_chars already rejects leading whitespace and '+'; a '-' would
+  // otherwise wrap ("-1" -> 2^64-1) under some libc strtoull paths, so it
+  // is excluded explicitly along with everything else that is not a digit.
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  const char *First = Text.data(), *Last = Text.data() + Text.size();
+  std::from_chars_result Result = std::from_chars(First, Last, Value, 10);
+  if (Result.ec != std::errc() || Result.ptr != Last)
+    return false;
+  Out = Value;
+  return true;
 }

@@ -15,6 +15,7 @@
 #ifndef SBI_SUPPORT_STRINGUTILS_H
 #define SBI_SUPPORT_STRINGUTILS_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +41,13 @@ std::string padLeft(std::string_view Text, size_t Width);
 
 /// True if \p Text begins with \p Prefix.
 bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Strict base-10 unsigned parse: the entire input must be digits and the
+/// value must fit in 64 bits. Unlike strtoull, rejects empty strings,
+/// leading signs/whitespace, trailing garbage ("123abc"), and overflow
+/// instead of silently yielding 0 or a wrapped value. On success writes
+/// \p Out and returns true; on failure \p Out is untouched.
+bool parseUnsigned(std::string_view Text, uint64_t &Out);
 
 } // namespace sbi
 

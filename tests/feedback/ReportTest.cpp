@@ -255,3 +255,46 @@ TEST(ReportSetTest, DeserializeAcceptsCampaignShapedRoundTrip) {
     EXPECT_EQ(Out[I].Counts.TruePredicates, Set[I].Counts.TruePredicates);
   }
 }
+
+TEST(ReportSetTest, SerializeDropsZeroCountPairs) {
+  // Zero-count entries mean "present in the sparse list but never
+  // observed"; observedTrue/siteObserved already treat them as absent, so
+  // serialize must too — otherwise a set round-trips into one that
+  // compares unequal and bloats the file with dead pairs.
+  ReportSet Set(5, 9);
+  Set.add(makeReport(true, {{0, 2}, {1, 0}, {4, 1}}, {{2, 0}, {3, 7}}));
+  Set.add(makeReport(false, {{2, 0}}, {{0, 0}, {8, 0}}));
+
+  std::string Text = Set.serialize();
+  EXPECT_NE(Text.find("S 2 0:2 4:1\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("P 1 3:7\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("S 0\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("P 0\n"), std::string::npos) << Text;
+
+  ReportSet Out;
+  ASSERT_TRUE(ReportSet::deserialize(Text, Out));
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Counts.SiteObservations,
+            (std::vector<std::pair<uint32_t, uint32_t>>{{0, 2}, {4, 1}}));
+  EXPECT_EQ(Out[0].Counts.TruePredicates,
+            (std::vector<std::pair<uint32_t, uint32_t>>{{3, 7}}));
+  EXPECT_TRUE(Out[1].Counts.SiteObservations.empty());
+  EXPECT_TRUE(Out[1].Counts.TruePredicates.empty());
+  // A second round trip is a fixed point: normalization already happened.
+  EXPECT_EQ(Out.serialize(), Text);
+}
+
+TEST(ReportSetTest, SerializeSortsHandAssembledEntries) {
+  // deserialize rejects unsorted pair lists, so a hand-assembled set with
+  // out-of-order entries must not produce an unreadable file.
+  ReportSet Set(6, 6);
+  Set.add(makeReport(true, {{3, 1}, {0, 2}}, {{5, 1}, {1, 4}, {2, 0}}));
+
+  ReportSet Out;
+  ASSERT_TRUE(ReportSet::deserialize(Set.serialize(), Out));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Counts.SiteObservations,
+            (std::vector<std::pair<uint32_t, uint32_t>>{{0, 2}, {3, 1}}));
+  EXPECT_EQ(Out[0].Counts.TruePredicates,
+            (std::vector<std::pair<uint32_t, uint32_t>>{{1, 4}, {5, 1}}));
+}

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace sbi;
 
@@ -123,4 +124,26 @@ TEST(SafeLogTest, ClampsAtZero) {
   EXPECT_TRUE(std::isfinite(safeLog(-5.0)));
   EXPECT_NEAR(safeLog(1.0), 0.0, 1e-12);
   EXPECT_NEAR(safeLog(std::exp(1.0)), 1.0, 1e-12);
+}
+
+TEST(NormalTest, QuantileDomainGuardSurvivesEveryBuildType) {
+  // The guard is explicit code, not an assert: the default RelWithDebInfo
+  // build (and the CI Release job) defines NDEBUG, so these must hold with
+  // asserts compiled out. P outside (0, 1) takes the quantile's true
+  // limits instead of feeding log(0) or log(negative) into the tail
+  // approximation.
+  EXPECT_EQ(normalQuantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normalQuantile(1.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normalQuantile(-0.25), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normalQuantile(1.5), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normalQuantile(-std::numeric_limits<double>::infinity()),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normalQuantile(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(normalQuantile(std::nan(""))));
+
+  // Interior values stay finite right up to the edges of the domain.
+  EXPECT_TRUE(std::isfinite(normalQuantile(1e-300)));
+  EXPECT_TRUE(std::isfinite(normalQuantile(1.0 - 1e-16)));
+  EXPECT_LT(normalQuantile(1e-300), normalQuantile(0.5));
 }

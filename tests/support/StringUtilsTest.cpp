@@ -80,3 +80,39 @@ TEST(StartsWithTest, Basic) {
   EXPECT_TRUE(startsWith("anything", ""));
   EXPECT_FALSE(startsWith("", "x"));
 }
+
+TEST(ParseUnsignedTest, AcceptsPlainDecimal) {
+  uint64_t V = 1;
+  EXPECT_TRUE(parseUnsigned("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseUnsigned("42", V));
+  EXPECT_EQ(V, 42u);
+  EXPECT_TRUE(parseUnsigned("18446744073709551615", V)); // UINT64_MAX.
+  EXPECT_EQ(V, UINT64_MAX);
+  EXPECT_TRUE(parseUnsigned("007", V)); // Leading zeros are still decimal.
+  EXPECT_EQ(V, 7u);
+}
+
+TEST(ParseUnsignedTest, RejectsPartialConsumptionAndSigns) {
+  // strtoull accepted all of these (stopping at the first bad character,
+  // or wrapping negatives), which let `--runs=100x` silently become 100.
+  uint64_t V = 99;
+  EXPECT_FALSE(parseUnsigned("", V));
+  EXPECT_FALSE(parseUnsigned("abc", V));
+  EXPECT_FALSE(parseUnsigned("123abc", V));
+  EXPECT_FALSE(parseUnsigned("12 ", V));
+  EXPECT_FALSE(parseUnsigned(" 12", V));
+  EXPECT_FALSE(parseUnsigned("+1", V));
+  EXPECT_FALSE(parseUnsigned("-1", V));
+  EXPECT_FALSE(parseUnsigned("0x10", V));
+  EXPECT_FALSE(parseUnsigned("1.5", V));
+  EXPECT_EQ(V, 99u) << "failed parse must not clobber the output";
+}
+
+TEST(ParseUnsignedTest, RejectsOverflow) {
+  uint64_t V = 99;
+  EXPECT_FALSE(parseUnsigned("18446744073709551616", V)); // UINT64_MAX + 1.
+  EXPECT_FALSE(parseUnsigned("99999999999999999999", V));
+  EXPECT_FALSE(parseUnsigned("340282366920938463463374607431768211456", V));
+  EXPECT_EQ(V, 99u);
+}

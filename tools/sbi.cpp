@@ -28,9 +28,16 @@
 //       Write the analysis as a self-contained HTML page (the paper's
 //       "interactive version of our analysis tools").
 //
+//   sbi corpus <convert|info|merge|validate> ...
+//       Maintain SBI-CORPUS v2 binary sharded corpora (feedback/Corpus.h).
+//       `run --corpus=DIR` spills a campaign straight into shards;
+//       `analyze --corpus=DIR` streams them back without materializing a
+//       ReportSet.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Analysis.h"
+#include "feedback/Corpus.h"
 #include "harness/Campaign.h"
 #include "harness/HtmlReport.h"
 #include "harness/Tables.h"
@@ -41,7 +48,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -52,17 +61,21 @@ namespace {
 
 struct CliArgs {
   std::string Command;
+  std::string SubCommand; // corpus verb: convert|info|merge|validate.
   std::string SubjectName;
   std::string InFile;
   std::string OutFile;
+  std::string CorpusDir;
   std::string Sampling = "adaptive";
   std::string Policy = "all";
   std::string Engine = "incremental";
   std::string MetricsOut;
+  std::vector<std::string> Inputs; // Positional args (corpus merge dirs).
   size_t Runs = 4000;
   uint64_t Seed = 20050612;
   size_t Top = 20;
-  size_t Threads = 0; // 0 = one per hardware thread.
+  size_t Threads = 0;            // 0 = one per hardware thread.
+  size_t ShardReports = 1024;    // Reports per shard for corpus writers.
   bool ShowAffinity = false;
   bool ShowBugs = false;
   bool Trace = false;
@@ -83,6 +96,16 @@ int usage() {
       "  logreg  --subject=NAME [--in=FILE] [--runs=N] [--top=K]\n"
       "  report  --subject=NAME [--in=FILE] [--out=FILE] [--top=K] "
       "[--bugs]\n"
+      "  corpus  convert  --in=REPORTS --out=DIR [--shard-reports=N]\n"
+      "          info     DIR\n"
+      "          merge    --out=DIR DIR... [--shard-reports=N]\n"
+      "          validate DIR\n"
+      "corpus options:\n"
+      "  --corpus=DIR       (run) spill reports into an SBI-CORPUS v2\n"
+      "                     shard directory instead of a v1 text file;\n"
+      "                     (analyze) stream reports back from DIR without\n"
+      "                     materializing them in memory\n"
+      "  --shard-reports=N  reports per shard when writing (default 1024)\n"
       "common options (any command that runs a campaign):\n"
       "  --threads=N        worker threads for the run loop; 0 = one per\n"
       "                     hardware thread (default; results are\n"
@@ -109,25 +132,69 @@ bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
       Out = std::string(Arg.substr(Prefix.size()));
       return true;
     };
-    std::string Value;
+    // Strict full-consumption parse: "--runs=abc" and "--runs=40x" are
+    // errors, not silent zeros (the strtoull they replace accepted both).
+    auto numberOf = [&](std::string_view Prefix, uint64_t &Out,
+                        bool &Failed) {
+      std::string Value;
+      if (!valueOf(Prefix, Value))
+        return false;
+      if (!parseUnsigned(Value, Out)) {
+        std::fprintf(stderr,
+                     "sbi: bad value '%s' for %.*s: expected an unsigned "
+                     "decimal integer\n",
+                     Value.c_str(), static_cast<int>(Prefix.size() - 1),
+                     Prefix.data());
+        Failed = true;
+      }
+      return true;
+    };
     if (valueOf("--subject=", Args.SubjectName) ||
         valueOf("--in=", Args.InFile) || valueOf("--out=", Args.OutFile) ||
+        valueOf("--corpus=", Args.CorpusDir) ||
         valueOf("--sampling=", Args.Sampling) ||
         valueOf("--policy=", Args.Policy) ||
         valueOf("--analysis-engine=", Args.Engine) ||
         valueOf("--metrics-out=", Args.MetricsOut))
       continue;
-    if (valueOf("--runs=", Value)) {
-      Args.Runs = static_cast<size_t>(std::strtoull(Value.c_str(), nullptr,
-                                                    10));
-    } else if (valueOf("--seed=", Value)) {
-      Args.Seed = std::strtoull(Value.c_str(), nullptr, 10);
-    } else if (valueOf("--top=", Value)) {
-      Args.Top = static_cast<size_t>(std::strtoull(Value.c_str(), nullptr,
-                                                   10));
-    } else if (valueOf("--threads=", Value)) {
-      Args.Threads = static_cast<size_t>(
-          std::strtoull(Value.c_str(), nullptr, 10));
+    bool BadNumber = false;
+    uint64_t Number = 0;
+    if (numberOf("--runs=", Number, BadNumber)) {
+      if (BadNumber)
+        return false;
+      Args.Runs = static_cast<size_t>(Number);
+    } else if (numberOf("--seed=", Number, BadNumber)) {
+      if (BadNumber)
+        return false;
+      Args.Seed = Number;
+    } else if (numberOf("--top=", Number, BadNumber)) {
+      if (BadNumber)
+        return false;
+      Args.Top = static_cast<size_t>(Number);
+    } else if (numberOf("--threads=", Number, BadNumber)) {
+      if (BadNumber)
+        return false;
+      Args.Threads = static_cast<size_t>(Number);
+    } else if (numberOf("--shard-reports=", Number, BadNumber)) {
+      if (BadNumber)
+        return false;
+      if (Number == 0 || Number > UINT32_MAX) {
+        std::fprintf(stderr,
+                     "sbi: --shard-reports must be between 1 and 2^32-1\n");
+        return false;
+      }
+      Args.ShardReports = static_cast<size_t>(Number);
+    } else if (!startsWith(Arg, "--")) {
+      // Positional operands: the corpus verb and its directories.
+      if (Args.Command == "corpus") {
+        if (Args.SubCommand.empty())
+          Args.SubCommand = std::string(Arg);
+        else
+          Args.Inputs.emplace_back(Arg);
+        continue;
+      }
+      std::fprintf(stderr, "sbi: unexpected argument '%s'\n", Argv[I]);
+      return false;
     } else if (Arg == "--affinity") {
       Args.ShowAffinity = true;
     } else if (Arg == "--bugs") {
@@ -233,6 +300,32 @@ bool obtainReports(const CliArgs &Args, CampaignResult &Result) {
 }
 
 int cmdRun(const CliArgs &Args) {
+  if (!Args.CorpusDir.empty()) {
+    // Spill mode: workers flush completed reports straight into v2 shards;
+    // the full ReportSet is never materialized.
+    const Subject *Subj = findSubject(Args.SubjectName);
+    if (!Subj) {
+      std::fprintf(stderr,
+                   "sbi: unknown subject '%s' (try 'sbi subjects')\n",
+                   Args.SubjectName.c_str());
+      return 1;
+    }
+    CampaignOptions Options;
+    if (!configureCampaign(Args, Options))
+      return 1;
+    Options.SpillDir = Args.CorpusDir;
+    Options.SpillShardReports = Args.ShardReports;
+    std::fprintf(stderr, "sbi: running %zu '%s' inputs...\n", Args.Runs,
+                 Subj->Name.c_str());
+    CampaignResult Result = runCampaign(*Subj, Options);
+    std::printf("spilled %zu reports (%zu failing, %zu successful) into "
+                "%zu shards (%llu bytes) under %s\n",
+                Result.SpilledReports, Result.numFailing(),
+                Result.numSuccessful(), Result.SpilledShards,
+                static_cast<unsigned long long>(Result.SpilledBytes),
+                Args.CorpusDir.c_str());
+    return 0;
+  }
   CampaignResult Result;
   if (!obtainReports(Args, Result))
     return 1;
@@ -265,14 +358,8 @@ bool configureEngine(const CliArgs &Args, AnalysisOptions &Options) {
   return true;
 }
 
-int cmdAnalyze(const CliArgs &Args) {
-  CampaignResult Result;
-  if (!obtainReports(Args, Result))
-    return 1;
-
-  AnalysisOptions Options;
-  if (!configureEngine(Args, Options))
-    return 1;
+/// Resolves --policy; returns false (after complaining) on a bad value.
+bool configurePolicy(const CliArgs &Args, AnalysisOptions &Options) {
   if (Args.Policy == "all")
     Options.Policy = DiscardPolicy::DiscardAllRuns;
   else if (Args.Policy == "failing")
@@ -282,34 +369,100 @@ int cmdAnalyze(const CliArgs &Args) {
   else {
     std::fprintf(stderr, "sbi: bad --policy value '%s'\n",
                  Args.Policy.c_str());
-    return 1;
+    return false;
   }
+  return true;
+}
 
-  CauseIsolator Isolator(Result.Sites, Result.Reports, Options);
-  AnalysisResult Analysis = Isolator.run();
+/// Shared tail of cmdAnalyze: renders the analysis over either source
+/// representation (the bug-column renderer is overloaded on it).
+template <typename SourceT>
+int printAnalysis(const CliArgs &Args, const SiteTable &Sites,
+                  const SourceT &Source, const Subject *Subj,
+                  size_t NumReports, size_t NumFailing,
+                  const AnalysisResult &Analysis) {
   std::printf("%zu reports (%zu failing); %u predicates -> %zu survive "
               "Increase>0 -> %zu selected\n\n",
-              Result.Reports.size(), Result.numFailing(),
-              Result.Sites.numPredicates(),
+              NumReports, NumFailing, Sites.numPredicates(),
               Analysis.PrunedSurvivors.size(), Analysis.Selected.size());
 
   if (Args.Trace)
-    std::printf("%s\n", renderAuditTrail(Result.Sites, Analysis).c_str());
+    std::printf("%s\n", renderAuditTrail(Sites, Analysis).c_str());
 
   std::vector<int> BugIds;
-  if (Args.ShowBugs && Result.Subj)
-    for (const BugSpec &Bug : Result.Subj->Bugs)
+  if (Args.ShowBugs && Subj)
+    for (const BugSpec &Bug : Subj->Bugs)
       BugIds.push_back(Bug.Id);
-  std::printf("%s\n", renderSelectedList(Result.Sites, Result.Reports,
-                                         Analysis.Selected, BugIds,
-                                         Args.Top)
+  std::printf("%s\n", renderSelectedList(Sites, Source, Analysis.Selected,
+                                         BugIds, Args.Top)
                           .c_str());
 
   if (Args.ShowAffinity)
     for (size_t I = 0; I < Analysis.Selected.size() && I < Args.Top; ++I)
-      std::printf("%s", renderAffinity(Result.Sites, Analysis.Selected[I])
-                            .c_str());
+      std::printf("%s", renderAffinity(Sites, Analysis.Selected[I]).c_str());
   return 0;
+}
+
+int cmdAnalyze(const CliArgs &Args) {
+  AnalysisOptions Options;
+  if (!configureEngine(Args, Options) || !configurePolicy(Args, Options))
+    return 1;
+  Options.IndexThreads = Args.Threads;
+
+  if (!Args.CorpusDir.empty()) {
+    // Streamed path: shards decode in parallel into a compact profile
+    // store; no ReportSet is ever built. Results are bit-identical to the
+    // in-memory path (differential-tested).
+    const Subject *Subj = findSubject(Args.SubjectName);
+    if (!Subj) {
+      std::fprintf(stderr,
+                   "sbi: unknown subject '%s' (try 'sbi subjects')\n",
+                   Args.SubjectName.c_str());
+      return 1;
+    }
+    std::unique_ptr<Program> Prog =
+        compileSubjectSource(Subj->Source, Subj->Name);
+    SiteTable Sites = SiteTable::build(*Prog);
+    RunProfiles Runs;
+    CorpusIngestStats Stats;
+    std::string Error;
+    if (!ingestCorpus(Args.CorpusDir, Runs, Args.Threads, Error, &Stats)) {
+      std::fprintf(stderr, "sbi: cannot ingest corpus '%s': %s\n",
+                   Args.CorpusDir.c_str(), Error.c_str());
+      return 1;
+    }
+    if (Runs.numPredicates() != Sites.numPredicates()) {
+      std::fprintf(stderr,
+                   "sbi: corpus does not match subject '%s' (%u vs %u "
+                   "predicates)\n",
+                   Subj->Name.c_str(), Runs.numPredicates(),
+                   Sites.numPredicates());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "sbi: ingested %llu reports from %llu shards "
+                 "(%.2f MB in %.3fs, %.1f MB/s)\n",
+                 static_cast<unsigned long long>(Stats.Reports),
+                 static_cast<unsigned long long>(Stats.Shards),
+                 static_cast<double>(Stats.Bytes) / 1e6, Stats.Seconds,
+                 Stats.Seconds > 0.0
+                     ? static_cast<double>(Stats.Bytes) / 1e6 / Stats.Seconds
+                     : 0.0);
+
+    CauseIsolator Isolator(Sites, Runs, Options);
+    AnalysisResult Analysis = Isolator.run();
+    return printAnalysis(Args, Sites, Runs, Subj, Runs.size(),
+                         Runs.numFailing(), Analysis);
+  }
+
+  CampaignResult Result;
+  if (!obtainReports(Args, Result))
+    return 1;
+
+  CauseIsolator Isolator(Result.Sites, Result.Reports, Options);
+  AnalysisResult Analysis = Isolator.run();
+  return printAnalysis(Args, Result.Sites, Result.Reports, Result.Subj,
+                       Result.Reports.size(), Result.numFailing(), Analysis);
 }
 
 int cmdLogReg(const CliArgs &Args) {
@@ -357,6 +510,236 @@ int cmdReport(const CliArgs &Args) {
   return 0;
 }
 
+/// `sbi corpus convert --in=REPORTS --out=DIR`: SBI-REPORTS v1 text to an
+/// SBI-CORPUS v2 shard directory.
+int cmdCorpusConvert(const CliArgs &Args) {
+  if (Args.InFile.empty() || Args.OutFile.empty()) {
+    std::fprintf(stderr,
+                 "sbi: corpus convert needs --in=REPORTS and --out=DIR\n");
+    return usage();
+  }
+  std::ifstream In(Args.InFile);
+  if (!In) {
+    std::fprintf(stderr, "sbi: cannot open '%s'\n", Args.InFile.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  ReportSet Set;
+  if (!ReportSet::deserialize(Buffer.str(), Set)) {
+    std::fprintf(stderr, "sbi: '%s' is not a valid report file\n",
+                 Args.InFile.c_str());
+    return 1;
+  }
+  std::string Error;
+  if (!writeCorpus(Set, Args.OutFile,
+                   static_cast<uint32_t>(Args.ShardReports), Error)) {
+    std::fprintf(stderr, "sbi: cannot write corpus '%s': %s\n",
+                 Args.OutFile.c_str(), Error.c_str());
+    return 1;
+  }
+  size_t Shards = listCorpusShards(Args.OutFile).size();
+  std::printf("converted %zu reports (%zu failing) into %zu shards under "
+              "%s\n",
+              Set.size(), Set.numFailing(), Shards, Args.OutFile.c_str());
+  return 0;
+}
+
+/// The corpus directory a corpus verb operates on: its positional operand,
+/// or --corpus=DIR.
+std::string corpusOperand(const CliArgs &Args) {
+  if (!Args.Inputs.empty())
+    return Args.Inputs.front();
+  return Args.CorpusDir;
+}
+
+/// `sbi corpus info DIR`: per-shard and whole-corpus summary.
+int cmdCorpusInfo(const CliArgs &Args) {
+  std::string Dir = corpusOperand(Args);
+  if (Dir.empty()) {
+    std::fprintf(stderr, "sbi: corpus info needs a corpus directory\n");
+    return usage();
+  }
+  std::vector<std::string> Shards = listCorpusShards(Dir);
+  if (Shards.empty()) {
+    std::fprintf(stderr, "sbi: no shard files in '%s'\n", Dir.c_str());
+    return 1;
+  }
+  uint64_t Reports = 0, Bytes = 0;
+  uint32_t NumSites = 0, NumPredicates = 0;
+  for (const std::string &Path : Shards) {
+    CorpusReader Reader;
+    std::string Error;
+    if (!Reader.open(Path, Error)) {
+      std::fprintf(stderr, "sbi: %s: %s\n", Path.c_str(), Error.c_str());
+      return 1;
+    }
+    const CorpusShardHeader &Header = Reader.header();
+    std::printf("%s  shard %u  %u reports  %llu bytes\n", Path.c_str(),
+                Header.ShardId, Header.NumReports,
+                static_cast<unsigned long long>(Reader.shardBytes()));
+    Reports += Header.NumReports;
+    Bytes += Reader.shardBytes();
+    NumSites = Header.NumSites;
+    NumPredicates = Header.NumPredicates;
+  }
+  std::printf("total: %zu shards, %llu reports, %llu bytes "
+              "(%u sites, %u predicates)\n",
+              Shards.size(), static_cast<unsigned long long>(Reports),
+              static_cast<unsigned long long>(Bytes), NumSites,
+              NumPredicates);
+  return 0;
+}
+
+/// `sbi corpus merge --out=DIR DIR...`: streams every input corpus, in
+/// argument then shard order, into a freshly numbered output corpus.
+/// Memory stays bounded by one shard; dimensions must agree throughout.
+int cmdCorpusMerge(const CliArgs &Args) {
+  if (Args.OutFile.empty() || Args.Inputs.empty()) {
+    std::fprintf(stderr,
+                 "sbi: corpus merge needs --out=DIR and at least one input "
+                 "corpus directory\n");
+    return usage();
+  }
+  std::error_code DirEc;
+  std::filesystem::create_directories(Args.OutFile, DirEc);
+  if (DirEc) {
+    std::fprintf(stderr, "sbi: cannot create '%s': %s\n",
+                 Args.OutFile.c_str(), DirEc.message().c_str());
+    return 1;
+  }
+
+  CorpusWriter Writer;
+  std::string Error;
+  uint32_t OutShard = 0;
+  uint64_t Written = 0;
+  uint32_t NumSites = 0, NumPredicates = 0;
+  bool HaveDims = false;
+  auto openNext = [&] {
+    return Writer.open(Args.OutFile + "/" + corpusShardName(OutShard),
+                       OutShard, NumSites, NumPredicates, Error);
+  };
+
+  for (const std::string &Dir : Args.Inputs) {
+    std::vector<std::string> Shards = listCorpusShards(Dir);
+    if (Shards.empty()) {
+      std::fprintf(stderr, "sbi: no shard files in '%s'\n", Dir.c_str());
+      return 1;
+    }
+    for (const std::string &Path : Shards) {
+      CorpusReader Reader;
+      if (!Reader.open(Path, Error)) {
+        std::fprintf(stderr, "sbi: %s: %s\n", Path.c_str(), Error.c_str());
+        return 1;
+      }
+      const CorpusShardHeader &Header = Reader.header();
+      if (!HaveDims) {
+        NumSites = Header.NumSites;
+        NumPredicates = Header.NumPredicates;
+        HaveDims = true;
+      } else if (Header.NumSites != NumSites ||
+                 Header.NumPredicates != NumPredicates) {
+        std::fprintf(stderr,
+                     "sbi: %s: dimension mismatch (%u sites / %u "
+                     "predicates, expected %u / %u)\n",
+                     Path.c_str(), Header.NumSites, Header.NumPredicates,
+                     NumSites, NumPredicates);
+        return 1;
+      }
+      FeedbackReport Report;
+      while (Reader.next(Report, Error)) {
+        // Roll to a new output shard only once another record exists, so
+        // an exact multiple of --shard-reports never leaves a trailing
+        // empty shard.
+        if (Writer.isOpen() &&
+            Writer.reportsWritten() >= Args.ShardReports) {
+          if (!Writer.finalize(Error))
+            break;
+          ++OutShard;
+        }
+        if (!Writer.isOpen() && !openNext())
+          break;
+        if (!Writer.append(Report, Error))
+          break;
+        ++Written;
+      }
+      if (!Error.empty()) {
+        std::fprintf(stderr, "sbi: merge failed at %s: %s\n", Path.c_str(),
+                     Error.c_str());
+        return 1;
+      }
+    }
+  }
+  // An all-empty input set still yields one (empty) shard, keeping the
+  // output a well-formed corpus.
+  if (!Writer.isOpen() && !openNext()) {
+    std::fprintf(stderr, "sbi: merge failed: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Writer.finalize(Error)) {
+    std::fprintf(stderr, "sbi: merge failed: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("merged %llu reports from %zu corpora into %u shards under "
+              "%s\n",
+              static_cast<unsigned long long>(Written), Args.Inputs.size(),
+              OutShard + 1, Args.OutFile.c_str());
+  return 0;
+}
+
+/// `sbi corpus validate DIR`: full decode of every record of every shard;
+/// malformed input is reported, never crashes.
+int cmdCorpusValidate(const CliArgs &Args) {
+  std::string Dir = corpusOperand(Args);
+  if (Dir.empty()) {
+    std::fprintf(stderr, "sbi: corpus validate needs a corpus directory\n");
+    return usage();
+  }
+  std::vector<std::string> Shards = listCorpusShards(Dir);
+  if (Shards.empty()) {
+    std::fprintf(stderr, "sbi: no shard files in '%s'\n", Dir.c_str());
+    return 1;
+  }
+  uint64_t Reports = 0;
+  for (const std::string &Path : Shards) {
+    CorpusReader Reader;
+    std::string Error;
+    if (!Reader.open(Path, Error)) {
+      std::fprintf(stderr, "sbi: %s: INVALID: %s\n", Path.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    FeedbackReport Report;
+    uint64_t Decoded = 0;
+    while (Reader.next(Report, Error))
+      ++Decoded;
+    if (!Error.empty()) {
+      std::fprintf(stderr, "sbi: %s: INVALID after %llu records: %s\n",
+                   Path.c_str(), static_cast<unsigned long long>(Decoded),
+                   Error.c_str());
+      return 1;
+    }
+    Reports += Decoded;
+  }
+  std::printf("ok: %zu shards, %llu reports\n", Shards.size(),
+              static_cast<unsigned long long>(Reports));
+  return 0;
+}
+
+int cmdCorpus(const CliArgs &Args) {
+  if (Args.SubCommand == "convert")
+    return cmdCorpusConvert(Args);
+  if (Args.SubCommand == "info")
+    return cmdCorpusInfo(Args);
+  if (Args.SubCommand == "merge")
+    return cmdCorpusMerge(Args);
+  if (Args.SubCommand == "validate")
+    return cmdCorpusValidate(Args);
+  std::fprintf(stderr, "sbi: unknown corpus verb '%s'\n",
+               Args.SubCommand.c_str());
+  return usage();
+}
+
 int dispatch(const CliArgs &Args) {
   if (Args.Command == "subjects")
     return cmdSubjects();
@@ -368,6 +751,8 @@ int dispatch(const CliArgs &Args) {
     return cmdLogReg(Args);
   if (Args.Command == "report")
     return cmdReport(Args);
+  if (Args.Command == "corpus")
+    return cmdCorpus(Args);
   std::fprintf(stderr, "sbi: unknown command '%s'\n", Args.Command.c_str());
   return usage();
 }
