@@ -88,8 +88,12 @@ private:
   uint64_t NumS = 0;
 
   /// DeltaAggregates (core/InvertedIndex.h) keeps these counts live under
-  /// run discarding instead of recomputing them from scratch.
+  /// run discarding instead of recomputing them from scratch; the bitset
+  /// engine (core/BitMatrix.h) does the same with popcount deltas, and
+  /// its parallel build fills a fresh instance chunk by chunk.
   friend class DeltaAggregates;
+  friend class BitsetIndex;
+  friend class BitsetState;
 };
 
 } // namespace sbi

@@ -2,6 +2,7 @@
 
 #include "core/Analysis.h"
 
+#include "core/BitMatrix.h"
 #include "core/InvertedIndex.h"
 #include "obs/Phase.h"
 
@@ -9,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 
 using namespace sbi;
@@ -31,6 +33,8 @@ const char *sbi::analysisEngineName(AnalysisEngine Engine) {
     return "rescan";
   case AnalysisEngine::Incremental:
     return "incremental";
+  case AnalysisEngine::Bitset:
+    return "bitset";
   }
   return "?";
 }
@@ -222,6 +226,19 @@ uint64_t CauseIsolator::applyPolicy(RunView &View, uint32_t Pred) const {
   return Touched;
 }
 
+uint64_t CauseIsolator::applyPolicyBitset(uint32_t Pred,
+                                          BitsetState &State) const {
+  switch (Options.Policy) {
+  case DiscardPolicy::DiscardAllRuns:
+    return State.discardCoveredRuns(Pred);
+  case DiscardPolicy::DiscardFailingRuns:
+    return State.discardFailingRuns(Pred);
+  case DiscardPolicy::RelabelFailingRuns:
+    return State.relabelFailingRuns(Pred);
+  }
+  return 0;
+}
+
 uint64_t CauseIsolator::applyPolicyIncremental(RunView &View, uint32_t Pred,
                                                const InvertedIndex &Index,
                                                DeltaAggregates &Delta) const {
@@ -273,7 +290,20 @@ CauseIsolator::initialCandidatesOf(const Aggregates &Agg) const {
 
 AnalysisResult CauseIsolator::run() const {
   ScopedPhase AnalysisPhase("analysis");
-  const bool Incremental = Options.Engine == AnalysisEngine::Incremental;
+
+  // The density fallback: for populations so sparse that dense word sweeps
+  // would outweigh posting walks, the bitset engine defers to the
+  // incremental one (identical results either way). A caller-provided
+  // BitsetIndex pins the engine — the build is already paid for.
+  AnalysisEngine Engine = Options.Engine;
+  if (Engine == AnalysisEngine::Bitset && !Options.SharedBitset &&
+      BitsetIndex::preferIncremental(Runs, Options.BitsetMinDensity))
+    Engine = AnalysisEngine::Incremental;
+  const bool Incremental = Engine == AnalysisEngine::Incremental;
+  const bool Bitset = Engine == AnalysisEngine::Bitset;
+  // Both live engines share the sort-free scoring path; they differ only
+  // in how the counts are kept current after each selection.
+  const bool Live = Incremental || Bitset;
 
   AnalysisResult Result;
   Result.NumInitialPredicates = Runs.numPredicates();
@@ -281,17 +311,25 @@ AnalysisResult CauseIsolator::run() const {
 
   RunView View = RunView::allOf(Runs);
 
-  // The incremental engine pays one index build plus one full scan up
-  // front, then touches only the selected predicate's posting list and the
-  // discarded runs' sparse entries per iteration. The rescan engine keeps
-  // the paper-literal shape: a full aggregation pass per ranking. A caller
-  // analyzing the same report set repeatedly can pass a prebuilt index;
-  // posting lists are never mutated, so sharing is safe.
+  // The live engines pay a build up front, then touch only the selected
+  // predicate's runs (incremental: its posting list; bitset: its row AND
+  // the active mask) per iteration. The rescan engine keeps the
+  // paper-literal shape: a full aggregation pass per ranking. A caller
+  // analyzing the same population repeatedly can pass a prebuilt
+  // index/bitset; neither is ever mutated, so sharing is safe.
   std::optional<InvertedIndex> OwnedIndex;
   const InvertedIndex *Index = nullptr;
   std::optional<DeltaAggregates> Delta;
+  std::optional<BitsetIndex> OwnedBitset;
+  const BitsetIndex *BIndex = nullptr;
+  std::optional<BitsetState> BState;
+  // An owned posting-list build reads the same immutable RunProfiles as
+  // the initial scan, so it runs on a worker concurrently with the scan
+  // below instead of serializing in front of it; the "index_build" phase
+  // then measures only the residual join wait.
+  std::thread IndexBuilder;
+
   if (Incremental) {
-    ScopedPhase IndexPhase("index_build");
     if (Options.SharedIndex) {
       Index = Options.SharedIndex;
       if (Index->numPredicates() != Runs.numPredicates() ||
@@ -305,56 +343,90 @@ AnalysisResult CauseIsolator::run() const {
         std::abort();
       }
     } else {
-      OwnedIndex.emplace(InvertedIndex::build(Runs, Options.IndexThreads));
-      Index = &*OwnedIndex;
+      IndexBuilder = std::thread([this, &OwnedIndex] {
+        OwnedIndex.emplace(InvertedIndex::build(Runs, Options.IndexThreads));
+      });
     }
-    Delta.emplace(Runs, View);
+  } else if (Bitset) {
+    ScopedPhase IndexPhase("index_build");
+    if (Options.SharedBitset) {
+      BIndex = Options.SharedBitset;
+      if (BIndex->numPredicates() != Runs.numPredicates() ||
+          BIndex->numSites() != Runs.numSites() ||
+          BIndex->numRuns() != Runs.size()) {
+        std::fprintf(stderr,
+                     "sbi: CauseIsolator::run: shared bitset index was not "
+                     "built over this run population\n");
+        std::abort();
+      }
+    } else {
+      OwnedBitset.emplace(
+          BitsetIndex::build(Runs, Sites, Options.IndexThreads));
+      BIndex = &*OwnedBitset;
+    }
+    BState.emplace(*BIndex, Options.IndexThreads);
   }
 
   // Initial (full-population) scores, shown as the "initial thermometer".
+  // The bitset build already fused this scan into its counting pass.
   std::optional<ScopedPhase> ScanPhase;
   ScanPhase.emplace("initial_scan");
-  Aggregates InitialAgg =
-      Incremental ? Delta->aggregates() : Aggregates::compute(Runs, View);
+  if (Incremental)
+    Delta.emplace(Runs, View);
+  Aggregates InitialAgg = Bitset        ? BIndex->initialAggregates()
+                          : Incremental ? Delta->aggregates()
+                                        : Aggregates::compute(Runs, View);
   uint64_t InitialNumF = InitialAgg.numFailing();
 
-  Result.PrunedSurvivors = survivorsOf(InitialAgg);
+  Result.PrunedSurvivors =
+      Bitset ? BIndex->survivors() : survivorsOf(InitialAgg);
   std::vector<uint32_t> Candidates = initialCandidatesOf(InitialAgg);
   ScanPhase.reset();
 
+  if (IndexBuilder.joinable()) {
+    ScopedPhase IndexPhase("index_build");
+    IndexBuilder.join();
+    Index = &*OwnedIndex;
+  }
+
   ScopedPhase EliminationPhase("elimination");
 
+  // The live engines' current counts: delta-maintained or popcount-
+  // maintained, always exactly what a fresh full scan would produce.
+  auto liveAgg = [&]() -> const Aggregates & {
+    return Bitset ? BState->aggregates() : Delta->aggregates();
+  };
+
   // Rescan engine: the paper-literal fully sorted ranking, rebuilt from a
-  // full aggregation pass per iteration. Incremental engine: one importance
+  // full aggregation pass per iteration. Live engines: one importance
   // value per predicate (all affinity needs) plus the would-be-first entry,
   // both maintained by a single sort-free scoring pass per iteration.
   std::vector<RankedPredicate> Ranked;
   std::vector<double> CurImportance, NextImportance;
   BestCandidate Best;
-  if (Incremental) {
+  if (Live) {
     CurImportance.resize(Runs.numPredicates());
     NextImportance.resize(Runs.numPredicates());
-    Best =
-        scoreCandidates(Delta->aggregates(), Sites, Candidates, CurImportance);
+    Best = scoreCandidates(liveAgg(), Sites, Candidates, CurImportance);
   } else {
     Ranked = rank(Candidates, View);
   }
 
   for (int Iteration = 0; Iteration < Options.MaxSelections; ++Iteration) {
-    // Under relabeling every run stays active, so active = F + S in both
-    // engines; the delta counts give the totals without a view scan.
-    uint64_t ActiveRuns = Incremental ? Delta->aggregates().numFailing() +
-                                            Delta->aggregates().numSuccessful()
-                                      : View.numActive();
+    // Under relabeling every run stays active, so active = F + S in every
+    // engine; the live counts give the totals without a view scan.
+    uint64_t ActiveRuns = Live ? liveAgg().numFailing() +
+                                     liveAgg().numSuccessful()
+                               : View.numActive();
     uint64_t FailingRuns =
-        Incremental ? Delta->aggregates().numFailing() : View.numActiveFailing();
+        Live ? liveAgg().numFailing() : View.numActiveFailing();
     if (Candidates.empty() || FailingRuns == 0)
       break;
 
     // Select the top-ranked predicate that still covers at least one
     // active failing run; Lemma 3.1's coverage argument rests on F(P) > 0.
     SelectedPredicate Selected;
-    if (Incremental) {
+    if (Live) {
       if (!Best.Found)
         break;
       Selected.Pred = Best.Pred;
@@ -379,9 +451,10 @@ AnalysisResult CauseIsolator::run() const {
     Selected.FailingRunsAtSelection = FailingRuns;
 
     uint64_t RunsDiscarded =
-        Incremental
-            ? applyPolicyIncremental(View, Selected.Pred, *Index, *Delta)
-            : applyPolicy(View, Selected.Pred);
+        Bitset        ? applyPolicyBitset(Selected.Pred, *BState)
+        : Incremental ? applyPolicyIncremental(View, Selected.Pred, *Index,
+                                               *Delta)
+                      : applyPolicy(View, Selected.Pred);
     Candidates.erase(
         std::remove(Candidates.begin(), Candidates.end(), Selected.Pred),
         Candidates.end());
@@ -402,9 +475,8 @@ AnalysisResult CauseIsolator::run() const {
 
     // Affinity(P -> Q): how much Q's Importance fell when P's runs were
     // removed. Large drops indicate Q predicts (a subset of) P's bug.
-    if (Incremental) {
-      Best = scoreCandidates(Delta->aggregates(), Sites, Candidates,
-                             NextImportance);
+    if (Live) {
+      Best = scoreCandidates(liveAgg(), Sites, Candidates, NextImportance);
       if (Options.ComputeAffinity) {
         std::vector<std::pair<uint32_t, double>> Drops;
         for (uint32_t Pred : Candidates) {

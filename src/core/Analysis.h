@@ -39,6 +39,8 @@ namespace sbi {
 
 class InvertedIndex;
 class DeltaAggregates;
+class BitsetIndex;
+class BitsetState;
 
 /// The three run-discarding proposals of Section 5.
 enum class DiscardPolicy {
@@ -53,13 +55,14 @@ const char *discardPolicyName(DiscardPolicy Policy);
 enum class AnalysisEngine {
   Rescan,      ///< Full report-set scan per iteration (reference).
   Incremental, ///< Inverted index + delta-updated counts (default).
+  Bitset,      ///< Dense bit-matrices, word-AND + popcount per iteration.
 };
 
 const char *analysisEngineName(AnalysisEngine Engine);
 
 struct AnalysisOptions {
   DiscardPolicy Policy = DiscardPolicy::DiscardAllRuns;
-  /// Both engines produce bit-identical AnalysisResults (differential
+  /// All engines produce bit-identical AnalysisResults (differential
   /// tested); Rescan survives as the reference implementation.
   AnalysisEngine Engine = AnalysisEngine::Incremental;
   /// Hard cap on elimination iterations (each selects one predicate).
@@ -67,8 +70,9 @@ struct AnalysisOptions {
   /// How many affinity entries to keep per selected predicate.
   int AffinityTopK = 10;
   bool ComputeAffinity = true;
-  /// Worker threads for the one-time inverted-index build; 0 means one per
-  /// hardware thread. Irrelevant under AnalysisEngine::Rescan.
+  /// Worker threads for the one-time inverted-index or bit-matrix build
+  /// (and the bitset engine's large row sweeps); 0 means one per hardware
+  /// thread. Irrelevant under AnalysisEngine::Rescan.
   size_t IndexThreads = 0;
   /// Optional prebuilt index over the same ReportSet, letting callers that
   /// analyze one report set repeatedly (e.g. once per policy) pay the build
@@ -76,6 +80,15 @@ struct AnalysisOptions {
   /// DeltaAggregates — and must outlive the isolator. When null the
   /// incremental engine builds its own.
   const InvertedIndex *SharedIndex = nullptr;
+  /// The bitset-engine analog of SharedIndex: a prebuilt BitsetIndex over
+  /// the same run population (immutable; mutable state lives in
+  /// BitsetState). Passing one also pins the engine — the density fallback
+  /// below is skipped, since the build is already paid for.
+  const BitsetIndex *SharedBitset = nullptr;
+  /// Posting fill fraction below which AnalysisEngine::Bitset falls back
+  /// to the incremental engine (dense word sweeps would outweigh posting
+  /// walks); see BitsetIndex::preferIncremental.
+  double BitsetMinDensity = 1.0 / 256;
 };
 
 /// One ranked predicate with its scores over some run population.
@@ -188,6 +201,10 @@ private:
   uint64_t applyPolicyIncremental(RunView &View, uint32_t Pred,
                                   const InvertedIndex &Index,
                                   DeltaAggregates &Delta) const;
+
+  /// Policy application by word-AND + popcount over \p State's matrices;
+  /// returns the same count as the other two overloads.
+  uint64_t applyPolicyBitset(uint32_t Pred, BitsetState &State) const;
 
   const SiteTable &Sites;
   /// Set only by the ReportSet constructor; declared before Runs so the

@@ -55,16 +55,47 @@ void buildPostings(std::vector<std::vector<uint32_t>> &PredRuns,
   for (std::thread &Worker : Pool)
     Worker.join();
 
-  for (const ChunkLists &Local : Chunks) {
-    for (size_t Pred = 0; Pred < Local.PredRuns.size(); ++Pred)
-      PredRuns[Pred].insert(PredRuns[Pred].end(),
-                            Local.PredRuns[Pred].begin(),
-                            Local.PredRuns[Pred].end());
-    for (size_t Site = 0; Site < Local.SiteRuns.size(); ++Site)
-      SiteRuns[Site].insert(SiteRuns[Site].end(),
-                            Local.SiteRuns[Site].begin(),
-                            Local.SiteRuns[Site].end());
+  // Concatenation is parallel too: each final list is owned by exactly one
+  // merge worker (lists partitioned by id over a virtual pred-then-site
+  // space), and each is assembled in chunk order, so the result is the
+  // same as a serial merge and the concatenation no longer serializes the
+  // build behind one core.
+  const size_t NumPreds = PredRuns.size();
+  const size_t NumLists = NumPreds + SiteRuns.size();
+  auto mergeLists = [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      std::vector<uint32_t> &Out =
+          I < NumPreds ? PredRuns[I] : SiteRuns[I - NumPreds];
+      size_t Total = 0;
+      for (const ChunkLists &Local : Chunks)
+        Total += (I < NumPreds ? Local.PredRuns[I]
+                               : Local.SiteRuns[I - NumPreds])
+                     .size();
+      Out.reserve(Total);
+      for (const ChunkLists &Local : Chunks) {
+        const std::vector<uint32_t> &Src =
+            I < NumPreds ? Local.PredRuns[I] : Local.SiteRuns[I - NumPreds];
+        Out.insert(Out.end(), Src.begin(), Src.end());
+      }
+    }
+  };
+  const size_t MergeWorkers = resolveThreadCount(Threads, NumLists / 1024);
+  if (MergeWorkers <= 1) {
+    mergeLists(0, NumLists);
+    return;
   }
+  std::vector<std::thread> MergePool;
+  MergePool.reserve(MergeWorkers);
+  const size_t ListsPerWorker = (NumLists + MergeWorkers - 1) / MergeWorkers;
+  for (size_t W = 0; W < MergeWorkers; ++W) {
+    size_t Begin = W * ListsPerWorker;
+    size_t End = std::min(NumLists, Begin + ListsPerWorker);
+    MergePool.emplace_back([&mergeLists, Begin, End] {
+      mergeLists(Begin, End);
+    });
+  }
+  for (std::thread &Worker : MergePool)
+    Worker.join();
 }
 
 } // namespace

@@ -1,0 +1,20 @@
+//===- support/Bits.cpp - Portable 64-bit word primitives -----------------===//
+
+#include "support/Bits.h"
+
+using namespace sbi;
+
+uint64_t sbi::popcountWords(const uint64_t *Words, size_t NumWords) {
+  uint64_t Count = 0;
+  for (size_t I = 0; I < NumWords; ++I)
+    Count += static_cast<uint64_t>(popcount64(Words[I]));
+  return Count;
+}
+
+uint64_t sbi::andPopcount(const uint64_t *A, const uint64_t *B,
+                          size_t NumWords) {
+  uint64_t Count = 0;
+  for (size_t I = 0; I < NumWords; ++I)
+    Count += static_cast<uint64_t>(popcount64(A[I] & B[I]));
+  return Count;
+}

@@ -1,0 +1,81 @@
+//===- support/Bits.h - Portable 64-bit word primitives -------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bit-matrix aggregation engine (core/BitMatrix.h) counts F(P)/S(P)
+/// by AND-ing 64-run words and popcounting the result, so its hot loop is
+/// exactly two primitives: population count and count-trailing-zeros.
+/// These shims pin down one portable definition of each:
+///
+///   * popcount64(W)     number of set bits in W.
+///   * countr_zero64(W)  index of the lowest set bit; 64 for W == 0
+///                       (mirroring std::countr_zero, not the undefined
+///                       __builtin_ctzll(0)).
+///
+/// When the compilation target has the native instruction (__POPCNT__,
+/// AArch64) popcount64 compiles to the __builtin intrinsic. Otherwise it
+/// is a hand-inlined SWAR reduction: on baseline x86-64, GCC lowers
+/// __builtin_popcountll to a libgcc *call* per word, which is ruinous at
+/// one call per swept matrix word. No -march flags are assumed and the
+/// results are identical everywhere; hot kernels that want the hardware
+/// instruction on capable CPUs despite a baseline build do their own
+/// runtime dispatch (see core/BitMatrix.cpp). The generic fallback is a
+/// pure-C++20 std::<bit> call.
+///
+/// Word-span helpers (popcountWords, andPopcount) live in Bits.cpp; they
+/// are convenience entry points for cold callers and tests — the kernels
+/// in core/BitMatrix.cpp keep their loops local so the compiler can fuse
+/// AND + popcount + accumulate without a call boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SUPPORT_BITS_H
+#define SBI_SUPPORT_BITS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace sbi {
+
+/// Number of set bits in \p Word.
+inline int popcount64(uint64_t Word) {
+#if (defined(__GNUC__) || defined(__clang__)) &&                             \
+    (defined(__POPCNT__) || defined(__aarch64__))
+  return __builtin_popcountll(Word);
+#elif defined(__GNUC__) || defined(__clang__)
+  // SWAR bit-sliced reduction, always inlined: without __POPCNT__ the
+  // builtin is a libgcc call on x86-64.
+  Word -= (Word >> 1) & 0x5555555555555555ULL;
+  Word = (Word & 0x3333333333333333ULL) +
+         ((Word >> 2) & 0x3333333333333333ULL);
+  Word = (Word + (Word >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  return static_cast<int>((Word * 0x0101010101010101ULL) >> 56);
+#else
+  return std::popcount(Word);
+#endif
+}
+
+/// Index of the lowest set bit of \p Word; 64 when \p Word is zero.
+inline int countr_zero64(uint64_t Word) {
+#if defined(__GNUC__) || defined(__clang__)
+  return Word == 0 ? 64 : __builtin_ctzll(Word);
+#else
+  return std::countr_zero(Word);
+#endif
+}
+
+/// Sum of popcount64 over \p Words[0..NumWords).
+uint64_t popcountWords(const uint64_t *Words, size_t NumWords);
+
+/// Sum of popcount64(A[I] & B[I]) over [0, NumWords) — the F(P)/S(P)
+/// counting primitive: predicate-row words AND a run-mask.
+uint64_t andPopcount(const uint64_t *A, const uint64_t *B, size_t NumWords);
+
+} // namespace sbi
+
+#endif // SBI_SUPPORT_BITS_H

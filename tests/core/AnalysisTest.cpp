@@ -2,6 +2,7 @@
 
 #include "core/Analysis.h"
 
+#include "core/BitMatrix.h"
 #include "core/InvertedIndex.h"
 
 #include "SyntheticWorld.h"
@@ -448,11 +449,16 @@ TEST_P(EngineDifferentialTest, EnginesBitIdenticalAcrossPolicies) {
     Rescan.Engine = AnalysisEngine::Rescan;
     AnalysisOptions Incremental = Rescan;
     Incremental.Engine = AnalysisEngine::Incremental;
+    AnalysisOptions Bitset = Rescan;
+    Bitset.Engine = AnalysisEngine::Bitset;
 
     AnalysisResult A = CauseIsolator(World.Sites, Set, Rescan).run();
     AnalysisResult B = CauseIsolator(World.Sites, Set, Incremental).run();
+    AnalysisResult C = CauseIsolator(World.Sites, Set, Bitset).run();
     EXPECT_TRUE(bitIdentical(A, B))
         << discardPolicyName(Policy) << " seed " << GetParam();
+    EXPECT_TRUE(bitIdentical(A, C))
+        << "bitset, " << discardPolicyName(Policy) << " seed " << GetParam();
     EXPECT_FALSE(B.Selected.empty()) << "trivial differential";
   }
 }
@@ -480,6 +486,59 @@ TEST(EngineDifferentialTest, SharedIndexMatchesOwnedIndex) {
     EXPECT_TRUE(bitIdentical(A, B)) << discardPolicyName(Policy);
     EXPECT_FALSE(B.Selected.empty()) << "trivial differential";
   }
+}
+
+TEST(EngineDifferentialTest, SharedBitsetMatchesOwnedBitset) {
+  // The BitsetIndex analog of the shared-index contract: one prebuilt
+  // bitset reused across all three policies matches per-run() builds.
+  SyntheticWorld World(16);
+  ReportSet Set = multiBugSet(World, 909);
+  RunProfiles Runs = RunProfiles::fromReports(Set);
+  BitsetIndex Index = BitsetIndex::build(Runs, World.Sites);
+  for (DiscardPolicy Policy :
+       {DiscardPolicy::DiscardAllRuns, DiscardPolicy::DiscardFailingRuns,
+        DiscardPolicy::RelabelFailingRuns}) {
+    AnalysisOptions Owned;
+    Owned.Policy = Policy;
+    Owned.Engine = AnalysisEngine::Bitset;
+    AnalysisOptions Shared = Owned;
+    Shared.SharedBitset = &Index;
+
+    AnalysisResult A = CauseIsolator(World.Sites, Set, Owned).run();
+    AnalysisResult B = CauseIsolator(World.Sites, Set, Shared).run();
+    EXPECT_TRUE(bitIdentical(A, B)) << discardPolicyName(Policy);
+    EXPECT_FALSE(B.Selected.empty()) << "trivial differential";
+  }
+}
+
+TEST(EngineDifferentialTest, BitsetDensityFallbackIsInvisible) {
+  // A large, extremely sparse population (one site + one pred per run)
+  // trips the density heuristic, so the bitset option silently takes the
+  // incremental path — and must still produce identical results.
+  SyntheticWorld World(200);
+  const uint32_t NumSites = World.Sites.numSites();
+  RunProfiles Sparse(NumSites, World.Sites.numPredicates());
+  for (uint32_t Run = 0; Run < 16384; ++Run) {
+    // Failing/successful pairs observing the same site, the predicate true
+    // only in the failing half, so Increase(P) is solidly positive.
+    const bool Failed = (Run & 1) != 0;
+    Sparse.beginRun(Failed);
+    uint32_t Site = (Run / 2) % NumSites;
+    Sparse.addSite(Site);
+    if (Failed)
+      Sparse.addPred(World.Sites.site(Site).FirstPredicate);
+  }
+  ASSERT_TRUE(BitsetIndex::preferIncremental(Sparse, 1.0 / 256))
+      << "fixture no longer trips the fallback";
+
+  AnalysisOptions Bitset;
+  Bitset.Engine = AnalysisEngine::Bitset;
+  AnalysisOptions Rescan;
+  Rescan.Engine = AnalysisEngine::Rescan;
+  AnalysisResult A = CauseIsolator(World.Sites, Sparse, Rescan).run();
+  AnalysisResult B = CauseIsolator(World.Sites, Sparse, Bitset).run();
+  EXPECT_TRUE(bitIdentical(A, B));
+  EXPECT_FALSE(B.Selected.empty()) << "trivial differential";
 }
 
 TEST(EngineDifferentialTest, AffinityDepthAndCapRespected) {

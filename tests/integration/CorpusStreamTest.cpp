@@ -131,7 +131,8 @@ TEST(CorpusStreamTest, StreamedAnalysisIsBitIdenticalAcrossPoliciesAndEngines) {
        {DiscardPolicy::DiscardAllRuns, DiscardPolicy::DiscardFailingRuns,
         DiscardPolicy::RelabelFailingRuns}) {
     for (AnalysisEngine Engine :
-         {AnalysisEngine::Rescan, AnalysisEngine::Incremental}) {
+         {AnalysisEngine::Rescan, AnalysisEngine::Incremental,
+          AnalysisEngine::Bitset}) {
       AnalysisOptions Options;
       Options.Policy = Policy;
       Options.Engine = Engine;
@@ -142,8 +143,7 @@ TEST(CorpusStreamTest, StreamedAnalysisIsBitIdenticalAcrossPoliciesAndEngines) {
           CauseIsolator(Result.Sites, Streamed, Options).run();
 
       std::string What = std::string(discardPolicyName(Policy)) + "/" +
-                         (Engine == AnalysisEngine::Rescan ? "rescan"
-                                                           : "incremental");
+                         analysisEngineName(Engine);
       EXPECT_TRUE(bitIdentical(FromSet, FromProfiles)) << What;
       EXPECT_FALSE(FromSet.Selected.empty())
           << What << ": parity check would be trivial";

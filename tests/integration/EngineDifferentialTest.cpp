@@ -1,12 +1,13 @@
 //===- tests/integration/EngineDifferentialTest.cpp - Engine equivalence --===//
 //
-// The incremental inverted-index engine must produce bit-identical
-// AnalysisResults (selections, every score, affinity lists) to the
-// reference rescan engine on real subject campaigns, for all three
-// Section 5 discard policies. Synthetic differentials live in
-// tests/core/AnalysisTest.cpp; this suite covers end-to-end reports from
-// actual campaigns, whose observation patterns (sampling, overlapping
-// bugs, observed-but-false predicates) are far messier.
+// The incremental inverted-index engine and the dense bit-matrix engine
+// must produce bit-identical AnalysisResults (selections, every score,
+// affinity lists) to the reference rescan engine on real subject
+// campaigns, for all three Section 5 discard policies. Synthetic
+// differentials live in tests/core/AnalysisTest.cpp; this suite covers
+// end-to-end reports from actual campaigns, whose observation patterns
+// (sampling, overlapping bugs, observed-but-false predicates) are far
+// messier.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +16,8 @@
 #include "harness/Tables.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 using namespace sbi;
 
@@ -35,25 +38,31 @@ void expectEnginesAgree(const CampaignResult &Result) {
     AnalysisOptions Rescan;
     Rescan.Policy = Policy;
     Rescan.Engine = AnalysisEngine::Rescan;
-    AnalysisOptions Incremental = Rescan;
-    Incremental.Engine = AnalysisEngine::Incremental;
 
     AnalysisResult A =
         CauseIsolator(Result.Sites, Result.Reports, Rescan).run();
-    AnalysisResult B =
-        CauseIsolator(Result.Sites, Result.Reports, Incremental).run();
-    EXPECT_TRUE(bitIdentical(A, B)) << discardPolicyName(Policy);
     EXPECT_FALSE(A.Selected.empty())
         << discardPolicyName(Policy) << ": differential would be trivial";
-
-    // The audit trail is part of the engine contract: same selections,
-    // same scores, same run accounting at every iteration — so the
-    // rendered trail must be byte-identical, not merely equivalent.
     EXPECT_EQ(A.Trail.size(), A.Selected.size())
         << discardPolicyName(Policy);
-    EXPECT_EQ(renderAuditTrail(Result.Sites, A),
-              renderAuditTrail(Result.Sites, B))
-        << discardPolicyName(Policy);
+
+    for (AnalysisEngine Engine :
+         {AnalysisEngine::Incremental, AnalysisEngine::Bitset}) {
+      AnalysisOptions Other = Rescan;
+      Other.Engine = Engine;
+      AnalysisResult B =
+          CauseIsolator(Result.Sites, Result.Reports, Other).run();
+      std::string What = std::string(discardPolicyName(Policy)) + "/" +
+                         analysisEngineName(Engine);
+      EXPECT_TRUE(bitIdentical(A, B)) << What;
+
+      // The audit trail is part of the engine contract: same selections,
+      // same scores, same run accounting at every iteration — so the
+      // rendered trail must be byte-identical, not merely equivalent.
+      EXPECT_EQ(renderAuditTrail(Result.Sites, A),
+                renderAuditTrail(Result.Sites, B))
+          << What;
+    }
   }
 }
 

@@ -1,0 +1,49 @@
+//===- tests/support/BitsTest.cpp - Word-primitive shims ------------------===//
+
+#include "support/Bits.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+TEST(BitsTest, PopcountZeroSingleBitAllOnes) {
+  EXPECT_EQ(popcount64(0), 0);
+  for (int Bit = 0; Bit < 64; ++Bit)
+    EXPECT_EQ(popcount64(uint64_t(1) << Bit), 1) << "bit " << Bit;
+  EXPECT_EQ(popcount64(~uint64_t(0)), 64);
+}
+
+TEST(BitsTest, PopcountMixedPatterns) {
+  EXPECT_EQ(popcount64(0x5555555555555555ull), 32);
+  EXPECT_EQ(popcount64(0xAAAAAAAAAAAAAAAAull), 32);
+  EXPECT_EQ(popcount64(0x8000000000000001ull), 2);
+  EXPECT_EQ(popcount64(0x00FF00FF00FF00FFull), 32);
+}
+
+TEST(BitsTest, CountrZeroZeroSingleBitAllOnes) {
+  // Zero is defined (64, like std::countr_zero), unlike the raw builtin.
+  EXPECT_EQ(countr_zero64(0), 64);
+  for (int Bit = 0; Bit < 64; ++Bit)
+    EXPECT_EQ(countr_zero64(uint64_t(1) << Bit), Bit) << "bit " << Bit;
+  EXPECT_EQ(countr_zero64(~uint64_t(0)), 0);
+}
+
+TEST(BitsTest, CountrZeroIgnoresHigherBits) {
+  EXPECT_EQ(countr_zero64(0b1100), 2);
+  EXPECT_EQ(countr_zero64(0x8000000000000010ull), 4);
+}
+
+TEST(BitsTest, PopcountWordsSpans) {
+  const uint64_t Words[] = {0, 1, ~uint64_t(0), 0x5555555555555555ull};
+  EXPECT_EQ(popcountWords(Words, 0), 0u);
+  EXPECT_EQ(popcountWords(Words, 1), 0u);
+  EXPECT_EQ(popcountWords(Words, 4), 0u + 1 + 64 + 32);
+}
+
+TEST(BitsTest, AndPopcountMatchesManualIntersection) {
+  const uint64_t A[] = {~uint64_t(0), 0xF0F0ull, 0};
+  const uint64_t B[] = {0x0101ull, 0xFF00ull, ~uint64_t(0)};
+  // Word-wise: popcount(0x0101) + popcount(0xF000) + popcount(0).
+  EXPECT_EQ(andPopcount(A, B, 3), 2u + 4u + 0u);
+  EXPECT_EQ(andPopcount(A, B, 0), 0u);
+}

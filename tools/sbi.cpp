@@ -92,7 +92,7 @@ int usage() {
       "  analyze --subject=NAME [--in=FILE] [--runs=N] [--seed=S]\n"
       "          [--policy=all|failing|relabel] [--top=K] [--affinity] "
       "[--bugs]\n"
-      "          [--analysis-engine=rescan|incremental] [--trace]\n"
+      "          [--analysis-engine=rescan|incremental|bitset] [--trace]\n"
       "  logreg  --subject=NAME [--in=FILE] [--runs=N] [--top=K]\n"
       "  report  --subject=NAME [--in=FILE] [--out=FILE] [--top=K] "
       "[--bugs]\n"
@@ -350,6 +350,8 @@ bool configureEngine(const CliArgs &Args, AnalysisOptions &Options) {
     Options.Engine = AnalysisEngine::Incremental;
   else if (Args.Engine == "rescan")
     Options.Engine = AnalysisEngine::Rescan;
+  else if (Args.Engine == "bitset")
+    Options.Engine = AnalysisEngine::Bitset;
   else {
     std::fprintf(stderr, "sbi: bad --analysis-engine value '%s'\n",
                  Args.Engine.c_str());
@@ -406,7 +408,7 @@ int printAnalysis(const CliArgs &Args, const SiteTable &Sites,
 int cmdAnalyze(const CliArgs &Args) {
   AnalysisOptions Options;
   if (!configureEngine(Args, Options) || !configurePolicy(Args, Options))
-    return 1;
+    return usage();
   Options.IndexThreads = Args.Threads;
 
   if (!Args.CorpusDir.empty()) {
@@ -487,7 +489,7 @@ int cmdReport(const CliArgs &Args) {
     return 1;
   AnalysisOptions AnalyzeOptions;
   if (!configureEngine(Args, AnalyzeOptions))
-    return 1;
+    return usage();
   CauseIsolator Isolator(Result.Sites, Result.Reports, AnalyzeOptions);
   AnalysisResult Analysis = Isolator.run();
 
