@@ -23,8 +23,16 @@
 // monitoring — its overhead win materializes on programs whose hot sites
 // execute orders of magnitude more often than the target.
 //
+// Besides the google-benchmark suites, `--prune-bench[=PATH]` runs the
+// static-pruning throughput study: full 32k-run MOSS campaigns with and
+// without --static-prune on both execution engines, recording wall time,
+// runs/sec, prune statistics, and a retained-predicate ranking check into
+// BENCH_sampling.json (the committed copy is the reference measurement
+// EXPERIMENTS.md cites).
+//
 //===----------------------------------------------------------------------===//
 
+#include "core/Analysis.h"
 #include "harness/Campaign.h"
 #include "instrument/Collector.h"
 #include "runtime/Interp.h"
@@ -34,6 +42,11 @@
 #include "vm/VM.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
 
 using namespace sbi;
 
@@ -161,4 +174,117 @@ BENCHMARK(BM_UniformRate)->Arg(1000)->Arg(100)->Arg(10);
 BENCHMARK(BM_Adaptive);
 BENCHMARK(BM_FullMonitoring);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// The static-pruning throughput study: 32k-run MOSS campaigns, pruned
+/// and unpruned, one per execution engine, single-threaded so runs/sec is
+/// a per-core number. Also re-checks the pruning contract at benchmark
+/// scale: retained-predicate rankings bit-identical under the default
+/// analysis, every prune stat recorded alongside the timing.
+int runPruneBench(const std::string &OutPath) {
+  using Clock = std::chrono::steady_clock;
+  constexpr size_t NumRuns = 32768;
+
+  struct Row {
+    const char *EngineName;
+    Engine Exec;
+    bool Pruned;
+    double WallMs = 0.0;
+    double RunsPerSec = 0.0;
+    CampaignResult Result = {};
+  };
+  Row Rows[] = {{"interp", Engine::Interpreter, false},
+                {"interp", Engine::Interpreter, true},
+                {"vm", Engine::VM, false},
+                {"vm", Engine::VM, true}};
+
+  // Open the output up front: an unwritable path should fail before the
+  // campaigns, not twenty minutes after.
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "prune-bench: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+
+  for (Row &R : Rows) {
+    CampaignOptions Options;
+    Options.NumRuns = NumRuns;
+    Options.Threads = 1;
+    Options.Exec = R.Exec;
+    Options.StaticPrune = R.Pruned;
+    Clock::time_point Start = Clock::now();
+    R.Result = runCampaign(mossSubject(), Options);
+    std::chrono::duration<double, std::milli> Wall = Clock::now() - Start;
+    R.WallMs = Wall.count();
+    R.RunsPerSec = static_cast<double>(NumRuns) / (R.WallMs / 1000.0);
+    std::fprintf(stderr, "prune-bench: %s %s: %.1f ms, %.1f runs/sec\n",
+                 R.EngineName, R.Pruned ? "pruned" : "unpruned", R.WallMs,
+                 R.RunsPerSec);
+  }
+
+  // The contract check at this scale: for each engine, the pruned
+  // campaign's retained-predicate ranking must match the unpruned one.
+  bool RankingsMatch = true;
+  for (size_t E = 0; E < 2; ++E) {
+    const Row &Unpruned = Rows[E * 2];
+    const Row &Pruned = Rows[E * 2 + 1];
+    AnalysisOptions Options;
+    AnalysisResult A =
+        CauseIsolator(Unpruned.Result.Sites, Unpruned.Result.Reports, Options)
+            .run();
+    AnalysisResult B =
+        CauseIsolator(Pruned.Result.Sites, Pruned.Result.Reports, Options)
+            .run();
+    RankingsMatch = RankingsMatch && prunedRankingsMatch(A, B);
+  }
+
+  const PruneResult &Prune = Rows[1].Result.Prune;
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"bench\": \"perf_sampling.static_prune\",\n");
+  std::fprintf(Out, "  \"subject\": \"moss\",\n");
+  std::fprintf(Out, "  \"runs\": %zu,\n", NumRuns);
+  std::fprintf(Out, "  \"threads\": 1,\n");
+  std::fprintf(Out,
+               "  \"prune\": {\"sites\": %u, \"pruned\": %u, \"unreachable\": "
+               "%u, \"constant_outcome\": %u, \"live\": %u},\n",
+               Prune.numSites(), Prune.numPruned(), Prune.numUnreachable(),
+               Prune.numConstant(), Prune.numLive());
+  std::fprintf(Out, "  \"configs\": [\n");
+  for (size_t I = 0; I < 4; ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(Out,
+                 "    {\"engine\": \"%s\", \"static_prune\": %s, \"wall_ms\": "
+                 "%.3f, \"runs_per_sec\": %.1f}%s\n",
+                 R.EngineName, R.Pruned ? "true" : "false", R.WallMs,
+                 R.RunsPerSec, I + 1 < 4 ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"interp_speedup\": %.3f,\n",
+               Rows[1].RunsPerSec / Rows[0].RunsPerSec);
+  std::fprintf(Out, "  \"vm_speedup\": %.3f,\n",
+               Rows[3].RunsPerSec / Rows[2].RunsPerSec);
+  std::fprintf(Out, "  \"retained_rankings_identical\": %s\n",
+               RankingsMatch ? "true" : "false");
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  std::fprintf(stderr, "prune-bench: wrote %s\n", OutPath.c_str());
+  return RankingsMatch ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg == "--prune-bench")
+      return runPruneBench("BENCH_sampling.json");
+    if (Arg.rfind("--prune-bench=", 0) == 0)
+      return runPruneBench(std::string(Arg.substr(14)));
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -39,7 +39,15 @@ const char *sbi::analysisEngineName(AnalysisEngine Engine) {
   return "?";
 }
 
-bool sbi::bitIdentical(const AnalysisResult &A, const AnalysisResult &B) {
+namespace {
+
+/// Shared comparison core of bitIdentical and prunedRankingsMatch.
+/// \p CompareSurvivingCandidates controls whether the trail's candidate
+/// counts participate: under policies (2)/(3) the candidate pool is "every
+/// predicate with F(P) > 0", which legitimately shrinks when instrumentation
+/// is statically pruned, while everything selection-visible stays equal.
+bool resultsMatch(const AnalysisResult &A, const AnalysisResult &B,
+                  bool CompareSurvivingCandidates) {
   auto sameScores = [](const PredicateScores &X, const PredicateScores &Y) {
     const PredicateCounts &C = X.counts(), &D = Y.counts();
     return C.F == D.F && C.S == D.S && C.FObs == D.FObs && C.SObs == D.SObs;
@@ -57,7 +65,8 @@ bool sbi::bitIdentical(const AnalysisResult &A, const AnalysisResult &B) {
         X.Importance != Y.Importance || X.ActiveRuns != Y.ActiveRuns ||
         X.FailingRuns != Y.FailingRuns ||
         X.RunsDiscarded != Y.RunsDiscarded ||
-        X.SurvivingCandidates != Y.SurvivingCandidates)
+        (CompareSurvivingCandidates &&
+         X.SurvivingCandidates != Y.SurvivingCandidates))
       return false;
   }
   for (size_t I = 0; I < A.Selected.size(); ++I) {
@@ -72,6 +81,17 @@ bool sbi::bitIdentical(const AnalysisResult &A, const AnalysisResult &B) {
       return false;
   }
   return true;
+}
+
+} // namespace
+
+bool sbi::bitIdentical(const AnalysisResult &A, const AnalysisResult &B) {
+  return resultsMatch(A, B, /*CompareSurvivingCandidates=*/true);
+}
+
+bool sbi::prunedRankingsMatch(const AnalysisResult &A,
+                              const AnalysisResult &B) {
+  return resultsMatch(A, B, /*CompareSurvivingCandidates=*/false);
 }
 
 CauseIsolator::CauseIsolator(const SiteTable &Sites, const ReportSet &Set,
@@ -147,7 +167,7 @@ BestCandidate scoreCandidates(const Aggregates &Agg, const SiteTable &Sites,
     PredicateScores Scores = Agg.scores(Pred, Sites);
     double Importance = Scores.importance(NumF);
     ImportanceByPred[Pred] = Importance;
-    if (Scores.counts().F == 0)
+    if (Scores.counts().F == 0 || Importance <= 0.0)
       continue;
     bool Better =
         !Best.Found || Importance > Best.Importance ||
@@ -424,7 +444,14 @@ AnalysisResult CauseIsolator::run() const {
       break;
 
     // Select the top-ranked predicate that still covers at least one
-    // active failing run; Lemma 3.1's coverage argument rests on F(P) > 0.
+    // active failing run (Lemma 3.1's coverage argument rests on F(P) > 0)
+    // and has strictly positive Importance. A zero-Importance predicate has
+    // no positive Increase over the current population, so selecting it
+    // explains nothing; the strict gate also guarantees that predicates
+    // with Increase identically zero — notably always-true-when-observed
+    // predicates, whose Failure and Context are the same ratio over every
+    // sub-population — can never enter the output list, which is what lets
+    // static pruning drop them without perturbing the rankings.
     SelectedPredicate Selected;
     if (Live) {
       if (!Best.Found)
@@ -435,7 +462,7 @@ AnalysisResult CauseIsolator::run() const {
     } else {
       const RankedPredicate *Top = nullptr;
       for (const RankedPredicate &Entry : Ranked)
-        if (Entry.Scores.counts().F > 0) {
+        if (Entry.Scores.counts().F > 0 && Entry.Importance > 0.0) {
           Top = &Entry;
           break;
         }

@@ -154,6 +154,14 @@ struct AnalysisResult {
 /// incremental engines are differential-tested against.
 bool bitIdentical(const AnalysisResult &A, const AnalysisResult &B);
 
+/// bitIdentical minus the trail's SurvivingCandidates counts — the contract
+/// between a statically pruned campaign and its unpruned reference. Pruned
+/// predicates can never be selected (zero or identically-zero-Increase
+/// Importance), but under the discard policies that keep every F(P) > 0
+/// predicate as a candidate they do inflate the unpruned candidate pool, so
+/// only that trail field may differ.
+bool prunedRankingsMatch(const AnalysisResult &A, const AnalysisResult &B);
+
 /// Runs pruning + elimination + affinity over one run population, held
 /// either as a materialized ReportSet or as the compact RunProfiles store
 /// the streamed-corpus path produces. Both constructors feed the same

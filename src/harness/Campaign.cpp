@@ -114,10 +114,31 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
   Result.LinesOfCode = Result.Prog->NumLines;
   Result.Sites = SiteTable::build(*Result.Prog);
 
+  // Static pruning: classify sites up front and instrument only the Live
+  // ones. The per-site mask feeds every collector (including the trainer);
+  // the per-node mask lets the VM compiler skip observation opcodes. Site
+  // ids are never renumbered.
+  std::vector<uint8_t> EnabledSites;
+  const std::vector<uint8_t> *SiteMask = nullptr;
+  std::vector<uint8_t> ObservedNodes;
+  if (Options.StaticPrune) {
+    ScopedPhase PrunePhase("static_prune");
+    Result.StaticPruned = true;
+    Result.Prune = computePrune(*Result.Prog, Result.Sites);
+    EnabledSites = Result.Prune.siteEnabledMask();
+    SiteMask = &EnabledSites;
+    ObservedNodes =
+        Result.Prune.observedNodeMask(Result.Prog->NumNodeIds, Result.Sites);
+  }
+
   // Both engines produce bit-identical reports (differential-tested).
   CompiledProgram Bytecode, GoldenBytecode;
   if (Options.Exec == Engine::VM) {
-    Bytecode = compileProgram(*Result.Prog);
+    CompileOptions CompOpts;
+    if (Options.StaticPrune)
+      CompOpts.ObservedNodes = &ObservedNodes;
+    Bytecode = compileProgram(*Result.Prog, CompOpts);
+    // The golden build runs without an observer, so it compiles unpruned.
     if (Result.Golden)
       GoldenBytecode = compileProgram(*Result.Golden);
   }
@@ -143,8 +164,13 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
   } else {
     // Train per-site reach counts on preliminary runs (Section 4: rates
     // inversely proportional to observed execution frequency).
+    // The trainer honors the prune mask too: masked sites report zero
+    // reaches (their rate is irrelevant — they are never instrumented),
+    // while retained sites' reach counts are unchanged by construction, so
+    // the adaptive rates of retained sites match the unpruned campaign's.
     ReportCollector Trainer(Result.Sites,
-                            SamplingPlan::full(Result.Sites.numSites()));
+                            SamplingPlan::full(Result.Sites.numSites()),
+                            SiteMask);
     std::vector<double> TotalReaches(Result.Sites.numSites(), 0.0);
     for (size_t Run = 0; Run < Options.TrainingRuns; ++Run) {
       Rng InputRng(mixSeed(Options.Seed, /*Stream=*/100, Run));
@@ -329,7 +355,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
           std::max<size_t>(1, (Options.NumRuns + ShardSize - 1) / ShardSize);
       size_t Threads = resolveThreadCount(Options.Threads, NumShards);
       if (Threads <= 1) {
-        ReportCollector Collector(Result.Sites, Result.Plan);
+        ReportCollector Collector(Result.Sites, Result.Plan, SiteMask);
         if (Obs)
           Collector.enableReachStats();
         SpillTally Tally = newSpillTally();
@@ -346,7 +372,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
         Workers.reserve(Threads);
         for (size_t T = 0; T < Threads; ++T)
           Workers.emplace_back([&, T] {
-            ReportCollector Collector(Result.Sites, Result.Plan);
+            ReportCollector Collector(Result.Sites, Result.Plan, SiteMask);
             if (Obs)
               Collector.enableReachStats();
             SpillTally Tally = newSpillTally();
@@ -381,7 +407,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
       // clamps so a campaign never launches zero workers.
       size_t Threads = resolveThreadCount(Options.Threads, Options.NumRuns);
       if (Threads <= 1) {
-        ReportCollector Collector(Result.Sites, Result.Plan);
+        ReportCollector Collector(Result.Sites, Result.Plan, SiteMask);
         if (Obs)
           Collector.enableReachStats();
         for (size_t Run = 0; Run < Options.NumRuns; ++Run)
@@ -395,7 +421,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
         Workers.reserve(Threads);
         for (size_t T = 0; T < Threads; ++T)
           Workers.emplace_back([&, T] {
-            ReportCollector Collector(Result.Sites, Result.Plan);
+            ReportCollector Collector(Result.Sites, Result.Plan, SiteMask);
             if (Obs)
               Collector.enableReachStats();
             size_t RunsByThisWorker = 0;

@@ -23,6 +23,7 @@
 #include "instrument/Collector.h"
 #include "instrument/Sites.h"
 #include "lang/Sema.h"
+#include "sa/Prune.h"
 #include "subjects/Subjects.h"
 
 #include <functional>
@@ -70,6 +71,12 @@ struct CampaignOptions {
   /// (runs completed, total runs) roughly every 0.5% of runs and once at
   /// completion. Invoked from worker threads — must be thread-safe.
   std::function<void(size_t Done, size_t Total)> Progress;
+  /// Static predicate pruning (src/sa): classify every site before the
+  /// campaign and instrument only the Live ones. Site ids are not
+  /// renumbered, so reports and rankings stay directly comparable with an
+  /// unpruned campaign at the same seed; the retained predicates' rankings
+  /// are bit-identical (prunedRankingsMatch, differential-tested).
+  bool StaticPrune = false;
   /// Spill mode: when non-empty, workers flush completed reports into
   /// SBI-CORPUS v2 shards under this directory instead of materializing
   /// CampaignResult::Reports, bounding memory by Threads x
@@ -90,6 +97,10 @@ struct CampaignResult {
   SamplingPlan Plan = SamplingPlan::full(0);
   ReportSet Reports;
   int LinesOfCode = 0;
+  /// Filled when Options.StaticPrune was set: the per-site classification
+  /// the campaign instrumented under (Prune.Sites is empty otherwise).
+  bool StaticPruned = false;
+  PruneResult Prune;
   /// Per bug id: number of runs in which the bug triggered, and in how
   /// many of those the run was labeled failing.
   struct BugStats {

@@ -40,20 +40,45 @@ SamplingPlan::adaptive(const std::vector<double> &MeanReachPerRun,
   return Plan;
 }
 
-ReportCollector::ReportCollector(const SiteTable &Sites, SamplingPlan Plan)
+ReportCollector::ReportCollector(const SiteTable &Sites, SamplingPlan Plan,
+                                 const std::vector<uint8_t> *EnabledSites)
     : Sites(Sites), Plan(std::move(Plan)) {
   assert(this->Plan.numSites() == Sites.numSites() &&
          "sampling plan does not match the site table");
+  assert((!EnabledSites || EnabledSites->size() == Sites.numSites()) &&
+         "enabled-site mask does not match the site table");
   uint32_t NumSites = Sites.numSites();
   CountdownEpoch.assign(NumSites, 0);
   Countdown.assign(NumSites, 0);
   SiteObserved.assign(NumSites, 0);
   PredTrue.assign(Sites.numPredicates(), 0);
+  SiteRng.assign(NumSites, Rng(0));
+  buildNodeIndex(EnabledSites);
+}
+
+void ReportCollector::buildNodeIndex(
+    const std::vector<uint8_t> *EnabledSites) {
+  uint32_t NumNodes = 0;
+  for (const SiteInfo &Site : Sites.sites())
+    NumNodes = std::max(NumNodes, static_cast<uint32_t>(Site.NodeId) + 1);
+  NodeStart.assign(NumNodes + 1, 0);
+  for (const SiteInfo &Site : Sites.sites())
+    if (!EnabledSites || (*EnabledSites)[Site.Id])
+      ++NodeStart[static_cast<size_t>(Site.NodeId) + 1];
+  for (size_t I = 1; I < NodeStart.size(); ++I)
+    NodeStart[I] += NodeStart[I - 1];
+  NodeSites.resize(NodeStart.back());
+  // Site ids ascend and each node's sites are contiguous, so a single
+  // forward pass with a per-node cursor fills each CSR row in id order.
+  std::vector<uint32_t> Cursor(NodeStart.begin(), NodeStart.end() - 1);
+  for (const SiteInfo &Site : Sites.sites())
+    if (!EnabledSites || (*EnabledSites)[Site.Id])
+      NodeSites[Cursor[static_cast<size_t>(Site.NodeId)]++] = Site.Id;
 }
 
 void ReportCollector::beginRun(uint64_t RunSeed) {
   ++Epoch;
-  SampleRng.reseed(RunSeed ^ 0x5bd1e995bc9e1d34ULL);
+  RunSeedBase = RunSeed;
   assert(TouchedSites.empty() && TouchedPreds.empty() &&
          "takeReport must be called before the next beginRun");
 }
@@ -105,13 +130,19 @@ bool ReportCollector::sampleDecision(uint32_t SiteId) {
   // Geometric skip counting: instead of flipping a coin on every reach,
   // draw how many reaches to skip until the next sample (Section 2's
   // statistically fair Bernoulli process, with the fast path of the
-  // original CBI instrumentor).
+  // original CBI instrumentor). Each site draws from its own RNG stream,
+  // seeded from (run seed, site id) on first reach within the run, so the
+  // draw sequence a site sees depends only on the run — never on which
+  // other sites are instrumented or how often they are reached.
   if (CountdownEpoch[SiteId] != Epoch) {
     CountdownEpoch[SiteId] = Epoch;
-    Countdown[SiteId] = SampleRng.nextGeometricSkip(Rate);
+    SiteRng[SiteId].reseed(RunSeedBase ^
+                           (0x5bd1e995bc9e1d34ULL +
+                            SiteId * 0x9e3779b97f4a7c15ULL));
+    Countdown[SiteId] = SiteRng[SiteId].nextGeometricSkip(Rate);
   }
   if (Countdown[SiteId] == 0) {
-    Countdown[SiteId] = SampleRng.nextGeometricSkip(Rate);
+    Countdown[SiteId] = SiteRng[SiteId].nextGeometricSkip(Rate);
     return true;
   }
   --Countdown[SiteId];
@@ -151,9 +182,7 @@ void ReportCollector::recordSixWay(const SiteInfo &Site, int64_t Lhs,
 }
 
 void ReportCollector::onBranch(int NodeId, bool Taken) {
-  SiteTable::SiteRange Range = Sites.sitesForNode(NodeId);
-  for (uint32_t I = 0; I < Range.Count; ++I) {
-    uint32_t SiteId = Range.First + I;
+  for (uint32_t SiteId : activeSites(NodeId)) {
     if (!shouldSample(SiteId))
       continue;
     markObserved(SiteId);
@@ -164,9 +193,7 @@ void ReportCollector::onBranch(int NodeId, bool Taken) {
 }
 
 void ReportCollector::onScalarReturn(int NodeId, int64_t Result) {
-  SiteTable::SiteRange Range = Sites.sitesForNode(NodeId);
-  for (uint32_t I = 0; I < Range.Count; ++I) {
-    uint32_t SiteId = Range.First + I;
+  for (uint32_t SiteId : activeSites(NodeId)) {
     if (!shouldSample(SiteId))
       continue;
     markObserved(SiteId);
@@ -176,9 +203,7 @@ void ReportCollector::onScalarReturn(int NodeId, int64_t Result) {
 
 void ReportCollector::onScalarAssign(int NodeId, int64_t NewValue,
                                      const FrameView &Frame) {
-  SiteTable::SiteRange Range = Sites.sitesForNode(NodeId);
-  for (uint32_t I = 0; I < Range.Count; ++I) {
-    uint32_t SiteId = Range.First + I;
+  for (uint32_t SiteId : activeSites(NodeId)) {
     // Make the sampling decision before touching the comparand: skipped
     // reaches must stay cheap (this is the whole point of sampling).
     if (!shouldSample(SiteId))

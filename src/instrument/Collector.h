@@ -20,6 +20,12 @@
 ///     RawReport. "P observed" means P's site was reached AND sampled;
 ///     "P observed true" additionally requires the predicate to hold.
 ///
+/// Sampling draws come from an independent per-site RNG stream seeded from
+/// (run seed, site id). This makes each site's coin-flip sequence a function
+/// of the run alone — disabling any subset of sites (static pruning) leaves
+/// every retained site's draws bit-identical, which is what makes pruned and
+/// unpruned campaigns directly comparable.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SBI_INSTRUMENT_COLLECTOR_H
@@ -73,7 +79,13 @@ struct RawReport {
 /// Observes one run at a time; reusable across runs (beginRun resets).
 class ReportCollector : public ExecutionObserver {
 public:
-  ReportCollector(const SiteTable &Sites, SamplingPlan Plan);
+  /// \p EnabledSites, when non-null, is a per-site 0/1 mask (indexed by site
+  /// id); sites with a 0 entry are never sampled, never observed, and cost
+  /// zero per-reach work — their node dispatch entries are simply absent.
+  /// The mask is copied into the node index, so the pointer need not outlive
+  /// the constructor call.
+  ReportCollector(const SiteTable &Sites, SamplingPlan Plan,
+                  const std::vector<uint8_t> *EnabledSites = nullptr);
 
   /// Starts a fresh run whose sampling coin flips derive from \p RunSeed.
   void beginRun(uint64_t RunSeed);
@@ -117,9 +129,37 @@ private:
   /// Records the six relational predicates of a returns/scalar-pairs site.
   void recordSixWay(const SiteInfo &Site, int64_t Lhs, int64_t Rhs);
 
+  /// Builds the CSR node -> enabled-site dispatch index.
+  void buildNodeIndex(const std::vector<uint8_t> *EnabledSites);
+
+  /// The enabled site ids instrumenting \p NodeId (empty for unknown or
+  /// fully pruned nodes).
+  struct SiteSpan {
+    const uint32_t *First;
+    const uint32_t *Last;
+    const uint32_t *begin() const { return First; }
+    const uint32_t *end() const { return Last; }
+  };
+  SiteSpan activeSites(int NodeId) const {
+    auto Node = static_cast<size_t>(static_cast<uint32_t>(NodeId));
+    if (Node + 1 >= NodeStart.size())
+      return {nullptr, nullptr};
+    return {NodeSites.data() + NodeStart[Node],
+            NodeSites.data() + NodeStart[Node + 1]};
+  }
+
   const SiteTable &Sites;
   SamplingPlan Plan;
-  Rng SampleRng{0};
+
+  /// CSR dispatch: the enabled sites of node N are
+  /// NodeSites[NodeStart[N] .. NodeStart[N+1]).
+  std::vector<uint32_t> NodeStart;
+  std::vector<uint32_t> NodeSites;
+
+  /// Seed of the current run; each site derives its own RNG stream from it
+  /// lazily on first reach (see sampleDecision).
+  uint64_t RunSeedBase = 0;
+  std::vector<Rng> SiteRng;
 
   bool TrackReaches = false;
   ReachStats Stats;

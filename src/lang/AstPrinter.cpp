@@ -4,12 +4,27 @@
 
 #include "support/StringUtils.h"
 
+#include <cassert>
+
 using namespace sbi;
 
 static void printExpr(const Expr &E, std::string &Out);
 
 static void printMaybeParen(const Expr &E, std::string &Out) {
   bool NeedsParens = E.Kind == ExprKind::Binary;
+  if (NeedsParens)
+    Out += '(';
+  printExpr(E, Out);
+  if (NeedsParens)
+    Out += ')';
+}
+
+/// Base of a postfix expression ([] or .): unary operators also need
+/// parentheses here — postfix binds tighter, so "(-x)[i]" printed without
+/// them would reparse as -(x[i]).
+static void printPostfixBase(const Expr &E, std::string &Out) {
+  bool NeedsParens =
+      E.Kind == ExprKind::Binary || E.Kind == ExprKind::Unary;
   if (NeedsParens)
     Out += '(';
   printExpr(E, Out);
@@ -63,7 +78,7 @@ static void printExpr(const Expr &E, std::string &Out) {
   }
   case ExprKind::Index: {
     const auto &Index = static_cast<const IndexExpr &>(E);
-    printMaybeParen(*Index.Base, Out);
+    printPostfixBase(*Index.Base, Out);
     Out += '[';
     printExpr(*Index.Subscript, Out);
     Out += ']';
@@ -71,7 +86,7 @@ static void printExpr(const Expr &E, std::string &Out) {
   }
   case ExprKind::Field: {
     const auto &Field = static_cast<const FieldExpr &>(E);
-    printMaybeParen(*Field.Base, Out);
+    printPostfixBase(*Field.Base, Out);
     Out += '.';
     Out += Field.FieldName;
     return;
@@ -98,5 +113,168 @@ static void printExpr(const Expr &E, std::string &Out) {
 std::string sbi::exprToString(const Expr &E) {
   std::string Out;
   printExpr(E, Out);
+  return Out;
+}
+
+static const char *kindSpelling(VarKind Kind) {
+  switch (Kind) {
+  case VarKind::Int:
+    return "int";
+  case VarKind::Str:
+    return "str";
+  case VarKind::Arr:
+    return "arr";
+  case VarKind::Rec:
+    return "rec";
+  }
+  return "?";
+}
+
+/// A statement in a for-header position (init/step): no semicolon, no
+/// indentation. The parser only places VarDecl, Assign, and Expr here.
+static void printSimpleStmt(const Stmt &S, std::string &Out) {
+  switch (S.Kind) {
+  case StmtKind::VarDecl: {
+    const auto &Decl = static_cast<const VarDeclStmt &>(S);
+    Out += kindSpelling(Decl.DeclKind);
+    Out += ' ';
+    Out += Decl.Name;
+    if (Decl.Init) {
+      Out += " = ";
+      printExpr(*Decl.Init, Out);
+    }
+    return;
+  }
+  case StmtKind::Assign: {
+    const auto &Assign = static_cast<const AssignStmt &>(S);
+    printExpr(*Assign.Target, Out);
+    Out += " = ";
+    printExpr(*Assign.Value, Out);
+    return;
+  }
+  case StmtKind::Expr:
+    printExpr(*static_cast<const ExprStmt &>(S).E, Out);
+    return;
+  default:
+    assert(false && "not a simple statement");
+  }
+}
+
+static void printStmt(const Stmt &S, std::string &Out, int Indent) {
+  auto pad = [&] { Out.append(static_cast<size_t>(Indent) * 2, ' '); };
+  switch (S.Kind) {
+  case StmtKind::Expr:
+  case StmtKind::Assign:
+  case StmtKind::VarDecl:
+    pad();
+    printSimpleStmt(S, Out);
+    Out += ";\n";
+    return;
+  case StmtKind::Block: {
+    pad();
+    Out += "{\n";
+    for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Body)
+      printStmt(*Child, Out, Indent + 1);
+    pad();
+    Out += "}\n";
+    return;
+  }
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    pad();
+    Out += "if (";
+    printExpr(*If.Cond, Out);
+    Out += ")\n";
+    printStmt(*If.Then, Out, Indent + 1);
+    if (If.Else) {
+      pad();
+      Out += "else\n";
+      printStmt(*If.Else, Out, Indent + 1);
+    }
+    return;
+  }
+  case StmtKind::While: {
+    const auto &While = static_cast<const WhileStmt &>(S);
+    pad();
+    Out += "while (";
+    printExpr(*While.Cond, Out);
+    Out += ")\n";
+    printStmt(*While.Body, Out, Indent + 1);
+    return;
+  }
+  case StmtKind::For: {
+    const auto &For = static_cast<const ForStmt &>(S);
+    pad();
+    Out += "for (";
+    if (For.Init)
+      printSimpleStmt(*For.Init, Out);
+    Out += "; ";
+    if (For.Cond)
+      printExpr(*For.Cond, Out);
+    Out += "; ";
+    if (For.Step)
+      printSimpleStmt(*For.Step, Out);
+    Out += ")\n";
+    printStmt(*For.Body, Out, Indent + 1);
+    return;
+  }
+  case StmtKind::Return: {
+    const auto &Return = static_cast<const ReturnStmt &>(S);
+    pad();
+    Out += "return";
+    if (Return.Value) {
+      Out += ' ';
+      printExpr(*Return.Value, Out);
+    }
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::Break:
+    pad();
+    Out += "break;\n";
+    return;
+  case StmtKind::Continue:
+    pad();
+    Out += "continue;\n";
+    return;
+  }
+}
+
+std::string sbi::stmtToString(const Stmt &S) {
+  std::string Out;
+  printStmt(S, Out, 0);
+  return Out;
+}
+
+std::string sbi::programToString(const Program &Prog) {
+  std::string Out;
+  for (const auto &Record : Prog.Records) {
+    Out += format("record %s {\n", Record->Name.c_str());
+    for (const std::string &Field : Record->Fields)
+      Out += format("  %s;\n", Field.c_str());
+    Out += "}\n";
+  }
+  for (const auto &Global : Prog.Globals) {
+    Out += kindSpelling(Global->Kind);
+    Out += ' ';
+    Out += Global->Name;
+    if (Global->Init) {
+      Out += " = ";
+      printExpr(*Global->Init, Out);
+    }
+    Out += ";\n";
+  }
+  for (const auto &Func : Prog.Functions) {
+    Out += format("fn %s(", Func->Name.c_str());
+    for (size_t I = 0; I < Func->Params.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += kindSpelling(Func->Params[I].Kind);
+      Out += ' ';
+      Out += Func->Params[I].Name;
+    }
+    Out += ")\n";
+    printStmt(*Func->Body, Out, 0);
+  }
   return Out;
 }

@@ -24,6 +24,15 @@ namespace sbi {
 /// Renders \p E as one-line source text.
 std::string exprToString(const Expr &E);
 
+/// Renders \p S as indented source text (trailing newline included).
+/// Parser-produced statements reparse to a structurally identical AST
+/// (round-trip tested in tests/lang/AstPrinterTest.cpp).
+std::string stmtToString(const Stmt &S);
+
+/// Renders a whole program — records, globals, functions in declaration
+/// order — as parseable source text with the same round-trip guarantee.
+std::string programToString(const Program &Prog);
+
 } // namespace sbi
 
 #endif // SBI_LANG_ASTPRINTER_H

@@ -1,0 +1,281 @@
+//===- sa/Cfg.cpp - Control-flow graph construction -----------------------===//
+
+#include "sa/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sbi {
+
+int CfgBlock::line() const {
+  if (!Items.empty())
+    return Items.front()->Line;
+  if (Kind == Term::Branch)
+    return BranchLine;
+  if (Kind == Term::Return && Ret)
+    return Ret->Line;
+  return 0;
+}
+
+/// Recursive AST -> CFG lowering. Blocks are created eagerly; edges whose
+/// target is not yet known (break/continue, forward joins) are written once
+/// the target block exists, which the structured lowering order guarantees
+/// before any edge is read.
+class CfgBuilder {
+public:
+  explicit CfgBuilder(Cfg &G) : G(G) {}
+
+  void run(const FuncDecl &Func) {
+    G.Func = &Func;
+    int Entry = newBlock();
+    (void)Entry;
+    assert(Entry == 0 && "entry must be block 0");
+    G.ExitBlock = newBlock();
+    block(G.ExitBlock).Kind = CfgBlock::Term::Exit;
+    Cur = 0;
+    lowerStmt(*Func.Body);
+    // Falling off the end of the function is an implicit unit return.
+    setGoto(Cur, G.ExitBlock);
+    computePreds();
+    G.computeDerived();
+  }
+
+private:
+  Cfg &G;
+  int Cur = 0;
+  std::vector<int> BreakTargets;
+  std::vector<int> ContinueTargets;
+
+  CfgBlock &block(int Id) { return G.Blocks[static_cast<size_t>(Id)]; }
+
+  int newBlock() {
+    G.Blocks.emplace_back();
+    return static_cast<int>(G.Blocks.size()) - 1;
+  }
+
+  void setGoto(int From, int To) {
+    CfgBlock &B = block(From);
+    assert(B.Kind == CfgBlock::Term::Goto && B.Succ[0] < 0 &&
+           "terminator already set");
+    B.Succ[0] = To;
+  }
+
+  void setBranch(int From, const Expr *Cond, int NodeId, int Line,
+                 int TrueTo, int FalseTo) {
+    CfgBlock &B = block(From);
+    assert(B.Kind == CfgBlock::Term::Goto && B.Succ[0] < 0 &&
+           "terminator already set");
+    B.Kind = CfgBlock::Term::Branch;
+    B.Cond = Cond;
+    B.BranchNodeId = NodeId;
+    B.BranchLine = Line;
+    B.Succ[0] = TrueTo;
+    B.Succ[1] = FalseTo;
+  }
+
+  void lowerStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Expr:
+    case StmtKind::Assign:
+    case StmtKind::VarDecl:
+      block(Cur).Items.push_back(&S);
+      return;
+    case StmtKind::Block:
+      for (const auto &Child : static_cast<const BlockStmt &>(S).Body)
+        lowerStmt(*Child);
+      return;
+    case StmtKind::If: {
+      const auto &If = static_cast<const IfStmt &>(S);
+      int ThenB = newBlock();
+      int Join = newBlock();
+      int ElseB = If.Else ? newBlock() : Join;
+      setBranch(Cur, If.Cond.get(), If.Id, If.Line, ThenB, ElseB);
+      Cur = ThenB;
+      lowerStmt(*If.Then);
+      setGoto(Cur, Join);
+      if (If.Else) {
+        Cur = ElseB;
+        lowerStmt(*If.Else);
+        setGoto(Cur, Join);
+      }
+      Cur = Join;
+      return;
+    }
+    case StmtKind::While: {
+      const auto &While = static_cast<const WhileStmt &>(S);
+      int CondB = newBlock();
+      int BodyB = newBlock();
+      int ExitB = newBlock();
+      setGoto(Cur, CondB);
+      setBranch(CondB, While.Cond.get(), While.Id, While.Line, BodyB, ExitB);
+      BreakTargets.push_back(ExitB);
+      ContinueTargets.push_back(CondB);
+      Cur = BodyB;
+      lowerStmt(*While.Body);
+      setGoto(Cur, CondB);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = ExitB;
+      return;
+    }
+    case StmtKind::For: {
+      const auto &For = static_cast<const ForStmt &>(S);
+      if (For.Init)
+        lowerStmt(*For.Init);
+      int CondB = newBlock();
+      int BodyB = newBlock();
+      int StepB = newBlock();
+      int ExitB = newBlock();
+      setGoto(Cur, CondB);
+      // A missing condition is instrumented as the constant-true branch
+      // "1"; Cond stays null here and the dataflow pass treats it as 1.
+      setBranch(CondB, For.Cond.get(), For.Id, For.Line, BodyB, ExitB);
+      BreakTargets.push_back(ExitB);
+      ContinueTargets.push_back(StepB);
+      Cur = BodyB;
+      lowerStmt(*For.Body);
+      setGoto(Cur, StepB);
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      Cur = StepB;
+      if (For.Step)
+        lowerStmt(*For.Step);
+      setGoto(Cur, CondB);
+      Cur = ExitB;
+      return;
+    }
+    case StmtKind::Return: {
+      CfgBlock &B = block(Cur);
+      assert(B.Kind == CfgBlock::Term::Goto && B.Succ[0] < 0);
+      B.Kind = CfgBlock::Term::Return;
+      B.Ret = &static_cast<const ReturnStmt &>(S);
+      B.Succ[0] = G.ExitBlock;
+      Cur = newBlock(); // Anything that follows is unreachable.
+      return;
+    }
+    case StmtKind::Break:
+      assert(!BreakTargets.empty() && "break outside loop survived Sema");
+      setGoto(Cur, BreakTargets.back());
+      Cur = newBlock();
+      return;
+    case StmtKind::Continue:
+      assert(!ContinueTargets.empty() &&
+             "continue outside loop survived Sema");
+      setGoto(Cur, ContinueTargets.back());
+      Cur = newBlock();
+      return;
+    }
+    assert(false && "unhandled statement kind");
+  }
+
+  void computePreds() {
+    for (size_t B = 0; B < G.Blocks.size(); ++B) {
+      const CfgBlock &Blk = G.Blocks[B];
+      int NumSucc = Blk.Kind == CfgBlock::Term::Branch ? 2
+                    : Blk.Kind == CfgBlock::Term::Exit ? 0
+                                                       : 1;
+      for (int I = 0; I < NumSucc; ++I) {
+        int To = Blk.Succ[I];
+        assert(To >= 0 && "unpatched edge");
+        // A branch with identical arms contributes one predecessor entry.
+        if (I == 1 && To == Blk.Succ[0])
+          continue;
+        G.Blocks[static_cast<size_t>(To)].Preds.push_back(
+            static_cast<int>(B));
+      }
+    }
+  }
+};
+
+Cfg Cfg::build(const FuncDecl &Func) {
+  Cfg G;
+  CfgBuilder Builder(G);
+  Builder.run(Func);
+  return G;
+}
+
+void Cfg::computeDerived() {
+  size_t N = Blocks.size();
+  Reachable.assign(N, 0);
+  Rpo.clear();
+  Idom.assign(N, -1);
+
+  // Iterative DFS from the entry; postorder gives RPO when reversed.
+  std::vector<int> PostOrder;
+  PostOrder.reserve(N);
+  std::vector<std::pair<int, int>> Stack; // (block, next successor index)
+  Stack.emplace_back(entry(), 0);
+  Reachable[static_cast<size_t>(entry())] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const CfgBlock &Blk = Blocks[static_cast<size_t>(B)];
+    int NumSucc = Blk.Kind == CfgBlock::Term::Branch ? 2
+                  : Blk.Kind == CfgBlock::Term::Exit ? 0
+                                                     : 1;
+    if (NextSucc < NumSucc) {
+      int To = Blk.Succ[NextSucc++];
+      if (!Reachable[static_cast<size_t>(To)]) {
+        Reachable[static_cast<size_t>(To)] = 1;
+        Stack.emplace_back(To, 0);
+      }
+    } else {
+      PostOrder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+
+  // Cooper-Harvey-Kennedy iterative dominators over RPO numbers.
+  std::vector<int> RpoNumber(N, -1);
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoNumber[static_cast<size_t>(Rpo[I])] = static_cast<int>(I);
+
+  auto intersect = [&](int A, int B) {
+    while (A != B) {
+      while (RpoNumber[static_cast<size_t>(A)] >
+             RpoNumber[static_cast<size_t>(B)])
+        A = Idom[static_cast<size_t>(A)];
+      while (RpoNumber[static_cast<size_t>(B)] >
+             RpoNumber[static_cast<size_t>(A)])
+        B = Idom[static_cast<size_t>(B)];
+    }
+    return A;
+  };
+
+  Idom[static_cast<size_t>(entry())] = entry();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B : Rpo) {
+      if (B == entry())
+        continue;
+      int NewIdom = -1;
+      for (int P : Blocks[static_cast<size_t>(B)].Preds) {
+        if (!Reachable[static_cast<size_t>(P)] ||
+            Idom[static_cast<size_t>(P)] < 0)
+          continue;
+        NewIdom = NewIdom < 0 ? P : intersect(P, NewIdom);
+      }
+      if (NewIdom >= 0 && Idom[static_cast<size_t>(B)] != NewIdom) {
+        Idom[static_cast<size_t>(B)] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  // Store the conventional "entry has no idom" form for the public API.
+  Idom[static_cast<size_t>(entry())] = -1;
+}
+
+bool Cfg::dominates(int A, int B) const {
+  if (!reachable(A) || !reachable(B))
+    return false;
+  int Walk = B;
+  while (Walk >= 0) {
+    if (Walk == A)
+      return true;
+    Walk = Idom[static_cast<size_t>(Walk)];
+  }
+  return false;
+}
+
+} // namespace sbi

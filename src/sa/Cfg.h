@@ -1,0 +1,112 @@
+//===- sa/Cfg.h - Control-flow graphs over the MicroC AST -----------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function control-flow graphs built directly over the MicroC AST, the
+/// foundation of the static-analysis subsystem (src/sa). MicroC control flow
+/// is fully structured (if/while/for/break/continue/return, no goto), so the
+/// lowering is a single recursive walk: straight-line statements accumulate
+/// into basic blocks, and every conditional becomes a two-way Branch
+/// terminator carrying the AST node id of its branch instrumentation site.
+///
+/// On top of the raw graph the Cfg computes entry reachability, a reverse
+/// postorder of the reachable subgraph, and immediate dominators
+/// (Cooper-Harvey-Kennedy over RPO numbers) — the queries the predicate
+/// pruning pass, `sbi lint`, and future static-prior ranking work share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SA_CFG_H
+#define SBI_SA_CFG_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sbi {
+
+/// One basic block: zero or more straight-line statements (Expr, Assign,
+/// VarDecl) followed by a terminator.
+struct CfgBlock {
+  enum class Term : uint8_t {
+    Goto,   ///< Unconditional edge to Succ[0].
+    Branch, ///< Conditional: Succ[0] when the condition is truthy, Succ[1]
+            ///< otherwise. Cond may be null (a condition-less `for`, which
+            ///< the runtime treats — and instruments — as constant true).
+    Return, ///< Explicit return; edge to the exit block.
+    Exit,   ///< The function's unique exit block.
+  };
+
+  std::vector<const Stmt *> Items;
+  Term Kind = Term::Goto;
+  int Succ[2] = {-1, -1};
+  /// Branch terminators only.
+  const Expr *Cond = nullptr;
+  /// AST node id owning the branch instrumentation site (the If/While/For
+  /// statement id, matching SiteTable::sitesForNode).
+  int BranchNodeId = -1;
+  int BranchLine = 0;
+  /// Return terminators only.
+  const ReturnStmt *Ret = nullptr;
+  /// Predecessor block ids, filled after lowering.
+  std::vector<int> Preds;
+
+  /// A representative source line for diagnostics: the first item's line,
+  /// else the terminator's.
+  int line() const;
+};
+
+/// The control-flow graph of one function.
+class Cfg {
+public:
+  /// Lowers \p Func (which must have passed Sema). The graph references
+  /// \p Func's AST and must not outlive it.
+  static Cfg build(const FuncDecl &Func);
+
+  const FuncDecl &function() const { return *Func; }
+  size_t numBlocks() const { return Blocks.size(); }
+  const CfgBlock &block(int Id) const { return Blocks[static_cast<size_t>(Id)]; }
+  int entry() const { return 0; }
+  int exit() const { return ExitBlock; }
+
+  /// True when \p Block is reachable from the entry along CFG edges
+  /// (ignoring branch feasibility — that refinement is the dataflow pass's
+  /// job).
+  bool reachable(int Block) const {
+    return Reachable[static_cast<size_t>(Block)] != 0;
+  }
+
+  /// Reverse postorder of the reachable subgraph; Rpo.front() == entry().
+  const std::vector<int> &rpo() const { return Rpo; }
+
+  /// Immediate dominator of \p Block (-1 for the entry and for unreachable
+  /// blocks).
+  int immediateDominator(int Block) const {
+    return Idom[static_cast<size_t>(Block)];
+  }
+
+  /// True when \p A dominates \p B (every entry path to B passes through
+  /// A). Reflexive; false when either block is unreachable.
+  bool dominates(int A, int B) const;
+
+private:
+  friend class CfgBuilder;
+
+  const FuncDecl *Func = nullptr;
+  std::vector<CfgBlock> Blocks;
+  int ExitBlock = -1;
+  std::vector<uint8_t> Reachable;
+  std::vector<int> Rpo;
+  std::vector<int> Idom;
+
+  void computeDerived();
+};
+
+} // namespace sbi
+
+#endif // SBI_SA_CFG_H

@@ -1,0 +1,1044 @@
+//===- sa/Dataflow.cpp - Interval/constant dataflow over MicroC CFGs ------===//
+
+#include "sa/Dataflow.h"
+
+#include "lang/Intrinsics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <optional>
+
+namespace sbi {
+
+//===----------------------------------------------------------------------===//
+// AbsVal lattice
+//===----------------------------------------------------------------------===//
+
+AbsVal AbsVal::join(const AbsVal &A, const AbsVal &B) {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  AbsVal R;
+  R.HasOther = A.HasOther || B.HasOther;
+  if (A.HasInt && B.HasInt) {
+    R.HasInt = true;
+    R.Lo = std::min(A.Lo, B.Lo);
+    R.Hi = std::max(A.Hi, B.Hi);
+  } else if (A.HasInt) {
+    R.HasInt = true;
+    R.Lo = A.Lo;
+    R.Hi = A.Hi;
+  } else if (B.HasInt) {
+    R.HasInt = true;
+    R.Lo = B.Lo;
+    R.Hi = B.Hi;
+  }
+  return R;
+}
+
+AbsVal AbsVal::widen(const AbsVal &Old, const AbsVal &New) {
+  AbsVal J = join(Old, New);
+  if (Old.HasInt && J.HasInt) {
+    if (J.Lo < Old.Lo)
+      J.Lo = INT64_MIN;
+    if (J.Hi > Old.Hi)
+      J.Hi = INT64_MAX;
+  }
+  return J;
+}
+
+AbsVal AbsVal::meetInterval(int64_t MeetLo, int64_t MeetHi,
+                            bool KeepOther) const {
+  AbsVal R;
+  R.HasOther = HasOther && KeepOther;
+  if (HasInt) {
+    R.Lo = std::max(Lo, MeetLo);
+    R.Hi = std::min(Hi, MeetHi);
+    R.HasInt = R.Lo <= R.Hi;
+  }
+  if (!R.HasInt) {
+    R.Lo = 0;
+    R.Hi = 0;
+  }
+  return R;
+}
+
+bool AbsEnv::joinFrom(const AbsEnv &Other, bool Widen) {
+  if (!Other.Feasible)
+    return false;
+  if (!Feasible) {
+    *this = Other;
+    return true;
+  }
+  assert(Locals.size() == Other.Locals.size());
+  bool Changed = false;
+  for (size_t I = 0; I < Locals.size(); ++I) {
+    AbsVal Next = Widen ? AbsVal::widen(Locals[I], Other.Locals[I])
+                        : AbsVal::join(Locals[I], Other.Locals[I]);
+    if (Next != Locals[I]) {
+      Locals[I] = Next;
+      Changed = true;
+    }
+    if (Other.MaybeDefault[I] && !MaybeDefault[I]) {
+      MaybeDefault[I] = 1;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Abstract interpreter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "The branch outcome set {CanFalse, CanTrue} as an abstract value".
+AbsVal boolRange(bool CanFalse, bool CanTrue) {
+  if (!CanFalse && !CanTrue)
+    return AbsVal::bottom();
+  return AbsVal::range(CanTrue && !CanFalse ? 1 : 0, CanTrue ? 1 : 0);
+}
+
+/// Wrapping arithmetic over intervals: exact corner arithmetic in 128 bits;
+/// any corner outside int64 means the concrete op can wrap, and the result
+/// widens to the full range (sound for the runtime's two's-complement wrap).
+AbsVal arithRange(BinaryOp Op, const AbsVal &L, const AbsVal &R) {
+  if (!L.HasInt || !R.HasInt)
+    return AbsVal::bottom();
+  using I128 = __int128;
+  I128 Corners[4];
+  switch (Op) {
+  case BinaryOp::Add:
+    Corners[0] = Corners[1] = I128(L.Lo) + R.Lo;
+    Corners[2] = Corners[3] = I128(L.Hi) + R.Hi;
+    break;
+  case BinaryOp::Sub:
+    Corners[0] = Corners[1] = I128(L.Lo) - R.Hi;
+    Corners[2] = Corners[3] = I128(L.Hi) - R.Lo;
+    break;
+  case BinaryOp::Mul:
+    Corners[0] = I128(L.Lo) * R.Lo;
+    Corners[1] = I128(L.Lo) * R.Hi;
+    Corners[2] = I128(L.Hi) * R.Lo;
+    Corners[3] = I128(L.Hi) * R.Hi;
+    break;
+  default:
+    assert(false && "not a wrapping arithmetic op");
+    return AbsVal::topInt();
+  }
+  I128 Min = Corners[0], Max = Corners[0];
+  for (I128 C : Corners) {
+    Min = std::min(Min, C);
+    Max = std::max(Max, C);
+  }
+  if (Min < I128(INT64_MIN) || Max > I128(INT64_MAX))
+    return AbsVal::topInt();
+  return AbsVal::range(static_cast<int64_t>(Min), static_cast<int64_t>(Max));
+}
+
+AbsVal compareRange(BinaryOp Op, const AbsVal &L, const AbsVal &R) {
+  // Ordered comparisons trap on non-ints, so only the int portions matter.
+  if (!L.HasInt || !R.HasInt)
+    return AbsVal::bottom();
+  bool CanTrue = false, CanFalse = false;
+  switch (Op) {
+  case BinaryOp::Lt:
+    CanTrue = L.Lo < R.Hi;
+    CanFalse = L.Hi >= R.Lo;
+    break;
+  case BinaryOp::Le:
+    CanTrue = L.Lo <= R.Hi;
+    CanFalse = L.Hi > R.Lo;
+    break;
+  case BinaryOp::Gt:
+    CanTrue = L.Hi > R.Lo;
+    CanFalse = L.Lo <= R.Hi;
+    break;
+  case BinaryOp::Ge:
+    CanTrue = L.Hi >= R.Lo;
+    CanFalse = L.Lo < R.Hi;
+    break;
+  default:
+    assert(false && "not an ordered comparison");
+  }
+  return boolRange(CanFalse, CanTrue);
+}
+
+/// Equality is defined on every kind pair (Value::equals), so non-int
+/// portions participate: two may-be-non-int values can compare either way,
+/// and an int never equals a non-int.
+AbsVal equalityRange(BinaryOp Op, const AbsVal &L, const AbsVal &R) {
+  if (L.isBottom() || R.isBottom())
+    return AbsVal::bottom();
+  bool CanEq = false, CanNe = false;
+  if (L.HasInt && R.HasInt) {
+    bool Intersect = L.Lo <= R.Hi && R.Lo <= L.Hi;
+    CanEq = CanEq || Intersect;
+    CanNe = CanNe || !(L.isIntSingleton() && R.isIntSingleton() && L.Lo == R.Lo);
+  }
+  if (L.HasOther && R.HasOther) {
+    CanEq = true;
+    CanNe = true;
+  }
+  if ((L.HasInt && R.HasOther) || (L.HasOther && R.HasInt))
+    CanNe = true;
+  if (Op == BinaryOp::Ne)
+    std::swap(CanEq, CanNe);
+  return boolRange(/*CanFalse=*/CanNe, /*CanTrue=*/CanEq);
+}
+
+/// A literal-shaped constant: an int literal or a negated int literal (the
+/// parser represents -1 as Neg(IntLit 1)), folded with the runtime's
+/// wrapping negation.
+std::optional<int64_t> constLit(const Expr *E) {
+  if (!E)
+    return std::nullopt;
+  if (E->Kind == ExprKind::IntLit)
+    return static_cast<const IntLitExpr *>(E)->Value;
+  if (E->Kind == ExprKind::Unary) {
+    const auto &U = static_cast<const UnaryExpr &>(*E);
+    if (U.Op == UnaryOp::Neg)
+      if (auto V = constLit(U.Operand.get()))
+        return static_cast<int64_t>(0 - static_cast<uint64_t>(*V));
+  }
+  return std::nullopt;
+}
+
+int64_t satAdd1(int64_t V) { return V == INT64_MAX ? V : V + 1; }
+int64_t satSub1(int64_t V) { return V == INT64_MIN ? V : V + -1; }
+
+/// The abstract transfer functions, parameterized over the interprocedural
+/// facts (global values + return summaries) so the same code serves the
+/// model builder's fixpoints and StaticModel::replayBlock.
+class AbsInterp {
+public:
+  using SummaryFn = std::function<AbsVal(const FuncDecl *)>;
+
+  AbsInterp(const std::vector<AbsVal> &Globals, SummaryFn Summary)
+      : Globals(Globals), Summary(std::move(Summary)) {}
+
+  AbsVal evalExpr(const Expr &E, const AbsEnv &Env, EvalSink *Sink) const;
+
+  /// Transfers one straight-line statement; returns false when execution
+  /// provably never completes it (the rest of the block is dead).
+  bool transferItem(const Stmt &S, AbsEnv &Env, EvalSink *Sink) const;
+
+  bool transferItems(const CfgBlock &B, AbsEnv &Env, EvalSink *Sink) const {
+    for (const Stmt *S : B.Items)
+      if (!transferItem(*S, Env, Sink))
+        return false;
+    return true;
+  }
+
+  /// Evaluates a Branch terminator's condition (constant 1 when absent) and
+  /// reports it to the sink as the branch site's observation.
+  AbsVal evalBranchCond(const CfgBlock &B, const AbsEnv &Env,
+                        EvalSink *Sink) const {
+    assert(B.Kind == CfgBlock::Term::Branch);
+    AbsVal C = B.Cond ? evalExpr(*B.Cond, Env, Sink) : AbsVal::constant(1);
+    if (Sink)
+      Sink->onBranch(B.BranchNodeId, C);
+    return C;
+  }
+
+  /// Refines \p Env with the knowledge that \p Cond evaluated truthy
+  /// (\p Taken) or falsy (!\p Taken) without trapping.
+  void refineEdge(const Expr *Cond, bool Taken, AbsEnv &Env) const;
+
+private:
+  AbsVal evalCall(const CallExpr &Call, const AbsEnv &Env,
+                  EvalSink *Sink) const;
+  AbsVal intrinsicResult(int IntrinsicId,
+                         const std::vector<AbsVal> &Args) const;
+  void refineLocal(const VarRefExpr &Ref, const AbsVal &NewVal,
+                   AbsEnv &Env) const;
+
+  const std::vector<AbsVal> &Globals;
+  SummaryFn Summary;
+};
+
+AbsVal AbsInterp::evalExpr(const Expr &E, const AbsEnv &Env,
+                           EvalSink *Sink) const {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return AbsVal::constant(static_cast<const IntLitExpr &>(E).Value);
+  case ExprKind::StrLit:
+  case ExprKind::NullLit:
+  case ExprKind::New:
+    return AbsVal::other();
+  case ExprKind::VarRef: {
+    const auto &Ref = static_cast<const VarRefExpr &>(E);
+    if (Ref.Slot.IsGlobal)
+      return Globals[static_cast<size_t>(Ref.Slot.Index)];
+    size_t Idx = static_cast<size_t>(Ref.Slot.Index);
+    if (Sink)
+      Sink->onVarRead(Ref, Env.MaybeDefault[Idx] != 0);
+    return Env.Locals[Idx];
+  }
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    AbsVal V = evalExpr(*U.Operand, Env, Sink);
+    if (U.Op == UnaryOp::Not)
+      // Truthiness traps on non-ints; only the int portion flows on.
+      return boolRange(/*CanFalse=*/V.hasNonzeroInt(),
+                       /*CanTrue=*/V.hasZeroInt());
+    // Neg wraps only at INT64_MIN.
+    if (!V.HasInt)
+      return AbsVal::bottom();
+    if (V.Lo == INT64_MIN)
+      return AbsVal::topInt();
+    return AbsVal::range(-V.Hi, -V.Lo);
+  }
+  case ExprKind::Binary: {
+    const auto &Bin = static_cast<const BinaryExpr &>(E);
+    if (Bin.Op == BinaryOp::And || Bin.Op == BinaryOp::Or) {
+      AbsVal L = evalExpr(*Bin.Lhs, Env, Sink);
+      // The short-circuit test is itself a branch site on the lhs value.
+      if (Sink)
+        Sink->onBranch(Bin.Id, L);
+      bool LhsTrue = L.hasNonzeroInt();
+      bool LhsFalse = L.hasZeroInt();
+      AbsVal Res = AbsVal::bottom();
+      bool ShortVal = Bin.Op == BinaryOp::Or;
+      if (Bin.Op == BinaryOp::And ? LhsFalse : LhsTrue)
+        Res = AbsVal::join(Res, AbsVal::constant(ShortVal ? 1 : 0));
+      // The rhs only runs (and its inner sites only fire) when the lhs
+      // does not short-circuit.
+      if (Bin.Op == BinaryOp::And ? LhsTrue : LhsFalse) {
+        AbsVal R = evalExpr(*Bin.Rhs, Env, Sink);
+        Res = AbsVal::join(
+            Res, boolRange(/*CanFalse=*/R.hasZeroInt(),
+                           /*CanTrue=*/R.hasNonzeroInt()));
+      }
+      return Res;
+    }
+    AbsVal L = evalExpr(*Bin.Lhs, Env, Sink);
+    AbsVal R = evalExpr(*Bin.Rhs, Env, Sink);
+    switch (Bin.Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+      return arithRange(Bin.Op, L, R);
+    case BinaryOp::Div:
+      // Traps on zero divisors; INT64_MIN / -1 wraps. Not worth bounding.
+      if (!L.HasInt || !R.HasInt || R == AbsVal::constant(0))
+        return AbsVal::bottom();
+      return AbsVal::topInt();
+    case BinaryOp::Rem:
+      if (!L.HasInt || !R.HasInt || R == AbsVal::constant(0))
+        return AbsVal::bottom();
+      return AbsVal::topInt();
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      return compareRange(Bin.Op, L, R);
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      return equalityRange(Bin.Op, L, R);
+    default:
+      assert(false && "unhandled binary op");
+      return AbsVal::top();
+    }
+  }
+  case ExprKind::Index: {
+    const auto &Idx = static_cast<const IndexExpr &>(E);
+    AbsVal Base = evalExpr(*Idx.Base, Env, Sink);
+    AbsVal Sub = evalExpr(*Idx.Subscript, Env, Sink);
+    if (Base.isBottom() || Sub.isBottom())
+      return AbsVal::bottom();
+    return AbsVal::top(); // Array elements are dynamically typed.
+  }
+  case ExprKind::Field: {
+    const auto &Fld = static_cast<const FieldExpr &>(E);
+    AbsVal Base = evalExpr(*Fld.Base, Env, Sink);
+    if (Base.isBottom())
+      return AbsVal::bottom();
+    return AbsVal::top();
+  }
+  case ExprKind::Call:
+    return evalCall(static_cast<const CallExpr &>(E), Env, Sink);
+  }
+  assert(false && "unhandled expression kind");
+  return AbsVal::top();
+}
+
+AbsVal AbsInterp::evalCall(const CallExpr &Call, const AbsEnv &Env,
+                           EvalSink *Sink) const {
+  std::vector<AbsVal> Args;
+  Args.reserve(Call.Args.size());
+  for (const auto &Arg : Call.Args) {
+    AbsVal V = evalExpr(*Arg, Env, Sink);
+    if (V.isBottom())
+      return AbsVal::bottom();
+    Args.push_back(V);
+  }
+  AbsVal Result = Call.Target ? Summary(Call.Target)
+                              : intrinsicResult(Call.IntrinsicId, Args);
+  // A bottom result means the callee provably never returns normally, so
+  // the returns-scheme observation after the call never fires either.
+  if (Sink && !Result.isBottom())
+    Sink->onCallReturn(Call, Result);
+  return Result;
+}
+
+AbsVal AbsInterp::intrinsicResult(int IntrinsicId,
+                                  const std::vector<AbsVal> &Args) const {
+  switch (static_cast<Intrinsic>(IntrinsicId)) {
+  case Intrinsic::Len:
+  case Intrinsic::Nargs:
+    return AbsVal::range(0, INT64_MAX);
+  case Intrinsic::Strcmp:
+    return AbsVal::range(-1, 1);
+  case Intrinsic::Min:
+  case Intrinsic::Max: {
+    if (Args.size() != 2 || !Args[0].HasInt || !Args[1].HasInt)
+      return AbsVal::topInt();
+    const AbsVal &A = Args[0], &B = Args[1];
+    if (static_cast<Intrinsic>(IntrinsicId) == Intrinsic::Min)
+      return AbsVal::range(std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi));
+    return AbsVal::range(std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+  }
+  case Intrinsic::Abs: {
+    if (Args.size() != 1 || !Args[0].HasInt || Args[0].Lo == INT64_MIN)
+      return AbsVal::topInt();
+    const AbsVal &A = Args[0];
+    int64_t Lo = A.Lo >= 0 ? A.Lo : (A.Hi <= 0 ? -A.Hi : 0);
+    return AbsVal::range(Lo, std::max(-A.Lo, A.Hi));
+  }
+  default:
+    return intrinsicInfo(IntrinsicId).ReturnsInt ? AbsVal::topInt()
+                                                 : AbsVal::other();
+  }
+}
+
+bool AbsInterp::transferItem(const Stmt &S, AbsEnv &Env,
+                             EvalSink *Sink) const {
+  switch (S.Kind) {
+  case StmtKind::Expr: {
+    AbsVal V = evalExpr(*static_cast<const ExprStmt &>(S).E, Env, Sink);
+    return !V.isBottom();
+  }
+  case StmtKind::Assign: {
+    const auto &Assign = static_cast<const AssignStmt &>(S);
+    // The runtime evaluates the value first, then resolves the target.
+    AbsVal V = evalExpr(*Assign.Value, Env, Sink);
+    if (V.isBottom())
+      return false;
+    switch (Assign.Target->Kind) {
+    case ExprKind::VarRef: {
+      const auto &Ref = static_cast<const VarRefExpr &>(*Assign.Target);
+      // Kind-enforced store: only the declared-kind portion survives; if
+      // none of the value can match, the store always traps.
+      AbsVal Stored = Ref.DeclaredKind == VarKind::Int
+                          ? V.intOnly()
+                          : (V.HasOther ? AbsVal::other() : AbsVal::bottom());
+      if (Stored.isBottom())
+        return false;
+      if (!Ref.Slot.IsGlobal) {
+        size_t Idx = static_cast<size_t>(Ref.Slot.Index);
+        Env.Locals[Idx] = Stored;
+        Env.MaybeDefault[Idx] = 0;
+      }
+      if (Sink && Assign.TargetIsIntVar)
+        Sink->onScalarStore(S, Stored, Env);
+      return true;
+    }
+    case ExprKind::Index: {
+      const auto &Idx = static_cast<const IndexExpr &>(*Assign.Target);
+      return !evalExpr(*Idx.Base, Env, Sink).isBottom() &&
+             !evalExpr(*Idx.Subscript, Env, Sink).isBottom();
+    }
+    case ExprKind::Field:
+      return !evalExpr(*static_cast<const FieldExpr &>(*Assign.Target).Base,
+                       Env, Sink)
+                  .isBottom();
+    default:
+      assert(false && "invalid assignment target survived Sema");
+      return true;
+    }
+  }
+  case StmtKind::VarDecl: {
+    const auto &Decl = static_cast<const VarDeclStmt &>(S);
+    assert(!Decl.Slot.IsGlobal && "local declaration with global slot");
+    size_t Idx = static_cast<size_t>(Decl.Slot.Index);
+    if (!Decl.Init) {
+      Env.Locals[Idx] = Decl.DeclKind == VarKind::Int ? AbsVal::constant(0)
+                                                      : AbsVal::other();
+      Env.MaybeDefault[Idx] = 1;
+      return true;
+    }
+    AbsVal V = evalExpr(*Decl.Init, Env, Sink);
+    if (V.isBottom())
+      return false;
+    AbsVal Stored = Decl.DeclKind == VarKind::Int
+                        ? V.intOnly()
+                        : (V.HasOther ? AbsVal::other() : AbsVal::bottom());
+    if (Stored.isBottom())
+      return false;
+    Env.Locals[Idx] = Stored;
+    Env.MaybeDefault[Idx] = 0;
+    if (Sink && Decl.DeclKind == VarKind::Int)
+      Sink->onScalarStore(S, Stored, Env);
+    return true;
+  }
+  default:
+    assert(false && "non-straight-line statement in block items");
+    return true;
+  }
+}
+
+void AbsInterp::refineLocal(const VarRefExpr &Ref, const AbsVal &NewVal,
+                            AbsEnv &Env) const {
+  if (Ref.Slot.IsGlobal)
+    return; // Globals are flow-insensitive; no refinement.
+  Env.Locals[static_cast<size_t>(Ref.Slot.Index)] = NewVal;
+}
+
+void AbsInterp::refineEdge(const Expr *Cond, bool Taken, AbsEnv &Env) const {
+  if (!Cond)
+    return;
+  switch (Cond->Kind) {
+  case ExprKind::VarRef: {
+    const auto &Ref = static_cast<const VarRefExpr &>(*Cond);
+    if (Ref.Slot.IsGlobal)
+      return;
+    AbsVal V = Env.Locals[static_cast<size_t>(Ref.Slot.Index)];
+    // Surviving the truthiness test implies the value was an int.
+    if (!Taken) {
+      refineLocal(Ref, V.meetInterval(0, 0, /*KeepOther=*/false), Env);
+      return;
+    }
+    AbsVal NV = V.intOnly();
+    // "Nonzero" is not an interval; trim zeros at the boundaries.
+    if (NV.HasInt && NV.Lo == 0 && NV.Hi == 0)
+      NV.HasInt = false;
+    else if (NV.HasInt && NV.Lo == 0)
+      NV.Lo = 1;
+    else if (NV.HasInt && NV.Hi == 0)
+      NV.Hi = -1;
+    refineLocal(Ref, NV, Env);
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(*Cond);
+    if (U.Op == UnaryOp::Not)
+      refineEdge(U.Operand.get(), !Taken, Env);
+    return;
+  }
+  case ExprKind::Binary:
+    break;
+  default:
+    return;
+  }
+
+  const auto &Bin = static_cast<const BinaryExpr &>(*Cond);
+  if (Bin.Op == BinaryOp::And && Taken) {
+    refineEdge(Bin.Lhs.get(), true, Env);
+    refineEdge(Bin.Rhs.get(), true, Env);
+    return;
+  }
+  if (Bin.Op == BinaryOp::Or && !Taken) {
+    refineEdge(Bin.Lhs.get(), false, Env);
+    refineEdge(Bin.Rhs.get(), false, Env);
+    return;
+  }
+
+  // x REL c / c REL x with a literal-shaped constant.
+  const VarRefExpr *Var = nullptr;
+  std::optional<int64_t> Lit;
+  bool VarOnLeft = true;
+  if (Bin.Lhs->Kind == ExprKind::VarRef && (Lit = constLit(Bin.Rhs.get()))) {
+    Var = static_cast<const VarRefExpr *>(Bin.Lhs.get());
+  } else if (Bin.Rhs->Kind == ExprKind::VarRef &&
+             (Lit = constLit(Bin.Lhs.get()))) {
+    Var = static_cast<const VarRefExpr *>(Bin.Rhs.get());
+    VarOnLeft = false;
+  }
+  if (!Var || Var->Slot.IsGlobal)
+    return;
+  AbsVal V = Env.Locals[static_cast<size_t>(Var->Slot.Index)];
+  int64_t C = *Lit;
+
+  // Normalize to "var REL C".
+  BinaryOp Op = Bin.Op;
+  if (!VarOnLeft) {
+    switch (Op) {
+    case BinaryOp::Lt: Op = BinaryOp::Gt; break;
+    case BinaryOp::Le: Op = BinaryOp::Ge; break;
+    case BinaryOp::Gt: Op = BinaryOp::Lt; break;
+    case BinaryOp::Ge: Op = BinaryOp::Le; break;
+    default: break; // Eq/Ne are symmetric.
+    }
+  }
+  // Fold the negation of an ordered comparison into its dual.
+  if (!Taken) {
+    switch (Op) {
+    case BinaryOp::Lt: Op = BinaryOp::Ge; break;
+    case BinaryOp::Le: Op = BinaryOp::Gt; break;
+    case BinaryOp::Gt: Op = BinaryOp::Le; break;
+    case BinaryOp::Ge: Op = BinaryOp::Lt; break;
+    case BinaryOp::Eq: Op = BinaryOp::Ne; break;
+    case BinaryOp::Ne: Op = BinaryOp::Eq; break;
+    default: return;
+    }
+  }
+
+  switch (Op) {
+  case BinaryOp::Lt:
+    refineLocal(*Var, V.meetInterval(INT64_MIN, satSub1(C), false), Env);
+    return;
+  case BinaryOp::Le:
+    refineLocal(*Var, V.meetInterval(INT64_MIN, C, false), Env);
+    return;
+  case BinaryOp::Gt:
+    refineLocal(*Var, V.meetInterval(satAdd1(C), INT64_MAX, false), Env);
+    return;
+  case BinaryOp::Ge:
+    refineLocal(*Var, V.meetInterval(C, INT64_MAX, false), Env);
+    return;
+  case BinaryOp::Eq:
+    // Equal to an int constant implies the value IS that int.
+    refineLocal(*Var, V.meetInterval(C, C, false), Env);
+    return;
+  case BinaryOp::Ne: {
+    // Not-equal keeps non-int possibilities (an str compares unequal to
+    // any int without trapping); trim the constant at interval boundaries.
+    AbsVal NV = V;
+    if (NV.HasInt && NV.Lo == C && NV.Hi == C)
+      NV.HasInt = false;
+    else if (NV.HasInt && NV.Lo == C)
+      NV.Lo = satAdd1(C);
+    else if (NV.HasInt && NV.Hi == C)
+      NV.Hi = satSub1(C);
+    refineLocal(*Var, NV, Env);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Whole-program model construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Walks every expression in a statement subtree.
+void forEachExpr(const Expr &E, const std::function<void(const Expr &)> &Fn);
+
+void forEachExprChild(const Expr &E,
+                      const std::function<void(const Expr &)> &Fn) {
+  switch (E.Kind) {
+  case ExprKind::Unary:
+    forEachExpr(*static_cast<const UnaryExpr &>(E).Operand, Fn);
+    return;
+  case ExprKind::Binary:
+    forEachExpr(*static_cast<const BinaryExpr &>(E).Lhs, Fn);
+    forEachExpr(*static_cast<const BinaryExpr &>(E).Rhs, Fn);
+    return;
+  case ExprKind::Index:
+    forEachExpr(*static_cast<const IndexExpr &>(E).Base, Fn);
+    forEachExpr(*static_cast<const IndexExpr &>(E).Subscript, Fn);
+    return;
+  case ExprKind::Field:
+    forEachExpr(*static_cast<const FieldExpr &>(E).Base, Fn);
+    return;
+  case ExprKind::Call:
+    for (const auto &Arg : static_cast<const CallExpr &>(E).Args)
+      forEachExpr(*Arg, Fn);
+    return;
+  default:
+    return;
+  }
+}
+
+void forEachExpr(const Expr &E, const std::function<void(const Expr &)> &Fn) {
+  Fn(E);
+  forEachExprChild(E, Fn);
+}
+
+void forEachStmtExpr(const Stmt &S,
+                     const std::function<void(const Expr &)> &Fn) {
+  switch (S.Kind) {
+  case StmtKind::Expr:
+    forEachExpr(*static_cast<const ExprStmt &>(S).E, Fn);
+    return;
+  case StmtKind::Assign: {
+    const auto &A = static_cast<const AssignStmt &>(S);
+    forEachExpr(*A.Target, Fn);
+    forEachExpr(*A.Value, Fn);
+    return;
+  }
+  case StmtKind::VarDecl: {
+    const auto &D = static_cast<const VarDeclStmt &>(S);
+    if (D.Init)
+      forEachExpr(*D.Init, Fn);
+    return;
+  }
+  case StmtKind::Block:
+    for (const auto &Child : static_cast<const BlockStmt &>(S).Body)
+      forEachStmtExpr(*Child, Fn);
+    return;
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    forEachExpr(*If.Cond, Fn);
+    forEachStmtExpr(*If.Then, Fn);
+    if (If.Else)
+      forEachStmtExpr(*If.Else, Fn);
+    return;
+  }
+  case StmtKind::While: {
+    const auto &W = static_cast<const WhileStmt &>(S);
+    forEachExpr(*W.Cond, Fn);
+    forEachStmtExpr(*W.Body, Fn);
+    return;
+  }
+  case StmtKind::For: {
+    const auto &F = static_cast<const ForStmt &>(S);
+    if (F.Init)
+      forEachStmtExpr(*F.Init, Fn);
+    if (F.Cond)
+      forEachExpr(*F.Cond, Fn);
+    if (F.Step)
+      forEachStmtExpr(*F.Step, Fn);
+    forEachStmtExpr(*F.Body, Fn);
+    return;
+  }
+  case StmtKind::Return: {
+    const auto &R = static_cast<const ReturnStmt &>(S);
+    if (R.Value)
+      forEachExpr(*R.Value, Fn);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+constexpr int WidenThreshold = 20;
+
+} // namespace
+
+class ModelBuilder {
+public:
+  ModelBuilder(StaticModel &M, const Program &Prog) : M(M), Prog(Prog) {}
+
+  void run() {
+    M.Prog = &Prog;
+    computeGlobals();
+    computeCallGraph();
+    computeReachability();
+    // Tarjan emits SCCs callees-first (reverse topological order of the
+    // condensation), which is exactly the summary evaluation order.
+    for (const auto &SCC : stronglyConnectedComponents())
+      processSCC(SCC);
+  }
+
+private:
+  StaticModel &M;
+  const Program &Prog;
+  std::map<const FuncDecl *, std::vector<const FuncDecl *>> CallEdges;
+  std::vector<const FuncDecl *> Roots;
+  std::vector<const FuncDecl *> ReachableFuncs; // Deterministic order.
+  std::map<const FuncDecl *, AbsVal> Summaries;
+
+  void computeGlobals() {
+    // A global is a known constant when it is never the target of an
+    // assignment anywhere in the program and its initializer is a foldable
+    // literal (or absent). Everything else is top-by-kind.
+    std::vector<uint8_t> Assigned(Prog.Globals.size(), 0);
+    for (const auto &F : Prog.Functions)
+      forEachStmtAssigns(*F->Body, Assigned);
+    M.GlobalVals.resize(Prog.Globals.size());
+    for (const auto &G : Prog.Globals) {
+      size_t Slot = static_cast<size_t>(G->Slot);
+      if (G->Kind != VarKind::Int) {
+        M.GlobalVals[Slot] = AbsVal::other();
+        continue;
+      }
+      std::optional<int64_t> Init =
+          G->Init ? constLit(G->Init.get()) : std::optional<int64_t>(0);
+      M.GlobalVals[Slot] = (Init && !Assigned[Slot])
+                               ? AbsVal::constant(*Init)
+                               : AbsVal::topInt();
+    }
+  }
+
+  static void forEachStmtAssigns(const Stmt &S, std::vector<uint8_t> &Out) {
+    switch (S.Kind) {
+    case StmtKind::Assign: {
+      const auto &A = static_cast<const AssignStmt &>(S);
+      if (A.Target->Kind == ExprKind::VarRef) {
+        const auto &Ref = static_cast<const VarRefExpr &>(*A.Target);
+        if (Ref.Slot.IsGlobal)
+          Out[static_cast<size_t>(Ref.Slot.Index)] = 1;
+      }
+      return;
+    }
+    case StmtKind::Block:
+      for (const auto &Child : static_cast<const BlockStmt &>(S).Body)
+        forEachStmtAssigns(*Child, Out);
+      return;
+    case StmtKind::If: {
+      const auto &If = static_cast<const IfStmt &>(S);
+      forEachStmtAssigns(*If.Then, Out);
+      if (If.Else)
+        forEachStmtAssigns(*If.Else, Out);
+      return;
+    }
+    case StmtKind::While:
+      forEachStmtAssigns(*static_cast<const WhileStmt &>(S).Body, Out);
+      return;
+    case StmtKind::For: {
+      const auto &F = static_cast<const ForStmt &>(S);
+      if (F.Init)
+        forEachStmtAssigns(*F.Init, Out);
+      if (F.Step)
+        forEachStmtAssigns(*F.Step, Out);
+      forEachStmtAssigns(*F.Body, Out);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void computeCallGraph() {
+    auto collectCalls = [&](const FuncDecl *From, const Expr &E) {
+      if (E.Kind == ExprKind::Call) {
+        const auto &Call = static_cast<const CallExpr &>(E);
+        if (Call.Target) {
+          if (From)
+            CallEdges[From].push_back(Call.Target);
+          else
+            Roots.push_back(Call.Target);
+        }
+      }
+    };
+    for (const auto &F : Prog.Functions)
+      forEachStmtExpr(*F->Body, [&](const Expr &E) { collectCalls(F.get(), E); });
+    // Global initializers run at startup: anything they call is a root.
+    for (const auto &G : Prog.Globals)
+      if (G->Init)
+        forEachExpr(*G->Init,
+                    [&](const Expr &E) { collectCalls(nullptr, E); });
+    if (const FuncDecl *Main = Prog.findFunction("main"))
+      Roots.push_back(Main);
+  }
+
+  void computeReachability() {
+    std::map<const FuncDecl *, bool> Seen;
+    std::vector<const FuncDecl *> Work(Roots);
+    for (const FuncDecl *F : Work)
+      Seen[F] = true;
+    while (!Work.empty()) {
+      const FuncDecl *F = Work.back();
+      Work.pop_back();
+      for (const FuncDecl *Callee : CallEdges[F])
+        if (!Seen[Callee]) {
+          Seen[Callee] = true;
+          Work.push_back(Callee);
+        }
+    }
+    for (const auto &F : Prog.Functions)
+      if (Seen[F.get()])
+        ReachableFuncs.push_back(F.get());
+  }
+
+  std::vector<std::vector<const FuncDecl *>> stronglyConnectedComponents() {
+    std::vector<std::vector<const FuncDecl *>> SCCs;
+    std::map<const FuncDecl *, int> Index, Low;
+    std::map<const FuncDecl *, bool> OnStack;
+    std::vector<const FuncDecl *> Stack;
+    int NextIndex = 0;
+
+    std::function<void(const FuncDecl *)> strongConnect =
+        [&](const FuncDecl *F) {
+          Index[F] = Low[F] = NextIndex++;
+          Stack.push_back(F);
+          OnStack[F] = true;
+          for (const FuncDecl *G : CallEdges[F]) {
+            if (!Index.count(G)) {
+              strongConnect(G);
+              Low[F] = std::min(Low[F], Low[G]);
+            } else if (OnStack[G]) {
+              Low[F] = std::min(Low[F], Index[G]);
+            }
+          }
+          if (Low[F] == Index[F]) {
+            std::vector<const FuncDecl *> SCC;
+            const FuncDecl *Member;
+            do {
+              Member = Stack.back();
+              Stack.pop_back();
+              OnStack[Member] = false;
+              SCC.push_back(Member);
+            } while (Member != F);
+            SCCs.push_back(std::move(SCC));
+          }
+        };
+
+    for (const FuncDecl *F : ReachableFuncs)
+      if (!Index.count(F))
+        strongConnect(F);
+    return SCCs;
+  }
+
+  bool hasSelfLoop(const FuncDecl *F) {
+    for (const FuncDecl *G : CallEdges[F])
+      if (G == F)
+        return true;
+    return false;
+  }
+
+  void processSCC(const std::vector<const FuncDecl *> &SCC) {
+    bool Recursive = SCC.size() > 1 || hasSelfLoop(SCC.front());
+    if (Recursive)
+      // A recursive cycle may compute anything; top keeps the summaries
+      // sound without iterating the cycle.
+      for (const FuncDecl *F : SCC)
+        Summaries[F] = AbsVal::top();
+    for (const FuncDecl *F : SCC) {
+      AbsVal Ret = analyzeFunction(*F);
+      if (!Recursive)
+        Summaries[F] = Ret;
+      M.Funcs.at(F).Return = Summaries[F];
+    }
+  }
+
+  AbsInterp interp() const {
+    return AbsInterp(M.GlobalVals, [this](const FuncDecl *F) {
+      auto It = Summaries.find(F);
+      return It != Summaries.end() ? It->second : AbsVal::top();
+    });
+  }
+
+  /// Runs the intraprocedural fixpoint for \p F, stores the converged
+  /// block-entry environments, and returns the function's abstract return
+  /// value under the current summaries.
+  AbsVal analyzeFunction(const FuncDecl &F) {
+    auto [It, Inserted] = M.Funcs.try_emplace(&F);
+    StaticModel::FuncAnalysis &A = It->second;
+    assert(Inserted && "function analyzed twice");
+    A.G = Cfg::build(F);
+    size_t N = A.G.numBlocks();
+    A.BlockEntry.assign(N, AbsEnv{});
+
+    AbsEnv Entry;
+    Entry.Feasible = true;
+    // Parameter binding is unchecked (any value can arrive) and slots past
+    // the parameters are overwritten by their declarations before any
+    // well-scoped read, so top is both sound and precise here.
+    Entry.Locals.assign(static_cast<size_t>(F.NumLocals), AbsVal::top());
+    Entry.MaybeDefault.assign(static_cast<size_t>(F.NumLocals), 0);
+    A.BlockEntry[static_cast<size_t>(A.G.entry())] = Entry;
+
+    AbsInterp I = interp();
+    std::vector<int> JoinCount(N, 0);
+    std::deque<int> Work{A.G.entry()};
+    std::vector<uint8_t> InWork(N, 0);
+    InWork[static_cast<size_t>(A.G.entry())] = 1;
+
+    auto propagate = [&](int To, const AbsEnv &Env) {
+      size_t T = static_cast<size_t>(To);
+      bool Widen = ++JoinCount[T] > WidenThreshold;
+      if (A.BlockEntry[T].joinFrom(Env, Widen) && !InWork[T]) {
+        InWork[T] = 1;
+        Work.push_back(To);
+      }
+    };
+
+    while (!Work.empty()) {
+      int B = Work.front();
+      Work.pop_front();
+      InWork[static_cast<size_t>(B)] = 0;
+      AbsEnv Env = A.BlockEntry[static_cast<size_t>(B)];
+      if (!Env.Feasible)
+        continue;
+      const CfgBlock &Blk = A.G.block(B);
+      if (!I.transferItems(Blk, Env, nullptr))
+        continue; // Execution dies inside the block.
+      switch (Blk.Kind) {
+      case CfgBlock::Term::Goto:
+        propagate(Blk.Succ[0], Env);
+        break;
+      case CfgBlock::Term::Branch: {
+        AbsVal C = I.evalBranchCond(Blk, Env, nullptr);
+        if (C.hasNonzeroInt()) {
+          AbsEnv TrueEnv = Env;
+          I.refineEdge(Blk.Cond, true, TrueEnv);
+          propagate(Blk.Succ[0], TrueEnv);
+        }
+        if (C.hasZeroInt()) {
+          AbsEnv FalseEnv = Env;
+          I.refineEdge(Blk.Cond, false, FalseEnv);
+          propagate(Blk.Succ[1], FalseEnv);
+        }
+        break;
+      }
+      case CfgBlock::Term::Return:
+      case CfgBlock::Term::Exit:
+        break;
+      }
+    }
+
+    // Collect the return summary from the converged environments.
+    AbsVal Ret = AbsVal::bottom();
+    for (size_t B = 0; B < N; ++B) {
+      if (!A.BlockEntry[B].Feasible)
+        continue;
+      const CfgBlock &Blk = A.G.block(static_cast<int>(B));
+      AbsEnv Env = A.BlockEntry[B];
+      if (!I.transferItems(Blk, Env, nullptr))
+        continue;
+      if (Blk.Kind == CfgBlock::Term::Return) {
+        AbsVal V = Blk.Ret->Value ? I.evalExpr(*Blk.Ret->Value, Env, nullptr)
+                                  : AbsVal::other(); // return; yields unit
+        Ret = AbsVal::join(Ret, V);
+      } else if (Blk.Kind == CfgBlock::Term::Goto &&
+                 Blk.Succ[0] == A.G.exit()) {
+        Ret = AbsVal::join(Ret, AbsVal::other()); // Fall-off-end unit.
+      }
+    }
+    return Ret;
+  }
+};
+
+StaticModel StaticModel::build(const Program &Prog) {
+  StaticModel M;
+  ModelBuilder(M, Prog).run();
+  return M;
+}
+
+AbsVal StaticModel::returnSummary(const FuncDecl *F) const {
+  auto It = Funcs.find(F);
+  return It != Funcs.end() ? It->second.Return : AbsVal::top();
+}
+
+void StaticModel::replayBlock(const FuncDecl *F, int Block,
+                              EvalSink &Sink) const {
+  const FuncAnalysis &A = Funcs.at(F);
+  const AbsEnv &Entry = A.BlockEntry[static_cast<size_t>(Block)];
+  if (!Entry.Feasible)
+    return;
+  AbsInterp I(GlobalVals,
+              [this](const FuncDecl *G) { return returnSummary(G); });
+  AbsEnv Env = Entry;
+  const CfgBlock &Blk = A.G.block(Block);
+  if (!I.transferItems(Blk, Env, &Sink))
+    return;
+  if (Blk.Kind == CfgBlock::Term::Branch)
+    I.evalBranchCond(Blk, Env, &Sink);
+  else if (Blk.Kind == CfgBlock::Term::Return && Blk.Ret->Value)
+    I.evalExpr(*Blk.Ret->Value, Env, &Sink);
+}
+
+} // namespace sbi

@@ -1,0 +1,191 @@
+//===- sa/Dataflow.h - Interval/constant dataflow over MicroC CFGs --------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse-conditional constant-propagation and interval analysis over the
+/// CFGs of sa/Cfg.h, the engine behind conservative predicate pruning
+/// (sa/Prune.h) and `sbi lint` (sa/Lint.h).
+///
+/// The abstract value lattice tracks, per MicroC value, an optional signed
+/// 64-bit interval (the value may be an int in [Lo, Hi]) plus a "may be a
+/// non-int" bit covering str/arr/rec/null/unit. This split mirrors how the
+/// runtime gates every observation: semTruthy traps on non-ints before
+/// onBranch fires, and scalar stores/returns only reach the observer with
+/// int values — so only the int portion of an abstract value ever needs to
+/// be precise for a ConstantOutcome claim, and the non-int bit only feeds
+/// reachability (a trapped evaluation observes nothing).
+///
+/// Everything here over-approximates the concrete collecting semantics:
+/// arithmetic that can wrap widens to the full interval, unknown calls and
+/// heap loads return top, globals assigned anywhere are top, and recursive
+/// call cycles get top return summaries. The conservatism argument for
+/// pruning (DESIGN.md) leans on exactly this direction: the analysis may
+/// call a site Live that never fires, but never the reverse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SA_DATAFLOW_H
+#define SBI_SA_DATAFLOW_H
+
+#include "sa/Cfg.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace sbi {
+
+/// Abstract MicroC value: an optional int interval plus a may-be-non-int
+/// bit. Bottom (= "no value reaches here") is both flags clear.
+struct AbsVal {
+  bool HasInt = false;
+  /// Valid iff HasInt; saturating bounds — the full int64 range is the top
+  /// interval, so no separate infinity encoding is needed.
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  /// The value may be a str, arr, rec, null, or unit.
+  bool HasOther = false;
+
+  static AbsVal bottom() { return {}; }
+  static AbsVal other() { return {false, 0, 0, true}; }
+  static AbsVal constant(int64_t V) { return {true, V, V, false}; }
+  static AbsVal range(int64_t Lo, int64_t Hi) { return {true, Lo, Hi, false}; }
+  static AbsVal topInt() { return range(INT64_MIN, INT64_MAX); }
+  /// Any value at all: full int range or any non-int.
+  static AbsVal top() { return {true, INT64_MIN, INT64_MAX, true}; }
+
+  bool isBottom() const { return !HasInt && !HasOther; }
+  /// The int portion contains a nonzero value (the branch-true outcome is
+  /// feasible).
+  bool hasNonzeroInt() const { return HasInt && !(Lo == 0 && Hi == 0); }
+  /// The int portion contains zero (the branch-false outcome is feasible).
+  bool hasZeroInt() const { return HasInt && Lo <= 0 && 0 <= Hi; }
+  bool isIntSingleton() const { return HasInt && Lo == Hi; }
+  /// Drops the non-int portion (what survives a kind-enforcing int store or
+  /// an int-gated observation).
+  AbsVal intOnly() const { return {HasInt, Lo, Hi, false}; }
+
+  bool operator==(const AbsVal &O) const {
+    if (HasInt != O.HasInt || HasOther != O.HasOther)
+      return false;
+    return !HasInt || (Lo == O.Lo && Hi == O.Hi);
+  }
+  bool operator!=(const AbsVal &O) const { return !(*this == O); }
+
+  static AbsVal join(const AbsVal &A, const AbsVal &B);
+  /// Classic interval widening: any bound that grew jumps to its extreme.
+  static AbsVal widen(const AbsVal &Old, const AbsVal &New);
+  /// Intersects the int portion with [Lo, Hi]; the non-int bit is kept or
+  /// dropped by the caller via KeepOther.
+  AbsVal meetInterval(int64_t Lo, int64_t Hi, bool KeepOther) const;
+};
+
+/// Abstract frame state at a program point.
+struct AbsEnv {
+  /// False for the bottom environment (block never entered).
+  bool Feasible = false;
+  /// One entry per frame slot (params first), indexed like VarSlot::Index.
+  std::vector<AbsVal> Locals;
+  /// Per slot: the value may still be the declaration's implicit default
+  /// (no explicit initializer or assignment has executed since the decl).
+  /// Feeds the use-before-init lint.
+  std::vector<uint8_t> MaybeDefault;
+
+  /// Joins \p Other in; returns true when anything changed. When \p Widen
+  /// is set, interval bounds that grew jump to their extremes.
+  bool joinFrom(const AbsEnv &Other, bool Widen);
+};
+
+/// Callback interface for the classification sweep: the abstract
+/// interpreter reports every instrumentation-relevant evaluation it can
+/// prove feasible. Implementations must treat "never called for node N" as
+/// "node N's observation never fires" — the interpreter only suppresses
+/// callbacks on paths it has proven dead (trap or non-termination), which
+/// is exactly the conservative direction.
+class EvalSink {
+public:
+  virtual ~EvalSink() = default;
+  /// A branch test (if/while/for or a short-circuit &&/||) evaluates its
+  /// condition to \p Cond. Observation fires only for the int portion.
+  virtual void onBranch(int NodeId, const AbsVal &Cond) { (void)NodeId, (void)Cond; }
+  /// A call expression completes with abstract result \p Result.
+  virtual void onCallReturn(const CallExpr &Call, const AbsVal &Result) {
+    (void)Call, (void)Result;
+  }
+  /// An int-variable store (assignment or initialized int decl) stores
+  /// \p Stored; \p After is the frame state after the store (what the
+  /// scalar-pairs observer reads its comparands from).
+  virtual void onScalarStore(const Stmt &S, const AbsVal &Stored,
+                             const AbsEnv &After) {
+    (void)S, (void)Stored, (void)After;
+  }
+  /// A local variable read; \p MaybeDefault is set when the value may still
+  /// be the declaration's implicit default.
+  virtual void onVarRead(const VarRefExpr &Ref, bool MaybeDefault) {
+    (void)Ref, (void)MaybeDefault;
+  }
+};
+
+/// Whole-program analysis results: one CFG + converged block-entry
+/// environments per reachable function, flow-insensitive global values, and
+/// interprocedural return summaries (computed callee-first over the SCC
+/// condensation of the direct call graph; recursive cycles get top).
+class StaticModel {
+public:
+  static StaticModel build(const Program &Prog);
+
+  const Program &program() const { return *Prog; }
+
+  /// True when \p F is transitively callable from main or from a global
+  /// initializer. Unreachable functions are not analyzed; every site inside
+  /// one is trivially never observed.
+  bool functionReachable(const FuncDecl *F) const {
+    return Funcs.count(F) != 0;
+  }
+
+  /// The CFG of a reachable function.
+  const Cfg &cfg(const FuncDecl *F) const { return Funcs.at(F).G; }
+
+  /// Converged entry environment of \p Block (Feasible == false when the
+  /// dataflow proved the block dead even though CFG edges reach it).
+  const AbsEnv &blockEntry(const FuncDecl *F, int Block) const {
+    return Funcs.at(F).BlockEntry[static_cast<size_t>(Block)];
+  }
+
+  /// Abstract return value of a reachable function (bottom when the
+  /// function provably never returns normally).
+  AbsVal returnSummary(const FuncDecl *F) const;
+
+  /// Flow-insensitive value of a global slot: a singleton for globals that
+  /// are never assigned and have a constant-foldable (or absent)
+  /// initializer, top-by-kind otherwise.
+  AbsVal globalValue(int SlotIndex) const {
+    return GlobalVals[static_cast<size_t>(SlotIndex)];
+  }
+
+  /// Re-runs the transfer function over one reachable block from its
+  /// converged entry environment, reporting every feasible evaluation to
+  /// \p Sink. This is how the pruning/lint sweeps consume the fixpoint.
+  void replayBlock(const FuncDecl *F, int Block, EvalSink &Sink) const;
+
+private:
+  struct FuncAnalysis {
+    Cfg G;
+    std::vector<AbsEnv> BlockEntry;
+    AbsVal Return = AbsVal::bottom();
+  };
+
+  friend class ModelBuilder;
+
+  const Program *Prog = nullptr;
+  std::vector<AbsVal> GlobalVals; // Indexed by global slot.
+  std::map<const FuncDecl *, FuncAnalysis> Funcs;
+};
+
+} // namespace sbi
+
+#endif // SBI_SA_DATAFLOW_H

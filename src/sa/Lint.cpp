@@ -1,0 +1,241 @@
+//===- sa/Lint.cpp - Static findings over MicroC subjects -----------------===//
+
+#include "sa/Lint.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sbi {
+
+const char *lintKindName(LintKind Kind) {
+  switch (Kind) {
+  case LintKind::DeadCode:
+    return "dead-code";
+  case LintKind::ConstantBranch:
+    return "constant-branch";
+  case LintKind::UnreachableReturn:
+    return "unreachable-return";
+  case LintKind::UseBeforeInit:
+    return "use-before-init";
+  }
+  return "?";
+}
+
+size_t LintReport::count(LintKind Kind) const {
+  return static_cast<size_t>(
+      std::count_if(Findings.begin(), Findings.end(),
+                    [&](const LintFinding &F) { return F.Kind == Kind; }));
+}
+
+std::string LintReport::summary() const {
+  return format("%zu findings (%zu dead-code, %zu constant-branch, "
+                "%zu unreachable-return, %zu use-before-init)",
+                Findings.size(), count(LintKind::DeadCode),
+                count(LintKind::ConstantBranch),
+                count(LintKind::UnreachableReturn),
+                count(LintKind::UseBeforeInit));
+}
+
+namespace {
+
+/// Collects use-before-init reads during a replay sweep; deduplicated per
+/// (function, slot) at the first read encountered in block order.
+class UseBeforeInitSink : public EvalSink {
+public:
+  UseBeforeInitSink(const FuncDecl &Func, std::set<int> &SeenSlots,
+                    std::vector<LintFinding> &Out)
+      : Func(Func), SeenSlots(SeenSlots), Out(Out) {}
+
+  void onVarRead(const VarRefExpr &Ref, bool MaybeDefault) override {
+    if (!MaybeDefault || Ref.Slot.IsGlobal)
+      return;
+    if (!SeenSlots.insert(Ref.Slot.Index).second)
+      return;
+    Out.push_back(
+        {LintKind::UseBeforeInit, Func.Name, Ref.Line,
+         format("variable '%s' may be read before any explicit "
+                "initialization (falls back to the implicit default)",
+                Ref.Name.c_str())});
+  }
+
+private:
+  const FuncDecl &Func;
+  std::set<int> &SeenSlots;
+  std::vector<LintFinding> &Out;
+};
+
+/// "x > 0 is TRUE" -> "x > 0" (the builder's predicate text for a branch
+/// site is the condition text plus the outcome suffix).
+std::string branchConditionText(const std::string &PredText) {
+  const std::string Suffix = " is TRUE";
+  if (PredText.size() > Suffix.size() &&
+      PredText.compare(PredText.size() - Suffix.size(), Suffix.size(),
+                       Suffix) == 0)
+    return PredText.substr(0, PredText.size() - Suffix.size());
+  return PredText;
+}
+
+void lintDeadBlocks(const StaticModel &Model, const FuncDecl &Func,
+                    std::vector<LintFinding> &Out) {
+  const Cfg &G = Model.cfg(&Func);
+  auto alive = [&](int B) {
+    return Model.blockEntry(&Func, B).Feasible;
+  };
+  for (size_t B = 0; B < G.numBlocks(); ++B) {
+    int Id = static_cast<int>(B);
+    if (alive(Id))
+      continue;
+    const CfgBlock &Blk = G.block(Id);
+    // Every dead return is its own finding.
+    if (Blk.Kind == CfgBlock::Term::Return)
+      Out.push_back({LintKind::UnreachableReturn, Func.Name, Blk.Ret->Line,
+                     "return statement is unreachable"});
+    // Dead-code findings only at region roots: a dead block with no
+    // predecessors (code after return/break/continue) or with at least one
+    // live predecessor (the dead arm of a decided branch). Interior blocks
+    // of a dead region stay quiet so one region yields one finding.
+    bool Root = Blk.Preds.empty();
+    for (int P : Blk.Preds)
+      Root = Root || alive(P);
+    if (!Root)
+      continue;
+    if (!Blk.Items.empty())
+      Out.push_back({LintKind::DeadCode, Func.Name, Blk.Items.front()->Line,
+                     "statement is unreachable"});
+    else if (Blk.Kind == CfgBlock::Term::Branch)
+      Out.push_back({LintKind::DeadCode, Func.Name, Blk.BranchLine,
+                     "conditional is unreachable"});
+  }
+}
+
+} // namespace
+
+LintReport runLint(const StaticModel &Model, const SiteTable &Table,
+                   const PruneResult &Prune) {
+  LintReport Report;
+  const Program &Prog = Model.program();
+
+  for (const auto &Func : Prog.Functions) {
+    if (!Model.functionReachable(Func.get())) {
+      if (Func->Name != "main")
+        Report.Findings.push_back(
+            {LintKind::DeadCode, Func->Name, Func->Line,
+             format("function '%s' is never called", Func->Name.c_str())});
+      continue;
+    }
+    lintDeadBlocks(Model, *Func, Report.Findings);
+    std::set<int> SeenSlots;
+    UseBeforeInitSink Sink(*Func, SeenSlots, Report.Findings);
+    const Cfg &G = Model.cfg(Func.get());
+    for (size_t B = 0; B < G.numBlocks(); ++B)
+      Model.replayBlock(Func.get(), static_cast<int>(B), Sink);
+  }
+
+  // Constant branches come straight from the prune classification.
+  for (const SiteInfo &Site : Table.sites()) {
+    if (Site.SchemeKind != Scheme::Branches)
+      continue;
+    const SitePruneInfo &Info = Prune.Sites[Site.Id];
+    if (Info.Class != SiteClass::ConstantOutcome)
+      continue;
+    bool AlwaysTrue = (Info.AlwaysTrueMask & 1u) != 0;
+    std::string Cond =
+        branchConditionText(Table.predicate(Site.FirstPredicate).Text);
+    Report.Findings.push_back(
+        {LintKind::ConstantBranch, Site.Function, Site.Line,
+         format("branch condition '%s' is always %s", Cond.c_str(),
+                AlwaysTrue ? "true" : "false")});
+  }
+
+  std::stable_sort(Report.Findings.begin(), Report.Findings.end(),
+                   [](const LintFinding &A, const LintFinding &B) {
+                     if (A.Line != B.Line)
+                       return A.Line < B.Line;
+                     if (A.Kind != B.Kind)
+                       return static_cast<int>(A.Kind) <
+                              static_cast<int>(B.Kind);
+                     return A.Message < B.Message;
+                   });
+  return Report;
+}
+
+LintReport runLint(const Program &Prog) {
+  StaticModel Model = StaticModel::build(Prog);
+  SiteTable Table = SiteTable::build(Prog);
+  PruneResult Prune = computePrune(Model, Table);
+  return runLint(Model, Table, Prune);
+}
+
+std::string renderLintHuman(const std::string &SubjectName,
+                            const LintReport &Report) {
+  std::string Out =
+      format("%s: %s\n", SubjectName.c_str(), Report.summary().c_str());
+  for (const LintFinding &F : Report.Findings)
+    Out += format("  [%s] %s:%d: %s\n", lintKindName(F.Kind),
+                  F.Function.c_str(), F.Line, F.Message.c_str());
+  return Out;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += format("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string renderLintJson(const std::string &SubjectName,
+                           const LintReport &Report) {
+  std::string Out = "{\n";
+  Out += format("  \"subject\": \"%s\",\n", jsonEscape(SubjectName).c_str());
+  Out += format("  \"num_findings\": %zu,\n", Report.Findings.size());
+  Out += "  \"counts\": {";
+  const LintKind Kinds[] = {LintKind::DeadCode, LintKind::ConstantBranch,
+                            LintKind::UnreachableReturn,
+                            LintKind::UseBeforeInit};
+  bool First = true;
+  for (LintKind K : Kinds) {
+    Out += format("%s\"%s\": %zu", First ? "" : ", ", lintKindName(K),
+                  Report.count(K));
+    First = false;
+  }
+  Out += "},\n  \"findings\": [";
+  for (size_t I = 0; I < Report.Findings.size(); ++I) {
+    const LintFinding &F = Report.Findings[I];
+    Out += I == 0 ? "\n" : ",\n";
+    Out += format("    {\"kind\": \"%s\", \"function\": \"%s\", "
+                  "\"line\": %d, \"message\": \"%s\"}",
+                  lintKindName(F.Kind), jsonEscape(F.Function).c_str(),
+                  F.Line, jsonEscape(F.Message).c_str());
+  }
+  Out += Report.Findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
+}
+
+} // namespace sbi

@@ -1,0 +1,80 @@
+//===- sa/Lint.h - Static findings over MicroC subjects -------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `sbi lint`: surfaces what the static-analysis subsystem proves about a
+/// subject as human-readable findings —
+///
+///   dead-code          — never-called functions and statements no feasible
+///                        path reaches
+///   constant-branch    — branch conditions with only one feasible outcome
+///   unreachable-return — return statements in dead code
+///   use-before-init    — reads of a variable that may still hold its
+///                        declaration's implicit default
+///
+/// The same facts drive predicate pruning (sa/Prune.h); lint is the
+/// developer-facing rendering, with deterministic ordering so CI can pin
+/// golden finding counts per subject.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SA_LINT_H
+#define SBI_SA_LINT_H
+
+#include "sa/Prune.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sbi {
+
+enum class LintKind {
+  DeadCode,
+  ConstantBranch,
+  UnreachableReturn,
+  UseBeforeInit,
+};
+
+const char *lintKindName(LintKind Kind);
+
+struct LintFinding {
+  LintKind Kind = LintKind::DeadCode;
+  std::string Function;
+  int Line = 0;
+  std::string Message;
+};
+
+struct LintReport {
+  /// Sorted by (line, kind, message); deterministic across runs.
+  std::vector<LintFinding> Findings;
+
+  size_t count(LintKind Kind) const;
+  /// One-line summary: "N findings (a dead-code, b constant-branch, ...)".
+  std::string summary() const;
+};
+
+/// Lints \p Prog using an existing model/table/prune triple (shared with
+/// the campaign's pruning pass).
+LintReport runLint(const StaticModel &Model, const SiteTable &Table,
+                   const PruneResult &Prune);
+
+/// Convenience: builds the model, a default site table, and the prune
+/// classification, then lints.
+LintReport runLint(const Program &Prog);
+
+/// Human-readable rendering, one finding per line.
+std::string renderLintHuman(const std::string &SubjectName,
+                            const LintReport &Report);
+
+/// Deterministic JSON rendering.
+std::string renderLintJson(const std::string &SubjectName,
+                           const LintReport &Report);
+
+} // namespace sbi
+
+#endif // SBI_SA_LINT_H

@@ -1,0 +1,218 @@
+//===- sa/Prune.cpp - Conservative predicate-site pruning -----------------===//
+
+#include "sa/Prune.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sbi {
+
+const char *siteClassName(SiteClass C) {
+  switch (C) {
+  case SiteClass::Live:
+    return "live";
+  case SiteClass::Unreachable:
+    return "unreachable";
+  case SiteClass::ConstantOutcome:
+    return "constant";
+  }
+  return "?";
+}
+
+uint32_t PruneResult::numLive() const {
+  return static_cast<uint32_t>(
+      std::count_if(Sites.begin(), Sites.end(), [](const SitePruneInfo &S) {
+        return S.Class == SiteClass::Live;
+      }));
+}
+
+uint32_t PruneResult::numUnreachable() const {
+  return static_cast<uint32_t>(
+      std::count_if(Sites.begin(), Sites.end(), [](const SitePruneInfo &S) {
+        return S.Class == SiteClass::Unreachable;
+      }));
+}
+
+uint32_t PruneResult::numConstant() const {
+  return static_cast<uint32_t>(
+      std::count_if(Sites.begin(), Sites.end(), [](const SitePruneInfo &S) {
+        return S.Class == SiteClass::ConstantOutcome;
+      }));
+}
+
+std::vector<uint8_t> PruneResult::siteEnabledMask() const {
+  std::vector<uint8_t> Mask(Sites.size(), 0);
+  for (size_t I = 0; I < Sites.size(); ++I)
+    Mask[I] = Sites[I].Class == SiteClass::Live ? 1 : 0;
+  return Mask;
+}
+
+std::vector<uint8_t>
+PruneResult::observedNodeMask(int NumNodeIds, const SiteTable &Table) const {
+  std::vector<uint8_t> Mask(static_cast<size_t>(NumNodeIds), 0);
+  for (const SiteInfo &Site : Table.sites())
+    if (Sites[Site.Id].Class == SiteClass::Live && Site.NodeId >= 0 &&
+        static_cast<size_t>(Site.NodeId) < Mask.size())
+      Mask[static_cast<size_t>(Site.NodeId)] = 1;
+  return Mask;
+}
+
+namespace {
+
+// Bit positions within a six-way (returns / scalar-pairs) site, matching
+// the builder's predicate order Lt, Le, Gt, Ge, Eq, Ne.
+constexpr uint8_t SixLt = 1u << 0;
+constexpr uint8_t SixLe = 1u << 1;
+constexpr uint8_t SixGt = 1u << 2;
+constexpr uint8_t SixGe = 1u << 3;
+constexpr uint8_t SixEq = 1u << 4;
+constexpr uint8_t SixNe = 1u << 5;
+
+// Branch sites: predicate order IsTrue, IsFalse.
+constexpr uint8_t BranchTrue = 1u << 0;
+constexpr uint8_t BranchFalse = 1u << 1;
+
+/// Accumulated may-happen facts per site across the classification sweep.
+struct SiteFacts {
+  bool Observed = false;
+  // Branch sites.
+  bool CanTrue = false;
+  bool CanFalse = false;
+  // Six-way sites: which of <, =, > between value and comparand are
+  // feasible on some observation.
+  bool RelLt = false;
+  bool RelEq = false;
+  bool RelGt = false;
+};
+
+class PruneSink : public EvalSink {
+public:
+  PruneSink(const SiteTable &Table, const StaticModel &Model,
+            std::vector<SiteFacts> &Facts)
+      : Table(Table), Model(Model), Facts(Facts) {}
+
+  void onBranch(int NodeId, const AbsVal &Cond) override {
+    SiteTable::SiteRange Range = Table.sitesForNode(NodeId);
+    for (uint32_t S = Range.First; S < Range.First + Range.Count; ++S) {
+      const SiteInfo &Site = Table.site(S);
+      if (Site.SchemeKind != Scheme::Branches)
+        continue;
+      SiteFacts &F = Facts[S];
+      // The observation fires only when the truthiness test survives,
+      // i.e. when the condition is an int.
+      if (!Cond.HasInt)
+        continue;
+      F.Observed = true;
+      F.CanTrue = F.CanTrue || Cond.hasNonzeroInt();
+      F.CanFalse = F.CanFalse || Cond.hasZeroInt();
+    }
+  }
+
+  void onCallReturn(const CallExpr &Call, const AbsVal &Result) override {
+    SiteTable::SiteRange Range = Table.sitesForNode(Call.Id);
+    for (uint32_t S = Range.First; S < Range.First + Range.Count; ++S) {
+      const SiteInfo &Site = Table.site(S);
+      if (Site.SchemeKind != Scheme::Returns)
+        continue;
+      // Returns-scheme observations fire only for int results; the
+      // comparand is the constant 0.
+      if (!Result.HasInt)
+        continue;
+      recordSixWay(Facts[S], Result, AbsVal::constant(0));
+    }
+  }
+
+  void onScalarStore(const Stmt &S, const AbsVal &Stored,
+                     const AbsEnv &After) override {
+    SiteTable::SiteRange Range = Table.sitesForNode(S.Id);
+    for (uint32_t Id = Range.First; Id < Range.First + Range.Count; ++Id) {
+      const SiteInfo &Site = Table.site(Id);
+      if (Site.SchemeKind != Scheme::ScalarPairs)
+        continue;
+      if (!Stored.HasInt)
+        continue;
+      AbsVal Cmp;
+      if (Site.PairIsConstant) {
+        Cmp = AbsVal::constant(Site.PairConstant);
+      } else if (Site.PairVar.IsGlobal) {
+        Cmp = Model.globalValue(Site.PairVar.Index);
+      } else {
+        Cmp = After.Locals[static_cast<size_t>(Site.PairVar.Index)];
+      }
+      // The collector skips the whole observation when the comparand is
+      // not an int, so a never-int comparand means a never-observed site.
+      if (!Cmp.HasInt)
+        continue;
+      recordSixWay(Facts[Id], Stored, Cmp);
+    }
+  }
+
+private:
+  static void recordSixWay(SiteFacts &F, const AbsVal &Val,
+                           const AbsVal &Cmp) {
+    F.Observed = true;
+    F.RelLt = F.RelLt || Val.Lo < Cmp.Hi;
+    F.RelGt = F.RelGt || Val.Hi > Cmp.Lo;
+    F.RelEq = F.RelEq || (Val.Lo <= Cmp.Hi && Cmp.Lo <= Val.Hi);
+  }
+
+  const SiteTable &Table;
+  const StaticModel &Model;
+  std::vector<SiteFacts> &Facts;
+};
+
+SitePruneInfo classify(const SiteInfo &Site, const SiteFacts &F) {
+  SitePruneInfo Info;
+  if (!F.Observed) {
+    Info.Class = SiteClass::Unreachable;
+    return Info;
+  }
+  if (Site.SchemeKind == Scheme::Branches) {
+    if (F.CanTrue && F.CanFalse)
+      return Info; // Live.
+    Info.Class = SiteClass::ConstantOutcome;
+    Info.AlwaysTrueMask = F.CanTrue ? BranchTrue : BranchFalse;
+    return Info;
+  }
+  // Six-way sites are constant only when exactly one relation is feasible;
+  // then every one of the six predicates has a constant outcome.
+  int NumRels = (F.RelLt ? 1 : 0) + (F.RelEq ? 1 : 0) + (F.RelGt ? 1 : 0);
+  assert(NumRels >= 1 && "observed six-way site with no feasible relation");
+  if (NumRels != 1)
+    return Info; // Live.
+  Info.Class = SiteClass::ConstantOutcome;
+  if (F.RelLt)
+    Info.AlwaysTrueMask = SixLt | SixLe | SixNe;
+  else if (F.RelEq)
+    Info.AlwaysTrueMask = SixLe | SixGe | SixEq;
+  else
+    Info.AlwaysTrueMask = SixGt | SixGe | SixNe;
+  return Info;
+}
+
+} // namespace
+
+PruneResult computePrune(const StaticModel &Model, const SiteTable &Table) {
+  std::vector<SiteFacts> Facts(Table.numSites());
+  PruneSink Sink(Table, Model, Facts);
+  for (const auto &Func : Model.program().Functions) {
+    if (!Model.functionReachable(Func.get()))
+      continue;
+    const Cfg &G = Model.cfg(Func.get());
+    for (size_t B = 0; B < G.numBlocks(); ++B)
+      Model.replayBlock(Func.get(), static_cast<int>(B), Sink);
+  }
+
+  PruneResult Result;
+  Result.Sites.resize(Table.numSites());
+  for (uint32_t S = 0; S < Table.numSites(); ++S)
+    Result.Sites[S] = classify(Table.site(S), Facts[S]);
+  return Result;
+}
+
+PruneResult computePrune(const Program &Prog, const SiteTable &Table) {
+  StaticModel Model = StaticModel::build(Prog);
+  return computePrune(Model, Table);
+}
+
+} // namespace sbi

@@ -1,0 +1,94 @@
+//===- sa/Prune.h - Conservative predicate-site pruning -------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies every instrumentation site before a campaign runs:
+///
+///   Live            — the analysis cannot bound the site's outcomes; it is
+///                     instrumented exactly as before.
+///   Unreachable     — the site's observation provably never fires (dead
+///                     code, a condition that always traps, a call that
+///                     never returns an int, ...). F(P) = S(P) = 0 for all
+///                     its predicates in every run.
+///   ConstantOutcome — the site fires, but each of its predicates is either
+///                     true on *every* observation or on none (e.g. a
+///                     branch whose condition is provably nonzero, or a
+///                     scalar pair whose intervals admit exactly one of
+///                     <, =, >).
+///
+/// Pruned (non-Live) sites are dropped from instrumentation entirely: the
+/// collector masks them out and the VM compiler skips their observation
+/// opcodes. Site ids are never renumbered, so reports, shards, and rankings
+/// from pruned and unpruned campaigns stay directly comparable.
+///
+/// Why this cannot change the analysis (the Lemma 3.1 argument, DESIGN.md):
+/// an Unreachable predicate has F(P) = S(P) = 0, so Failure(P) is 0/0-
+/// guarded out and Importance(P) = 0. An always-true-when-observed
+/// predicate P has F(P) = F(P observed) and S(P) = S(P observed) over any
+/// sub-population of runs, so Increase(P) = Failure(P) - Context(P) is
+/// exactly 0.0 in IEEE doubles, hence Importance(P) = 0. Never-true
+/// predicates have F(P) = 0. None of them can be a top-ranked predictor or
+/// survive the Increase test, so removing them leaves every selection,
+/// every affinity list, and every retained predicate's scores bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SA_PRUNE_H
+#define SBI_SA_PRUNE_H
+
+#include "instrument/Sites.h"
+#include "sa/Dataflow.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sbi {
+
+enum class SiteClass : uint8_t { Live, Unreachable, ConstantOutcome };
+
+const char *siteClassName(SiteClass C);
+
+struct SitePruneInfo {
+  SiteClass Class = SiteClass::Live;
+  /// ConstantOutcome only: bit i set means predicate (FirstPredicate + i)
+  /// is true on every observation of the site; a clear bit means it is
+  /// true on none.
+  uint8_t AlwaysTrueMask = 0;
+};
+
+struct PruneResult {
+  /// Indexed by site id; same length as SiteTable::numSites().
+  std::vector<SitePruneInfo> Sites;
+
+  bool pruned(uint32_t Site) const {
+    return Sites[Site].Class != SiteClass::Live;
+  }
+  uint32_t numSites() const { return static_cast<uint32_t>(Sites.size()); }
+  uint32_t numLive() const;
+  uint32_t numUnreachable() const;
+  uint32_t numConstant() const;
+  uint32_t numPruned() const { return numSites() - numLive(); }
+
+  /// Per-site instrumentation mask for the collector: 1 = keep observing.
+  std::vector<uint8_t> siteEnabledMask() const;
+
+  /// Per-AST-node mask for the VM compiler: 1 = at least one live site is
+  /// rooted at this node, so its observation opcode must be emitted.
+  /// Indexed by node id, sized \p NumNodeIds.
+  std::vector<uint8_t> observedNodeMask(int NumNodeIds,
+                                        const SiteTable &Table) const;
+};
+
+/// Runs the static analysis and classifies every site of \p Table.
+PruneResult computePrune(const Program &Prog, const SiteTable &Table);
+
+/// Same, reusing an already-built model (lint and prune share one).
+PruneResult computePrune(const StaticModel &Model, const SiteTable &Table);
+
+} // namespace sbi
+
+#endif // SBI_SA_PRUNE_H

@@ -1,0 +1,89 @@
+//===- sa/Verify.cpp - Dynamic verification of prune claims ---------------===//
+
+#include "sa/Verify.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+namespace sbi {
+
+namespace {
+
+uint32_t lookupCount(const std::vector<std::pair<uint32_t, uint32_t>> &Pairs,
+                     uint32_t Id) {
+  auto It = std::lower_bound(
+      Pairs.begin(), Pairs.end(), Id,
+      [](const std::pair<uint32_t, uint32_t> &P, uint32_t Key) {
+        return P.first < Key;
+      });
+  return (It != Pairs.end() && It->first == Id) ? It->second : 0;
+}
+
+} // namespace
+
+PruneVerification verifyPruneAgainstReports(const PruneResult &Prune,
+                                            const SiteTable &Table,
+                                            const ReportSet &Reports) {
+  PruneVerification V;
+  auto fail = [&](std::string Message) {
+    if (V.Ok) {
+      V.Ok = false;
+      V.FirstError = std::move(Message);
+    }
+  };
+
+  for (size_t Run = 0; Run < Reports.size(); ++Run) {
+    const RawReport &R = Reports[Run].Counts;
+    ++V.RunsChecked;
+
+    for (const auto &[SiteId, Obs] : R.SiteObservations) {
+      if (SiteId >= Prune.numSites() || Obs == 0)
+        continue;
+      const SitePruneInfo &Info = Prune.Sites[SiteId];
+      if (Info.Class == SiteClass::Live)
+        continue;
+      const SiteInfo &Site = Table.site(SiteId);
+      if (Info.Class == SiteClass::Unreachable) {
+        fail(format("run %zu: site %u (%s, %s:%d) observed %u times but "
+                    "classified unreachable",
+                    Run, SiteId, schemeName(Site.SchemeKind),
+                    Site.Function.c_str(), Site.Line, Obs));
+        continue;
+      }
+      // ConstantOutcome: every always-true predicate must be true on all
+      // Obs observations; every other predicate on none.
+      bool Matched = true;
+      for (uint32_t I = 0; I < Site.NumPredicates; ++I) {
+        uint32_t Pred = Site.FirstPredicate + I;
+        uint32_t Expected =
+            (Info.AlwaysTrueMask & (1u << I)) != 0 ? Obs : 0;
+        uint32_t Actual = lookupCount(R.TruePredicates, Pred);
+        if (Actual != Expected) {
+          Matched = false;
+          fail(format("run %zu: predicate %u at constant site %u (%s:%d) "
+                      "counted true %u times, statically expected %u",
+                      Run, Pred, SiteId, Site.Function.c_str(), Site.Line,
+                      Actual, Expected));
+        }
+      }
+      if (Matched)
+        ++V.ConstantObservationsChecked;
+    }
+
+    // Belt and braces: a true count for a pruned site's predicate must not
+    // exist without a matching site observation entry either.
+    for (const auto &[PredId, Count] : R.TruePredicates) {
+      if (Count == 0 || PredId >= Table.numPredicates())
+        continue;
+      uint32_t SiteId = Table.predicate(PredId).Site;
+      if (Prune.Sites[SiteId].Class == SiteClass::Unreachable)
+        fail(format("run %zu: predicate %u true %u times but its site %u "
+                    "is classified unreachable",
+                    Run, PredId, Count, SiteId));
+    }
+  }
+  return V;
+}
+
+} // namespace sbi

@@ -1,0 +1,51 @@
+//===- sa/Verify.h - Dynamic verification of prune claims -----------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks a PruneResult's static claims against the dynamic record of an
+/// (ideally unpruned, fully monitored) reference campaign:
+///
+///   - Unreachable sites must have zero observations and zero true counts
+///     in every run.
+///   - ConstantOutcome sites may be observed, but each always-true
+///     predicate's true count must equal the site's observation count and
+///     each never-true predicate's count must be zero — in every run.
+///
+/// A failure here means the static analysis was unsound for this program;
+/// the differential tests and `sbi analyze --static-prune` both run it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SA_VERIFY_H
+#define SBI_SA_VERIFY_H
+
+#include "feedback/Report.h"
+#include "sa/Prune.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sbi {
+
+struct PruneVerification {
+  bool Ok = true;
+  /// Reports inspected.
+  uint64_t RunsChecked = 0;
+  /// Observations of ConstantOutcome sites whose predicate counts matched
+  /// the static always-true mask exactly.
+  uint64_t ConstantObservationsChecked = 0;
+  /// First mismatch, empty when Ok.
+  std::string FirstError;
+};
+
+PruneVerification verifyPruneAgainstReports(const PruneResult &Prune,
+                                            const SiteTable &Table,
+                                            const ReportSet &Reports);
+
+} // namespace sbi
+
+#endif // SBI_SA_VERIFY_H

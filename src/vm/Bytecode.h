@@ -55,10 +55,14 @@ enum class Opcode : uint8_t {
 
   // Control flow. Observed jumps drive the branches instrumentation
   // scheme: pop the condition, truthiness-check, report onBranch(B, taken),
-  // then jump to A when not-taken (IfFalse) / taken (IfTrue).
+  // then jump to A when not-taken (IfFalse) / taken (IfTrue). The plain
+  // conditional jumps are identical minus the observer report; the compiler
+  // emits them for branches whose instrumentation was statically pruned.
   Jump,            ///< A = target pc.
   ObsJumpIfFalse,  ///< A = target pc, B = AST node id.
   ObsJumpIfTrue,   ///< A = target pc, B = AST node id.
+  JumpIfFalse,     ///< A = target pc, B = AST node id (unobserved).
+  JumpIfTrue,      ///< A = target pc, B = AST node id (unobserved).
 
   // Heap access (shared silent-overrun semantics).
   IndexLoad,  ///< stack: base, subscript -> value.

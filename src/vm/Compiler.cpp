@@ -43,6 +43,10 @@ const char *sbi::opcodeName(Opcode Op) {
     return "obs.jfalse";
   case Opcode::ObsJumpIfTrue:
     return "obs.jtrue";
+  case Opcode::JumpIfFalse:
+    return "jfalse";
+  case Opcode::JumpIfTrue:
+    return "jtrue";
   case Opcode::IndexLoad:
     return "index.load";
   case Opcode::IndexStore:
@@ -90,7 +94,8 @@ namespace {
 
 class Compiler {
 public:
-  explicit Compiler(const Program &Prog) : Prog(Prog) {}
+  Compiler(const Program &Prog, const CompileOptions &Opts)
+      : Prog(Prog), Opts(Opts) {}
 
   CompiledProgram compile();
 
@@ -128,6 +133,15 @@ private:
     Current->Code[At].A = static_cast<int32_t>(Current->Code.size());
   }
 
+  /// Whether \p NodeId's instrumentation survives the observed-node mask.
+  /// Ids outside the mask stay observed (conservative for synthetic nodes).
+  bool observes(int NodeId) const {
+    if (!Opts.ObservedNodes)
+      return true;
+    auto Id = static_cast<size_t>(static_cast<uint32_t>(NodeId));
+    return Id >= Opts.ObservedNodes->size() || (*Opts.ObservedNodes)[Id];
+  }
+
   // --- Compilation ---------------------------------------------------------
   void compileFunction(const FuncDecl &Func, Chunk &C);
   void compileStmt(const Stmt &S);
@@ -136,6 +150,7 @@ private:
   void compileLoad(const VarRefExpr &Var);
 
   const Program &Prog;
+  const CompileOptions &Opts;
   CompiledProgram Out;
   Chunk *Current = nullptr;
   int32_t Line = 0;
@@ -232,7 +247,7 @@ void Compiler::compileStmt(const Stmt &S) {
       const auto &Var = static_cast<const VarRefExpr &>(*Assign.Target);
       compileExpr(*Assign.Value);
       Line = Assign.Line;
-      bool Observed = Assign.TargetIsIntVar;
+      bool Observed = Assign.TargetIsIntVar && observes(Assign.Id);
       if (Observed)
         emit(Opcode::Dup);
       compileStore(Var.Slot, Var.DeclaredKind, Var.Name);
@@ -281,7 +296,8 @@ void Compiler::compileStmt(const Stmt &S) {
         break;
       }
     Line = Decl.Line;
-    bool Observed = Decl.DeclKind == VarKind::Int && Decl.Init != nullptr;
+    bool Observed = Decl.DeclKind == VarKind::Int && Decl.Init != nullptr &&
+                    observes(Decl.Id);
     if (Observed)
       emit(Opcode::Dup);
     compileStore(Decl.Slot, Decl.DeclKind, Decl.Name);
@@ -299,7 +315,9 @@ void Compiler::compileStmt(const Stmt &S) {
     const auto &If = static_cast<const IfStmt &>(S);
     compileExpr(*If.Cond);
     Line = If.Cond->Line;
-    size_t ToElse = emit(Opcode::ObsJumpIfFalse, 0, If.Id);
+    size_t ToElse = emit(observes(If.Id) ? Opcode::ObsJumpIfFalse
+                                         : Opcode::JumpIfFalse,
+                         0, If.Id);
     compileStmt(*If.Then);
     if (If.Else) {
       Line = If.Line;
@@ -318,7 +336,9 @@ void Compiler::compileStmt(const Stmt &S) {
     int32_t Top = static_cast<int32_t>(Current->Code.size());
     compileExpr(*While.Cond);
     Line = While.Cond->Line;
-    size_t ToEnd = emit(Opcode::ObsJumpIfFalse, 0, While.Id);
+    size_t ToEnd = emit(observes(While.Id) ? Opcode::ObsJumpIfFalse
+                                           : Opcode::JumpIfFalse,
+                        0, While.Id);
     BreakPatches.emplace_back();
     ContinueTargets.push_back(Top);
     ContinuePatches.emplace_back();
@@ -343,13 +363,15 @@ void Compiler::compileStmt(const Stmt &S) {
     int32_t CondTop = static_cast<int32_t>(Current->Code.size());
     Line = For.Line;
     size_t ToEnd;
+    Opcode CondJump =
+        observes(For.Id) ? Opcode::ObsJumpIfFalse : Opcode::JumpIfFalse;
     if (For.Cond) {
       compileExpr(*For.Cond);
       Line = For.Cond->Line;
-      ToEnd = emit(Opcode::ObsJumpIfFalse, 0, For.Id);
+      ToEnd = emit(CondJump, 0, For.Id);
     } else {
       emit(Opcode::PushInt, intConst(1));
-      ToEnd = emit(Opcode::ObsJumpIfFalse, 0, For.Id);
+      ToEnd = emit(CondJump, 0, For.Id);
     }
     BreakPatches.emplace_back();
     ContinueTargets.push_back(-1); // Patched after the step is placed.
@@ -429,7 +451,9 @@ void Compiler::compileExpr(const Expr &E) {
     if (Bin.Op == BinaryOp::And) {
       compileExpr(*Bin.Lhs);
       Line = Bin.Lhs->Line;
-      size_t ToFalse = emit(Opcode::ObsJumpIfFalse, 0, Bin.Id);
+      size_t ToFalse = emit(observes(Bin.Id) ? Opcode::ObsJumpIfFalse
+                                             : Opcode::JumpIfFalse,
+                            0, Bin.Id);
       compileExpr(*Bin.Rhs);
       Line = Bin.Rhs->Line;
       emit(Opcode::ToBool);
@@ -442,7 +466,9 @@ void Compiler::compileExpr(const Expr &E) {
     if (Bin.Op == BinaryOp::Or) {
       compileExpr(*Bin.Lhs);
       Line = Bin.Lhs->Line;
-      size_t ToTrue = emit(Opcode::ObsJumpIfTrue, 0, Bin.Id);
+      size_t ToTrue = emit(observes(Bin.Id) ? Opcode::ObsJumpIfTrue
+                                            : Opcode::JumpIfTrue,
+                           0, Bin.Id);
       compileExpr(*Bin.Rhs);
       Line = Bin.Rhs->Line;
       emit(Opcode::ToBool);
@@ -487,7 +513,8 @@ void Compiler::compileExpr(const Expr &E) {
     else
       emit(Opcode::CallIntrinsic, Call.IntrinsicId,
            static_cast<int32_t>(Call.Args.size()));
-    emit(Opcode::ObserveCall, Call.Id);
+    if (observes(Call.Id))
+      emit(Opcode::ObserveCall, Call.Id);
     return;
   }
 
@@ -499,5 +526,10 @@ void Compiler::compileExpr(const Expr &E) {
 }
 
 CompiledProgram sbi::compileProgram(const Program &Prog) {
-  return Compiler(Prog).compile();
+  return compileProgram(Prog, CompileOptions());
+}
+
+CompiledProgram sbi::compileProgram(const Program &Prog,
+                                    const CompileOptions &Opts) {
+  return Compiler(Prog, Opts).compile();
 }

@@ -20,11 +20,26 @@
 #include "lang/AST.h"
 #include "vm/Bytecode.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace sbi {
+
+/// Options controlling instrumentation emission.
+struct CompileOptions {
+  /// When non-null, a 0/1 mask indexed by AST node id: nodes with a 0 entry
+  /// compile without instrumentation opcodes — branches use plain
+  /// conditional jumps, calls skip ObserveCall, and assignments skip the
+  /// Dup + ObserveAssign pair. Null (the default) observes every node.
+  /// Evaluation order, traps, and output are unaffected either way.
+  const std::vector<uint8_t> *ObservedNodes = nullptr;
+};
 
 /// Compiles \p Prog (which must have passed Sema). The result references
 /// \p Prog's record declarations and must not outlive it.
 CompiledProgram compileProgram(const Program &Prog);
+CompiledProgram compileProgram(const Program &Prog,
+                               const CompileOptions &Opts);
 
 } // namespace sbi
 

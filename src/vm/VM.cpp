@@ -250,6 +250,18 @@ void VM::execute(const Chunk &Entry) {
       break;
     }
 
+    case Opcode::JumpIfFalse:
+    case Opcode::JumpIfTrue: {
+      Value V = pop();
+      bool Taken = semTruthy(V, *this);
+      if (Stopped)
+        break;
+      bool Jump = In.Op == Opcode::JumpIfFalse ? !Taken : Taken;
+      if (Jump)
+        Pc = static_cast<size_t>(In.A);
+      break;
+    }
+
     case Opcode::IndexLoad: {
       Value Subscript = pop();
       Value Base = pop();

@@ -1,0 +1,189 @@
+//===- tests/integration/StaticPruneTest.cpp - Pruned campaign equivalence ===//
+//
+// The contract of --static-prune (sa/Prune.h): dropping statically pruned
+// sites from instrumentation must leave the analysis outcome untouched.
+// Three properties are checked end-to-end on real subjects:
+//
+//   1. Dynamic soundness — against a fully monitored, unpruned reference
+//      campaign, every Unreachable site shows zero observations and every
+//      ConstantOutcome site's counts match its static always-true mask in
+//      every run (verifyPruneAgainstReports).
+//   2. Ranking neutrality — a pruned campaign at the same seed yields
+//      retained-predicate rankings bit-identical to the unpruned one, for
+//      all three discard policies x all three analysis engines
+//      (prunedRankingsMatch: everything except the audit trail's
+//      surviving-candidate counts, which legitimately shrink).
+//   3. Shard comparability — spilled SBI-CORPUS v2 shards from pruned and
+//      unpruned campaigns carry identical dimensions, so corpora remain
+//      mergeable and comparable; site ids are never renumbered.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "feedback/Corpus.h"
+#include "harness/Campaign.h"
+#include "sa/Verify.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+using namespace sbi;
+
+namespace {
+
+CampaignOptions baseOptions() {
+  CampaignOptions Options;
+  Options.NumRuns = 300;
+  Options.TrainingRuns = 60;
+  Options.Seed = 8891;
+  return Options;
+}
+
+} // namespace
+
+TEST(StaticPruneTest, PrunedSitesVerifyAgainstUnprunedReference) {
+  // Full monitoring (no sampling) is the strongest reference: every reach
+  // of every site is recorded, so a single stray observation of a pruned
+  // site fails verification.
+  for (const Subject *Subj : allSubjects()) {
+    CampaignOptions Options = baseOptions();
+    Options.NumRuns = 150;
+    Options.Mode = SamplingMode::None;
+    CampaignResult Reference = runCampaign(*Subj, Options);
+
+    PruneResult Prune = computePrune(*Reference.Prog, Reference.Sites);
+    PruneVerification Verified =
+        verifyPruneAgainstReports(Prune, Reference.Sites, Reference.Reports);
+    EXPECT_TRUE(Verified.Ok) << Subj->Name << ": " << Verified.FirstError;
+    EXPECT_EQ(Verified.RunsChecked, Reference.Reports.size()) << Subj->Name;
+  }
+}
+
+TEST(StaticPruneTest, RankingsBitIdenticalAcrossPoliciesAndEngines) {
+  for (const Subject *Subj : {&mossSubject(), &ccryptSubject()}) {
+    CampaignOptions Unpruned = baseOptions();
+    CampaignResult Ref = runCampaign(*Subj, Unpruned);
+
+    CampaignOptions Pruned = baseOptions();
+    Pruned.StaticPrune = true;
+    CampaignResult Cut = runCampaign(*Subj, Pruned);
+    ASSERT_TRUE(Cut.StaticPruned);
+    EXPECT_GT(Cut.Prune.numPruned(), 0u) << Subj->Name;
+    ASSERT_EQ(Ref.Sites.numPredicates(), Cut.Sites.numPredicates());
+
+    for (DiscardPolicy Policy :
+         {DiscardPolicy::DiscardAllRuns, DiscardPolicy::DiscardFailingRuns,
+          DiscardPolicy::RelabelFailingRuns}) {
+      for (AnalysisEngine Engine :
+           {AnalysisEngine::Rescan, AnalysisEngine::Incremental,
+            AnalysisEngine::Bitset}) {
+        AnalysisOptions Options;
+        Options.Policy = Policy;
+        Options.Engine = Engine;
+        AnalysisResult A = CauseIsolator(Ref.Sites, Ref.Reports, Options).run();
+        AnalysisResult B = CauseIsolator(Cut.Sites, Cut.Reports, Options).run();
+        EXPECT_TRUE(prunedRankingsMatch(A, B))
+            << Subj->Name << "/" << discardPolicyName(Policy) << "/"
+            << analysisEngineName(Engine);
+        EXPECT_FALSE(A.Selected.empty())
+            << Subj->Name << ": trivial differential";
+      }
+    }
+  }
+}
+
+TEST(StaticPruneTest, VmEngineAgreesUnderPruning) {
+  // The VM honors pruning through compile-time opcode selection rather
+  // than the collector mask alone; its pruned observation counts and run
+  // labels must match the interpreter's bit for bit. (Stack-signature
+  // *line* attribution differs between engines by long-standing
+  // convention — see tests/vm/DifferentialTest.cpp — so only the frame
+  // function names are compared, same as there.)
+  CampaignOptions InterpOptions = baseOptions();
+  InterpOptions.StaticPrune = true;
+  CampaignResult Interp = runCampaign(mossSubject(), InterpOptions);
+
+  CampaignOptions VmOptions = InterpOptions;
+  VmOptions.Exec = Engine::VM;
+  CampaignResult Vm = runCampaign(mossSubject(), VmOptions);
+
+  ASSERT_EQ(Interp.Reports.size(), Vm.Reports.size());
+  auto frameNames = [](const std::string &Signature) {
+    std::string Names;
+    bool Skip = false;
+    for (char C : Signature) {
+      if (C == '@')
+        Skip = true;
+      else if (C == '>')
+        Skip = false;
+      if (!Skip)
+        Names += C;
+    }
+    return Names;
+  };
+  for (size_t Run = 0; Run < Interp.Reports.size(); ++Run) {
+    const FeedbackReport &A = Interp.Reports[Run];
+    const FeedbackReport &B = Vm.Reports[Run];
+    EXPECT_EQ(A.Failed, B.Failed) << "run " << Run;
+    EXPECT_EQ(A.Trap, B.Trap) << "run " << Run;
+    EXPECT_EQ(A.ExitCode, B.ExitCode) << "run " << Run;
+    EXPECT_EQ(A.BugMask, B.BugMask) << "run " << Run;
+    EXPECT_EQ(frameNames(A.StackSignature), frameNames(B.StackSignature))
+        << "run " << Run;
+    EXPECT_EQ(A.Counts.SiteObservations, B.Counts.SiteObservations)
+        << "run " << Run;
+    EXPECT_EQ(A.Counts.TruePredicates, B.Counts.TruePredicates)
+        << "run " << Run;
+  }
+}
+
+TEST(StaticPruneTest, PrunedRunsNeverObservePrunedSites) {
+  CampaignOptions Options = baseOptions();
+  Options.StaticPrune = true;
+  Options.Mode = SamplingMode::None;
+  Options.NumRuns = 100;
+  CampaignResult Result = runCampaign(mossSubject(), Options);
+  ASSERT_TRUE(Result.StaticPruned);
+  for (size_t Run = 0; Run < Result.Reports.size(); ++Run) {
+    const FeedbackReport &Report = Result.Reports[Run];
+    for (const auto &[Site, Count] : Report.Counts.SiteObservations)
+      EXPECT_FALSE(Result.Prune.pruned(Site))
+          << "run " << Run << " observed pruned site " << Site;
+  }
+}
+
+TEST(StaticPruneTest, SpilledShardsStayDimensionCompatible) {
+  namespace fs = std::filesystem;
+  fs::path Base = fs::temp_directory_path() / "sbi_prune_shards";
+  fs::remove_all(Base);
+  auto spill = [&](bool Prune) {
+    CampaignOptions Options = baseOptions();
+    Options.NumRuns = 120;
+    Options.StaticPrune = Prune;
+    Options.SpillDir = (Base / (Prune ? "pruned" : "unpruned")).string();
+    Options.SpillShardReports = 50;
+    return runCampaign(mossSubject(), Options);
+  };
+  CampaignResult Unpruned = spill(false);
+  CampaignResult Pruned = spill(true);
+  EXPECT_EQ(Unpruned.SpilledReports, Pruned.SpilledReports);
+  EXPECT_EQ(Unpruned.SpilledShards, Pruned.SpilledShards);
+
+  auto headerOf = [](const std::string &Dir) {
+    std::vector<std::string> Shards = listCorpusShards(Dir);
+    EXPECT_FALSE(Shards.empty()) << Dir;
+    CorpusReader Reader;
+    std::string Error;
+    EXPECT_TRUE(Reader.open(Shards.front(), Error)) << Error;
+    return Reader.header();
+  };
+  CorpusShardHeader A = headerOf((Base / "unpruned").string());
+  CorpusShardHeader B = headerOf((Base / "pruned").string());
+  // Site ids are not renumbered under pruning, so the corpus dimensions —
+  // what merge/analyze validate — are identical.
+  EXPECT_EQ(A.NumSites, B.NumSites);
+  EXPECT_EQ(A.NumPredicates, B.NumPredicates);
+  fs::remove_all(Base);
+}

@@ -2,7 +2,10 @@
 
 #include "lang/AstPrinter.h"
 
+#include "instrument/Sites.h"
 #include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "subjects/Subjects.h"
 
 #include <gtest/gtest.h>
 
@@ -63,4 +66,117 @@ TEST(AstPrinterTest, New) { EXPECT_EQ(print("new File"), "new File"); }
 
 TEST(AstPrinterTest, NegativeViaUnary) {
   EXPECT_EQ(print("0 - 1"), "0 - 1");
+}
+
+TEST(AstPrinterTest, UnaryBaseOfPostfixKeepsParens) {
+  // Postfix binds tighter than prefix: "(-x)[i]" printed without parens
+  // would reparse as -(x[i]).
+  EXPECT_EQ(print("(-x)[i]"), "(-x)[i]");
+  EXPECT_EQ(print("-x[i]"), "-x[i]");
+  EXPECT_EQ(print("(!f).done"), "(!f).done");
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program round-trips: parse -> print -> reparse -> print must be a
+// fixpoint. Equal prints mean structurally equal ASTs (the printer renders
+// every structural property and nothing else), which is the printer's
+// contract: parser-produced programs survive a round-trip.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string parseAndPrint(const std::string &Source) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = Parser::parse(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+  if (!Prog)
+    return "<error>";
+  return programToString(*Prog);
+}
+
+void expectRoundTrip(const std::string &Source) {
+  std::string Once = parseAndPrint(Source);
+  ASSERT_NE(Once, "<error>");
+  std::string Twice = parseAndPrint(Once);
+  EXPECT_EQ(Once, Twice) << "printer is not a reparse fixpoint for:\n"
+                         << Source;
+}
+
+} // namespace
+
+TEST(AstPrinterRoundTripTest, StatementForms) {
+  expectRoundTrip(R"(fn main(int c) {
+  int x = 1;
+  str s = "hi";
+  arr a;
+  rec r;
+  x = x + 1;
+  if (c > 0) { x = 2; } else { x = 3; }
+  if (c == 0) x = 4;
+  while (x < 10) { x = x + 1; }
+  for (int i = 0; i < 3; i = i + 1) { println(i); }
+  for (;;) { break; }
+  for (; x > 0;) { x = x - 1; continue; }
+  return x;
+})");
+}
+
+TEST(AstPrinterRoundTripTest, RecordsGlobalsAndExpressions) {
+  expectRoundTrip(R"(record File {
+  name;
+  size;
+}
+int LIMIT = 100;
+str banner = "v1";
+fn grow(rec f, int by) {
+  f.size = f.size + by;
+  return f.size;
+}
+fn main() {
+  rec f = new File;
+  f.name = "a";
+  f.size = 0;
+  println(grow(f, LIMIT) % 7 == (0 - 1) * 2);
+})");
+}
+
+TEST(AstPrinterRoundTripTest, DanglingElseBindsInnermost) {
+  // The printer emits no disambiguating braces, so the reparse must
+  // reattach the else to the same (innermost) if.
+  expectRoundTrip(R"(fn main(int a, int b) {
+  if (a > 0)
+    if (b > 0) println(1);
+    else println(2);
+})");
+}
+
+TEST(AstPrinterRoundTripTest, UnaryPostfixInteraction) {
+  expectRoundTrip(R"(fn main(arr a, int i) {
+  println((-a)[i] + -a[i]);
+})");
+}
+
+TEST(AstPrinterRoundTripTest, AllSubjectsRoundTrip) {
+  for (const Subject *Subj : allSubjects()) {
+    std::string Once = parseAndPrint(Subj->Source);
+    ASSERT_NE(Once, "<error>") << Subj->Name;
+    std::string Twice = parseAndPrint(Once);
+    EXPECT_EQ(Once, Twice) << Subj->Name;
+
+    // The reparse also preserves the instrumentation view: same sites,
+    // same predicate texts in the same order (predicate descriptions are
+    // themselves printed expressions).
+    std::vector<Diagnostic> Diags;
+    auto Orig = parseAndAnalyze(Subj->Source, Diags);
+    ASSERT_TRUE(Orig != nullptr) << Subj->Name;
+    auto Reparsed = parseAndAnalyze(Once, Diags);
+    ASSERT_TRUE(Reparsed != nullptr) << Subj->Name;
+    SiteTable A = SiteTable::build(*Orig);
+    SiteTable B = SiteTable::build(*Reparsed);
+    ASSERT_EQ(A.numSites(), B.numSites()) << Subj->Name;
+    ASSERT_EQ(A.numPredicates(), B.numPredicates()) << Subj->Name;
+    for (uint32_t P = 0; P < A.numPredicates(); ++P)
+      ASSERT_EQ(A.predicate(P).Text, B.predicate(P).Text)
+          << Subj->Name << " predicate " << P;
+  }
 }

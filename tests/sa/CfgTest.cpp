@@ -1,0 +1,188 @@
+//===- tests/sa/CfgTest.cpp - Control-flow graph construction tests -------===//
+
+#include "sa/Cfg.h"
+
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+struct Harness {
+  std::unique_ptr<Program> Prog;
+
+  explicit Harness(std::string_view Source) {
+    std::vector<Diagnostic> Diags;
+    Prog = parseAndAnalyze(Source, Diags);
+    EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+  }
+
+  Cfg build(const std::string &Func = "main") {
+    const FuncDecl *F = Prog->findFunction(Func);
+    EXPECT_TRUE(F != nullptr) << Func;
+    return Cfg::build(*F);
+  }
+};
+
+/// Counts blocks with the given terminator kind.
+size_t countTerm(const Cfg &G, CfgBlock::Term Kind) {
+  size_t N = 0;
+  for (size_t B = 0; B < G.numBlocks(); ++B)
+    if (G.block(static_cast<int>(B)).Kind == Kind)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(CfgTest, StraightLineIsOnePathToExit) {
+  Harness H("fn main() { int x = 1; x = x + 1; println(x); }");
+  Cfg G = H.build();
+  // Entry flows to the unique exit; every block is reachable and dominated
+  // by the entry.
+  EXPECT_EQ(countTerm(G, CfgBlock::Term::Exit), 1u);
+  EXPECT_EQ(G.block(G.exit()).Kind, CfgBlock::Term::Exit);
+  for (size_t B = 0; B < G.numBlocks(); ++B) {
+    EXPECT_TRUE(G.reachable(static_cast<int>(B))) << B;
+    EXPECT_TRUE(G.dominates(G.entry(), static_cast<int>(B))) << B;
+  }
+  EXPECT_FALSE(G.rpo().empty());
+  EXPECT_EQ(G.rpo().front(), G.entry());
+}
+
+TEST(CfgTest, IfElseBranchAndMerge) {
+  Harness H(R"(
+fn pick(int c) {
+  int x = 0;
+  if (c > 0) { x = 1; } else { x = 2; }
+  println(x);
+}
+fn main() { pick(nargs()); }
+)");
+  Cfg G = H.build("pick");
+  // Exactly one two-way branch; its successors are distinct, both
+  // reachable, both dominated by the branch block, and neither dominates
+  // the other.
+  int BranchBlock = -1;
+  for (size_t B = 0; B < G.numBlocks(); ++B)
+    if (G.block(static_cast<int>(B)).Kind == CfgBlock::Term::Branch)
+      BranchBlock = static_cast<int>(B);
+  ASSERT_GE(BranchBlock, 0);
+  const CfgBlock &Branch = G.block(BranchBlock);
+  ASSERT_NE(Branch.Succ[0], -1);
+  ASSERT_NE(Branch.Succ[1], -1);
+  EXPECT_NE(Branch.Succ[0], Branch.Succ[1]);
+  EXPECT_TRUE(Branch.Cond != nullptr);
+  EXPECT_GE(Branch.BranchNodeId, 0);
+  for (int Arm : Branch.Succ) {
+    EXPECT_TRUE(G.reachable(Arm));
+    EXPECT_TRUE(G.dominates(BranchBlock, Arm));
+  }
+  EXPECT_FALSE(G.dominates(Branch.Succ[0], Branch.Succ[1]));
+  EXPECT_FALSE(G.dominates(Branch.Succ[1], Branch.Succ[0]));
+}
+
+TEST(CfgTest, WhileLoopHasBackEdge) {
+  Harness H(R"(fn main() {
+  int i = 0;
+  while (i < 3) { i = i + 1; }
+})");
+  Cfg G = H.build();
+  // The loop header is a branch block that one of its descendants jumps
+  // back to: it must appear in some reachable block's successor list twice
+  // over the whole graph (entry edge + back edge), i.e. have >= 2 preds.
+  int Header = -1;
+  for (size_t B = 0; B < G.numBlocks(); ++B)
+    if (G.block(static_cast<int>(B)).Kind == CfgBlock::Term::Branch)
+      Header = static_cast<int>(B);
+  ASSERT_GE(Header, 0);
+  EXPECT_GE(G.block(Header).Preds.size(), 2u);
+  // The loop body is dominated by the header.
+  EXPECT_TRUE(G.dominates(Header, G.block(Header).Succ[0]));
+}
+
+TEST(CfgTest, CodeAfterReturnIsUnreachable) {
+  Harness H(R"(fn main() {
+  return 1;
+  println(0);
+})");
+  Cfg G = H.build();
+  bool SawUnreachable = false;
+  for (size_t B = 0; B < G.numBlocks(); ++B)
+    if (!G.reachable(static_cast<int>(B))) {
+      SawUnreachable = true;
+      // Unreachable blocks have no dominator and dominate nothing.
+      EXPECT_EQ(G.immediateDominator(static_cast<int>(B)), -1);
+      EXPECT_FALSE(G.dominates(G.entry(), static_cast<int>(B)));
+    }
+  EXPECT_TRUE(SawUnreachable);
+}
+
+TEST(CfgTest, BreakLeavesTheLoop) {
+  Harness H(R"(fn main() {
+  int i = 0;
+  while (1) {
+    if (i > 5) { break; }
+    i = i + 1;
+  }
+  println(i);
+})");
+  Cfg G = H.build();
+  // The break provides the only loop exit, so the exit block and the
+  // trailing println's block are reachable. (Lowering may create orphan
+  // helper blocks; only CFG-relevant blocks must be reachable.)
+  EXPECT_TRUE(G.reachable(G.exit()));
+  bool PrintlnReachable = false;
+  for (size_t B = 0; B < G.numBlocks(); ++B) {
+    const CfgBlock &Block = G.block(static_cast<int>(B));
+    if (!G.reachable(static_cast<int>(B)))
+      continue;
+    for (const Stmt *S : Block.Items)
+      if (S->Kind == StmtKind::Expr)
+        PrintlnReachable = true;
+  }
+  EXPECT_TRUE(PrintlnReachable);
+}
+
+TEST(CfgTest, ConditionLessForIsABranchWithNullCond) {
+  Harness H(R"(fn main() {
+  int i = 0;
+  for (;;) {
+    if (i > 2) { break; }
+    i = i + 1;
+  }
+})");
+  Cfg G = H.build();
+  bool SawNullCond = false;
+  for (size_t B = 0; B < G.numBlocks(); ++B) {
+    const CfgBlock &Block = G.block(static_cast<int>(B));
+    if (Block.Kind == CfgBlock::Term::Branch && Block.Cond == nullptr)
+      SawNullCond = true;
+  }
+  // The condition-less for still lowers to a Branch terminator (the runtime
+  // instruments it as constant true), with Cond == nullptr.
+  EXPECT_TRUE(SawNullCond);
+}
+
+TEST(CfgTest, RpoVisitsReachableBlocksExactlyOnce) {
+  Harness H(R"(
+fn scan(int c) {
+  for (int i = 0; i < 4; i = i + 1) {
+    if (c == i) { continue; }
+    println(i);
+  }
+  return 0;
+}
+fn main() { scan(nargs()); }
+)");
+  Cfg G = H.build("scan");
+  std::vector<int> Seen(G.numBlocks(), 0);
+  for (int B : G.rpo()) {
+    EXPECT_TRUE(G.reachable(B));
+    ++Seen[static_cast<size_t>(B)];
+  }
+  for (size_t B = 0; B < G.numBlocks(); ++B)
+    EXPECT_EQ(Seen[B], G.reachable(static_cast<int>(B)) ? 1 : 0) << B;
+}

@@ -1,0 +1,225 @@
+//===- tests/sa/DataflowTest.cpp - Interval/constant dataflow tests -------===//
+
+#include "sa/Dataflow.h"
+
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace sbi;
+
+namespace {
+
+std::unique_ptr<Program> compile(std::string_view Source) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+  return Prog;
+}
+
+/// Replays every reachable block of \p Func, collecting the abstract
+/// condition of each branch evaluation keyed by node id.
+struct BranchSink : EvalSink {
+  std::map<int, AbsVal> Conds;
+  void onBranch(int NodeId, const AbsVal &Cond) override {
+    auto [It, Inserted] = Conds.emplace(NodeId, Cond);
+    if (!Inserted)
+      It->second = AbsVal::join(It->second, Cond);
+  }
+};
+
+BranchSink replayFunction(const StaticModel &Model, const FuncDecl *F) {
+  BranchSink Sink;
+  const Cfg &G = Model.cfg(F);
+  for (int B : G.rpo())
+    Model.replayBlock(F, B, Sink);
+  return Sink;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AbsVal lattice algebra
+//===----------------------------------------------------------------------===//
+
+TEST(AbsValTest, JoinUnionsIntervalsAndOtherBit) {
+  AbsVal A = AbsVal::range(1, 5);
+  AbsVal B = AbsVal::range(10, 20);
+  AbsVal J = AbsVal::join(A, B);
+  EXPECT_TRUE(J.HasInt);
+  EXPECT_EQ(J.Lo, 1);
+  EXPECT_EQ(J.Hi, 20);
+  EXPECT_FALSE(J.HasOther);
+
+  AbsVal WithOther = AbsVal::join(A, AbsVal::other());
+  EXPECT_TRUE(WithOther.HasInt);
+  EXPECT_TRUE(WithOther.HasOther);
+
+  EXPECT_EQ(AbsVal::join(AbsVal::bottom(), A), A);
+  EXPECT_EQ(AbsVal::join(A, AbsVal::bottom()), A);
+}
+
+TEST(AbsValTest, WideningJumpsGrownBoundsToExtremes) {
+  AbsVal Old = AbsVal::range(0, 10);
+  AbsVal GrewHigh = AbsVal::widen(Old, AbsVal::range(0, 11));
+  EXPECT_EQ(GrewHigh.Lo, 0);
+  EXPECT_EQ(GrewHigh.Hi, INT64_MAX);
+  AbsVal GrewLow = AbsVal::widen(Old, AbsVal::range(-1, 10));
+  EXPECT_EQ(GrewLow.Lo, INT64_MIN);
+  EXPECT_EQ(GrewLow.Hi, 10);
+  // A non-growing value widens to itself.
+  EXPECT_EQ(AbsVal::widen(Old, AbsVal::range(2, 9)).Lo, 0);
+  EXPECT_EQ(AbsVal::widen(Old, AbsVal::range(2, 9)).Hi, 10);
+}
+
+TEST(AbsValTest, FeasibilityQueries) {
+  EXPECT_TRUE(AbsVal::constant(3).hasNonzeroInt());
+  EXPECT_FALSE(AbsVal::constant(3).hasZeroInt());
+  EXPECT_TRUE(AbsVal::constant(0).hasZeroInt());
+  EXPECT_FALSE(AbsVal::constant(0).hasNonzeroInt());
+  EXPECT_TRUE(AbsVal::range(-1, 1).hasZeroInt());
+  EXPECT_TRUE(AbsVal::range(-1, 1).hasNonzeroInt());
+  EXPECT_FALSE(AbsVal::other().hasZeroInt());
+  EXPECT_FALSE(AbsVal::other().hasNonzeroInt());
+  EXPECT_TRUE(AbsVal::bottom().isBottom());
+}
+
+TEST(AbsValTest, MeetIntervalIntersects) {
+  AbsVal V = AbsVal::range(0, 100);
+  AbsVal M = V.meetInterval(50, 200, /*KeepOther=*/false);
+  EXPECT_TRUE(M.HasInt);
+  EXPECT_EQ(M.Lo, 50);
+  EXPECT_EQ(M.Hi, 100);
+  // Empty intersection drops the int portion entirely.
+  AbsVal Empty = V.meetInterval(200, 300, false);
+  EXPECT_FALSE(Empty.HasInt);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program model
+//===----------------------------------------------------------------------===//
+
+TEST(StaticModelTest, UncalledFunctionIsUnreachable) {
+  auto Prog = compile(R"(
+fn helper(int x) { return x + 1; }
+fn orphan() { return 99; }
+fn main() { println(helper(1)); }
+)");
+  StaticModel Model = StaticModel::build(*Prog);
+  EXPECT_TRUE(Model.functionReachable(Prog->findFunction("main")));
+  EXPECT_TRUE(Model.functionReachable(Prog->findFunction("helper")));
+  EXPECT_FALSE(Model.functionReachable(Prog->findFunction("orphan")));
+}
+
+TEST(StaticModelTest, ConstantGlobalIsASingleton) {
+  auto Prog = compile(R"(
+int CAP = 64;
+int counter = 0;
+fn main() { counter = counter + 1; println(CAP); }
+)");
+  StaticModel Model = StaticModel::build(*Prog);
+  // CAP is never assigned: its flow-insensitive value is exactly 64.
+  AbsVal Cap = Model.globalValue(Prog->Globals[0]->Slot);
+  EXPECT_TRUE(Cap.isIntSingleton());
+  EXPECT_EQ(Cap.Lo, 64);
+  // counter is assigned in main, so it is not a singleton.
+  EXPECT_FALSE(Model.globalValue(Prog->Globals[1]->Slot).isIntSingleton());
+}
+
+TEST(StaticModelTest, ReturnSummaryOfConstantFunction) {
+  auto Prog = compile(R"(
+fn seven() { return 7; }
+fn main() { println(seven()); }
+)");
+  StaticModel Model = StaticModel::build(*Prog);
+  AbsVal Ret = Model.returnSummary(Prog->findFunction("seven"));
+  EXPECT_TRUE(Ret.isIntSingleton());
+  EXPECT_EQ(Ret.Lo, 7);
+}
+
+TEST(StaticModelTest, RecursiveCycleReturnsTop) {
+  auto Prog = compile(R"(
+fn odd(int n) {
+  if (n == 0) { return 0; }
+  return even(n - 1);
+}
+fn even(int n) {
+  if (n == 0) { return 1; }
+  return odd(n - 1);
+}
+fn main() { println(even(nargs())); }
+)");
+  StaticModel Model = StaticModel::build(*Prog);
+  // The odd/even cycle gets a top summary: sound, maximally imprecise.
+  AbsVal Ret = Model.returnSummary(Prog->findFunction("even"));
+  EXPECT_TRUE(Ret.HasInt);
+  EXPECT_EQ(Ret.Lo, INT64_MIN);
+  EXPECT_EQ(Ret.Hi, INT64_MAX);
+}
+
+TEST(StaticModelTest, ReplayReportsConstantBranchCondition) {
+  auto Prog = compile(R"(fn main() {
+  int x = 3;
+  if (x > 2) { println(1); }
+})");
+  StaticModel Model = StaticModel::build(*Prog);
+  BranchSink Sink = replayFunction(Model, Prog->findFunction("main"));
+  // Exactly one branch; x is the constant 3, so the comparison folds to
+  // the constant 1 (always true).
+  ASSERT_EQ(Sink.Conds.size(), 1u);
+  const AbsVal &Cond = Sink.Conds.begin()->second;
+  EXPECT_TRUE(Cond.isIntSingleton());
+  EXPECT_EQ(Cond.Lo, 1);
+}
+
+TEST(StaticModelTest, ReplayKeepsUnknownBranchUnknown) {
+  auto Prog = compile(R"(fn main() {
+  int argc = nargs();
+  if (argc > 2) { println(1); }
+})");
+  StaticModel Model = StaticModel::build(*Prog);
+  BranchSink Sink = replayFunction(Model, Prog->findFunction("main"));
+  ASSERT_EQ(Sink.Conds.size(), 1u);
+  const AbsVal &Cond = Sink.Conds.begin()->second;
+  // A parameter-dependent comparison must keep both outcomes feasible.
+  EXPECT_TRUE(Cond.hasZeroInt());
+  EXPECT_TRUE(Cond.hasNonzeroInt());
+}
+
+TEST(StaticModelTest, BranchRefinementNarrowsTheArms) {
+  auto Prog = compile(R"(fn main() {
+  int n = nargs();
+  if (n > 10) {
+    if (n > 5) { println(1); }
+  }
+})");
+  StaticModel Model = StaticModel::build(*Prog);
+  BranchSink Sink = replayFunction(Model, Prog->findFunction("main"));
+  // The inner test is dominated by n > 10, so the analysis must fold it to
+  // constant true: two branches total, one of them the constant 1.
+  ASSERT_EQ(Sink.Conds.size(), 2u);
+  size_t ConstantTrue = 0;
+  for (const auto &[Node, Cond] : Sink.Conds)
+    if (Cond.isIntSingleton() && Cond.Lo == 1)
+      ++ConstantTrue;
+  EXPECT_EQ(ConstantTrue, 1u);
+}
+
+TEST(StaticModelTest, DataflowProvesBlocksDeadBeyondCfgReachability) {
+  auto Prog = compile(R"(fn main() {
+  if (0) { println(1); }
+  println(2);
+})");
+  StaticModel Model = StaticModel::build(*Prog);
+  const FuncDecl *Main = Prog->findFunction("main");
+  const Cfg &G = Model.cfg(Main);
+  // Some CFG-reachable block must have an infeasible converged entry: the
+  // then-arm of `if (0)`.
+  bool SawInfeasibleReachable = false;
+  for (int B : G.rpo())
+    if (!Model.blockEntry(Main, B).Feasible)
+      SawInfeasibleReachable = true;
+  EXPECT_TRUE(SawInfeasibleReachable);
+}

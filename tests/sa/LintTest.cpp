@@ -1,0 +1,135 @@
+//===- tests/sa/LintTest.cpp - Static findings rendering tests ------------===//
+
+#include "sa/Lint.h"
+
+#include "lang/Sema.h"
+#include "subjects/Subjects.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace sbi;
+
+namespace {
+
+LintReport lintSource(std::string_view Source) {
+  std::vector<Diagnostic> Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+  return runLint(*Prog);
+}
+
+bool hasFinding(const LintReport &Report, LintKind Kind,
+                const std::string &MessageFragment) {
+  for (const LintFinding &F : Report.Findings)
+    if (F.Kind == Kind &&
+        F.Message.find(MessageFragment) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(LintTest, CleanProgramHasNoFindings) {
+  LintReport Report = lintSource(R"(fn main() {
+  int c = nargs();
+  int x = 0;
+  if (c > 0) { x = 1; }
+  println(x);
+})");
+  EXPECT_TRUE(Report.Findings.empty()) << Report.summary();
+}
+
+TEST(LintTest, DeadFunctionIsReported) {
+  LintReport Report = lintSource(R"(
+fn orphan() { return 1; }
+fn main() { println(0); }
+)");
+  EXPECT_GE(Report.count(LintKind::DeadCode), 1u) << Report.summary();
+  EXPECT_TRUE(hasFinding(Report, LintKind::DeadCode, "orphan"));
+}
+
+TEST(LintTest, ConstantBranchIsReported) {
+  LintReport Report = lintSource(R"(fn main() {
+  int x = 5;
+  if (x > 3) { println(1); }
+})");
+  EXPECT_EQ(Report.count(LintKind::ConstantBranch), 1u) << Report.summary();
+  EXPECT_TRUE(hasFinding(Report, LintKind::ConstantBranch, "x > 3"));
+}
+
+TEST(LintTest, FindingsAreSortedByLine) {
+  LintReport Report = lintSource(R"(fn main() {
+  int a = 1;
+  if (a == 1) { println(1); }
+  int b = 2;
+  if (b == 2) { println(2); }
+})");
+  EXPECT_GE(Report.Findings.size(), 2u);
+  for (size_t I = 1; I < Report.Findings.size(); ++I)
+    EXPECT_LE(Report.Findings[I - 1].Line, Report.Findings[I].Line);
+}
+
+TEST(LintTest, SummaryCountsEveryKind) {
+  LintReport Report = lintSource(R"(
+fn orphan() { return 1; }
+fn main() {
+  int x = 5;
+  if (x > 3) { println(1); }
+}
+)");
+  size_t Total = Report.count(LintKind::DeadCode) +
+                 Report.count(LintKind::ConstantBranch) +
+                 Report.count(LintKind::UnreachableReturn) +
+                 Report.count(LintKind::UseBeforeInit);
+  EXPECT_EQ(Total, Report.Findings.size());
+  EXPECT_NE(Report.summary().find("findings"), std::string::npos);
+}
+
+TEST(LintTest, HumanRenderingIsOneLinePerFinding) {
+  LintReport Report = lintSource(R"(fn main() {
+  int x = 5;
+  if (x > 3) { println(1); }
+})");
+  std::string Human = renderLintHuman("demo", Report);
+  // Header line plus one "  [kind] func:line: message" line per finding.
+  size_t Lines = 0;
+  for (char C : Human)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 1 + Report.Findings.size());
+  EXPECT_NE(Human.find("demo:"), std::string::npos);
+  EXPECT_NE(Human.find("[constant-branch]"), std::string::npos);
+}
+
+TEST(LintTest, JsonRenderingIsDeterministicAndEscaped) {
+  LintReport Report = lintSource(R"(fn main() {
+  int x = 5;
+  if (x > 3) { println(1); }
+})");
+  std::string A = renderLintJson("demo", Report);
+  std::string B = renderLintJson("demo", Report);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.find("\"subject\": \"demo\""), std::string::npos);
+  EXPECT_NE(A.find("\"num_findings\": 1"), std::string::npos);
+  EXPECT_NE(A.find("\"constant-branch\": 1"), std::string::npos);
+}
+
+TEST(LintTest, SubjectFindingCountsAreStable) {
+  // The CI smoke job greps these exact summary lines; a change here is a
+  // deliberate analysis-precision change and should update both.
+  std::map<std::string, size_t> Expected = {{"moss", 1},
+                                            {"ccrypt", 0},
+                                            {"bc", 0},
+                                            {"exif", 0},
+                                            {"rhythmbox", 0}};
+  for (const Subject *Subj : allSubjects()) {
+    std::vector<Diagnostic> Diags;
+    auto Prog = parseAndAnalyze(Subj->Source, Diags);
+    ASSERT_TRUE(Prog != nullptr) << Subj->Name;
+    LintReport Report = runLint(*Prog);
+    ASSERT_TRUE(Expected.count(Subj->Name)) << Subj->Name;
+    EXPECT_EQ(Report.Findings.size(), Expected[Subj->Name])
+        << Subj->Name << ": " << Report.summary();
+  }
+}

@@ -1,0 +1,160 @@
+//===- tests/sa/PruneTest.cpp - Conservative site classification tests ----===//
+
+#include "sa/Prune.h"
+
+#include "lang/Sema.h"
+#include "subjects/Subjects.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+
+namespace {
+
+struct Harness {
+  std::unique_ptr<Program> Prog;
+  SiteTable Sites;
+  PruneResult Prune;
+
+  explicit Harness(std::string_view Source) {
+    std::vector<Diagnostic> Diags;
+    Prog = parseAndAnalyze(Source, Diags);
+    EXPECT_TRUE(Prog != nullptr) << renderDiagnostics(Diags);
+    Sites = SiteTable::build(*Prog);
+    Prune = computePrune(*Prog, Sites);
+    EXPECT_EQ(Prune.numSites(), Sites.numSites());
+  }
+
+  /// The classification of the unique branch site whose condition prints
+  /// as \p CondText.
+  const SitePruneInfo &branchSite(const std::string &CondText) {
+    static SitePruneInfo Missing;
+    for (uint32_t S = 0; S < Sites.numSites(); ++S) {
+      const SiteInfo &Info = Sites.site(S);
+      if (Info.SchemeKind != Scheme::Branches)
+        continue;
+      // Branch sites have two predicates: "<cond> is TRUE" then "is FALSE".
+      const PredicateInfo &True = Sites.predicate(Info.FirstPredicate);
+      if (True.Text == CondText + " is TRUE")
+        return Prune.Sites[S];
+    }
+    ADD_FAILURE() << "no branch site with condition: " << CondText;
+    return Missing;
+  }
+};
+
+} // namespace
+
+TEST(PruneTest, InputDependentBranchStaysLive) {
+  Harness H("fn main() { int c = nargs(); if (c > 0) { println(1); } }");
+  EXPECT_EQ(H.branchSite("c > 0").Class, SiteClass::Live);
+  EXPECT_EQ(H.Prune.numLive() + H.Prune.numUnreachable() +
+                H.Prune.numConstant(),
+            H.Prune.numSites());
+}
+
+TEST(PruneTest, ConstantTrueBranchIsConstantOutcome) {
+  Harness H(R"(fn main() {
+  int x = 3;
+  if (x > 2) { println(1); }
+})");
+  const SitePruneInfo &Info = H.branchSite("x > 2");
+  ASSERT_EQ(Info.Class, SiteClass::ConstantOutcome);
+  // Predicate 0 ("is TRUE") holds on every observation; predicate 1 never.
+  EXPECT_EQ(Info.AlwaysTrueMask, 0b01);
+}
+
+TEST(PruneTest, ConstantFalseBranchIsConstantOutcome) {
+  Harness H(R"(fn main() {
+  int x = 1;
+  if (x > 2) { println(1); }
+})");
+  const SitePruneInfo &Info = H.branchSite("x > 2");
+  ASSERT_EQ(Info.Class, SiteClass::ConstantOutcome);
+  EXPECT_EQ(Info.AlwaysTrueMask, 0b10);
+}
+
+TEST(PruneTest, SitesInUncalledFunctionsAreUnreachable) {
+  Harness H(R"(
+fn orphan(int x) {
+  if (x > 0) { return 1; }
+  return 0;
+}
+fn main() { println(2); }
+)");
+  EXPECT_EQ(H.branchSite("x > 0").Class, SiteClass::Unreachable);
+  EXPECT_GT(H.Prune.numUnreachable(), 0u);
+}
+
+TEST(PruneTest, SitesBehindConstantFalseGuardAreUnreachable) {
+  Harness H(R"(fn main() {
+  int c = nargs();
+  if (0) {
+    if (c > 7) { println(1); }
+  }
+})");
+  // The outer test is ConstantOutcome (observed, always false); the inner
+  // site never executes at all.
+  EXPECT_EQ(H.branchSite("0").Class, SiteClass::ConstantOutcome);
+  EXPECT_EQ(H.branchSite("c > 7").Class, SiteClass::Unreachable);
+}
+
+TEST(PruneTest, EnabledMaskMatchesClassification) {
+  Harness H(R"(
+fn orphan() { return 9; }
+fn main() {
+  int c = nargs();
+  int x = 1;
+  if (x == 1) { println(1); }
+  if (c > 0) { println(2); }
+})");
+  std::vector<uint8_t> Mask = H.Prune.siteEnabledMask();
+  ASSERT_EQ(Mask.size(), H.Prune.numSites());
+  for (uint32_t S = 0; S < H.Prune.numSites(); ++S)
+    EXPECT_EQ(Mask[S] != 0, !H.Prune.pruned(S)) << "site " << S;
+}
+
+TEST(PruneTest, ObservedNodeMaskCoversExactlyLiveSites) {
+  Harness H(R"(fn main() {
+  int c = nargs();
+  int x = 1;
+  if (x == 1) { println(1); }
+  if (c > 0) { println(2); }
+})");
+  std::vector<uint8_t> Nodes =
+      H.Prune.observedNodeMask(H.Prog->NumNodeIds, H.Sites);
+  ASSERT_EQ(Nodes.size(), static_cast<size_t>(H.Prog->NumNodeIds));
+  // A node is marked iff at least one live site is rooted there.
+  for (int Node = 0; Node < H.Prog->NumNodeIds; ++Node) {
+    bool AnyLive = false;
+    auto Range = H.Sites.sitesForNode(Node);
+    for (uint32_t S = Range.First; S < Range.First + Range.Count; ++S)
+      AnyLive |= !H.Prune.pruned(S);
+    EXPECT_EQ(Nodes[static_cast<size_t>(Node)] != 0, AnyLive)
+        << "node " << Node;
+  }
+}
+
+TEST(PruneTest, ConservativeOnDynamicInput) {
+  // A branch the analysis cannot fold (intrinsic input) must stay Live even
+  // though in practice one arm may dominate.
+  Harness H(R"(fn main() {
+  int n = nargs();
+  if (n == 0) { println(1); }
+})");
+  EXPECT_EQ(H.branchSite("n == 0").Class, SiteClass::Live);
+}
+
+TEST(PruneTest, SubjectsKeepMajorityOfSitesLive) {
+  // Real subjects are dominated by genuinely dynamic sites; pruning a
+  // majority of them would signal an unsound analysis.
+  for (const Subject *Subj : allSubjects()) {
+    std::vector<Diagnostic> Diags;
+    auto Prog = parseAndAnalyze(Subj->Source, Diags);
+    ASSERT_TRUE(Prog != nullptr) << Subj->Name;
+    SiteTable Sites = SiteTable::build(*Prog);
+    PruneResult Prune = computePrune(*Prog, Sites);
+    EXPECT_EQ(Prune.numSites(), Sites.numSites()) << Subj->Name;
+    EXPECT_GT(Prune.numLive() * 2, Prune.numSites()) << Subj->Name;
+  }
+}

@@ -34,6 +34,14 @@
 //       `analyze --corpus=DIR` streams them back without materializing a
 //       ReportSet.
 //
+//   sbi lint [--subject=NAME] [--json]
+//       Static findings (src/sa) over one subject or all of them: dead
+//       code, constant branches, unreachable returns, use-before-init.
+//
+//   `run`/`analyze --static-prune` classifies sites with the same analysis
+//   and instruments only the Live ones; retained-predicate rankings are
+//   bit-identical to the unpruned pipeline at the same seed.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Analysis.h"
@@ -43,6 +51,9 @@
 #include "harness/Tables.h"
 #include "logreg/LogReg.h"
 #include "obs/Telemetry.h"
+#include "sa/Lint.h"
+#include "sa/Prune.h"
+#include "sa/Verify.h"
 #include "support/StringUtils.h"
 #include "support/Thermometer.h"
 
@@ -80,6 +91,8 @@ struct CliArgs {
   bool ShowBugs = false;
   bool Trace = false;
   bool ShowProgress = false;
+  bool StaticPrune = false;
+  bool Json = false;
 };
 
 int usage() {
@@ -89,13 +102,17 @@ int usage() {
       "  subjects\n"
       "  run     --subject=NAME [--runs=N] [--seed=S]\n"
       "          [--sampling=adaptive|none|uniform:RATE] [--out=FILE]\n"
+      "          [--static-prune]\n"
       "  analyze --subject=NAME [--in=FILE] [--runs=N] [--seed=S]\n"
       "          [--policy=all|failing|relabel] [--top=K] [--affinity] "
       "[--bugs]\n"
-      "          [--analysis-engine=rescan|incremental|bitset] [--trace]\n"
+      "          [--analysis-engine=rescan|incremental|bitset] "
+      "[--static-prune]\n"
+      "          [--trace]\n"
       "  logreg  --subject=NAME [--in=FILE] [--runs=N] [--top=K]\n"
       "  report  --subject=NAME [--in=FILE] [--out=FILE] [--top=K] "
       "[--bugs]\n"
+      "  lint    [--subject=NAME] [--json]\n"
       "  corpus  convert  --in=REPORTS --out=DIR [--shard-reports=N]\n"
       "          info     DIR\n"
       "          merge    --out=DIR DIR... [--shard-reports=N]\n"
@@ -114,6 +131,11 @@ int usage() {
       "                     registry as JSON on exit\n"
       "  --trace            (analyze) print the iteration-by-iteration\n"
       "                     elimination audit trail\n"
+      "  --static-prune     (run/analyze) statically classify sites and\n"
+      "                     instrument only the Live ones; site ids are\n"
+      "                     not renumbered, so reports and rankings stay\n"
+      "                     comparable with unpruned campaigns\n"
+      "  --json             (lint) machine-readable findings\n"
       "  --progress         live progress bar on stderr during the run\n"
       "                     loop\n");
   return 2;
@@ -201,6 +223,10 @@ bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
       Args.ShowBugs = true;
     } else if (Arg == "--trace") {
       Args.Trace = true;
+    } else if (Arg == "--static-prune") {
+      Args.StaticPrune = true;
+    } else if (Arg == "--json") {
+      Args.Json = true;
     } else if (Arg == "--progress") {
       Args.ShowProgress = true;
     } else {
@@ -209,6 +235,18 @@ bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
     }
   }
   return true;
+}
+
+/// One-line prune summary for a campaign that ran with --static-prune.
+void printPruneSummary(const CampaignResult &Result) {
+  if (!Result.StaticPruned)
+    return;
+  std::fprintf(stderr,
+               "sbi: static prune: %u/%u sites pruned "
+               "(%u unreachable, %u constant-outcome, %u live)\n",
+               Result.Prune.numPruned(), Result.Prune.numSites(),
+               Result.Prune.numUnreachable(), Result.Prune.numConstant(),
+               Result.Prune.numLive());
 }
 
 int cmdSubjects() {
@@ -226,6 +264,7 @@ bool configureCampaign(const CliArgs &Args, CampaignOptions &Options) {
   Options.NumRuns = Args.Runs;
   Options.Seed = Args.Seed;
   Options.Threads = Args.Threads;
+  Options.StaticPrune = Args.StaticPrune;
   if (Args.ShowProgress) {
     // Reuses the bug-thermometer renderer as a progress bar: the '#' band
     // is the completed fraction of a full-length bar. Called from worker
@@ -270,6 +309,7 @@ bool obtainReports(const CliArgs &Args, CampaignResult &Result) {
     std::fprintf(stderr, "sbi: running %zu '%s' inputs...\n", Args.Runs,
                  Subj->Name.c_str());
     Result = runCampaign(*Subj, Options);
+    printPruneSummary(Result);
     return true;
   }
   // Load reports; rebuild only the static site table.
@@ -318,6 +358,7 @@ int cmdRun(const CliArgs &Args) {
     std::fprintf(stderr, "sbi: running %zu '%s' inputs...\n", Args.Runs,
                  Subj->Name.c_str());
     CampaignResult Result = runCampaign(*Subj, Options);
+    printPruneSummary(Result);
     std::printf("spilled %zu reports (%zu failing, %zu successful) into "
                 "%zu shards (%llu bytes) under %s\n",
                 Result.SpilledReports, Result.numFailing(),
@@ -460,6 +501,36 @@ int cmdAnalyze(const CliArgs &Args) {
   CampaignResult Result;
   if (!obtainReports(Args, Result))
     return 1;
+
+  if (Args.StaticPrune) {
+    // Check the static claims against the dynamic record. With --in=FILE
+    // the reports typically come from an unpruned reference campaign, which
+    // is the strong direction: every pruned site must show zero (or
+    // exactly-constant) counts even though it was fully instrumented.
+    const PruneResult Prune = Result.StaticPruned
+                                  ? Result.Prune
+                                  : computePrune(*Result.Prog, Result.Sites);
+    if (!Result.StaticPruned)
+      std::fprintf(stderr,
+                   "sbi: static prune: %u/%u sites pruned "
+                   "(%u unreachable, %u constant-outcome, %u live)\n",
+                   Prune.numPruned(), Prune.numSites(),
+                   Prune.numUnreachable(), Prune.numConstant(),
+                   Prune.numLive());
+    PruneVerification Verified =
+        verifyPruneAgainstReports(Prune, Result.Sites, Result.Reports);
+    if (!Verified.Ok) {
+      std::fprintf(stderr, "sbi: prune verification FAILED: %s\n",
+                   Verified.FirstError.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "sbi: prune verification ok: %llu runs, %llu constant-site "
+                 "observations matched the static masks\n",
+                 static_cast<unsigned long long>(Verified.RunsChecked),
+                 static_cast<unsigned long long>(
+                     Verified.ConstantObservationsChecked));
+  }
 
   CauseIsolator Isolator(Result.Sites, Result.Reports, Options);
   AnalysisResult Analysis = Isolator.run();
@@ -728,6 +799,45 @@ int cmdCorpusValidate(const CliArgs &Args) {
   return 0;
 }
 
+/// `sbi lint [--subject=NAME] [--json]`: static findings over one subject
+/// or (default) every subject. Output is deterministic, so CI pins golden
+/// per-subject finding counts against the trailing summary lines.
+int cmdLint(const CliArgs &Args) {
+  std::vector<const Subject *> Subjects;
+  if (!Args.SubjectName.empty()) {
+    const Subject *Subj = findSubject(Args.SubjectName);
+    if (!Subj) {
+      std::fprintf(stderr, "sbi: unknown subject '%s' (try 'sbi subjects')\n",
+                   Args.SubjectName.c_str());
+      return 1;
+    }
+    Subjects.push_back(Subj);
+  } else {
+    Subjects = allSubjects();
+  }
+
+  if (Args.Json)
+    std::printf("[");
+  bool First = true;
+  for (const Subject *Subj : Subjects) {
+    std::unique_ptr<Program> Prog =
+        compileSubjectSource(Subj->Source, Subj->Name);
+    LintReport Report = runLint(*Prog);
+    if (Args.Json) {
+      std::printf("%s\n%s", First ? "" : ",",
+                  renderLintJson(Subj->Name, Report).c_str());
+    } else {
+      if (!First)
+        std::printf("\n");
+      std::printf("%s", renderLintHuman(Subj->Name, Report).c_str());
+    }
+    First = false;
+  }
+  if (Args.Json)
+    std::printf("\n]\n");
+  return 0;
+}
+
 int cmdCorpus(const CliArgs &Args) {
   if (Args.SubCommand == "convert")
     return cmdCorpusConvert(Args);
@@ -755,6 +865,8 @@ int dispatch(const CliArgs &Args) {
     return cmdReport(Args);
   if (Args.Command == "corpus")
     return cmdCorpus(Args);
+  if (Args.Command == "lint")
+    return cmdLint(Args);
   std::fprintf(stderr, "sbi: unknown command '%s'\n", Args.Command.c_str());
   return usage();
 }
