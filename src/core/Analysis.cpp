@@ -5,6 +5,7 @@
 #include "core/BitMatrix.h"
 #include "core/InvertedIndex.h"
 #include "obs/Phase.h"
+#include "obs/Tracer.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -310,6 +311,11 @@ CauseIsolator::initialCandidatesOf(const Aggregates &Agg) const {
 
 AnalysisResult CauseIsolator::run() const {
   ScopedPhase AnalysisPhase("analysis");
+  // Trace spans mirror the phase names so `sbi trace summarize` agrees
+  // with the registry's phase timers; the per-iteration spans add the
+  // resolution phases cannot give (which iteration dominates, and how the
+  // candidate pool shrinks).
+  ScopedSpan AnalysisSpan("analysis", "analysis");
 
   // The density fallback: for populations so sparse that dense word sweeps
   // would outweigh posting walks, the bitset engine defers to the
@@ -369,6 +375,7 @@ AnalysisResult CauseIsolator::run() const {
     }
   } else if (Bitset) {
     ScopedPhase IndexPhase("index_build");
+    ScopedSpan IndexSpan("index_build", "analysis");
     if (Options.SharedBitset) {
       BIndex = Options.SharedBitset;
       if (BIndex->numPredicates() != Runs.numPredicates() ||
@@ -390,7 +397,9 @@ AnalysisResult CauseIsolator::run() const {
   // Initial (full-population) scores, shown as the "initial thermometer".
   // The bitset build already fused this scan into its counting pass.
   std::optional<ScopedPhase> ScanPhase;
+  std::optional<ScopedSpan> ScanSpan;
   ScanPhase.emplace("initial_scan");
+  ScanSpan.emplace("initial_scan", "analysis");
   if (Incremental)
     Delta.emplace(Runs, View);
   Aggregates InitialAgg = Bitset        ? BIndex->initialAggregates()
@@ -401,15 +410,18 @@ AnalysisResult CauseIsolator::run() const {
   Result.PrunedSurvivors =
       Bitset ? BIndex->survivors() : survivorsOf(InitialAgg);
   std::vector<uint32_t> Candidates = initialCandidatesOf(InitialAgg);
+  ScanSpan.reset();
   ScanPhase.reset();
 
   if (IndexBuilder.joinable()) {
     ScopedPhase IndexPhase("index_build");
+    ScopedSpan IndexSpan("index_build", "analysis");
     IndexBuilder.join();
     Index = &*OwnedIndex;
   }
 
   ScopedPhase EliminationPhase("elimination");
+  ScopedSpan EliminationSpan("elimination", "analysis");
 
   // The live engines' current counts: delta-maintained or popcount-
   // maintained, always exactly what a fresh full scan would produce.
@@ -433,6 +445,10 @@ AnalysisResult CauseIsolator::run() const {
   }
 
   for (int Iteration = 0; Iteration < Options.MaxSelections; ++Iteration) {
+    // One span per elimination iteration, shared by all three engines:
+    // the loop body is common, only the count-maintenance differs.
+    ScopedSpan IterSpan("elimination_iter", "analysis");
+    IterSpan.arg("candidates", Candidates.size());
     // Under relabeling every run stays active, so active = F + S in every
     // engine; the live counts give the totals without a view scan.
     uint64_t ActiveRuns = Live ? liveAgg().numFailing() +
@@ -440,6 +456,7 @@ AnalysisResult CauseIsolator::run() const {
                                : View.numActive();
     uint64_t FailingRuns =
         Live ? liveAgg().numFailing() : View.numActiveFailing();
+    IterSpan.arg("active_runs", ActiveRuns);
     if (Candidates.empty() || FailingRuns == 0)
       break;
 

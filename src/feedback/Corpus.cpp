@@ -4,6 +4,7 @@
 
 #include "obs/Phase.h"
 #include "obs/Telemetry.h"
+#include "obs/Tracer.h"
 #include "support/Parallel.h"
 #include "support/StringUtils.h"
 
@@ -552,6 +553,9 @@ bool sbi::ingestCorpus(const std::string &Dir, RunProfiles &Out,
                        size_t Threads, std::string &Error,
                        CorpusIngestStats *Stats) {
   ScopedPhase IngestPhase("corpus_ingest");
+  // Span name mirrors the phase name (see obs/Tracer.h); per-shard child
+  // spans below show decode skew across workers.
+  ScopedSpan IngestSpan("corpus_ingest", "feedback");
   auto Start = std::chrono::steady_clock::now();
 
   std::vector<std::string> Shards = listCorpusShards(Dir);
@@ -575,6 +579,8 @@ bool sbi::ingestCorpus(const std::string &Dir, RunProfiles &Out,
          I < Shards.size();
          I = NextShard.fetch_add(1, std::memory_order_relaxed)) {
       ShardResult &Result = Results[I];
+      ScopedSpan ShardSpan("ingest_shard", "feedback");
+      ShardSpan.arg("shard", I);
       CorpusReader Reader;
       if (!Reader.open(Shards[I], Result.Error))
         continue;
@@ -584,6 +590,7 @@ bool sbi::ingestCorpus(const std::string &Dir, RunProfiles &Out,
       Result.Profiles.reserveRuns(Reader.header().NumReports);
       while (Reader.nextInto(Result.Profiles, Result.Error))
         ;
+      ShardSpan.arg("reports", Result.Profiles.size());
     }
   };
   size_t Workers = resolveThreadCount(Threads, Shards.size());

@@ -5,6 +5,7 @@
 #include "feedback/Corpus.h"
 #include "obs/Phase.h"
 #include "obs/Telemetry.h"
+#include "obs/Tracer.h"
 #include "runtime/Interp.h"
 #include "support/Parallel.h"
 #include "support/StringUtils.h"
@@ -77,6 +78,10 @@ double meanPlannedRate(const SiteTable &Sites, const SamplingPlan &Plan,
 CampaignResult sbi::runCampaign(const Subject &Subj,
                                 const CampaignOptions &Options) {
   ScopedPhase CampaignPhase("campaign");
+  // Trace spans mirror the phase names exactly so `sbi trace summarize`
+  // totals line up with the registry's phase timers.
+  ScopedSpan CampaignSpan("campaign", "harness");
+  CampaignSpan.arg("runs", Options.NumRuns);
   const bool Obs = Telemetry::enabled();
   MetricsRegistry &Metrics = Telemetry::metrics();
   // Summary gauges are maintained unconditionally — an O(1) cost per
@@ -104,7 +109,9 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
   auto WallStart = std::chrono::steady_clock::now();
 
   std::optional<ScopedPhase> ParsePhase;
+  std::optional<ScopedSpan> ParseSpan;
   ParsePhase.emplace("parse");
+  ParseSpan.emplace("parse", "harness");
   CampaignResult Result;
   Result.Subj = &Subj;
   Result.Prog = compileSubjectSource(Subj.Source, Subj.Name);
@@ -123,6 +130,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
   std::vector<uint8_t> ObservedNodes;
   if (Options.StaticPrune) {
     ScopedPhase PrunePhase("static_prune");
+    ScopedSpan PruneSpan("static_prune", "harness");
     Result.StaticPruned = true;
     Result.Prune = computePrune(*Result.Prog, Result.Sites);
     EnabledSites = Result.Prune.siteEnabledMask();
@@ -142,6 +150,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
     if (Result.Golden)
       GoldenBytecode = compileProgram(*Result.Golden);
   }
+  ParseSpan.reset();
   ParsePhase.reset();
   auto executeBuggy = [&](const RunConfig &Config) {
     return Options.Exec == Engine::VM ? runCompiled(Bytecode, Config)
@@ -155,7 +164,9 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
 
   // --- Choose the sampling plan -----------------------------------------
   std::optional<ScopedPhase> PlanPhase;
+  std::optional<ScopedSpan> PlanSpan;
   PlanPhase.emplace("plan_training");
+  PlanSpan.emplace("plan_training", "harness");
   if (Options.Mode == SamplingMode::None) {
     Result.Plan = SamplingPlan::full(Result.Sites.numSites());
   } else if (Options.Mode == SamplingMode::Uniform) {
@@ -196,6 +207,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
     if (Obs)
       TrainingRunsTotal.add(Options.TrainingRuns);
   }
+  PlanSpan.reset();
   PlanPhase.reset();
 
   // --- Main campaign -----------------------------------------------------
@@ -313,6 +325,9 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
                         ReportCollector &Collector, SpillTally &Tally) {
     const size_t Begin = Shard * ShardSize;
     const size_t End = std::min(Options.NumRuns, Begin + ShardSize);
+    ScopedSpan ShardSpan("spill_shard", "harness");
+    ShardSpan.arg("shard", Shard);
+    ShardSpan.arg("reports", End - Begin);
     CorpusWriter Writer;
     std::string Error;
     std::string Path = Options.SpillDir + "/" +
@@ -339,6 +354,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
   auto RunLoopStart = std::chrono::steady_clock::now();
   {
     ScopedPhase RunLoopPhase("run_loop");
+    ScopedSpan RunLoopSpan("run_loop", "harness");
     if (Spill) {
       MergedSpill = newSpillTally();
       std::error_code DirEc;
@@ -372,6 +388,8 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
         Workers.reserve(Threads);
         for (size_t T = 0; T < Threads; ++T)
           Workers.emplace_back([&, T] {
+            ScopedSpan WorkerSpan("worker", "harness");
+            WorkerSpan.arg("worker", T);
             ReportCollector Collector(Result.Sites, Result.Plan, SiteMask);
             if (Obs)
               Collector.enableReachStats();
@@ -389,6 +407,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
               mergeReaches(Collector);
               WorkerHist.record(RunsByThisWorker);
             }
+            WorkerSpan.arg("runs", RunsByThisWorker);
           });
         for (std::thread &Worker : Workers)
           Worker.join();
@@ -421,6 +440,8 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
         Workers.reserve(Threads);
         for (size_t T = 0; T < Threads; ++T)
           Workers.emplace_back([&, T] {
+            ScopedSpan WorkerSpan("worker", "harness");
+            WorkerSpan.arg("worker", T);
             ReportCollector Collector(Result.Sites, Result.Plan, SiteMask);
             if (Obs)
               Collector.enableReachStats();
@@ -433,6 +454,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
               mergeReaches(Collector);
               WorkerHist.record(RunsByThisWorker);
             }
+            WorkerSpan.arg("runs", RunsByThisWorker);
           });
         for (std::thread &Worker : Workers)
           Worker.join();
@@ -446,6 +468,7 @@ CampaignResult sbi::runCampaign(const Subject &Subj,
 
   {
     ScopedPhase LabelPhase("label");
+    ScopedSpan LabelSpan("label", "harness");
     Result.Reports =
         ReportSet(Result.Sites.numSites(), Result.Sites.numPredicates());
     if (Spill) {

@@ -1,0 +1,278 @@
+//===- obs/BenchDiff.cpp - Benchmark baseline comparison ------------------===//
+
+#include "obs/BenchDiff.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace sbi;
+
+namespace {
+
+enum class Direction { LowerIsBetter, HigherIsBetter, Exact };
+
+bool endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+/// Last path component ("scales.32768.elim_ms" -> "elim_ms").
+std::string_view leafOf(std::string_view Path) {
+  size_t Dot = Path.rfind('.');
+  return Dot == std::string_view::npos ? Path : Path.substr(Dot + 1);
+}
+
+Direction directionOf(std::string_view Path) {
+  std::string_view Leaf = leafOf(Path);
+  if (Leaf.find("per_sec") != std::string_view::npos ||
+      endsWith(Leaf, "_speedup") || endsWith(Leaf, "speedup"))
+    return Direction::HigherIsBetter;
+  if (endsWith(Leaf, "_ms") || endsWith(Leaf, "_ns") ||
+      endsWith(Leaf, "_us") || endsWith(Leaf, "_sec") ||
+      endsWith(Leaf, "_bytes"))
+    return Direction::LowerIsBetter;
+  return Direction::Exact;
+}
+
+class Differ {
+public:
+  Differ(const BenchDiffOptions &Options, BenchDiffResult &Out)
+      : Options(Options), Out(Out) {}
+
+  void walk(const std::string &Path, const json::Value *Base,
+            const json::Value *Cur) {
+    if (ignored(Path))
+      return;
+    if (!Base) {
+      count(emit(Path, BenchVerdict::Added, 0, 0, "only in current"));
+      return;
+    }
+    if (!Cur) {
+      count(emit(Path, BenchVerdict::Missing, 0, 0, "only in baseline"));
+      return;
+    }
+    if (Base->isObject() && Cur->isObject()) {
+      // Baseline members first (preserving their order), then additions.
+      for (const json::Member &M : Base->members())
+        walk(join(Path, M.first), &M.second, Cur->find(M.first));
+      for (const json::Member &M : Cur->members())
+        if (!Base->find(M.first))
+          walk(join(Path, M.first), nullptr, &M.second);
+      return;
+    }
+    if (Base->isArray() && Cur->isArray()) {
+      size_t N = std::max(Base->array().size(), Cur->array().size());
+      for (size_t I = 0; I < N; ++I)
+        walk(join(Path, std::to_string(I)),
+             I < Base->array().size() ? &Base->array()[I] : nullptr,
+             I < Cur->array().size() ? &Cur->array()[I] : nullptr);
+      return;
+    }
+    leaf(Path, *Base, *Cur);
+  }
+
+private:
+  static std::string join(const std::string &Path, const std::string &Key) {
+    return Path.empty() ? Key : Path + "." + Key;
+  }
+
+  bool ignored(const std::string &Path) const {
+    for (const std::string &Sub : Options.Ignore)
+      if (Path.find(Sub) != std::string::npos)
+        return true;
+    return false;
+  }
+
+  double thresholdFor(const std::string &Path) const {
+    for (const BenchDiffOptions::Rule &R : Options.Rules)
+      if (Path.find(R.PathSubstr) != std::string::npos)
+        return R.Threshold;
+    return Options.DefaultThreshold;
+  }
+
+  BenchMetricDiff &emit(const std::string &Path, BenchVerdict V,
+                        double Base, double Cur, std::string Note) {
+    Out.Metrics.push_back({Path, V, Base, Cur, 0.0, 0.0, std::move(Note)});
+    return Out.Metrics.back();
+  }
+
+  void count(const BenchMetricDiff &D) {
+    switch (D.Verdict) {
+    case BenchVerdict::Ok:
+      ++Out.NumOk;
+      break;
+    case BenchVerdict::Improved:
+      ++Out.NumImproved;
+      break;
+    case BenchVerdict::Regressed:
+      ++Out.NumRegressed;
+      break;
+    case BenchVerdict::Changed:
+      ++Out.NumChanged;
+      break;
+    case BenchVerdict::Missing:
+      ++Out.NumMissing;
+      break;
+    case BenchVerdict::Added:
+      ++Out.NumAdded;
+      break;
+    }
+  }
+
+  void leaf(const std::string &Path, const json::Value &Base,
+            const json::Value &Cur) {
+    // Booleans: a correctness bit flipping off (true -> false) is a
+    // regression no threshold excuses; false -> true is an improvement.
+    if (Base.isBool() && Cur.isBool()) {
+      BenchVerdict V = Base.asBool() == Cur.asBool() ? BenchVerdict::Ok
+                       : Base.asBool() ? BenchVerdict::Regressed
+                                       : BenchVerdict::Improved;
+      count(emit(Path, V, Base.asBool(), Cur.asBool(),
+                 V == BenchVerdict::Ok ? "" : "boolean flipped"));
+      return;
+    }
+
+    if (Base.isNumber() && Cur.isNumber()) {
+      double B = Base.asNumber(), C = Cur.asNumber();
+      Direction Dir = directionOf(Path);
+      double T = thresholdFor(Path);
+      BenchMetricDiff D;
+      D.Path = Path;
+      D.Baseline = B;
+      D.Current = C;
+      D.Threshold = T;
+      D.RelDelta = B != 0.0 ? (C - B) / std::fabs(B) : (C == 0.0 ? 0.0 : 1.0);
+      if (Dir == Direction::Exact) {
+        D.Verdict = B == C ? BenchVerdict::Ok : BenchVerdict::Changed;
+        if (D.Verdict == BenchVerdict::Changed)
+          D.Note = "exact-match metric differs";
+      } else {
+        // Relative-threshold band around the baseline; which side is a
+        // regression depends on the metric's direction.
+        bool Worse = Dir == Direction::LowerIsBetter ? D.RelDelta > T
+                                                     : D.RelDelta < -T;
+        bool Better = Dir == Direction::LowerIsBetter ? D.RelDelta < -T
+                                                      : D.RelDelta > T;
+        D.Verdict = Worse     ? BenchVerdict::Regressed
+                    : Better  ? BenchVerdict::Improved
+                              : BenchVerdict::Ok;
+      }
+      Out.Metrics.push_back(D);
+      count(Out.Metrics.back());
+      return;
+    }
+
+    if (Base.isString() && Cur.isString()) {
+      bool Same = Base.asString() == Cur.asString();
+      count(emit(Path, Same ? BenchVerdict::Ok : BenchVerdict::Changed, 0, 0,
+                 Same ? ""
+                      : format("\"%s\" -> \"%s\"", Base.asString().c_str(),
+                               Cur.asString().c_str())));
+      return;
+    }
+
+    if (Base.isNull() && Cur.isNull()) {
+      count(emit(Path, BenchVerdict::Ok, 0, 0, ""));
+      return;
+    }
+
+    count(emit(Path, BenchVerdict::Changed, 0, 0, "value kind changed"));
+  }
+
+  const BenchDiffOptions &Options;
+  BenchDiffResult &Out;
+};
+
+const char *verdictName(BenchVerdict V) {
+  switch (V) {
+  case BenchVerdict::Ok:
+    return "ok";
+  case BenchVerdict::Improved:
+    return "improved";
+  case BenchVerdict::Regressed:
+    return "REGRESSED";
+  case BenchVerdict::Changed:
+    return "CHANGED";
+  case BenchVerdict::Missing:
+    return "MISSING";
+  case BenchVerdict::Added:
+    return "added";
+  }
+  return "?";
+}
+
+} // namespace
+
+bool sbi::diffBenchJson(std::string_view BaselineJson,
+                        std::string_view CurrentJson,
+                        const BenchDiffOptions &Options,
+                        BenchDiffResult &Out, std::string &Error) {
+  Out = BenchDiffResult();
+  json::Value Base, Cur;
+  if (!json::parse(BaselineJson, Base, Error)) {
+    Error = "baseline: " + Error;
+    return false;
+  }
+  if (!json::parse(CurrentJson, Cur, Error)) {
+    Error = "current: " + Error;
+    return false;
+  }
+  Differ(Options, Out).walk("", &Base, &Cur);
+  return true;
+}
+
+std::string sbi::renderBenchDiff(const BenchDiffResult &R) {
+  std::string Out;
+  for (const BenchMetricDiff &D : R.Metrics) {
+    if (D.Verdict == BenchVerdict::Ok)
+      continue;
+    Out += format("%-10s %s", verdictName(D.Verdict), D.Path.c_str());
+    if (D.Verdict == BenchVerdict::Regressed ||
+        D.Verdict == BenchVerdict::Improved)
+      Out += format("  %.6g -> %.6g (%+.1f%%, threshold %.0f%%)", D.Baseline,
+                    D.Current, 100.0 * D.RelDelta, 100.0 * D.Threshold);
+    if (!D.Note.empty())
+      Out += "  [" + D.Note + "]";
+    Out += '\n';
+  }
+  Out += format("benchdiff: %llu ok, %llu improved, %llu regressed, %llu "
+                "changed, %llu missing, %llu added -> %s\n",
+                static_cast<unsigned long long>(R.NumOk),
+                static_cast<unsigned long long>(R.NumImproved),
+                static_cast<unsigned long long>(R.NumRegressed),
+                static_cast<unsigned long long>(R.NumChanged),
+                static_cast<unsigned long long>(R.NumMissing),
+                static_cast<unsigned long long>(R.NumAdded),
+                R.failed() ? "FAIL" : "PASS");
+  return Out;
+}
+
+std::string sbi::renderBenchDiffJson(const BenchDiffResult &R) {
+  std::string Out = "{\n";
+  Out += format("  \"pass\": %s,\n", R.failed() ? "false" : "true");
+  Out += format("  \"ok\": %llu, \"improved\": %llu, \"regressed\": %llu, "
+                "\"changed\": %llu, \"missing\": %llu, \"added\": %llu,\n",
+                static_cast<unsigned long long>(R.NumOk),
+                static_cast<unsigned long long>(R.NumImproved),
+                static_cast<unsigned long long>(R.NumRegressed),
+                static_cast<unsigned long long>(R.NumChanged),
+                static_cast<unsigned long long>(R.NumMissing),
+                static_cast<unsigned long long>(R.NumAdded));
+  Out += "  \"metrics\": [";
+  bool First = true;
+  for (const BenchMetricDiff &D : R.Metrics) {
+    if (D.Verdict == BenchVerdict::Ok)
+      continue;
+    Out += First ? "\n    " : ",\n    ";
+    First = false;
+    Out += format("{\"path\": \"%s\", \"verdict\": \"%s\", \"baseline\": "
+                  "%.6g, \"current\": %.6g, \"rel_delta\": %.6g}",
+                  D.Path.c_str(), verdictName(D.Verdict), D.Baseline,
+                  D.Current, D.RelDelta);
+  }
+  Out += First ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}

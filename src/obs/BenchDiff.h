@@ -1,0 +1,100 @@
+//===- obs/BenchDiff.h - Benchmark baseline comparison --------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The judgment half of the perf-regression observatory: compares a
+/// freshly produced BENCH_*.json against a committed baseline from
+/// bench/baselines/ and classifies every leaf metric. Metric direction is
+/// inferred from the leaf name — `*_ms`/`*_ns`/`*_us` are lower-is-better,
+/// `*per_sec*`/`*_speedup` are higher-is-better, booleans regress on
+/// true→false, and everything else must match exactly. Thresholds are
+/// relative and per-metric-overridable so noisy wall-clock numbers can be
+/// held to a looser standard than, say, selection counts (which must not
+/// move at all). tools/benchdiff wraps this for the CI gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_OBS_BENCHDIFF_H
+#define SBI_OBS_BENCHDIFF_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbi {
+
+enum class BenchVerdict {
+  Ok,        ///< Within threshold (or equal / improved-but-close).
+  Improved,  ///< Beyond threshold in the favorable direction.
+  Regressed, ///< Beyond threshold in the unfavorable direction.
+  Changed,   ///< Exact-match metric differs (kind, string, bool→true... ).
+  Missing,   ///< Present in baseline, absent in current.
+  Added,     ///< Absent in baseline, present in current.
+};
+
+struct BenchMetricDiff {
+  /// Dotted path from the document root ("scales.32768.elim_ms",
+  /// "corpus.v2_read_mb_per_sec"); array elements use numeric components.
+  std::string Path;
+  BenchVerdict Verdict = BenchVerdict::Ok;
+  double Baseline = 0.0;
+  double Current = 0.0;
+  /// (Current - Baseline) / |Baseline|; 0 when not meaningful.
+  double RelDelta = 0.0;
+  /// The relative threshold this metric was held to.
+  double Threshold = 0.0;
+  /// For non-numeric or exact-match diffs, a human description.
+  std::string Note;
+};
+
+struct BenchDiffOptions {
+  /// Relative threshold applied when no rule matches.
+  double DefaultThreshold = 0.25;
+  /// First rule whose substring occurs in the metric path wins.
+  struct Rule {
+    std::string PathSubstr;
+    double Threshold;
+  };
+  std::vector<Rule> Rules;
+  /// Paths containing any of these substrings are skipped entirely
+  /// (environment-dependent values like thread counts or embedded
+  /// telemetry).
+  std::vector<std::string> Ignore;
+};
+
+struct BenchDiffResult {
+  std::vector<BenchMetricDiff> Metrics;
+  uint64_t NumOk = 0;
+  uint64_t NumImproved = 0;
+  uint64_t NumRegressed = 0;
+  uint64_t NumChanged = 0;
+  uint64_t NumMissing = 0;
+  uint64_t NumAdded = 0;
+
+  /// The CI gate: regressions, exact-metric changes, and disappeared
+  /// metrics all fail; additions and improvements do not.
+  bool failed() const { return NumRegressed + NumChanged + NumMissing > 0; }
+};
+
+/// Parses both documents and diffs every leaf. Returns false (with
+/// \p Error set) only on malformed JSON; comparison verdicts, including
+/// failures, are reported through \p Out.
+bool diffBenchJson(std::string_view BaselineJson,
+                   std::string_view CurrentJson,
+                   const BenchDiffOptions &Options, BenchDiffResult &Out,
+                   std::string &Error);
+
+/// Human-readable report (one line per non-Ok metric plus a summary).
+std::string renderBenchDiff(const BenchDiffResult &R);
+
+/// Machine-readable verdicts for CI logs.
+std::string renderBenchDiffJson(const BenchDiffResult &R);
+
+} // namespace sbi
+
+#endif // SBI_OBS_BENCHDIFF_H

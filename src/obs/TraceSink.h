@@ -1,0 +1,41 @@
+//===- obs/TraceSink.h - Chrome trace_event JSON export -------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drains the tracer's per-thread buffers into Chrome `trace_event` JSON
+/// (the format Perfetto and chrome://tracing load). The emitted document
+/// is deterministic for a given set of recorded events: events are sorted
+/// by (start, duration desc, tid, sequence), so two flushes of the same
+/// buffers are byte-identical regardless of thread scheduling during the
+/// run. Flushing also surfaces recorded/dropped totals as metrics-registry
+/// gauges so overflow is visible in `--metrics-out` output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_OBS_TRACESINK_H
+#define SBI_OBS_TRACESINK_H
+
+#include <string>
+
+namespace sbi {
+
+class Tracer;
+
+/// Renders every event recorded so far as a Chrome trace_event JSON
+/// document: `{"otherData": {...}, "traceEvents": [...]}` with metadata
+/// events naming the process and threads, "X" (complete) events for
+/// spans, and "i" (instant) events. Timestamps are microseconds with
+/// nanosecond precision (three decimals). Also publishes
+/// `trace.events_recorded` / `trace.events_dropped` gauges.
+std::string traceToJson(const Tracer &T);
+
+/// traceToJson() to a file; false on I/O failure.
+bool writeTraceFile(const Tracer &T, const std::string &Path);
+
+} // namespace sbi
+
+#endif // SBI_OBS_TRACESINK_H

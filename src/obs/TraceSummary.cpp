@@ -1,0 +1,199 @@
+//===- obs/TraceSummary.cpp - Self-time summary of a trace file -----------===//
+
+#include "obs/TraceSummary.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace sbi;
+
+namespace {
+
+// One "X" event lifted out of the JSON tree, in integer nanoseconds.
+struct Span {
+  std::string Name;
+  std::string Cat;
+  uint32_t Tid = 0;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+};
+
+uint64_t microsFieldToNs(const json::Value &V) {
+  // ts/dur are microseconds with fractional nanoseconds; round, don't
+  // truncate, so 123.999 doesn't lose a nanosecond.
+  return static_cast<uint64_t>(std::llround(V.asNumber() * 1000.0));
+}
+
+} // namespace
+
+bool sbi::summarizeTrace(std::string_view Json, TraceSummary &Out,
+                         std::string &Error) {
+  Out = TraceSummary();
+
+  json::Value Doc;
+  if (!json::parse(Json, Doc, Error))
+    return false;
+  if (!Doc.isObject()) {
+    Error = "trace document is not a JSON object";
+    return false;
+  }
+  const json::Value *Events = Doc.find("traceEvents");
+  if (!Events || !Events->isArray()) {
+    Error = "trace document has no traceEvents array";
+    return false;
+  }
+  if (const json::Value *Other = Doc.find("otherData"))
+    Out.DroppedEvents =
+        static_cast<uint64_t>(Other->numberOr("dropped_events", 0));
+
+  std::vector<Span> Spans;
+  for (const json::Value &Ev : Events->array()) {
+    if (!Ev.isObject())
+      continue;
+    std::string Ph = Ev.stringOr("ph", "");
+    if (Ph == "i") {
+      ++Out.InstantEvents;
+      continue;
+    }
+    if (Ph != "X")
+      continue; // Metadata and anything foreign.
+    const json::Value *Ts = Ev.find("ts");
+    const json::Value *Dur = Ev.find("dur");
+    if (!Ts || !Ts->isNumber() || !Dur || !Dur->isNumber()) {
+      Error = "complete event missing numeric ts/dur";
+      return false;
+    }
+    Span S;
+    S.Name = Ev.stringOr("name", "");
+    S.Cat = Ev.stringOr("cat", "");
+    S.Tid = static_cast<uint32_t>(Ev.numberOr("tid", 0));
+    S.StartNs = microsFieldToNs(*Ts);
+    S.DurNs = microsFieldToNs(*Dur);
+    Spans.push_back(std::move(S));
+    ++Out.SpanEvents;
+  }
+
+  // Per-thread stack sweep. ScopedSpan guarantees proper nesting within a
+  // thread, so sorting by (start, longer-first) lets a simple stack
+  // attribute each span's duration to its innermost enclosing span.
+  std::map<uint32_t, std::vector<const Span *>> ByTid;
+  for (const Span &S : Spans)
+    ByTid[S.Tid].push_back(&S);
+
+  std::map<std::string, SpanStat> Stats;
+  for (auto &[Tid, List] : ByTid) {
+    (void)Tid;
+    std::stable_sort(List.begin(), List.end(),
+                     [](const Span *A, const Span *B) {
+                       if (A->StartNs != B->StartNs)
+                         return A->StartNs < B->StartNs;
+                       return A->DurNs > B->DurNs;
+                     });
+    std::vector<std::pair<const Span *, uint64_t>> Stack; // span, child ns
+    auto pop = [&] {
+      auto [Done, ChildNs] = Stack.back();
+      Stack.pop_back();
+      SpanStat &St = Stats[Done->Name];
+      if (St.Name.empty()) {
+        St.Name = Done->Name;
+        St.Cat = Done->Cat;
+      }
+      ++St.Count;
+      St.TotalNs += Done->DurNs;
+      // Clock jitter can make children sum past the parent; clamp at 0.
+      St.SelfNs += Done->DurNs > ChildNs ? Done->DurNs - ChildNs : 0;
+      if (!Stack.empty())
+        Stack.back().second += Done->DurNs;
+    };
+    for (const Span *S : List) {
+      while (!Stack.empty() &&
+             Stack.back().first->StartNs + Stack.back().first->DurNs <=
+                 S->StartNs)
+        pop();
+      Stack.push_back({S, 0});
+      uint64_t End = S->StartNs + S->DurNs;
+      Out.WallNs = std::max(Out.WallNs, End);
+    }
+    while (!Stack.empty())
+      pop();
+  }
+
+  Out.Spans.reserve(Stats.size());
+  for (auto &[Name, St] : Stats) {
+    (void)Name;
+    Out.Spans.push_back(std::move(St));
+  }
+  std::stable_sort(Out.Spans.begin(), Out.Spans.end(),
+                   [](const SpanStat &A, const SpanStat &B) {
+                     if (A.SelfNs != B.SelfNs)
+                       return A.SelfNs > B.SelfNs;
+                     return A.Name < B.Name;
+                   });
+  return true;
+}
+
+namespace {
+
+std::string ms(uint64_t Ns) {
+  return format("%.3f", static_cast<double>(Ns) / 1e6);
+}
+
+} // namespace
+
+std::string sbi::renderTraceSummary(const TraceSummary &S, size_t TopN) {
+  size_t N = TopN == 0 ? S.Spans.size() : std::min(TopN, S.Spans.size());
+
+  TextTable Table;
+  Table.setHeader({"span", "cat", "count", "total_ms", "self_ms", "self_%"});
+  uint64_t SelfSum = 0;
+  for (const SpanStat &St : S.Spans)
+    SelfSum += St.SelfNs;
+  for (size_t I = 0; I < N; ++I) {
+    const SpanStat &St = S.Spans[I];
+    double Pct = SelfSum == 0 ? 0.0
+                              : 100.0 * static_cast<double>(St.SelfNs) /
+                                    static_cast<double>(SelfSum);
+    Table.addRow({St.Name, St.Cat, std::to_string(St.Count), ms(St.TotalNs),
+                  ms(St.SelfNs), format("%.1f", Pct)});
+  }
+
+  std::string Out = Table.render();
+  Out += format("%zu span name(s) shown of %zu; %llu span event(s), %llu "
+                "instant(s), %llu dropped; trace extent %s ms\n",
+                N, S.Spans.size(),
+                static_cast<unsigned long long>(S.SpanEvents),
+                static_cast<unsigned long long>(S.InstantEvents),
+                static_cast<unsigned long long>(S.DroppedEvents),
+                ms(S.WallNs).c_str());
+  return Out;
+}
+
+std::string sbi::renderTraceSummaryJson(const TraceSummary &S, size_t TopN) {
+  size_t N = TopN == 0 ? S.Spans.size() : std::min(TopN, S.Spans.size());
+  std::string Out = "{\n";
+  Out += format("  \"span_events\": %llu,\n",
+                static_cast<unsigned long long>(S.SpanEvents));
+  Out += format("  \"instant_events\": %llu,\n",
+                static_cast<unsigned long long>(S.InstantEvents));
+  Out += format("  \"dropped_events\": %llu,\n",
+                static_cast<unsigned long long>(S.DroppedEvents));
+  Out += format("  \"wall_ms\": %s,\n", ms(S.WallNs).c_str());
+  Out += "  \"spans\": [";
+  for (size_t I = 0; I < N; ++I) {
+    const SpanStat &St = S.Spans[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += format("{\"name\": \"%s\", \"cat\": \"%s\", \"count\": %llu, "
+                  "\"total_ms\": %s, \"self_ms\": %s}",
+                  St.Name.c_str(), St.Cat.c_str(),
+                  static_cast<unsigned long long>(St.Count),
+                  ms(St.TotalNs).c_str(), ms(St.SelfNs).c_str());
+  }
+  Out += N ? "\n  ]\n" : "]\n";
+  Out += "}\n";
+  return Out;
+}

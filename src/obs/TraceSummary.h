@@ -1,0 +1,65 @@
+//===- obs/TraceSummary.h - Self-time summary of a trace file -------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline analysis of the Chrome trace_event JSON that obs/TraceSink.h
+/// emits, backing `sbi trace summarize`: per-span-name total and
+/// *self*-time (duration minus the duration of directly nested spans on
+/// the same thread), aggregated across threads and sorted by self-time.
+/// Self-time is what answers "where did the wall clock actually go" —
+/// totals double-count nested work ("campaign" contains everything).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_OBS_TRACESUMMARY_H
+#define SBI_OBS_TRACESUMMARY_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbi {
+
+/// Aggregated statistics for one span name.
+struct SpanStat {
+  std::string Name;
+  std::string Cat;
+  uint64_t Count = 0;
+  /// Sum of span durations (nested work double-counted).
+  uint64_t TotalNs = 0;
+  /// Sum of durations minus directly enclosed spans on the same thread.
+  uint64_t SelfNs = 0;
+};
+
+struct TraceSummary {
+  /// Sorted by SelfNs descending (ties by name for determinism).
+  std::vector<SpanStat> Spans;
+  uint64_t SpanEvents = 0;
+  uint64_t InstantEvents = 0;
+  /// From the file's otherData overflow accounting.
+  uint64_t DroppedEvents = 0;
+  /// Max end-timestamp across all spans (trace wall-clock extent).
+  uint64_t WallNs = 0;
+};
+
+/// Parses \p Json (a trace_event document) and computes per-name span
+/// statistics. Spans recorded by ScopedSpan nest properly per thread, so
+/// self-time falls out of a per-tid interval sweep. Returns false and
+/// sets \p Error on malformed input.
+bool summarizeTrace(std::string_view Json, TraceSummary &Out,
+                    std::string &Error);
+
+/// Human-readable top-N table (all spans when \p TopN == 0).
+std::string renderTraceSummary(const TraceSummary &S, size_t TopN);
+
+/// The same data as a machine-readable JSON object.
+std::string renderTraceSummaryJson(const TraceSummary &S, size_t TopN);
+
+} // namespace sbi
+
+#endif // SBI_OBS_TRACESUMMARY_H

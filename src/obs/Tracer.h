@@ -1,0 +1,205 @@
+//===- obs/Tracer.h - Span tracing into per-thread ring buffers -----------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flight-recorder half of the observability layer. Where the metrics
+/// registry (obs/Metrics.h) answers "how much, in total", the tracer
+/// answers "when, on which thread": begin/end spans and instant events
+/// with monotonic timestamps, recorded into per-thread fixed-capacity
+/// buffers and drained by obs/TraceSink.h into Chrome trace_event JSON
+/// that loads in Perfetto / chrome://tracing.
+///
+/// The contract mirrors Telemetry::enabled():
+///
+///   - Tracing is off by default; every recording call-site guards on one
+///     relaxed atomic load (Tracer::enabled()), so the untraced fast path
+///     is a single predictable branch.
+///   - Recording is wait-free per thread: each OS thread owns one buffer,
+///     appends are plain stores followed by one release store of the
+///     count, and no lock is ever taken after a buffer exists. A full
+///     buffer drops new events and counts the drops — recording can never
+///     block or reallocate mid-campaign.
+///   - Name / category / argument-name strings must be string literals
+///     (only the pointer is stored). Values are u64.
+///
+/// ScopedSpan is the RAII recorder: it reads the clock at construction
+/// and appends one complete event (begin + duration) at destruction, so a
+/// span costs two clock reads and one 64-byte store on the owning
+/// thread's buffer. Defining SBI_TELEMETRY_DISABLED removes the engine-
+/// side hooks just as it does for metrics.
+///
+//======----------------------------------------------------------------------===//
+
+#ifndef SBI_OBS_TRACER_H
+#define SBI_OBS_TRACER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sbi {
+
+/// One recorded event. 64 bytes; copied into the owning thread's buffer.
+struct TraceEvent {
+  /// Span or instant name (string literal).
+  const char *Name = nullptr;
+  /// Category (string literal): "harness", "analysis", "feedback", "vm"...
+  const char *Cat = nullptr;
+  /// Nanoseconds since the tracer epoch (steady clock).
+  uint64_t StartNs = 0;
+  /// Span duration; 0 for instants.
+  uint64_t DurNs = 0;
+  /// Up to two u64 arguments with literal names.
+  const char *ArgName[2] = {nullptr, nullptr};
+  uint64_t ArgVal[2] = {0, 0};
+  uint8_t NumArgs = 0;
+  /// True for instant events (rendered as "i" phase, not "X").
+  bool Instant = false;
+};
+
+/// One thread's fixed-capacity event buffer. Single producer (the owning
+/// thread); readers synchronize through the release/acquire count, so a
+/// sink may snapshot a buffer while its thread is still recording and see
+/// a consistent prefix.
+class TraceBuffer {
+public:
+  uint32_t tid() const { return Tid; }
+  size_t capacity() const { return Events.size(); }
+
+  /// Events visible to a reader (acquire; pairs with append's release).
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+  const TraceEvent &event(size_t I) const { return Events[I]; }
+
+  /// Events rejected because the buffer was full.
+  uint64_t dropped() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+  /// Owning-thread only. Full buffers drop (and count) new events rather
+  /// than wrap: the head of a campaign is worth more than its tail, and
+  /// never overwriting keeps readers race-free.
+  void append(const TraceEvent &Ev) {
+    size_t N = Count.load(std::memory_order_relaxed);
+    if (N >= Events.size()) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Events[N] = Ev;
+    Count.store(N + 1, std::memory_order_release);
+  }
+
+private:
+  friend class Tracer;
+  TraceBuffer(uint32_t Tid, size_t Capacity)
+      : Events(Capacity), Tid(Tid) {}
+
+  std::vector<TraceEvent> Events;
+  std::atomic<size_t> Count{0};
+  std::atomic<uint64_t> Dropped{0};
+  uint32_t Tid;
+};
+
+class Tracer {
+public:
+  /// Turns span recording on or off process-wide.
+  static void setEnabled(bool On) {
+    EnabledFlag.store(On, std::memory_order_relaxed);
+  }
+  static bool enabled() {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
+
+  /// The process-wide tracer every ScopedSpan records into.
+  static Tracer &instance();
+
+  /// Nanoseconds since the process-wide tracer epoch.
+  static uint64_t nowNs();
+
+  /// Capacity, in events, of buffers created after this call (default
+  /// 1 << 16 per thread). Existing buffers keep their size.
+  void setBufferCapacity(size_t NumEvents);
+
+  /// The calling thread's buffer, created on first use. Buffer creation
+  /// takes the registry lock once per thread per epoch; recording after
+  /// that is lock-free.
+  TraceBuffer &threadBuffer();
+
+  /// Records an instant event on the calling thread.
+  void instant(const char *Name, const char *Cat);
+
+  /// Stable snapshot handles for the sink. Buffers are never destroyed
+  /// while their epoch is current, so the pointers stay valid until
+  /// reset().
+  std::vector<const TraceBuffer *> buffers() const;
+
+  /// Totals across all buffers (events recorded, events dropped on
+  /// overflow).
+  uint64_t recordedTotal() const;
+  uint64_t droppedTotal() const;
+
+  /// Test-only: discards every buffer and bumps the epoch so threads
+  /// re-acquire on next use. Callers must guarantee no thread is
+  /// concurrently recording (the tests record, join, then reset).
+  void reset();
+
+private:
+  Tracer() = default;
+
+  static std::atomic<bool> EnabledFlag;
+
+  mutable std::mutex Mu;
+  std::vector<std::unique_ptr<TraceBuffer>> Buffers;
+  size_t Capacity = 1 << 16;
+  std::atomic<uint64_t> Epoch{1};
+};
+
+/// RAII span recorder: one complete event on the constructing thread's
+/// buffer, emitted at destruction. Does nothing (and reads no clock) when
+/// tracing is disabled at construction.
+class ScopedSpan {
+public:
+  ScopedSpan(const char *Name, const char *Cat)
+      : Buf(Tracer::enabled() ? &Tracer::instance().threadBuffer()
+                              : nullptr) {
+    if (Buf) {
+      Ev.Name = Name;
+      Ev.Cat = Cat;
+      Ev.StartNs = Tracer::nowNs();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  /// Attaches a u64 argument (at most two; extras are ignored). \p Name
+  /// must be a string literal. Callable any time before destruction.
+  void arg(const char *Name, uint64_t Val) {
+    if (!Buf || Ev.NumArgs >= 2)
+      return;
+    Ev.ArgName[Ev.NumArgs] = Name;
+    Ev.ArgVal[Ev.NumArgs] = Val;
+    ++Ev.NumArgs;
+  }
+
+  ~ScopedSpan() {
+    if (!Buf)
+      return;
+    Ev.DurNs = Tracer::nowNs() - Ev.StartNs;
+    Buf->append(Ev);
+  }
+
+private:
+  TraceBuffer *Buf;
+  TraceEvent Ev;
+};
+
+} // namespace sbi
+
+#endif // SBI_OBS_TRACER_H

@@ -3,6 +3,7 @@
 #include "runtime/Interp.h"
 
 #include "obs/Telemetry.h"
+#include "obs/Tracer.h"
 #include "runtime/Semantics.h"
 #include "support/StringUtils.h"
 
@@ -555,5 +556,8 @@ Value Interpreter::callFunction(const FuncDecl &Func,
 }
 
 RunOutcome sbi::runProgram(const Program &Prog, const RunConfig &Config) {
-  return Interpreter(Prog, Config).run();
+  ScopedSpan Span("interp_execute", "interp");
+  RunOutcome Outcome = Interpreter(Prog, Config).run();
+  Span.arg("steps", Outcome.Steps);
+  return Outcome;
 }

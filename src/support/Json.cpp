@@ -1,0 +1,413 @@
+//===- support/Json.cpp - Minimal JSON tree parser ------------------------===//
+
+#include "support/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+using namespace sbi;
+using namespace sbi::json;
+
+Value Value::makeBool(bool V) {
+  Value Out;
+  Out.K = Kind::Bool;
+  Out.B = V;
+  return Out;
+}
+
+Value Value::makeNumber(double V) {
+  Value Out;
+  Out.K = Kind::Number;
+  Out.Num = V;
+  // A double that is integral and round-trips through int64 is exact.
+  if (V >= -9.2233720368547758e18 && V <= 9.2233720368547758e18 &&
+      std::nearbyint(V) == V) {
+    Out.Int = static_cast<int64_t>(V);
+    Out.IntExact = static_cast<double>(Out.Int) == V;
+  }
+  return Out;
+}
+
+Value Value::makeInteger(int64_t V) {
+  Value Out;
+  Out.K = Kind::Number;
+  Out.Num = static_cast<double>(V);
+  Out.Int = V;
+  Out.IntExact = true;
+  return Out;
+}
+
+Value Value::makeString(std::string V) {
+  Value Out;
+  Out.K = Kind::String;
+  Out.Str = std::move(V);
+  return Out;
+}
+
+Value Value::makeArray(std::vector<Value> V) {
+  Value Out;
+  Out.K = Kind::Array;
+  Out.Arr = std::move(V);
+  return Out;
+}
+
+Value Value::makeObject(std::vector<Member> V) {
+  Value Out;
+  Out.K = Kind::Object;
+  Out.Obj = std::move(V);
+  return Out;
+}
+
+const Value *Value::find(std::string_view Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const Member &M : Obj)
+    if (M.first == Name)
+      return &M.second;
+  return nullptr;
+}
+
+double Value::numberOr(std::string_view Name, double Default) const {
+  const Value *V = find(Name);
+  return V && V->isNumber() ? V->asNumber() : Default;
+}
+
+std::string Value::stringOr(std::string_view Name,
+                            std::string Default) const {
+  const Value *V = find(Name);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parseDocument(Value &Out) {
+    skipWs();
+    if (!parseValue(Out, /*Depth=*/0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 128;
+
+  bool fail(const char *Reason) {
+    Error = format("offset %zu: %s", Pos, Reason);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C, const char *What) {
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(What);
+    ++Pos;
+    return true;
+  }
+
+  bool literal(std::string_view Word, const char *What) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return fail(What);
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(Value &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value::makeString(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!literal("true", "expected 'true'"))
+        return false;
+      Out = Value::makeBool(true);
+      return true;
+    case 'f':
+      if (!literal("false", "expected 'false'"))
+        return false;
+      Out = Value::makeBool(false);
+      return true;
+    case 'n':
+      if (!literal("null", "expected 'null'"))
+        return false;
+      Out = Value::makeNull();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out, int Depth) {
+    ++Pos; // '{'
+    std::vector<Member> Members;
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      Out = Value::makeObject(std::move(Members));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':', "expected ':' after object key"))
+        return false;
+      skipWs();
+      Value V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        Out = Value::makeObject(std::move(Members));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out, int Depth) {
+    ++Pos; // '['
+    std::vector<Value> Elems;
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      Out = Value::makeArray(std::move(Elems));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      Value V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Elems.push_back(std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        Out = Value::makeArray(std::move(Elems));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool hex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      uint32_t Digit;
+      if (C >= '0' && C <= '9')
+        Digit = static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Digit = static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Digit = static_cast<uint32_t>(C - 'A' + 10);
+      else
+        return fail("bad hex digit in \\u escape");
+      Out = Out * 16 + Digit;
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, uint32_t Cp) {
+    if (Cp < 0x80) {
+      Out += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      Out += static_cast<char>(0xc0 | (Cp >> 6));
+      Out += static_cast<char>(0x80 | (Cp & 0x3f));
+    } else if (Cp < 0x10000) {
+      Out += static_cast<char>(0xe0 | (Cp >> 12));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Cp & 0x3f));
+    } else {
+      Out += static_cast<char>(0xf0 | (Cp >> 18));
+      Out += static_cast<char>(0x80 | ((Cp >> 12) & 0x3f));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Cp & 0x3f));
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"', "expected '\"'"))
+      return false;
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        uint32_t Cp;
+        if (!hex4(Cp))
+          return false;
+        // Surrogate pair: a high surrogate must be followed by \uDC00..DFFF.
+        if (Cp >= 0xd800 && Cp <= 0xdbff) {
+          if (Text.substr(Pos, 2) != "\\u")
+            return fail("lone high surrogate");
+          Pos += 2;
+          uint32_t Low;
+          if (!hex4(Low))
+            return false;
+          if (Low < 0xdc00 || Low > 0xdfff)
+            return fail("bad low surrogate");
+          Cp = 0x10000 + ((Cp - 0xd800) << 10) + (Low - 0xdc00);
+        } else if (Cp >= 0xdc00 && Cp <= 0xdfff) {
+          return fail("lone low surrogate");
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return fail("bad escape character");
+      }
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    auto digits = [&] {
+      size_t N = 0;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        ++Pos;
+        ++N;
+      }
+      return N;
+    };
+    if (Pos < Text.size() && Text[Pos] == '0') {
+      ++Pos; // Leading zero must stand alone.
+      if (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        return fail("leading zero in number");
+    } else if (digits() == 0) {
+      return fail("expected a value");
+    }
+    bool Integral = true;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      if (digits() == 0)
+        return fail("expected digits after decimal point");
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (digits() == 0)
+        return fail("expected digits in exponent");
+    }
+    std::string Literal(Text.substr(Start, Pos - Start));
+    if (Integral) {
+      errno = 0;
+      char *End = nullptr;
+      long long V = std::strtoll(Literal.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out = Value::makeInteger(static_cast<int64_t>(V));
+        return true;
+      }
+      // Out-of-int64-range integers degrade to double below.
+    }
+    errno = 0;
+    char *End = nullptr;
+    double V = std::strtod(Literal.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail("malformed number");
+    Out = Value::makeNumber(V);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool sbi::json::parse(std::string_view Text, Value &Out,
+                      std::string &Error) {
+  Error.clear();
+  return Parser(Text, Error).parseDocument(Out);
+}

@@ -1,0 +1,104 @@
+//===- support/Json.h - Minimal JSON tree parser --------------------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser producing an owned value tree.
+/// The observability tools consume their own machine-readable outputs —
+/// the metrics registry (`--metrics-out`), Chrome trace_event files
+/// (`--trace-out`, `sbi trace summarize`), and the BENCH_*.json bench
+/// artifacts (`tools/benchdiff`) — so the parser favors a tiny surface
+/// and strict errors over speed: full RFC 8259 value grammar, object key
+/// order preserved (emitters are deterministic and diffs should be too),
+/// numbers held as double plus an exact-integer flag, \uXXXX escapes
+/// decoded to UTF-8.
+///
+/// Parsing never aborts: malformed input yields false and a position-
+/// annotated error message, the same contract as the corpus decoder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SBI_SUPPORT_JSON_H
+#define SBI_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sbi {
+namespace json {
+
+class Value;
+
+/// Object members as an order-preserving list; lookups are linear, which
+/// is fine for the small documents the pipeline emits.
+using Member = std::pair<std::string, Value>;
+
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  /// True when the literal was an integer that fits int64 exactly.
+  bool isInteger() const { return K == Kind::Number && IntExact; }
+  int64_t asInteger() const { return Int; }
+  const std::string &asString() const { return Str; }
+  const std::vector<Value> &array() const { return Arr; }
+  const std::vector<Member> &members() const { return Obj; }
+
+  /// First member named \p Name; null when absent or not an object.
+  const Value *find(std::string_view Name) const;
+
+  /// Member access chained through nested objects ("a.b.c"-style paths are
+  /// the callers' business; this is one hop). Null when missing.
+  const Value *operator[](std::string_view Name) const { return find(Name); }
+
+  /// Convenience typed getters: value when present and of the right kind,
+  /// \p Default otherwise.
+  double numberOr(std::string_view Name, double Default) const;
+  std::string stringOr(std::string_view Name, std::string Default) const;
+
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool V);
+  static Value makeNumber(double V);
+  static Value makeInteger(int64_t V);
+  static Value makeString(std::string V);
+  static Value makeArray(std::vector<Value> V);
+  static Value makeObject(std::vector<Member> V);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  int64_t Int = 0;
+  bool IntExact = false;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<Member> Obj;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). On failure returns false and sets
+/// \p Error to "offset N: reason".
+bool parse(std::string_view Text, Value &Out, std::string &Error);
+
+} // namespace json
+} // namespace sbi
+
+#endif // SBI_SUPPORT_JSON_H

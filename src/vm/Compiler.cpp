@@ -3,6 +3,7 @@
 #include "vm/Compiler.h"
 
 #include "lang/Intrinsics.h"
+#include "obs/Tracer.h"
 #include "support/StringUtils.h"
 
 #include <unordered_map>
@@ -531,5 +532,6 @@ CompiledProgram sbi::compileProgram(const Program &Prog) {
 
 CompiledProgram sbi::compileProgram(const Program &Prog,
                                     const CompileOptions &Opts) {
+  ScopedSpan Span("vm_compile", "vm");
   return Compiler(Prog, Opts).compile();
 }

@@ -4,6 +4,7 @@
 
 #include "lang/Intrinsics.h"
 #include "obs/Telemetry.h"
+#include "obs/Tracer.h"
 #include "runtime/Semantics.h"
 #include "support/StringUtils.h"
 
@@ -368,5 +369,8 @@ void VM::execute(const Chunk &Entry) {
 
 RunOutcome sbi::runCompiled(const CompiledProgram &Compiled,
                             const RunConfig &Config) {
-  return VM(Compiled, Config).run();
+  ScopedSpan Span("vm_execute", "vm");
+  RunOutcome Outcome = VM(Compiled, Config).run();
+  Span.arg("steps", Outcome.Steps);
+  return Outcome;
 }

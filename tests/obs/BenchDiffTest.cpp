@@ -1,0 +1,213 @@
+//===- tests/obs/BenchDiffTest.cpp - Bench baseline comparator tests ------===//
+
+#include "obs/BenchDiff.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace sbi;
+
+namespace {
+
+// A miniature BENCH_smoke.json: the shape the CI gate diffs.
+const char *BaselineFixture = R"({
+  "bench": "perf_analysis.smoke",
+  "scales": [
+    {
+      "name": "smoke",
+      "runs": 4000,
+      "sites": 846,
+      "total_bitset_ms": 3.854,
+      "total_scalar_ms": 11.2,
+      "decode_mb_per_sec": 420.5,
+      "speedup": 2.9,
+      "all_identical": true
+    }
+  ]
+})";
+
+BenchDiffResult diffOk(const std::string &Baseline,
+                       const std::string &Current,
+                       const BenchDiffOptions &Options) {
+  BenchDiffResult R;
+  std::string Error;
+  EXPECT_TRUE(diffBenchJson(Baseline, Current, Options, R, Error)) << Error;
+  return R;
+}
+
+const BenchMetricDiff *metricAt(const BenchDiffResult &R,
+                                const std::string &Path) {
+  for (const BenchMetricDiff &M : R.Metrics)
+    if (M.Path == Path)
+      return &M;
+  return nullptr;
+}
+
+std::string withReplaced(const std::string &Text, const std::string &From,
+                         const std::string &To) {
+  std::string Out = Text;
+  size_t Pos = Out.find(From);
+  EXPECT_NE(Pos, std::string::npos) << From;
+  Out.replace(Pos, From.size(), To);
+  return Out;
+}
+
+TEST(BenchDiffTest, IdenticalFilesPass) {
+  BenchDiffResult R = diffOk(BaselineFixture, BaselineFixture, {});
+  EXPECT_FALSE(R.failed());
+  EXPECT_EQ(R.NumRegressed, 0u);
+  EXPECT_EQ(R.NumChanged, 0u);
+  EXPECT_EQ(R.NumMissing, 0u);
+  EXPECT_GT(R.NumOk, 0u);
+}
+
+TEST(BenchDiffTest, InjectedTwentyPercentSlowdownFails) {
+  // The acceptance fixture: a 20% wall-clock regression must trip a 10%
+  // threshold and fail the gate.
+  std::string Current = withReplaced(BaselineFixture, "\"total_bitset_ms\": 3.854",
+                                     "\"total_bitset_ms\": 4.6248");
+  BenchDiffOptions Options;
+  Options.DefaultThreshold = 0.1;
+  BenchDiffResult R = diffOk(BaselineFixture, Current, Options);
+
+  EXPECT_TRUE(R.failed());
+  EXPECT_EQ(R.NumRegressed, 1u);
+  const BenchMetricDiff *M = metricAt(R, "scales.0.total_bitset_ms");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Verdict, BenchVerdict::Regressed);
+  EXPECT_NEAR(M->RelDelta, 0.2, 1e-9);
+  EXPECT_DOUBLE_EQ(M->Threshold, 0.1);
+}
+
+TEST(BenchDiffTest, WithinThresholdIsOk) {
+  std::string Current = withReplaced(BaselineFixture, "\"total_bitset_ms\": 3.854",
+                                     "\"total_bitset_ms\": 4.0");
+  BenchDiffOptions Options;
+  Options.DefaultThreshold = 0.1;
+  BenchDiffResult R = diffOk(BaselineFixture, Current, Options);
+  EXPECT_FALSE(R.failed());
+  const BenchMetricDiff *M = metricAt(R, "scales.0.total_bitset_ms");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Verdict, BenchVerdict::Ok);
+}
+
+TEST(BenchDiffTest, HigherIsBetterDirectionForThroughput) {
+  // decode_mb_per_sec dropping 20% is a regression; rising 20% is an
+  // improvement, not a failure.
+  BenchDiffOptions Options;
+  Options.DefaultThreshold = 0.1;
+
+  std::string Slower = withReplaced(
+      BaselineFixture, "\"decode_mb_per_sec\": 420.5", "\"decode_mb_per_sec\": 336.4");
+  BenchDiffResult R = diffOk(BaselineFixture, Slower, Options);
+  const BenchMetricDiff *M = metricAt(R, "scales.0.decode_mb_per_sec");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Verdict, BenchVerdict::Regressed);
+
+  std::string Faster = withReplaced(
+      BaselineFixture, "\"decode_mb_per_sec\": 420.5", "\"decode_mb_per_sec\": 504.6");
+  R = diffOk(BaselineFixture, Faster, Options);
+  M = metricAt(R, "scales.0.decode_mb_per_sec");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Verdict, BenchVerdict::Improved);
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(BenchDiffTest, BoolAndCountMetricsAreExact) {
+  // Correctness flag flipping true->false regresses regardless of
+  // thresholds; a count changing at all is a Changed failure.
+  std::string BrokenFlag = withReplaced(
+      BaselineFixture, "\"all_identical\": true", "\"all_identical\": false");
+  BenchDiffResult R = diffOk(BaselineFixture, BrokenFlag, {});
+  const BenchMetricDiff *M = metricAt(R, "scales.0.all_identical");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Verdict, BenchVerdict::Regressed);
+  EXPECT_TRUE(R.failed());
+
+  std::string DifferentSites =
+      withReplaced(BaselineFixture, "\"sites\": 846", "\"sites\": 850");
+  R = diffOk(BaselineFixture, DifferentSites, {});
+  M = metricAt(R, "scales.0.sites");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Verdict, BenchVerdict::Changed);
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(BenchDiffTest, MissingFailsAddedPasses) {
+  std::string Without = withReplaced(BaselineFixture,
+                                     "      \"speedup\": 2.9,\n", "");
+  BenchDiffResult R = diffOk(BaselineFixture, Without, {});
+  const BenchMetricDiff *M = metricAt(R, "scales.0.speedup");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Verdict, BenchVerdict::Missing);
+  EXPECT_TRUE(R.failed());
+
+  // Reversed: baseline lacks the metric the current run added.
+  R = diffOk(Without, BaselineFixture, {});
+  M = metricAt(R, "scales.0.speedup");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Verdict, BenchVerdict::Added);
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(BenchDiffTest, PerMetricRulesOverrideDefault) {
+  std::string Current = withReplaced(BaselineFixture, "\"total_bitset_ms\": 3.854",
+                                     "\"total_bitset_ms\": 4.6248");
+  BenchDiffOptions Options;
+  Options.DefaultThreshold = 0.05;
+  Options.Rules.push_back({"total_bitset_ms", 0.5});
+  BenchDiffResult R = diffOk(BaselineFixture, Current, Options);
+  const BenchMetricDiff *M = metricAt(R, "scales.0.total_bitset_ms");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Verdict, BenchVerdict::Ok);
+  EXPECT_DOUBLE_EQ(M->Threshold, 0.5);
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(BenchDiffTest, IgnoredPathsAreSkipped) {
+  std::string Current = withReplaced(BaselineFixture, "\"total_scalar_ms\": 11.2",
+                                     "\"total_scalar_ms\": 99.0");
+  BenchDiffOptions Options;
+  Options.Ignore.push_back("total_scalar_ms");
+  BenchDiffResult R = diffOk(BaselineFixture, Current, Options);
+  EXPECT_EQ(metricAt(R, "scales.0.total_scalar_ms"), nullptr);
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(BenchDiffTest, MalformedJsonIsAnError) {
+  BenchDiffResult R;
+  std::string Error;
+  EXPECT_FALSE(diffBenchJson("{", BaselineFixture, {}, R, Error));
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_FALSE(diffBenchJson(BaselineFixture, "[unclosed", {}, R, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(BenchDiffTest, RendersParseableVerdicts) {
+  std::string Current = withReplaced(BaselineFixture, "\"total_bitset_ms\": 3.854",
+                                     "\"total_bitset_ms\": 4.6248");
+  BenchDiffOptions Options;
+  Options.DefaultThreshold = 0.1;
+  BenchDiffResult R = diffOk(BaselineFixture, Current, Options);
+
+  std::string Text = renderBenchDiff(R);
+  EXPECT_NE(Text.find("total_bitset_ms"), std::string::npos);
+  EXPECT_NE(Text.find("FAIL"), std::string::npos);
+
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(renderBenchDiffJson(R), Doc, Error)) << Error;
+  const json::Value *Metrics = Doc.find("metrics");
+  ASSERT_NE(Metrics, nullptr);
+  ASSERT_TRUE(Metrics->isArray());
+  bool SawRegression = false;
+  for (const json::Value &M : Metrics->array())
+    SawRegression |= M.stringOr("verdict", "") == "REGRESSED" &&
+                     M.stringOr("path", "") == "scales.0.total_bitset_ms";
+  EXPECT_TRUE(SawRegression);
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 #include "obs/Metrics.h"
 #include "obs/Phase.h"
 #include "obs/Telemetry.h"
+#include "support/Json.h"
 
 #include <gtest/gtest.h>
 
@@ -340,6 +341,104 @@ TEST(MetricsJsonTest, EscapesHostileLabelText) {
   EXPECT_NE(Json.find("\\t"), std::string::npos);
   EXPECT_NE(Json.find("\\u0001"), std::string::npos);
   EXPECT_NE(Json.find("\\u0000"), std::string::npos);
+}
+
+TEST(MetricsJsonTest, MatchesDocumentedSchema) {
+  // DESIGN.md §9 documents the --metrics-out document shape; this test is
+  // the schema's executable form. Top level: exactly the five sections, in
+  // order. Phases are {"count", "total_ms"}; counters are non-negative
+  // integers; gauges are doubles; labels are strings; histograms are
+  // {"count", "sum"[, "min", "max"], "buckets": [{"ge", "count"}...]} with
+  // min/max present iff count > 0 and only non-empty buckets listed.
+  MetricsRegistry Registry;
+  Registry.registerCounter("runs.total").add(42);
+  Registry.registerGauge("trace.events_recorded").set(1190);
+  Registry.registerLabel("subject").set("moss");
+  Histogram &H = Registry.registerHistogram("report.bytes");
+  H.record(3);
+  H.record(900);
+  Registry.registerHistogram("empty_hist");
+  Registry.recordPhase("campaign", 1'500'000);
+  Registry.recordPhase("campaign/run_loop", 1'000'000);
+
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Registry.toJson(), Doc, Error)) << Error;
+  ASSERT_TRUE(Doc.isObject());
+
+  ASSERT_EQ(Doc.members().size(), 5u);
+  EXPECT_EQ(Doc.members()[0].first, "phases");
+  EXPECT_EQ(Doc.members()[1].first, "counters");
+  EXPECT_EQ(Doc.members()[2].first, "gauges");
+  EXPECT_EQ(Doc.members()[3].first, "labels");
+  EXPECT_EQ(Doc.members()[4].first, "histograms");
+
+  const json::Value &Phases = Doc.members()[0].second;
+  ASSERT_TRUE(Phases.isObject());
+  for (const json::Member &M : Phases.members()) {
+    ASSERT_EQ(M.second.members().size(), 2u) << M.first;
+    const json::Value *Count = M.second.find("count");
+    ASSERT_NE(Count, nullptr);
+    EXPECT_TRUE(Count->isInteger());
+    const json::Value *TotalMs = M.second.find("total_ms");
+    ASSERT_NE(TotalMs, nullptr);
+    EXPECT_TRUE(TotalMs->isNumber());
+  }
+  ASSERT_NE(Phases.find("campaign/run_loop"), nullptr);
+  EXPECT_EQ(Phases.find("campaign/run_loop")->find("count")->asInteger(), 1);
+
+  const json::Value &Counters = Doc.members()[1].second;
+  ASSERT_TRUE(Counters.isObject());
+  for (const json::Member &M : Counters.members()) {
+    EXPECT_TRUE(M.second.isInteger()) << M.first;
+    EXPECT_GE(M.second.asInteger(), 0) << M.first;
+  }
+  ASSERT_NE(Counters.find("runs.total"), nullptr);
+  EXPECT_EQ(Counters.find("runs.total")->asInteger(), 42);
+
+  const json::Value &Gauges = Doc.members()[2].second;
+  ASSERT_TRUE(Gauges.isObject());
+  for (const json::Member &M : Gauges.members())
+    EXPECT_TRUE(M.second.isNumber()) << M.first;
+  ASSERT_NE(Gauges.find("trace.events_recorded"), nullptr);
+  EXPECT_DOUBLE_EQ(Gauges.find("trace.events_recorded")->asNumber(), 1190.0);
+
+  const json::Value &Labels = Doc.members()[3].second;
+  ASSERT_TRUE(Labels.isObject());
+  for (const json::Member &M : Labels.members())
+    EXPECT_TRUE(M.second.isString()) << M.first;
+  ASSERT_NE(Labels.find("subject"), nullptr);
+  EXPECT_EQ(Labels.find("subject")->asString(), "moss");
+
+  const json::Value &Histograms = Doc.members()[4].second;
+  ASSERT_TRUE(Histograms.isObject());
+  for (const json::Member &M : Histograms.members()) {
+    const json::Value &Hist = M.second;
+    ASSERT_TRUE(Hist.isObject()) << M.first;
+    const json::Value *Count = Hist.find("count");
+    ASSERT_NE(Count, nullptr);
+    ASSERT_TRUE(Count->isInteger());
+    ASSERT_NE(Hist.find("sum"), nullptr);
+    bool Populated = Count->asInteger() > 0;
+    EXPECT_EQ(Hist.find("min") != nullptr, Populated) << M.first;
+    EXPECT_EQ(Hist.find("max") != nullptr, Populated) << M.first;
+    const json::Value *Buckets = Hist.find("buckets");
+    ASSERT_NE(Buckets, nullptr);
+    ASSERT_TRUE(Buckets->isArray());
+    int64_t BucketSum = 0;
+    for (const json::Value &B : Buckets->array()) {
+      ASSERT_TRUE(B.find("ge") && B.find("ge")->isInteger());
+      ASSERT_TRUE(B.find("count") && B.find("count")->isInteger());
+      EXPECT_GT(B.find("count")->asInteger(), 0); // empty buckets elided
+      BucketSum += B.find("count")->asInteger();
+    }
+    EXPECT_EQ(BucketSum, Count->asInteger()) << M.first;
+  }
+  const json::Value *Bytes = Histograms.find("report.bytes");
+  ASSERT_NE(Bytes, nullptr);
+  EXPECT_EQ(Bytes->find("count")->asInteger(), 2);
+  EXPECT_EQ(Bytes->find("min")->asInteger(), 3);
+  EXPECT_EQ(Bytes->find("max")->asInteger(), 900);
 }
 
 TEST(MetricsJsonTest, OutputIsDeterministicAndNameSorted) {

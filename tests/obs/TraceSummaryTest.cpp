@@ -1,0 +1,138 @@
+//===- tests/obs/TraceSummaryTest.cpp - Trace self-time summary tests -----===//
+
+#include "obs/TraceSummary.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace sbi;
+
+namespace {
+
+std::string spanEvent(const char *Name, int Tid, double TsUs, double DurUs) {
+  return format("{\"name\": \"%s\", \"cat\": \"test\", \"ph\": \"X\", "
+                "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+                Name, Tid, TsUs, DurUs);
+}
+
+std::string traceDoc(const std::string &Events, uint64_t Dropped = 0) {
+  return format("{\"displayTimeUnit\": \"ms\", \"otherData\": "
+                "{\"recorded_events\": 0, \"dropped_events\": %llu}, "
+                "\"traceEvents\": [%s]}",
+                static_cast<unsigned long long>(Dropped), Events.c_str());
+}
+
+TraceSummary summarizeOk(const std::string &Json) {
+  TraceSummary S;
+  std::string Error;
+  EXPECT_TRUE(summarizeTrace(Json, S, Error)) << Error;
+  return S;
+}
+
+const SpanStat *statFor(const TraceSummary &S, const std::string &Name) {
+  for (const SpanStat &Stat : S.Spans)
+    if (Stat.Name == Name)
+      return &Stat;
+  return nullptr;
+}
+
+TEST(TraceSummaryTest, SelfTimeSubtractsNestedSpans) {
+  // outer [0, 1000us] contains a [100, 300] and b [500, 200]; a contains
+  // leaf [150, 100]. Self(outer) = 1000 - 300 - 200 = 500us.
+  std::string Events = spanEvent("outer", 0, 0, 1000) + ",\n" +
+                       spanEvent("a", 0, 100, 300) + ",\n" +
+                       spanEvent("leaf", 0, 150, 100) + ",\n" +
+                       spanEvent("b", 0, 500, 200);
+  TraceSummary S = summarizeOk(traceDoc(Events));
+
+  EXPECT_EQ(S.SpanEvents, 4u);
+  const SpanStat *Outer = statFor(S, "outer");
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->TotalNs, 1000000000ull / 1000);
+  EXPECT_EQ(Outer->SelfNs, 500000000ull / 1000);
+  const SpanStat *A = statFor(S, "a");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->TotalNs, 300000u);
+  EXPECT_EQ(A->SelfNs, 200000u); // 300 - leaf's 100
+  const SpanStat *Leaf = statFor(S, "leaf");
+  ASSERT_NE(Leaf, nullptr);
+  EXPECT_EQ(Leaf->SelfNs, Leaf->TotalNs);
+  EXPECT_EQ(S.WallNs, 1000000u); // 1000us in ns
+}
+
+TEST(TraceSummaryTest, SortedBySelfTimeDescending) {
+  std::string Events = spanEvent("small", 0, 0, 10) + ",\n" +
+                       spanEvent("big", 0, 100, 500) + ",\n" +
+                       spanEvent("mid", 0, 700, 50);
+  TraceSummary S = summarizeOk(traceDoc(Events));
+  ASSERT_EQ(S.Spans.size(), 3u);
+  EXPECT_EQ(S.Spans[0].Name, "big");
+  EXPECT_EQ(S.Spans[1].Name, "mid");
+  EXPECT_EQ(S.Spans[2].Name, "small");
+}
+
+TEST(TraceSummaryTest, ThreadsAggregateIndependently) {
+  // Same name on two threads; nesting is per-thread, so the tid-1 span
+  // does not steal self-time from the tid-0 span it overlaps.
+  std::string Events = spanEvent("work", 0, 0, 400) + ",\n" +
+                       spanEvent("work", 1, 100, 400) + ",\n" +
+                       spanEvent("inner", 1, 200, 100);
+  TraceSummary S = summarizeOk(traceDoc(Events));
+  const SpanStat *Work = statFor(S, "work");
+  ASSERT_NE(Work, nullptr);
+  EXPECT_EQ(Work->Count, 2u);
+  EXPECT_EQ(Work->TotalNs, 800000u);
+  EXPECT_EQ(Work->SelfNs, 700000u); // only tid 1 loses inner's 100us
+}
+
+TEST(TraceSummaryTest, InstantAndMetadataEventsCounted) {
+  std::string Events =
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"args\": {\"name\": \"sbi\"}},\n" +
+      spanEvent("span", 0, 0, 100) +
+      ",\n{\"name\": \"tick\", \"cat\": \"test\", \"ph\": \"i\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 50.000, \"s\": \"t\"}";
+  TraceSummary S = summarizeOk(traceDoc(Events, /*Dropped=*/3));
+  EXPECT_EQ(S.SpanEvents, 1u);
+  EXPECT_EQ(S.InstantEvents, 1u);
+  EXPECT_EQ(S.DroppedEvents, 3u);
+}
+
+TEST(TraceSummaryTest, RenderersIncludeEveryRow) {
+  std::string Events =
+      spanEvent("alpha", 0, 0, 300) + ",\n" + spanEvent("beta", 0, 400, 100);
+  TraceSummary S = summarizeOk(traceDoc(Events));
+
+  std::string Table = renderTraceSummary(S, 0);
+  EXPECT_NE(Table.find("alpha"), std::string::npos);
+  EXPECT_NE(Table.find("beta"), std::string::npos);
+
+  // TopN limits the table but the trailer still reports totals.
+  std::string Top1 = renderTraceSummary(S, 1);
+  EXPECT_NE(Top1.find("alpha"), std::string::npos);
+  EXPECT_EQ(Top1.find("beta"), std::string::npos);
+
+  std::string JsonText = renderTraceSummaryJson(S, 0);
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(JsonText, Doc, Error)) << Error;
+  const json::Value *Spans = Doc.find("spans");
+  ASSERT_NE(Spans, nullptr);
+  ASSERT_TRUE(Spans->isArray());
+  EXPECT_EQ(Spans->array().size(), 2u);
+  EXPECT_EQ(Spans->array()[0].stringOr("name", ""), "alpha");
+}
+
+TEST(TraceSummaryTest, MalformedInputsAreErrors) {
+  TraceSummary S;
+  std::string Error;
+  EXPECT_FALSE(summarizeTrace("not json", S, Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(summarizeTrace("{\"noTraceEvents\": 1}", S, Error));
+  EXPECT_FALSE(summarizeTrace("[1, 2, 3]", S, Error));
+}
+
+} // namespace

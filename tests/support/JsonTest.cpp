@@ -1,0 +1,105 @@
+//===- tests/support/JsonTest.cpp - JSON parser tests ---------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace sbi;
+using json::Value;
+
+namespace {
+
+Value parseOk(const std::string &Text) {
+  Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Text, V, Error)) << Text << ": " << Error;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  Value V;
+  std::string Error;
+  EXPECT_FALSE(json::parse(Text, V, Error)) << Text;
+  return Error;
+}
+
+TEST(JsonTest, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool());
+  EXPECT_DOUBLE_EQ(parseOk("3.5").asNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(parseOk("-0.25e2").asNumber(), -25.0);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonTest, IntegerExactness) {
+  Value V = parseOk("42");
+  EXPECT_TRUE(V.isInteger());
+  EXPECT_EQ(V.asInteger(), 42);
+  EXPECT_TRUE(parseOk("-9223372036854775808").isInteger());
+  // A fractional literal is a number but not an exact integer.
+  EXPECT_FALSE(parseOk("42.5").isInteger());
+  // 2^64 overflows int64 and degrades to double.
+  Value Big = parseOk("18446744073709551616");
+  EXPECT_TRUE(Big.isNumber());
+  EXPECT_FALSE(Big.isInteger());
+}
+
+TEST(JsonTest, ObjectsPreserveOrderAndLookup) {
+  Value V = parseOk("{\"b\": 1, \"a\": 2, \"c\": {\"d\": [1, 2, 3]}}");
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.members()[0].first, "b");
+  EXPECT_EQ(V.members()[1].first, "a");
+  ASSERT_NE(V.find("a"), nullptr);
+  EXPECT_EQ(V.find("a")->asInteger(), 2);
+  EXPECT_EQ(V.find("missing"), nullptr);
+  const Value *D = (*V.find("c")).find("d");
+  ASSERT_NE(D, nullptr);
+  ASSERT_TRUE(D->isArray());
+  EXPECT_EQ(D->array().size(), 3u);
+  EXPECT_EQ(D->array()[2].asInteger(), 3);
+}
+
+TEST(JsonTest, TypedGetters) {
+  Value V = parseOk("{\"n\": 2.5, \"s\": \"x\"}");
+  EXPECT_DOUBLE_EQ(V.numberOr("n", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(V.numberOr("s", 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(V.numberOr("missing", 7.0), 7.0);
+  EXPECT_EQ(V.stringOr("s", ""), "x");
+  EXPECT_EQ(V.stringOr("n", "d"), "d");
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\n\\t\\\"\\\\b\"").asString(), "a\n\t\"\\b");
+  EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+  // Surrogate pair for U+1F600 decodes to 4-byte UTF-8.
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").asString(), "\xf0\x9f\x98\x80");
+  EXPECT_NE(parseErr("\"\\ud83d\""), "");
+  EXPECT_NE(parseErr("\"\\ude00\""), "");
+}
+
+TEST(JsonTest, MalformedInputs) {
+  EXPECT_NE(parseErr(""), "");
+  EXPECT_NE(parseErr("{"), "");
+  EXPECT_NE(parseErr("[1, 2"), "");
+  EXPECT_NE(parseErr("{\"a\" 1}"), "");
+  EXPECT_NE(parseErr("{\"a\": 1,}"), "");
+  EXPECT_NE(parseErr("01"), "");
+  EXPECT_NE(parseErr("1 2"), "");
+  EXPECT_NE(parseErr("tru"), "");
+  EXPECT_NE(parseErr("\"unterminated"), "");
+  // Error messages carry the offset.
+  EXPECT_NE(parseErr("[1, x]").find("offset"), std::string::npos);
+}
+
+TEST(JsonTest, DeepNestingIsBounded) {
+  std::string Deep(200, '[');
+  Deep += std::string(200, ']');
+  EXPECT_NE(parseErr(Deep), "");
+  std::string Ok(100, '[');
+  Ok += "1";
+  Ok += std::string(100, ']');
+  parseOk(Ok);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+//===- tools/benchdiff.cpp - Benchmark baseline comparator ----------------===//
+//
+// Part of the SBI project: a reproduction of "Scalable Statistical Bug
+// Isolation" (Liblit et al., PLDI 2005).
+//
+// The CI gate of the perf-regression observatory: compares a freshly
+// produced BENCH_*.json against a committed baseline from bench/baselines/
+// and exits nonzero when any metric regressed beyond its threshold.
+//
+//   benchdiff --baseline=FILE --current=FILE [--threshold=PCT]
+//             [--rule=SUBSTR:PCT]... [--ignore=SUBSTR]... [--json]
+//
+// Thresholds are relative and given as fractions (0.25 = 25%). Direction
+// is inferred from metric leaf names (obs/BenchDiff.h); exact-match
+// metrics (selection counts, bit_identical flags) fail on any change.
+//
+// Exit status: 0 = within thresholds, 1 = regression/change/missing
+// metric, 2 = usage or I/O error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchDiff.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace sbi;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: benchdiff --baseline=FILE --current=FILE [options]\n"
+      "  --threshold=FRAC   default relative threshold (default 0.25)\n"
+      "  --rule=SUBSTR:FRAC threshold for metric paths containing SUBSTR\n"
+      "                     (first matching rule wins)\n"
+      "  --ignore=SUBSTR    skip metric paths containing SUBSTR\n"
+      "  --json             machine-readable verdicts on stdout\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+bool parseFraction(const std::string &Text, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(Text.c_str(), &End);
+  return End && *End == '\0' && !Text.empty() && Out >= 0.0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string BaselinePath, CurrentPath;
+  BenchDiffOptions Options;
+  bool Json = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto valueOf = [&](std::string_view Prefix, std::string &Out) {
+      if (Arg.substr(0, Prefix.size()) != Prefix)
+        return false;
+      Out = std::string(Arg.substr(Prefix.size()));
+      return true;
+    };
+    std::string Value;
+    if (valueOf("--baseline=", BaselinePath) ||
+        valueOf("--current=", CurrentPath)) {
+      continue;
+    } else if (valueOf("--threshold=", Value)) {
+      if (!parseFraction(Value, Options.DefaultThreshold)) {
+        std::fprintf(stderr, "benchdiff: bad --threshold value '%s'\n",
+                     Value.c_str());
+        return usage();
+      }
+    } else if (valueOf("--rule=", Value)) {
+      size_t Colon = Value.rfind(':');
+      BenchDiffOptions::Rule Rule;
+      if (Colon == std::string::npos || Colon == 0 ||
+          !parseFraction(Value.substr(Colon + 1), Rule.Threshold)) {
+        std::fprintf(stderr,
+                     "benchdiff: bad --rule value '%s' (want SUBSTR:FRAC)\n",
+                     Value.c_str());
+        return usage();
+      }
+      Rule.PathSubstr = Value.substr(0, Colon);
+      Options.Rules.push_back(std::move(Rule));
+    } else if (valueOf("--ignore=", Value)) {
+      Options.Ignore.push_back(Value);
+    } else if (Arg == "--json") {
+      Json = true;
+    } else {
+      std::fprintf(stderr, "benchdiff: unknown option '%s'\n", Argv[I]);
+      return usage();
+    }
+  }
+  if (BaselinePath.empty() || CurrentPath.empty())
+    return usage();
+
+  std::string Baseline, Current;
+  if (!readFile(BaselinePath, Baseline)) {
+    std::fprintf(stderr, "benchdiff: cannot open '%s'\n",
+                 BaselinePath.c_str());
+    return 2;
+  }
+  if (!readFile(CurrentPath, Current)) {
+    std::fprintf(stderr, "benchdiff: cannot open '%s'\n",
+                 CurrentPath.c_str());
+    return 2;
+  }
+
+  BenchDiffResult Result;
+  std::string Error;
+  if (!diffBenchJson(Baseline, Current, Options, Result, Error)) {
+    std::fprintf(stderr, "benchdiff: %s\n", Error.c_str());
+    return 2;
+  }
+
+  if (Json)
+    std::printf("%s", renderBenchDiffJson(Result).c_str());
+  else
+    std::printf("%s", renderBenchDiff(Result).c_str());
+  return Result.failed() ? 1 : 0;
+}

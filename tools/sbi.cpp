@@ -38,6 +38,9 @@
 //       Static findings (src/sa) over one subject or all of them: dead
 //       code, constant branches, unreachable returns, use-before-init.
 //
+//   sbi trace summarize --in=FILE [--top=K] [--json]
+//       Top spans by self-time from a --trace-out Perfetto trace.
+//
 //   `run`/`analyze --static-prune` classifies sites with the same analysis
 //   and instruments only the Live ones; retained-predicate rankings are
 //   bit-identical to the unpruned pipeline at the same seed.
@@ -51,6 +54,9 @@
 #include "harness/Tables.h"
 #include "logreg/LogReg.h"
 #include "obs/Telemetry.h"
+#include "obs/TraceSink.h"
+#include "obs/TraceSummary.h"
+#include "obs/Tracer.h"
 #include "sa/Lint.h"
 #include "sa/Prune.h"
 #include "sa/Verify.h"
@@ -80,7 +86,9 @@ struct CliArgs {
   std::string Sampling = "adaptive";
   std::string Policy = "all";
   std::string Engine = "incremental";
+  std::string ExecEngine = "interp";
   std::string MetricsOut;
+  std::string TraceOut;
   std::vector<std::string> Inputs; // Positional args (corpus merge dirs).
   size_t Runs = 4000;
   uint64_t Seed = 20050612;
@@ -102,17 +110,18 @@ int usage() {
       "  subjects\n"
       "  run     --subject=NAME [--runs=N] [--seed=S]\n"
       "          [--sampling=adaptive|none|uniform:RATE] [--out=FILE]\n"
-      "          [--static-prune]\n"
+      "          [--static-prune] [--engine=interp|vm]\n"
       "  analyze --subject=NAME [--in=FILE] [--runs=N] [--seed=S]\n"
       "          [--policy=all|failing|relabel] [--top=K] [--affinity] "
       "[--bugs]\n"
       "          [--analysis-engine=rescan|incremental|bitset] "
       "[--static-prune]\n"
-      "          [--trace]\n"
+      "          [--trace] [--engine=interp|vm]\n"
       "  logreg  --subject=NAME [--in=FILE] [--runs=N] [--top=K]\n"
       "  report  --subject=NAME [--in=FILE] [--out=FILE] [--top=K] "
       "[--bugs]\n"
       "  lint    [--subject=NAME] [--json]\n"
+      "  trace   summarize --in=FILE [--top=K] [--json]\n"
       "  corpus  convert  --in=REPORTS --out=DIR [--shard-reports=N]\n"
       "          info     DIR\n"
       "          merge    --out=DIR DIR... [--shard-reports=N]\n"
@@ -127,10 +136,21 @@ int usage() {
       "  --threads=N        worker threads for the run loop; 0 = one per\n"
       "                     hardware thread (default; results are\n"
       "                     bit-identical for any N)\n"
+      "  --engine=E         execution engine for the subject's runs:\n"
+      "                     'interp' (tree-walking reference, default) or\n"
+      "                     'vm' (bytecode VM); outcomes, predicate\n"
+      "                     counts, and analysis results are identical\n"
+      "                     either way (crash backtrace frame labels may\n"
+      "                     name different AST nodes)\n"
       "  --metrics-out=FILE enable telemetry and write the metrics\n"
       "                     registry as JSON on exit\n"
       "  --trace            (analyze) print the iteration-by-iteration\n"
-      "                     elimination audit trail\n"
+      "                     elimination audit trail as text; unrelated to\n"
+      "                     --trace-out\n"
+      "  --trace-out=FILE   (run/analyze) record timing spans and write\n"
+      "                     them as Chrome trace_event JSON on exit; load\n"
+      "                     in Perfetto / chrome://tracing, or summarize\n"
+      "                     with 'sbi trace summarize --in=FILE'\n"
       "  --static-prune     (run/analyze) statically classify sites and\n"
       "                     instrument only the Live ones; site ids are\n"
       "                     not renumbered, so reports and rankings stay\n"
@@ -177,7 +197,9 @@ bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
         valueOf("--sampling=", Args.Sampling) ||
         valueOf("--policy=", Args.Policy) ||
         valueOf("--analysis-engine=", Args.Engine) ||
-        valueOf("--metrics-out=", Args.MetricsOut))
+        valueOf("--engine=", Args.ExecEngine) ||
+        valueOf("--metrics-out=", Args.MetricsOut) ||
+        valueOf("--trace-out=", Args.TraceOut))
       continue;
     bool BadNumber = false;
     uint64_t Number = 0;
@@ -207,8 +229,8 @@ bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
       }
       Args.ShardReports = static_cast<size_t>(Number);
     } else if (!startsWith(Arg, "--")) {
-      // Positional operands: the corpus verb and its directories.
-      if (Args.Command == "corpus") {
+      // Positional operands: the corpus/trace verb and its operands.
+      if (Args.Command == "corpus" || Args.Command == "trace") {
         if (Args.SubCommand.empty())
           Args.SubCommand = std::string(Arg);
         else
@@ -231,6 +253,13 @@ bool parseArgs(int Argc, char **Argv, CliArgs &Args) {
       Args.ShowProgress = true;
     } else {
       std::fprintf(stderr, "sbi: unknown option '%s'\n", Argv[I]);
+      // The two tracing flags are easy to cross: --trace is the textual
+      // elimination audit trail, --trace-out=FILE records Perfetto spans.
+      if (startsWith(Arg, "--trace"))
+        std::fprintf(stderr,
+                     "sbi: did you mean --trace (print the elimination "
+                     "audit trail) or --trace-out=FILE (write Perfetto "
+                     "spans)?\n");
       return false;
     }
   }
@@ -265,6 +294,15 @@ bool configureCampaign(const CliArgs &Args, CampaignOptions &Options) {
   Options.Seed = Args.Seed;
   Options.Threads = Args.Threads;
   Options.StaticPrune = Args.StaticPrune;
+  if (Args.ExecEngine == "interp") {
+    Options.Exec = Engine::Interpreter;
+  } else if (Args.ExecEngine == "vm") {
+    Options.Exec = Engine::VM;
+  } else {
+    std::fprintf(stderr, "sbi: bad --engine value '%s' (want interp|vm)\n",
+                 Args.ExecEngine.c_str());
+    return false;
+  }
   if (Args.ShowProgress) {
     // Reuses the bug-thermometer renderer as a progress bar: the '#' band
     // is the completed fraction of a full-length bar. Called from worker
@@ -838,6 +876,42 @@ int cmdLint(const CliArgs &Args) {
   return 0;
 }
 
+/// `sbi trace summarize --in=FILE [--top=K] [--json]`: self-time summary
+/// of a Chrome trace_event file produced by --trace-out.
+int cmdTraceSummarize(const CliArgs &Args) {
+  if (Args.InFile.empty()) {
+    std::fprintf(stderr, "sbi: trace summarize needs --in=FILE\n");
+    return usage();
+  }
+  std::ifstream In(Args.InFile);
+  if (!In) {
+    std::fprintf(stderr, "sbi: cannot open '%s'\n", Args.InFile.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  TraceSummary Summary;
+  std::string Error;
+  if (!summarizeTrace(Buffer.str(), Summary, Error)) {
+    std::fprintf(stderr, "sbi: '%s' is not a valid trace file: %s\n",
+                 Args.InFile.c_str(), Error.c_str());
+    return 1;
+  }
+  if (Args.Json)
+    std::printf("%s", renderTraceSummaryJson(Summary, Args.Top).c_str());
+  else
+    std::printf("%s", renderTraceSummary(Summary, Args.Top).c_str());
+  return 0;
+}
+
+int cmdTrace(const CliArgs &Args) {
+  if (Args.SubCommand == "summarize")
+    return cmdTraceSummarize(Args);
+  std::fprintf(stderr, "sbi: unknown trace verb '%s'\n",
+               Args.SubCommand.c_str());
+  return usage();
+}
+
 int cmdCorpus(const CliArgs &Args) {
   if (Args.SubCommand == "convert")
     return cmdCorpusConvert(Args);
@@ -867,6 +941,8 @@ int dispatch(const CliArgs &Args) {
     return cmdCorpus(Args);
   if (Args.Command == "lint")
     return cmdLint(Args);
+  if (Args.Command == "trace")
+    return cmdTrace(Args);
   std::fprintf(stderr, "sbi: unknown command '%s'\n", Args.Command.c_str());
   return usage();
 }
@@ -879,7 +955,25 @@ int main(int Argc, char **Argv) {
     return usage();
   if (!Args.MetricsOut.empty())
     Telemetry::setEnabled(true);
+  if (!Args.TraceOut.empty())
+    Tracer::setEnabled(true);
   int Code = dispatch(Args);
+  if (!Args.TraceOut.empty()) {
+    if (writeTraceFile(Tracer::instance(), Args.TraceOut)) {
+      std::fprintf(stderr,
+                   "sbi: wrote %llu trace event(s) (%llu dropped) to %s\n",
+                   static_cast<unsigned long long>(
+                       Tracer::instance().recordedTotal()),
+                   static_cast<unsigned long long>(
+                       Tracer::instance().droppedTotal()),
+                   Args.TraceOut.c_str());
+    } else {
+      std::fprintf(stderr, "sbi: cannot write trace to '%s'\n",
+                   Args.TraceOut.c_str());
+      if (Code == 0)
+        Code = 1;
+    }
+  }
   if (!Args.MetricsOut.empty() &&
       !Telemetry::writeJson(Args.MetricsOut)) {
     std::fprintf(stderr, "sbi: cannot write metrics to '%s'\n",
