@@ -23,12 +23,24 @@
 // monitoring — its overhead win materializes on programs whose hot sites
 // execute orders of magnitude more often than the target.
 //
-// Besides the google-benchmark suites, `--prune-bench[=PATH]` runs the
-// static-pruning throughput study: full 32k-run MOSS campaigns with and
-// without --static-prune on both execution engines, recording wall time,
-// runs/sec, prune statistics, and a retained-predicate ranking check into
-// BENCH_sampling.json (the committed copy is the reference measurement
-// EXPERIMENTS.md cites).
+// Besides the google-benchmark suites, the binary has four study modes:
+//
+//   --prune-bench[=PATH]     the static-pruning throughput study: full
+//                            32k-run MOSS campaigns with and without
+//                            --static-prune on both execution engines,
+//                            recording wall time, runs/sec, prune stats,
+//                            and a retained-predicate ranking check into
+//                            BENCH_sampling.json (the committed copy is
+//                            the reference measurement EXPERIMENTS.md
+//                            cites);
+//   --smoke[=PATH]           the same study at 2048 runs, sized for the
+//                            CI bench-sampling-smoke gate;
+//   --dispatch-bench[=PATH]  the VM-dispatch study: both engines at the
+//                            paper's 1/100 uniform rate, recording
+//                            runs/sec, the selected dispatch strategy,
+//                            the VM's speedup, and a cross-engine report
+//                            bit-identity check into BENCH_dispatch.json;
+//   --dispatch-smoke[=PATH]  the dispatch study at 1024 runs, for CI.
 //
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +50,7 @@
 #include "runtime/Interp.h"
 #include "subjects/Subjects.h"
 #include "support/Random.h"
+#include "vm/Bytecode.h"
 #include "vm/Compiler.h"
 #include "vm/VM.h"
 
@@ -159,6 +172,15 @@ void BM_UninstrumentedVM(benchmark::State &State) {
   runOnce(State, nullptr, Seed, /*UseVM=*/true);
 }
 
+void BM_UniformRateVM(benchmark::State &State) {
+  const MossFixture &Fixture = MossFixture::get();
+  double Rate = 1.0 / static_cast<double>(State.range(0));
+  ReportCollector Collector(
+      Fixture.Sites, SamplingPlan::uniform(Fixture.Sites.numSites(), Rate));
+  uint64_t Seed = 1;
+  runOnce(State, &Collector, Seed, /*UseVM=*/true);
+}
+
 void BM_FullMonitoringVM(benchmark::State &State) {
   const MossFixture &Fixture = MossFixture::get();
   ReportCollector Collector(Fixture.Sites,
@@ -171,19 +193,20 @@ BENCHMARK(BM_Uninstrumented);
 BENCHMARK(BM_UninstrumentedVM);
 BENCHMARK(BM_FullMonitoringVM);
 BENCHMARK(BM_UniformRate)->Arg(1000)->Arg(100)->Arg(10);
+BENCHMARK(BM_UniformRateVM)->Arg(1000)->Arg(100)->Arg(10);
 BENCHMARK(BM_Adaptive);
 BENCHMARK(BM_FullMonitoring);
 
 namespace {
 
-/// The static-pruning throughput study: 32k-run MOSS campaigns, pruned
+/// The static-pruning throughput study: NumRuns-run MOSS campaigns, pruned
 /// and unpruned, one per execution engine, single-threaded so runs/sec is
-/// a per-core number. Also re-checks the pruning contract at benchmark
-/// scale: retained-predicate rankings bit-identical under the default
-/// analysis, every prune stat recorded alongside the timing.
-int runPruneBench(const std::string &OutPath) {
+/// a per-core number (32768 for the reference measurement, 2048 for the CI
+/// smoke gate). Also re-checks the pruning contract at benchmark scale:
+/// retained-predicate rankings bit-identical under the default analysis,
+/// every prune stat recorded alongside the timing.
+int runPruneBench(const std::string &OutPath, size_t NumRuns) {
   using Clock = std::chrono::steady_clock;
-  constexpr size_t NumRuns = 32768;
 
   struct Row {
     const char *EngineName;
@@ -271,15 +294,111 @@ int runPruneBench(const std::string &OutPath) {
   return RankingsMatch ? 0 : 1;
 }
 
+/// The VM-dispatch throughput study: same-seed MOSS campaigns at the
+/// paper's 1/100 uniform rate on both execution engines, single-threaded.
+/// Records runs/sec per engine, the VM's speedup over the interpreter, the
+/// dispatch strategy the build selected (computed goto vs. portable
+/// switch), and whether the two engines' feedback reports stayed
+/// bit-identical — the determinism half of the dispatch contract, measured
+/// at benchmark scale rather than test scale.
+int runDispatchBench(const std::string &OutPath, size_t NumRuns) {
+  using Clock = std::chrono::steady_clock;
+
+  struct Row {
+    const char *EngineName;
+    Engine Exec;
+    double WallMs = 0.0;
+    double RunsPerSec = 0.0;
+    CampaignResult Result = {};
+  };
+  Row Rows[] = {{"interp", Engine::Interpreter}, {"vm", Engine::VM}};
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "dispatch-bench: cannot write %s\n",
+                 OutPath.c_str());
+    return 1;
+  }
+
+  for (Row &R : Rows) {
+    CampaignOptions Options;
+    Options.NumRuns = NumRuns;
+    Options.Threads = 1;
+    Options.Mode = SamplingMode::Uniform;
+    Options.UniformRate = 0.01;
+    Options.Exec = R.Exec;
+    Clock::time_point Start = Clock::now();
+    R.Result = runCampaign(mossSubject(), Options);
+    std::chrono::duration<double, std::milli> Wall = Clock::now() - Start;
+    R.WallMs = Wall.count();
+    R.RunsPerSec = static_cast<double>(NumRuns) / (R.WallMs / 1000.0);
+    std::fprintf(stderr, "dispatch-bench: %s: %.1f ms, %.1f runs/sec\n",
+                 R.EngineName, R.WallMs, R.RunsPerSec);
+  }
+
+  // The determinism contract: same seed, same sampling plan, same
+  // per-site RNG streams => same reports, engine notwithstanding. (Stack
+  // signatures are excluded: line attribution differs between engines by
+  // documented convention.)
+  bool Identical =
+      Rows[0].Result.Reports.size() == Rows[1].Result.Reports.size();
+  for (size_t Run = 0; Identical && Run < Rows[0].Result.Reports.size();
+       ++Run) {
+    const FeedbackReport &A = Rows[0].Result.Reports[Run];
+    const FeedbackReport &B = Rows[1].Result.Reports[Run];
+    Identical = A.Failed == B.Failed && A.Trap == B.Trap &&
+                A.ExitCode == B.ExitCode && A.BugMask == B.BugMask &&
+                A.Counts.SiteObservations == B.Counts.SiteObservations &&
+                A.Counts.TruePredicates == B.Counts.TruePredicates;
+  }
+
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"bench\": \"perf_sampling.dispatch\",\n");
+  std::fprintf(Out, "  \"subject\": \"moss\",\n");
+  std::fprintf(Out, "  \"runs\": %zu,\n", NumRuns);
+  std::fprintf(Out, "  \"threads\": 1,\n");
+  std::fprintf(Out, "  \"sampling\": \"uniform-1/100\",\n");
+  std::fprintf(Out, "  \"vm_dispatch\": \"%s\",\n", vmDispatchKind());
+  std::fprintf(Out, "  \"configs\": [\n");
+  for (size_t I = 0; I < 2; ++I) {
+    const Row &R = Rows[I];
+    std::fprintf(Out,
+                 "    {\"engine\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"runs_per_sec\": %.1f}%s\n",
+                 R.EngineName, R.WallMs, R.RunsPerSec, I + 1 < 2 ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"vm_dispatch_speedup\": %.3f,\n",
+               Rows[1].RunsPerSec / Rows[0].RunsPerSec);
+  std::fprintf(Out, "  \"reports_identical\": %s\n",
+               Identical ? "true" : "false");
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  std::fprintf(stderr, "dispatch-bench: wrote %s\n", OutPath.c_str());
+  return Identical ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--prune-bench")
-      return runPruneBench("BENCH_sampling.json");
+      return runPruneBench("BENCH_sampling.json", 32768);
     if (Arg.rfind("--prune-bench=", 0) == 0)
-      return runPruneBench(std::string(Arg.substr(14)));
+      return runPruneBench(std::string(Arg.substr(14)), 32768);
+    if (Arg == "--smoke")
+      return runPruneBench("BENCH_sampling_smoke.json", 2048);
+    if (Arg.rfind("--smoke=", 0) == 0)
+      return runPruneBench(std::string(Arg.substr(8)), 2048);
+    if (Arg == "--dispatch-bench")
+      return runDispatchBench("BENCH_dispatch.json", 8192);
+    if (Arg.rfind("--dispatch-bench=", 0) == 0)
+      return runDispatchBench(std::string(Arg.substr(17)), 8192);
+    if (Arg == "--dispatch-smoke")
+      return runDispatchBench("BENCH_dispatch_smoke.json", 1024);
+    if (Arg.rfind("--dispatch-smoke=", 0) == 0)
+      return runDispatchBench(std::string(Arg.substr(17)), 1024);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))

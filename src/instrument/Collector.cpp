@@ -48,8 +48,7 @@ ReportCollector::ReportCollector(const SiteTable &Sites, SamplingPlan Plan,
   assert((!EnabledSites || EnabledSites->size() == Sites.numSites()) &&
          "enabled-site mask does not match the site table");
   uint32_t NumSites = Sites.numSites();
-  CountdownEpoch.assign(NumSites, 0);
-  Countdown.assign(NumSites, 0);
+  Countdown.assign(NumSites, SamplingAccel::Uninit);
   SiteObserved.assign(NumSites, 0);
   PredTrue.assign(Sites.numPredicates(), 0);
   SiteRng.assign(NumSites, Rng(0));
@@ -74,12 +73,53 @@ void ReportCollector::buildNodeIndex(
   for (const SiteInfo &Site : Sites.sites())
     if (!EnabledSites || (*EnabledSites)[Site.Id])
       NodeSites[Cursor[static_cast<size_t>(Site.NodeId)]++] = Site.Id;
+
+  // Classify every node for the engine fast path. A node is only hoistable
+  // when every enabled site samples at a rate strictly inside (0, 1): a
+  // rate-1.0 site means every reach is a sample (the observer must always
+  // run), and a rate-0.0 site is never sampled and consumes no draw (so it
+  // simply drops out of the fan span). One eligible site hoists to a single
+  // decrement; several hoist to a FanNode span scan. Each site's decision
+  // is independent (own countdown, own RNG stream), so bulk-decrementing a
+  // fan is exactly the sequence of per-site decrements sampleDecision would
+  // have made.
+  Accel.NodeSite.assign(NumNodes, SamplingAccel::SkipNode);
+  Accel.FanStart.assign(NumNodes + 1, 0);
+  Accel.FanSites.clear();
+  for (uint32_t Node = 0; Node < NumNodes; ++Node) {
+    uint32_t First = NodeStart[Node], Last = NodeStart[Node + 1];
+    bool AnyFull = false;
+    uint32_t NumSampled = 0, OnlySite = 0;
+    for (uint32_t I = First; I < Last && !AnyFull; ++I) {
+      double Rate = Plan.rate(NodeSites[I]);
+      if (Rate >= 1.0)
+        AnyFull = true;
+      else if (Rate > 0.0) {
+        ++NumSampled;
+        OnlySite = NodeSites[I];
+      }
+    }
+    if (AnyFull)
+      Accel.NodeSite[Node] = SamplingAccel::CallObserver;
+    else if (NumSampled == 1)
+      Accel.NodeSite[Node] = OnlySite;
+    else if (NumSampled > 1) {
+      Accel.NodeSite[Node] = SamplingAccel::FanNode;
+      for (uint32_t I = First; I < Last; ++I)
+        if (Plan.rate(NodeSites[I]) > 0.0)
+          Accel.FanSites.push_back(NodeSites[I]);
+    }
+    // else: no enabled site sampled above rate 0 — stays SkipNode.
+    Accel.FanStart[Node + 1] =
+        static_cast<uint32_t>(Accel.FanSites.size());
+  }
+  Accel.Countdown = Countdown.data();
 }
 
 void ReportCollector::beginRun(uint64_t RunSeed) {
-  ++Epoch;
   RunSeedBase = RunSeed;
   assert(TouchedSites.empty() && TouchedPreds.empty() &&
+         TouchedCountdowns.empty() &&
          "takeReport must be called before the next beginRun");
 }
 
@@ -100,6 +140,14 @@ RawReport ReportCollector::takeReport() {
     PredTrue[Pred] = 0;
   }
   TouchedPreds.clear();
+
+  // Restore the Uninit sentinel so the next run's first reach of each site
+  // reseeds its RNG stream. Engine fast paths only ever decrement values
+  // that sampleDecision initialized, so this list is complete even when
+  // most decrements bypassed the observer.
+  for (uint32_t Site : TouchedCountdowns)
+    Countdown[Site] = SamplingAccel::Uninit;
+  TouchedCountdowns.clear();
   return Report;
 }
 
@@ -134,8 +182,8 @@ bool ReportCollector::sampleDecision(uint32_t SiteId) {
   // seeded from (run seed, site id) on first reach within the run, so the
   // draw sequence a site sees depends only on the run — never on which
   // other sites are instrumented or how often they are reached.
-  if (CountdownEpoch[SiteId] != Epoch) {
-    CountdownEpoch[SiteId] = Epoch;
+  if (Countdown[SiteId] == SamplingAccel::Uninit) {
+    TouchedCountdowns.push_back(SiteId);
     SiteRng[SiteId].reseed(RunSeedBase ^
                            (0x5bd1e995bc9e1d34ULL +
                             SiteId * 0x9e3779b97f4a7c15ULL));

@@ -98,6 +98,15 @@ public:
   void onScalarAssign(int NodeId, int64_t NewValue,
                       const FrameView &Frame) override;
 
+  /// The countdown-hoisting handle (see SamplingAccel in Observer.h). Null
+  /// while reach stats are enabled: stat accumulation must see every reach,
+  /// so engines have to take the always-call path. Engines must re-query
+  /// after enableReachStats(); the campaign queries per run, which is
+  /// always after stats are configured.
+  const SamplingAccel *samplingAccel() const override {
+    return TrackReaches ? nullptr : &Accel;
+  }
+
   const SamplingPlan &plan() const { return Plan; }
 
   /// Per-scheme reach/sample totals, accumulated across all runs since
@@ -166,14 +175,24 @@ private:
   /// Site id -> Scheme, materialized by enableReachStats().
   std::vector<uint8_t> SchemeOf;
 
-  // Epoch-lazy dense scratch, reset in O(touched) at run end.
-  uint64_t Epoch = 0;
-  std::vector<uint64_t> CountdownEpoch;
+  // Dense scratch, reset in O(touched) at run end. A site's countdown is
+  // SamplingAccel::Uninit until its first sampled-rate reach of the run
+  // draws the initial geometric skip; every initialized site is recorded
+  // in TouchedCountdowns so takeReport can restore the sentinel. The
+  // countdown array doubles as the engine fast path's decrement target
+  // (Accel.Countdown points at it), which is why initialization must be
+  // observable in the value itself rather than in a side epoch: the engine
+  // tests only the countdown word.
   std::vector<uint64_t> Countdown;
   std::vector<uint32_t> SiteObserved;
   std::vector<uint32_t> PredTrue;
   std::vector<uint32_t> TouchedSites;
   std::vector<uint32_t> TouchedPreds;
+  std::vector<uint32_t> TouchedCountdowns;
+
+  /// Node -> fast-path classification plus the countdown base pointer,
+  /// built once alongside the CSR index (node population never changes).
+  SamplingAccel Accel;
 };
 
 } // namespace sbi

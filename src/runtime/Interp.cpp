@@ -38,6 +38,8 @@ const char *sbi::trapKindName(TrapKind Kind) {
     return "step-limit";
   case TrapKind::StackOverflow:
     return "stack-overflow";
+  case TrapKind::BadBytecode:
+    return "bad-bytecode";
   }
   return "?";
 }
@@ -67,8 +69,7 @@ public:
   }
 
   void emitOutput(const std::string &Text) override {
-    if (Outcome.Output.size() + Text.size() <= MaxOutputBytes)
-      Outcome.Output += Text;
+    semAppendOutput(Outcome.Output, Text);
   }
 
   void exitRun(int Code) override {
@@ -520,9 +521,8 @@ Value Interpreter::evalCall(const CallExpr &Call) {
   if (Call.Target)
     Result = callFunction(*Call.Target, std::move(Args));
   else
-    Result =
-        semCallIntrinsic(Call.IntrinsicId, Call.Callee, std::move(Args),
-                         *this);
+    Result = semCallIntrinsic(Call.IntrinsicId, Call.Callee.c_str(),
+                              Args.data(), *this);
   if (Stopped)
     return Value();
 

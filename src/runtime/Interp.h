@@ -42,7 +42,8 @@ enum class TrapKind {
   OutOfMemory,  ///< mkarray with a negative or absurd size.
   ExplicitTrap, ///< The program called trap(msg).
   StepLimit,    ///< Run exceeded the step budget (runaway loop).
-  StackOverflow ///< Call depth exceeded the limit.
+  StackOverflow, ///< Call depth exceeded the limit.
+  BadBytecode   ///< Malformed/corrupted bytecode (VM integrity guard).
 };
 
 const char *trapKindName(TrapKind Kind);

@@ -21,27 +21,85 @@
 #include "lang/AST.h"
 #include "runtime/Value.h"
 
+#include <cstdint>
+
 namespace sbi {
 
 /// Read-only access to variable storage at one moment of execution; lets
 /// the scalar-pairs scheme read the in-scope variables y_i when x = ... is
-/// executed.
+/// executed. Locals are a raw span so engines that keep frame locals inside
+/// a shared arena (the bytecode VM) can expose them without materializing a
+/// vector; the view is transient and must not outlive the observer call.
 class FrameView {
 public:
   FrameView(const std::vector<Value> &Globals, const std::vector<Value> &Locals)
-      : Globals(Globals), Locals(Locals) {}
+      : Globals(Globals), Locals(Locals.data()), NumLocals(Locals.size()) {}
+
+  FrameView(const std::vector<Value> &Globals, const Value *Locals,
+            size_t NumLocals)
+      : Globals(Globals), Locals(Locals), NumLocals(NumLocals) {}
 
   const Value &get(VarSlot Slot) const {
-    const std::vector<Value> &Storage = Slot.IsGlobal ? Globals : Locals;
-    assert(Slot.Index >= 0 &&
-           static_cast<size_t>(Slot.Index) < Storage.size() &&
+    if (Slot.IsGlobal) {
+      assert(Slot.Index >= 0 &&
+             static_cast<size_t>(Slot.Index) < Globals.size() &&
+             "variable slot out of range");
+      return Globals[static_cast<size_t>(Slot.Index)];
+    }
+    assert(Slot.Index >= 0 && static_cast<size_t>(Slot.Index) < NumLocals &&
            "variable slot out of range");
-    return Storage[static_cast<size_t>(Slot.Index)];
+    return Locals[static_cast<size_t>(Slot.Index)];
   }
 
 private:
   const std::vector<Value> &Globals;
-  const std::vector<Value> &Locals;
+  const Value *Locals;
+  size_t NumLocals;
+};
+
+/// The sampling fast-path handle an observer may expose so an execution
+/// engine can hoist the geometric skip countdown (Section 2's sparse
+/// sampling transformation) into its dispatch loop. When a node's entry
+/// names a single site, a non-sampled reach is one in-register decrement of
+/// that site's countdown — the observer virtual call fires only when the
+/// countdown hits zero (a sample) or is uninitialized for this run (the
+/// first reach, which seeds the site's RNG stream). A FanNode entry covers
+/// nodes with several sampled sites (scalar-pairs nodes routinely carry a
+/// site per visible comparand): the engine scans the node's countdown span
+/// and either bulk-decrements — every site independently decided "skip" —
+/// or, the moment any site would sample or needs its first draw, calls the
+/// observer with nothing mutated. Either way each site's countdown and RNG
+/// stream advance exactly as the ReportCollector itself would have advanced
+/// them, so reports stay bit-identical whether or not an engine uses the
+/// handle.
+struct SamplingAccel {
+  /// NodeSite entry: always invoke the observer (a site monitored at rate
+  /// 1.0, or a node this table does not cover).
+  static constexpr uint32_t CallObserver = UINT32_MAX;
+  /// NodeSite entry: no enabled site — the event cannot be observed and
+  /// the engine may skip the call entirely.
+  static constexpr uint32_t SkipNode = UINT32_MAX - 1;
+  /// NodeSite entry: several sites, all with rates in (0, 1); the node's
+  /// span of FanSites holds their ids.
+  static constexpr uint32_t FanNode = UINT32_MAX - 2;
+  /// Countdown value meaning "not drawn yet this run".
+  static constexpr uint64_t Uninit = UINT64_MAX;
+
+  /// Indexed by AST node id: CallObserver, SkipNode, FanNode, or the single
+  /// enabled site id whose plan rate lies in (0, 1).
+  std::vector<uint32_t> NodeSite;
+  /// CSR fan spans: a FanNode's sampled sites are
+  /// FanSites[FanStart[N] .. FanStart[N+1]). Other nodes have empty spans.
+  std::vector<uint32_t> FanStart;
+  std::vector<uint32_t> FanSites;
+  /// Per-site skip countdowns, owned by the observer; stable for the
+  /// observer's lifetime.
+  uint64_t *Countdown = nullptr;
+
+  uint32_t siteFor(int NodeId) const {
+    auto Id = static_cast<size_t>(static_cast<uint32_t>(NodeId));
+    return Id < NodeSite.size() ? NodeSite[Id] : CallObserver;
+  }
 };
 
 /// Dynamic-event callbacks keyed by AST node id.
@@ -60,6 +118,12 @@ public:
   /// \p NewValue into an int variable; \p Frame reads other variables.
   virtual void onScalarAssign(int NodeId, int64_t NewValue,
                               const FrameView &Frame);
+
+  /// Optional sampling fast path (see SamplingAccel). The default — and any
+  /// observer that must see every event, e.g. a collector accumulating
+  /// reach statistics — returns null, which forces engines onto the
+  /// always-call slow path. Engines query once per run.
+  virtual const SamplingAccel *samplingAccel() const { return nullptr; }
 };
 
 } // namespace sbi

@@ -11,6 +11,13 @@ using namespace sbi;
 
 EvalSink::~EvalSink() = default;
 
+void sbi::semAppendOutput(std::string &Out, const std::string &Text) {
+  if (Out.size() >= MaxOutputBytes)
+    return;
+  size_t Room = MaxOutputBytes - Out.size();
+  Out.append(Text, 0, std::min(Room, Text.size()));
+}
+
 Value sbi::defaultValueFor(VarKind Kind) {
   switch (Kind) {
   case VarKind::Int:
@@ -208,8 +215,8 @@ bool sbi::semCheckKind(VarKind DeclaredKind, const Value &V,
   return Ok;
 }
 
-Value sbi::semCallIntrinsic(int IntrinsicId, const std::string &CalleeName,
-                            std::vector<Value> Args, EvalSink &Sink) {
+Value sbi::semCallIntrinsic(int IntrinsicId, const char *CalleeName,
+                            const Value *Args, EvalSink &Sink) {
   auto Which = static_cast<Intrinsic>(IntrinsicId);
 
   auto wantInt = [&](size_t I) -> bool {
@@ -217,7 +224,7 @@ Value sbi::semCallIntrinsic(int IntrinsicId, const std::string &CalleeName,
       return true;
     Sink.trap(TrapKind::KindError,
               format("'%s' argument %zu must be int, got %s",
-                     CalleeName.c_str(), I + 1,
+                     CalleeName, I + 1,
                      valueKindName(Args[I].kind())));
     return false;
   };
@@ -226,11 +233,11 @@ Value sbi::semCallIntrinsic(int IntrinsicId, const std::string &CalleeName,
       return true;
     if (Args[I].isNull())
       Sink.trap(TrapKind::NullDeref,
-                format("'%s' applied to null string", CalleeName.c_str()));
+                format("'%s' applied to null string", CalleeName));
     else
       Sink.trap(TrapKind::KindError,
                 format("'%s' argument %zu must be str, got %s",
-                       CalleeName.c_str(), I + 1,
+                       CalleeName, I + 1,
                        valueKindName(Args[I].kind())));
     return false;
   };

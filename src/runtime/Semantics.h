@@ -53,6 +53,11 @@ inline constexpr int64_t MaxArrayElements = 4'000'000;
 /// Cap on run output; excess is silently dropped.
 inline constexpr size_t MaxOutputBytes = 1u << 20;
 
+/// Appends \p Text to run output \p Out, truncating byte-exactly at
+/// MaxOutputBytes. Both engines must route emitOutput through this so the
+/// retained prefix never depends on how a program chunked its writes.
+void semAppendOutput(std::string &Out, const std::string &Text);
+
 /// The default value a declaration of \p Kind initializes to.
 Value defaultValueFor(VarKind Kind);
 
@@ -85,11 +90,15 @@ bool semStoreField(const Value &Base, const std::string &Field, Value V,
 bool semCheckKind(VarKind DeclaredKind, const Value &V,
                   const std::string &Name, EvalSink &Sink);
 
-/// Evaluates intrinsic \p IntrinsicId on \p Args. \p CalleeName feeds
-/// error messages. Unit for void intrinsics; engine must check for traps
-/// and exits afterwards.
-Value semCallIntrinsic(int IntrinsicId, const std::string &CalleeName,
-                       std::vector<Value> Args, EvalSink &Sink);
+/// Evaluates intrinsic \p IntrinsicId on \p Args, a pointer to the
+/// arity-checked argument values (arity is enforced by sema, so no count is
+/// needed — the intrinsic reads exactly its declared arguments). Passing a
+/// pointer lets engines hand over in-place operand-stack slots instead of
+/// materializing a fresh vector per call. \p CalleeName feeds error
+/// messages. Unit for void intrinsics; engine must check for traps and
+/// exits afterwards.
+Value semCallIntrinsic(int IntrinsicId, const char *CalleeName,
+                       const Value *Args, EvalSink &Sink);
 
 } // namespace sbi
 

@@ -34,11 +34,11 @@ bool Value::equals(const Value &Other) const {
   case ValueKind::Int:
     return Int == Other.Int;
   case ValueKind::Str:
-    return *Str == *Other.Str;
+    return *static_cast<const std::string *>(Obj.get()) ==
+           *static_cast<const std::string *>(Other.Obj.get());
   case ValueKind::Arr:
-    return Arr == Other.Arr;
   case ValueKind::Rec:
-    return Rec == Other.Rec;
+    return Obj == Other.Obj;
   }
   return false;
 }
@@ -50,13 +50,14 @@ std::string Value::toDisplayString() const {
   case ValueKind::Int:
     return format("%lld", static_cast<long long>(Int));
   case ValueKind::Str:
-    return *Str;
+    return asStr();
   case ValueKind::Null:
     return "null";
   case ValueKind::Arr:
-    return format("<arr:%zu>", Arr->LogicalSize);
+    return format("<arr:%zu>", asArr().LogicalSize);
   case ValueKind::Rec:
-    return format("<rec %s>", Rec->Decl ? Rec->Decl->Name.c_str() : "?");
+    return format("<rec %s>",
+                  asRec().Decl ? asRec().Decl->Name.c_str() : "?");
   }
   return "?";
 }

@@ -66,14 +66,16 @@ public:
   static Value makeStr(std::string V) {
     Value Result;
     Result.Kind = ValueKind::Str;
-    Result.Str = std::make_shared<const std::string>(std::move(V));
+    Result.Obj = std::make_shared<std::string>(std::move(V));
     return Result;
   }
 
   static Value makeStrShared(std::shared_ptr<const std::string> V) {
     Value Result;
     Result.Kind = ValueKind::Str;
-    Result.Str = std::move(V);
+    // The type-erased handle is never written through; immutability is
+    // enforced by the accessors, which only hand out const references.
+    Result.Obj = std::const_pointer_cast<std::string>(std::move(V));
     return Result;
   }
 
@@ -86,14 +88,14 @@ public:
   static Value makeArr(std::shared_ptr<ArrayObj> V) {
     Value Result;
     Result.Kind = ValueKind::Arr;
-    Result.Arr = std::move(V);
+    Result.Obj = std::move(V);
     return Result;
   }
 
   static Value makeRec(std::shared_ptr<RecordObj> V) {
     Value Result;
     Result.Kind = ValueKind::Rec;
-    Result.Rec = std::move(V);
+    Result.Obj = std::move(V);
     return Result;
   }
 
@@ -112,27 +114,27 @@ public:
 
   const std::string &asStr() const {
     assert(isStr() && "value is not a string");
-    return *Str;
+    return *static_cast<const std::string *>(Obj.get());
   }
 
-  const std::shared_ptr<const std::string> &strHandle() const {
+  std::shared_ptr<const std::string> strHandle() const {
     assert(isStr() && "value is not a string");
-    return Str;
+    return std::static_pointer_cast<const std::string>(Obj);
   }
 
   ArrayObj &asArr() const {
     assert(isArr() && "value is not an array");
-    return *Arr;
+    return *static_cast<ArrayObj *>(Obj.get());
   }
 
-  const std::shared_ptr<ArrayObj> &arrHandle() const {
+  std::shared_ptr<ArrayObj> arrHandle() const {
     assert(isArr() && "value is not an array");
-    return Arr;
+    return std::static_pointer_cast<ArrayObj>(Obj);
   }
 
   RecordObj &asRec() const {
     assert(isRec() && "value is not a record");
-    return *Rec;
+    return *static_cast<RecordObj *>(Obj.get());
   }
 
   /// Structural equality for Int/Str/Null, reference equality for Arr/Rec,
@@ -145,9 +147,11 @@ public:
 private:
   ValueKind Kind;
   int64_t Int = 0;
-  std::shared_ptr<const std::string> Str;
-  std::shared_ptr<ArrayObj> Arr;
-  std::shared_ptr<RecordObj> Rec;
+  /// The heap object named by Kind — a std::string, ArrayObj, or RecordObj
+  /// — or null for Unit/Int/Null. A single type-erased handle keeps copies
+  /// and destruction to one refcount touch; engines copy values on every
+  /// operand-stack push, so this is hot.
+  std::shared_ptr<void> Obj;
 };
 
 } // namespace sbi

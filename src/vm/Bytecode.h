@@ -25,6 +25,7 @@
 #define SBI_VM_BYTECODE_H
 
 #include "lang/AST.h"
+#include "runtime/Value.h"
 
 #include <cstdint>
 #include <string>
@@ -32,61 +33,119 @@
 
 namespace sbi {
 
+/// Every opcode, in dispatch order. The X-macro keeps the enum, the
+/// computed-goto label table in VM.cpp, and the disassembler mnemonics in
+/// lockstep — adding an opcode here without a handler is a compile error in
+/// both dispatch modes.
+///
+/// Stack and constants:
+///   PushInt   A = index into IntPool.
+///   PushStr   A = index into StrPool.
+///   Pop/Dup   plain stack manipulation.
+/// Variables — loads trap on Unit (uninitialized) with the variable name
+/// (B = StrPool index); stores enforce the declared kind (C = VarKind):
+///   LoadLocal/LoadGlobal    A = slot, B = name.
+///   StoreLocal/StoreGlobal  A = slot, B = name, C = VarKind.
+/// Operators (semantics shared with the interpreter via runtime/Semantics):
+///   Binary  A = BinaryOp (never And/Or, which are control flow).
+///   Unary   A = UnaryOp.
+///   ToBool  pop, truthiness-check (may trap), push 0/1.
+/// Control flow — observed jumps drive the branches instrumentation scheme:
+/// pop the condition, truthiness-check, report onBranch(B, taken), then
+/// jump to A when not-taken (IfFalse) / taken (IfTrue). The plain
+/// conditional jumps are identical minus the observer report; the compiler
+/// emits them for branches whose instrumentation was statically pruned.
+/// Jump targets are chunk-relative pcs in Chunk::Code and absolute pcs in
+/// the flattened stream (CompiledProgram::Flat):
+///   Jump                        A = target pc.
+///   ObsJumpIfFalse/IfTrue       A = target pc, B = AST node id.
+///   JumpIfFalse/IfTrue          A = target pc, B = node id (unobserved).
+/// Heap access (shared silent-overrun semantics):
+///   IndexLoad   stack: base, subscript -> value.
+///   IndexStore  stack: base, subscript, value.
+///   FieldLoad   A = field name (StrPool); stack: base -> value.
+///   FieldStore  A = field name; stack: base, value.
+///   NewRec      A = index into Records.
+/// Calls:
+///   Call           A = chunk index, B = arg count.
+///   CallIntrinsic  A = intrinsic id, B = arg count.
+///   ObserveCall    A = node id; peek top, report ints (returns scheme).
+///   ObserveAssign  A = node id; pop stored value, report (scalar-pairs).
+///   Return         pop result, pop frame.
+///   Halt           end of the global-initializer chunk.
+/// Superinstructions — fused by the compiler's peephole pass for the
+/// instrumentation-heavy adjacent pairs measured in trace summaries (see
+/// Compiler.cpp fuseChunk); each is exactly the sequence of its parts:
+///   LocalObsJumpIfFalse/IfTrue  LoadLocal + observed jump.
+///                               A = target, B = node id, C = slot,
+///                               D = name.
+///   LocalJumpIfFalse/IfTrue     LoadLocal + plain conditional jump.
+///                               A = target, B = node id, C = slot,
+///                               D = name.
+///   PushIntBinary               PushInt + Binary: pop lhs, rhs from the
+///                               pool. A = BinaryOp, B = IntPool index.
+///   LocalBinary                 LoadLocal + Binary: pop lhs, rhs from a
+///                               local. A = BinaryOp, B = slot, D = name.
+#define SBI_VM_OPCODES(X)                                                    \
+  X(PushInt)                                                                 \
+  X(PushStr)                                                                 \
+  X(PushNull)                                                                \
+  X(PushUnit)                                                                \
+  X(Pop)                                                                     \
+  X(Dup)                                                                     \
+  X(LoadLocal)                                                               \
+  X(LoadGlobal)                                                              \
+  X(StoreLocal)                                                              \
+  X(StoreGlobal)                                                             \
+  X(Binary)                                                                  \
+  X(Unary)                                                                   \
+  X(ToBool)                                                                  \
+  X(Jump)                                                                    \
+  X(ObsJumpIfFalse)                                                          \
+  X(ObsJumpIfTrue)                                                           \
+  X(JumpIfFalse)                                                             \
+  X(JumpIfTrue)                                                              \
+  X(IndexLoad)                                                               \
+  X(IndexStore)                                                              \
+  X(FieldLoad)                                                               \
+  X(FieldStore)                                                              \
+  X(NewRec)                                                                  \
+  X(Call)                                                                    \
+  X(CallIntrinsic)                                                           \
+  X(ObserveCall)                                                             \
+  X(ObserveAssign)                                                           \
+  X(Return)                                                                  \
+  X(Halt)                                                                    \
+  X(LocalObsJumpIfFalse)                                                     \
+  X(LocalObsJumpIfTrue)                                                      \
+  X(LocalJumpIfFalse)                                                        \
+  X(LocalJumpIfTrue)                                                         \
+  X(PushIntBinary)                                                           \
+  X(LocalBinary)
+
 enum class Opcode : uint8_t {
-  // Stack and constants.
-  PushInt,  ///< A = index into IntPool.
-  PushStr,  ///< A = index into StrPool.
-  PushNull,
-  PushUnit,
-  Pop,
-  Dup,
-
-  // Variables. Loads trap on Unit (uninitialized) with the variable name
-  // (B = StrPool index); stores enforce the declared kind (C = VarKind).
-  LoadLocal,   ///< A = slot, B = name.
-  LoadGlobal,  ///< A = slot, B = name.
-  StoreLocal,  ///< A = slot, B = name, C = VarKind.
-  StoreGlobal, ///< A = slot, B = name, C = VarKind.
-
-  // Operators (semantics shared with the interpreter via runtime/Semantics).
-  Binary, ///< A = BinaryOp (never And/Or, which are control flow).
-  Unary,  ///< A = UnaryOp.
-  ToBool, ///< Pop, truthiness-check (may trap), push 0/1.
-
-  // Control flow. Observed jumps drive the branches instrumentation
-  // scheme: pop the condition, truthiness-check, report onBranch(B, taken),
-  // then jump to A when not-taken (IfFalse) / taken (IfTrue). The plain
-  // conditional jumps are identical minus the observer report; the compiler
-  // emits them for branches whose instrumentation was statically pruned.
-  Jump,            ///< A = target pc.
-  ObsJumpIfFalse,  ///< A = target pc, B = AST node id.
-  ObsJumpIfTrue,   ///< A = target pc, B = AST node id.
-  JumpIfFalse,     ///< A = target pc, B = AST node id (unobserved).
-  JumpIfTrue,      ///< A = target pc, B = AST node id (unobserved).
-
-  // Heap access (shared silent-overrun semantics).
-  IndexLoad,  ///< stack: base, subscript -> value.
-  IndexStore, ///< stack: base, subscript, value.
-  FieldLoad,  ///< A = field name (StrPool); stack: base -> value.
-  FieldStore, ///< A = field name; stack: base, value.
-  NewRec,     ///< A = index into Records.
-
-  // Calls.
-  Call,          ///< A = chunk index, B = arg count.
-  CallIntrinsic, ///< A = intrinsic id, B = arg count.
-  ObserveCall,   ///< A = node id; peek top, report ints (returns scheme).
-  ObserveAssign, ///< A = node id; pop stored value, report (scalar-pairs).
-  Return,        ///< Pop result, pop frame.
-  Halt,          ///< End of the global-initializer chunk.
+#define SBI_VM_OPCODE_ENUM(name) name,
+  SBI_VM_OPCODES(SBI_VM_OPCODE_ENUM)
+#undef SBI_VM_OPCODE_ENUM
 };
 
 const char *opcodeName(Opcode Op);
+
+/// Which dispatch loop this build of the VM runs: "computed-goto" when the
+/// compiler supports label-as-value direct threading (GCC/Clang, unless
+/// SBI_VM_FORCE_SWITCH_DISPATCH was configured), "switch" for the portable
+/// fallback. Observable behaviour is identical; only throughput differs.
+const char *vmDispatchKind();
 
 struct Instr {
   Opcode Op;
   int32_t A = 0;
   int32_t B = 0;
   int32_t C = 0;
+  /// Fourth operand, used only by superinstructions (the fused pair's
+  /// displaced operand, e.g. the variable-name StrPool index of a fused
+  /// LoadLocal).
+  int32_t D = 0;
   /// Source line, for traps and stack traces.
   int32_t Line = 0;
 };
@@ -110,6 +169,25 @@ struct CompiledProgram {
   std::vector<const RecordDecl *> Records;
   int MainChunk = -1;
   uint32_t NumGlobals = 0;
+
+  /// The execution form the VM dispatches over: every chunk's (fused) code
+  /// concatenated into one stream with jump targets rewritten to absolute
+  /// pcs. Chunk K starts at FlatStart[K]; the init chunk at InitStart.
+  /// Built by flatten(); Chunk::Code remains the per-function view for
+  /// disassembly and tests.
+  std::vector<Instr> Flat;
+  std::vector<uint32_t> FlatStart;
+  uint32_t InitStart = 0;
+
+  /// Pre-built shared string handles, one per StrPool entry, so PushStr
+  /// copies a handle instead of allocating per run. Safe to share across
+  /// concurrent runs (handles are only copied).
+  std::vector<Value> StrValues;
+
+  /// (Re)builds Flat/FlatStart/InitStart and StrValues from the chunks.
+  /// compileProgram calls this; call it manually after constructing or
+  /// editing chunks by hand (tests).
+  void flatten();
 
   /// Human-readable disassembly (for tests and debugging).
   std::string disassemble() const;

@@ -70,8 +70,28 @@ const char *sbi::opcodeName(Opcode Op) {
     return "return";
   case Opcode::Halt:
     return "halt";
+  case Opcode::LocalObsJumpIfFalse:
+    return "local.obs.jfalse";
+  case Opcode::LocalObsJumpIfTrue:
+    return "local.obs.jtrue";
+  case Opcode::LocalJumpIfFalse:
+    return "local.jfalse";
+  case Opcode::LocalJumpIfTrue:
+    return "local.jtrue";
+  case Opcode::PushIntBinary:
+    return "push.int.binary";
+  case Opcode::LocalBinary:
+    return "local.binary";
   }
   return "?";
+}
+
+const char *sbi::vmDispatchKind() {
+#if SBI_VM_COMPUTED_GOTO
+  return "computed-goto";
+#else
+  return "switch";
+#endif
 }
 
 std::string CompiledProgram::disassemble() const {
@@ -81,14 +101,143 @@ std::string CompiledProgram::disassemble() const {
                   C.NumLocals, C.NumParams);
     for (size_t I = 0; I < C.Code.size(); ++I) {
       const Instr &In = C.Code[I];
-      Out += format("  %4zu  %-14s %d %d %d   ; line %d\n", I,
-                    opcodeName(In.Op), In.A, In.B, In.C, In.Line);
+      Out += format("  %4zu  %-16s %d %d %d %d   ; line %d\n", I,
+                    opcodeName(In.Op), In.A, In.B, In.C, In.D, In.Line);
     }
   };
   dumpChunk(InitChunk);
   for (const Chunk &C : Chunks)
     dumpChunk(C);
   return Out;
+}
+
+namespace {
+
+bool isJumpOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Jump:
+  case Opcode::ObsJumpIfFalse:
+  case Opcode::ObsJumpIfTrue:
+  case Opcode::JumpIfFalse:
+  case Opcode::JumpIfTrue:
+  case Opcode::LocalObsJumpIfFalse:
+  case Opcode::LocalObsJumpIfTrue:
+  case Opcode::LocalJumpIfFalse:
+  case Opcode::LocalJumpIfTrue:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// The superinstruction peephole. Fuses the instrumentation-heavy adjacent
+/// pairs (trace summaries show observed branches and compare-against-
+/// constant dominating hot loops) into single opcodes:
+///
+///   LoadLocal + {Obs,}Jump{IfFalse,IfTrue}  -> Local{Obs,}Jump...
+///   PushInt   + Binary                      -> PushIntBinary
+///   LoadLocal + Binary                      -> LocalBinary
+///
+/// A pair fuses only when (a) the second instruction is not a jump target —
+/// fusing across an incoming edge would change what that edge executes —
+/// and (b) both halves carry the same source line, so trap attribution and
+/// stack-trace lines are identical whether or not fusion happened.
+void fuseChunk(Chunk &C) {
+  size_t N = C.Code.size();
+  std::vector<uint8_t> IsTarget(N + 1, 0);
+  for (const Instr &In : C.Code)
+    if (isJumpOp(In.Op))
+      IsTarget[static_cast<size_t>(In.A)] = 1;
+
+  std::vector<Instr> Fused;
+  Fused.reserve(N);
+  // Old pc -> new pc of the (possibly fused) instruction it begins.
+  std::vector<int32_t> NewIndex(N + 1, 0);
+
+  for (size_t I = 0; I < N; ++I) {
+    NewIndex[I] = static_cast<int32_t>(Fused.size());
+    const Instr &In = C.Code[I];
+    if (I + 1 < N && !IsTarget[I + 1] && C.Code[I + 1].Line == In.Line) {
+      const Instr &Next = C.Code[I + 1];
+      Instr Pair{};
+      Pair.Line = In.Line;
+      bool DidFuse = true;
+      if (In.Op == Opcode::LoadLocal &&
+          (Next.Op == Opcode::ObsJumpIfFalse ||
+           Next.Op == Opcode::ObsJumpIfTrue ||
+           Next.Op == Opcode::JumpIfFalse ||
+           Next.Op == Opcode::JumpIfTrue)) {
+        switch (Next.Op) {
+        case Opcode::ObsJumpIfFalse:
+          Pair.Op = Opcode::LocalObsJumpIfFalse;
+          break;
+        case Opcode::ObsJumpIfTrue:
+          Pair.Op = Opcode::LocalObsJumpIfTrue;
+          break;
+        case Opcode::JumpIfFalse:
+          Pair.Op = Opcode::LocalJumpIfFalse;
+          break;
+        default:
+          Pair.Op = Opcode::LocalJumpIfTrue;
+          break;
+        }
+        Pair.A = Next.A;
+        Pair.B = Next.B;
+        Pair.C = In.A; // Slot.
+        Pair.D = In.B; // Name.
+      } else if (In.Op == Opcode::PushInt && Next.Op == Opcode::Binary) {
+        Pair.Op = Opcode::PushIntBinary;
+        Pair.A = Next.A; // BinaryOp.
+        Pair.B = In.A;   // IntPool index.
+      } else if (In.Op == Opcode::LoadLocal && Next.Op == Opcode::Binary) {
+        Pair.Op = Opcode::LocalBinary;
+        Pair.A = Next.A; // BinaryOp.
+        Pair.B = In.A;   // Slot.
+        Pair.D = In.B;   // Name.
+      } else {
+        DidFuse = false;
+      }
+      if (DidFuse) {
+        NewIndex[I + 1] = static_cast<int32_t>(Fused.size());
+        Fused.push_back(Pair);
+        ++I;
+        continue;
+      }
+    }
+    Fused.push_back(In);
+  }
+  NewIndex[N] = static_cast<int32_t>(Fused.size());
+
+  for (Instr &In : Fused)
+    if (isJumpOp(In.Op))
+      In.A = NewIndex[static_cast<size_t>(In.A)];
+  C.Code = std::move(Fused);
+}
+
+} // namespace
+
+void CompiledProgram::flatten() {
+  Flat.clear();
+  FlatStart.assign(Chunks.size(), 0);
+
+  auto append = [&](const Chunk &C) {
+    auto Base = static_cast<int32_t>(Flat.size());
+    for (const Instr &In : C.Code) {
+      Flat.push_back(In);
+      if (isJumpOp(In.Op))
+        Flat.back().A += Base;
+    }
+    return static_cast<uint32_t>(Base);
+  };
+
+  InitStart = append(InitChunk);
+  for (size_t I = 0; I < Chunks.size(); ++I)
+    FlatStart[I] = append(Chunks[I]);
+
+  StrValues.clear();
+  StrValues.reserve(StrPool.size());
+  for (const std::string &S : StrPool)
+    StrValues.push_back(Value::makeStr(S));
 }
 
 namespace {
@@ -126,7 +275,7 @@ private:
 
   // --- Emission ------------------------------------------------------------
   size_t emit(Opcode Op, int32_t A = 0, int32_t B = 0, int32_t C = 0) {
-    Current->Code.push_back({Op, A, B, C, Line});
+    Current->Code.push_back({Op, A, B, C, /*D=*/0, Line});
     return Current->Code.size() - 1;
   }
 
@@ -206,6 +355,11 @@ CompiledProgram Compiler::compile() {
   const FuncDecl *Main = Prog.findFunction("main");
   assert(Main && "Sema guarantees main exists");
   Out.MainChunk = FuncIndex[Main];
+
+  fuseChunk(Out.InitChunk);
+  for (Chunk &C : Out.Chunks)
+    fuseChunk(C);
+  Out.flatten();
   return std::move(Out);
 }
 

@@ -41,6 +41,47 @@ CampaignOptions baseOptions() {
   return Options;
 }
 
+/// Strips the @line suffixes from a stack signature, keeping only frame
+/// function names. Stack-signature *line* attribution differs between
+/// engines by long-standing convention — see tests/vm/DifferentialTest.cpp
+/// — so equivalence checks compare names alone.
+std::string frameNames(const std::string &Signature) {
+  std::string Names;
+  bool Skip = false;
+  for (char C : Signature) {
+    if (C == '@')
+      Skip = true;
+    else if (C == '>')
+      Skip = false;
+    if (!Skip)
+      Names += C;
+  }
+  return Names;
+}
+
+/// The engine-equivalence contract for a pair of same-seed campaigns: run
+/// labels, traps, exit codes, bug masks, frame names, and every observation
+/// count identical, report for report.
+void expectCampaignsEquivalent(const CampaignResult &A,
+                               const CampaignResult &B,
+                               const std::string &Label) {
+  ASSERT_EQ(A.Reports.size(), B.Reports.size()) << Label;
+  for (size_t Run = 0; Run < A.Reports.size(); ++Run) {
+    const FeedbackReport &RA = A.Reports[Run];
+    const FeedbackReport &RB = B.Reports[Run];
+    EXPECT_EQ(RA.Failed, RB.Failed) << Label << " run " << Run;
+    EXPECT_EQ(RA.Trap, RB.Trap) << Label << " run " << Run;
+    EXPECT_EQ(RA.ExitCode, RB.ExitCode) << Label << " run " << Run;
+    EXPECT_EQ(RA.BugMask, RB.BugMask) << Label << " run " << Run;
+    EXPECT_EQ(frameNames(RA.StackSignature), frameNames(RB.StackSignature))
+        << Label << " run " << Run;
+    EXPECT_EQ(RA.Counts.SiteObservations, RB.Counts.SiteObservations)
+        << Label << " run " << Run;
+    EXPECT_EQ(RA.Counts.TruePredicates, RB.Counts.TruePredicates)
+        << Label << " run " << Run;
+  }
+}
+
 } // namespace
 
 TEST(StaticPruneTest, PrunedSitesVerifyAgainstUnprunedReference) {
@@ -109,33 +150,47 @@ TEST(StaticPruneTest, VmEngineAgreesUnderPruning) {
   VmOptions.Exec = Engine::VM;
   CampaignResult Vm = runCampaign(mossSubject(), VmOptions);
 
-  ASSERT_EQ(Interp.Reports.size(), Vm.Reports.size());
-  auto frameNames = [](const std::string &Signature) {
-    std::string Names;
-    bool Skip = false;
-    for (char C : Signature) {
-      if (C == '@')
-        Skip = true;
-      else if (C == '>')
-        Skip = false;
-      if (!Skip)
-        Names += C;
-    }
-    return Names;
+  expectCampaignsEquivalent(Interp, Vm, "moss/pruned");
+}
+
+TEST(EngineEquivalenceTest, ReportsIdenticalAcrossSubjectsRatesAndPruning) {
+  // The full engine-equivalence matrix: every subject, sampling rates
+  // {1, 1/100, 1/10000}, pruned and unpruned, interpreter vs. VM at the
+  // same seed. The 1/10000 rate exercises the countdown fast path hardest
+  // (almost every reach is a hoisted decrement); rate 1 bypasses it
+  // entirely; 1/100 is the paper's default. Any divergence in the VM's
+  // sampling hoisting, superinstruction fusion, or trap semantics shows up
+  // as a report mismatch here.
+  struct RateCase {
+    SamplingMode Mode;
+    double Rate;
+    const char *Name;
   };
-  for (size_t Run = 0; Run < Interp.Reports.size(); ++Run) {
-    const FeedbackReport &A = Interp.Reports[Run];
-    const FeedbackReport &B = Vm.Reports[Run];
-    EXPECT_EQ(A.Failed, B.Failed) << "run " << Run;
-    EXPECT_EQ(A.Trap, B.Trap) << "run " << Run;
-    EXPECT_EQ(A.ExitCode, B.ExitCode) << "run " << Run;
-    EXPECT_EQ(A.BugMask, B.BugMask) << "run " << Run;
-    EXPECT_EQ(frameNames(A.StackSignature), frameNames(B.StackSignature))
-        << "run " << Run;
-    EXPECT_EQ(A.Counts.SiteObservations, B.Counts.SiteObservations)
-        << "run " << Run;
-    EXPECT_EQ(A.Counts.TruePredicates, B.Counts.TruePredicates)
-        << "run " << Run;
+  const RateCase Rates[] = {
+      {SamplingMode::None, 1.0, "full"},
+      {SamplingMode::Uniform, 0.01, "uniform-1/100"},
+      {SamplingMode::Uniform, 0.0001, "uniform-1/10000"},
+  };
+  for (const Subject *Subj : allSubjects()) {
+    for (const RateCase &Rate : Rates) {
+      for (bool Prune : {false, true}) {
+        CampaignOptions Options = baseOptions();
+        Options.NumRuns = 60;
+        Options.Mode = Rate.Mode;
+        Options.UniformRate = Rate.Rate;
+        Options.StaticPrune = Prune;
+        CampaignResult Interp = runCampaign(*Subj, Options);
+
+        CampaignOptions VmOptions = Options;
+        VmOptions.Exec = Engine::VM;
+        CampaignResult Vm = runCampaign(*Subj, VmOptions);
+
+        expectCampaignsEquivalent(
+            Interp, Vm,
+            std::string(Subj->Name) + "/" + Rate.Name +
+                (Prune ? "/pruned" : "/unpruned"));
+      }
+    }
   }
 }
 

@@ -13,6 +13,7 @@
 #include "instrument/Sites.h"
 #include "lang/Sema.h"
 #include "runtime/Interp.h"
+#include "runtime/Semantics.h"
 #include "subjects/Subjects.h"
 #include "support/Random.h"
 #include "vm/Compiler.h"
@@ -170,3 +171,31 @@ TEST_P(SubjectDifferentialTest, GoldenBuildsMatchToo) {
 INSTANTIATE_TEST_SUITE_P(AllSubjects, SubjectDifferentialTest,
                          ::testing::ValuesIn(allSubjects()),
                          [](const auto &Info) { return Info.param->Name; });
+
+TEST(OutputCapTest, TruncatesByteExactlyAtCapInBothEngines) {
+  // 1000-byte writes do not divide MaxOutputBytes, so the final print that
+  // crosses the cap must be truncated mid-write: both engines retain exactly
+  // MaxOutputBytes. (The old behavior dropped the whole overflowing write,
+  // and only in one engine, so outputs diverged at the boundary.)
+  const char *Source = R"(fn main() {
+  str S = "x";
+  int I = 0;
+  while (I < 10) { S = strcat(S, S); I = I + 1; }
+  S = substr(S, 0, 1000);
+  int N = 0;
+  while (N < 1049) { print(S); N = N + 1; }
+})";
+  std::vector<Diagnostic> Diags;
+  auto Prog = parseAndAnalyze(Source, Diags);
+  ASSERT_TRUE(Prog) << "parse failed";
+  CompiledProgram Code = compileProgram(*Prog);
+
+  RunConfig Config;
+  RunOutcome FromInterp = runProgram(*Prog, Config);
+  RunOutcome FromVM = runCompiled(Code, Config);
+  EXPECT_EQ(FromInterp.Output.size(), MaxOutputBytes);
+  EXPECT_EQ(FromVM.Output.size(), MaxOutputBytes);
+  EXPECT_EQ(FromInterp.Output, FromVM.Output);
+  EXPECT_EQ(FromInterp.Trap, TrapKind::None);
+  EXPECT_EQ(FromVM.Trap, TrapKind::None);
+}

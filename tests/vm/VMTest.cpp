@@ -148,3 +148,59 @@ TEST(VMTest, ArgsAndBugMarkers) {
   EXPECT_EQ(Outcome.Output, "alpha\n2\n");
   EXPECT_EQ(Outcome.BugsTriggered, (std::vector<int>{4}));
 }
+
+TEST(VMTest, CorruptedChunkUnderflowTrapsInsteadOfUB) {
+  // A hand-mangled chunk that pops an empty operand stack. This must be a
+  // hard BadBytecode trap — not an assert compiled out under NDEBUG — so
+  // malformed bytecode cannot read freed memory in Release builds.
+  CompiledProgram Code;
+  Code.InitChunk.Name = "<globals>";
+  Code.InitChunk.Code.push_back({Opcode::Halt, 0, 0, 0, 0, 1});
+  Chunk Main;
+  Main.Name = "main";
+  Main.Code.push_back({Opcode::Pop, 0, 0, 0, 0, 2});
+  Main.Code.push_back({Opcode::PushUnit, 0, 0, 0, 0, 3});
+  Main.Code.push_back({Opcode::Return, 0, 0, 0, 0, 3});
+  Code.Chunks.push_back(std::move(Main));
+  Code.MainChunk = 0;
+  Code.flatten();
+
+  RunConfig Config;
+  RunOutcome Outcome = runCompiled(Code, Config);
+  EXPECT_EQ(Outcome.Trap, TrapKind::BadBytecode);
+  EXPECT_EQ(Outcome.TrapMessage, "operand stack underflow");
+  ASSERT_FALSE(Outcome.StackTrace.empty());
+  EXPECT_EQ(Outcome.StackTrace[0].substr(0, 5), "main@");
+}
+
+TEST(VMTest, CorruptedJumpTargetTraps) {
+  // A jump whose target lies outside the instruction stream must trap
+  // instead of running off into unrelated memory.
+  CompiledProgram Code;
+  Code.InitChunk.Name = "<globals>";
+  Code.InitChunk.Code.push_back({Opcode::Halt, 0, 0, 0, 0, 1});
+  Chunk Main;
+  Main.Name = "main";
+  Main.Code.push_back({Opcode::Jump, 99999, 0, 0, 0, 2});
+  Code.Chunks.push_back(std::move(Main));
+  Code.MainChunk = 0;
+  Code.flatten();
+
+  RunConfig Config;
+  RunOutcome Outcome = runCompiled(Code, Config);
+  EXPECT_EQ(Outcome.Trap, TrapKind::BadBytecode);
+  EXPECT_EQ(Outcome.TrapMessage, "program counter out of range");
+}
+
+TEST(VMTest, SuperinstructionsPreserveBehavior) {
+  // The peephole pass must fuse at least the load-local+observed-branch
+  // pair in a counting loop, and the fused program must behave identically.
+  Compiled C(R"(fn main() {
+  int sum = 0;
+  for (int i = 0; i < 100; i = i + 1) { sum = sum + i; }
+  println(sum);
+})");
+  std::string Text = C.Code.disassemble();
+  EXPECT_NE(Text.find("local."), std::string::npos) << Text;
+  EXPECT_EQ(C.run().Output, "4950\n");
+}
